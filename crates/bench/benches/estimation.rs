@@ -1,0 +1,67 @@
+//! Microbenchmarks of the counter/estimation path: the paper's
+//! estimator runs on *every* task switch, so Eq. 1 evaluation and the
+//! counter reads must be cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ebs_core::EnergyEstimator;
+use ebs_counters::{calibration, CounterBank, EnergyModel, EventRates, GroundTruth};
+use ebs_topology::CpuId;
+use ebs_units::{SimDuration, Watts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rates() -> EventRates {
+    EventRates::builder()
+        .uops_retired(2.0)
+        .mem_loads(0.3)
+        .mem_stores(0.1)
+        .l2_references(0.01)
+        .build()
+}
+
+fn bench_counts_for_cycles(c: &mut Criterion) {
+    let r = rates();
+    c.bench_function("counters/counts_for_cycles", |b| {
+        b.iter(|| black_box(r.counts_for_cycles(black_box(2_200_000))))
+    });
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let model = EnergyModel::ground_truth_weights();
+    let counts = rates().counts_for_cycles(2_200_000);
+    c.bench_function("counters/eq1_estimate", |b| {
+        b.iter(|| black_box(model.estimate(black_box(&counts))))
+    });
+}
+
+fn bench_account(c: &mut Criterion) {
+    let mut est = EnergyEstimator::new(EnergyModel::ground_truth_weights(), 1, Watts(6.8));
+    let mut bank = CounterBank::new();
+    let counts = rates().counts_for_cycles(2_200_000);
+    let dt = SimDuration::from_millis(1);
+    c.bench_function("core/estimator_account", |b| {
+        b.iter(|| {
+            bank.record(&counts);
+            black_box(est.account(CpuId(0), &mut bank, dt, SimDuration::ZERO))
+        })
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let truth = GroundTruth::p4_xeon_2200();
+    c.bench_function("counters/standard_calibration", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(calibration::standard_calibration(&truth, &mut rng))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_counts_for_cycles,
+    bench_estimate,
+    bench_account,
+    bench_calibration
+);
+criterion_main!(benches);

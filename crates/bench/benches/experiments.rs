@@ -1,0 +1,139 @@
+//! End-to-end benches: one per reproduced table/figure, at reduced
+//! scale so `cargo bench` exercises every experiment's full code path.
+//! The `exp_*` binaries run the paper-scale versions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ebs_sim::{MaxPowerSpec, SimConfig, Simulation};
+use ebs_units::{Celsius, SimDuration, Watts};
+use ebs_workloads::{catalog, fig8_scenario, section61_mix};
+
+/// One simulated second of the Section 6.1 mixed workload.
+fn bench_sim_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("sim_second_18tasks", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(
+                    SimConfig::xseries445().smt(false).energy_aware(true).seed(1),
+                );
+                sim.spawn_mix(&section61_mix(), 3);
+                sim
+            },
+            |mut sim| sim.run_for(SimDuration::from_secs(1)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Scaled-down table/figure regenerations: each runs the experiment's
+/// exact configuration for a short simulated window.
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("table1_slice_sampling", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(
+                    SimConfig::xseries445()
+                        .smt(false)
+                        .energy_aware(false)
+                        .throttling(false)
+                        .seed(42),
+                );
+                sim.record_slice_powers();
+                sim.spawn_program(&catalog::openssl());
+                sim
+            },
+            |mut sim| sim.run_for(SimDuration::from_secs(5)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("fig67_balanced_window", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(
+                    SimConfig::xseries445()
+                        .smt(false)
+                        .energy_aware(true)
+                        .throttling(false)
+                        .max_power(MaxPowerSpec::PerLogical(Watts(60.0)))
+                        .trace_thermal(SimDuration::from_secs(1))
+                        .seed(1),
+                );
+                sim.spawn_mix(&section61_mix(), 3);
+                sim
+            },
+            |mut sim| sim.run_for(SimDuration::from_secs(5)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("table3_throttling_window", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(
+                    SimConfig::xseries445()
+                        .smt(true)
+                        .energy_aware(true)
+                        .throttling(true)
+                        .cooling_factors(vec![1.25, 0.62, 0.65, 1.28, 0.85, 0.60, 0.63, 0.66])
+                        .max_power(MaxPowerSpec::FromThermalLimit(Celsius(38.0)))
+                        .seed(1),
+                );
+                sim.spawn_mix(&section61_mix(), 6);
+                sim
+            },
+            |mut sim| sim.run_for(SimDuration::from_secs(5)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("fig8_scenario_window", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(
+                    SimConfig::xseries445()
+                        .smt(false)
+                        .energy_aware(true)
+                        .throttling(true)
+                        .cooling_factors(vec![1.25, 0.62, 0.65, 1.28, 0.85, 0.60, 0.63, 0.66])
+                        .max_power(MaxPowerSpec::FromThermalLimit(Celsius(38.0)))
+                        .seed(1),
+                );
+                sim.spawn_mix_entries(&fig8_scenario(8, 2, 8));
+                sim
+            },
+            |mut sim| sim.run_for(SimDuration::from_secs(5)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("fig9_hot_task_window", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(
+                    SimConfig::xseries445()
+                        .smt(true)
+                        .energy_aware(true)
+                        .throttling(true)
+                        .max_power(MaxPowerSpec::PerPackage(Watts(40.0)))
+                        .trace_task_cpu(true)
+                        .seed(3),
+                );
+                sim.spawn_program(&catalog::bitcnts());
+                sim
+            },
+            |mut sim| sim.run_for(SimDuration::from_secs(5)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_second, bench_figures);
+criterion_main!(benches);

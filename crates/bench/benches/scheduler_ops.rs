@@ -1,0 +1,103 @@
+//! Microbenchmarks of the scheduler substrate: the per-tick costs the
+//! paper's Section 5 modifications add to Linux must stay negligible.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ebs_core::{
+    place_new_task, EnergyAwareBalancer, EnergyBalanceConfig, PowerState, PowerStateConfig,
+};
+use ebs_sched::{LoadBalancer, LoadBalancerConfig, System, TaskConfig};
+use ebs_topology::{CpuId, Topology};
+use ebs_units::{SimDuration, Watts};
+
+fn loaded_system() -> System {
+    let mut sys = System::new(Topology::xseries445(false));
+    for c in 0..8 {
+        for i in 0..3 {
+            sys.spawn(
+                TaskConfig {
+                    initial_profile: Watts(35.0 + (c * 3 + i) as f64),
+                    ..TaskConfig::default()
+                },
+                CpuId(c),
+            );
+        }
+        sys.context_switch(CpuId(c));
+    }
+    sys
+}
+
+fn bench_context_switch(c: &mut Criterion) {
+    let mut sys = loaded_system();
+    c.bench_function("sched/context_switch", |b| {
+        b.iter(|| {
+            for cpu in 0..8 {
+                black_box(sys.context_switch(CpuId(cpu)));
+            }
+        })
+    });
+}
+
+fn bench_tick(c: &mut Criterion) {
+    let mut sys = loaded_system();
+    let dt = SimDuration::from_millis(1);
+    c.bench_function("sched/tick_8cpus", |b| {
+        b.iter(|| {
+            for cpu in 0..8 {
+                black_box(sys.tick(CpuId(cpu), dt));
+            }
+            // Refill timeslices occasionally via context switches.
+            if sys
+                .current(CpuId(0))
+                .map(|t| sys.task(t).timeslice().is_zero())
+                .unwrap_or(false)
+            {
+                for cpu in 0..8 {
+                    sys.context_switch(CpuId(cpu));
+                }
+            }
+        })
+    });
+}
+
+fn bench_load_balance_pass(c: &mut Criterion) {
+    let mut sys = loaded_system();
+    let mut lb = LoadBalancer::new(&sys, LoadBalancerConfig::default());
+    c.bench_function("sched/load_balance_pass", |b| {
+        b.iter(|| {
+            for cpu in 0..8 {
+                black_box(lb.run(CpuId(cpu), &mut sys));
+            }
+        })
+    });
+}
+
+fn bench_energy_balance_pass(c: &mut Criterion) {
+    let mut sys = loaded_system();
+    let power = PowerState::uniform(8, Watts(60.0), PowerStateConfig::default());
+    let mut eb = EnergyAwareBalancer::new(&sys, EnergyBalanceConfig::default());
+    c.bench_function("core/energy_balance_pass", |b| {
+        b.iter(|| {
+            for cpu in 0..8 {
+                black_box(eb.run(CpuId(cpu), &mut sys, &power));
+            }
+        })
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let sys = loaded_system();
+    let power = PowerState::uniform(8, Watts(60.0), PowerStateConfig::default());
+    c.bench_function("core/place_new_task", |b| {
+        b.iter(|| black_box(place_new_task(&sys, &power, Watts(52.0))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_context_switch,
+    bench_tick,
+    bench_load_balance_pass,
+    bench_energy_balance_pass,
+    bench_placement
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Microbenchmarks of the thermal substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ebs_thermal::{calibrate, PowerAverage, RcThermalModel, ThermalNode, ThrottleController};
+use ebs_units::{SimDuration, Watts};
+
+fn bench_rc_step(c: &mut Criterion) {
+    let mut node = ThermalNode::new(RcThermalModel::reference());
+    let dt = SimDuration::from_millis(1);
+    c.bench_function("thermal/rc_step", |b| {
+        b.iter(|| black_box(node.step(black_box(Watts(55.0)), dt)))
+    });
+}
+
+fn bench_expavg_update(c: &mut Criterion) {
+    let mut avg = PowerAverage::with_time_constant(
+        Watts(13.6),
+        SimDuration::from_millis(100),
+        SimDuration::from_secs(15),
+    );
+    let dt = SimDuration::from_millis(1);
+    c.bench_function("thermal/expavg_update", |b| {
+        b.iter(|| black_box(avg.update(black_box(Watts(61.0)), dt)))
+    });
+}
+
+fn bench_throttle_observe(c: &mut Criterion) {
+    let mut ctl = ThrottleController::new(Watts(47.0));
+    let dt = SimDuration::from_millis(1);
+    c.bench_function("thermal/throttle_observe", |b| {
+        b.iter(|| black_box(ctl.observe(black_box(Watts(46.0)), dt)))
+    });
+}
+
+fn bench_curve_fit(c: &mut Criterion) {
+    let model = RcThermalModel::reference();
+    let trace = calibrate::record_trace(
+        &model,
+        Watts(68.0),
+        SimDuration::from_millis(500),
+        120,
+        &[],
+    );
+    c.bench_function("thermal/fit_heating_curve", |b| {
+        b.iter(|| black_box(calibrate::fit_heating_curve(black_box(&trace)).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rc_step,
+    bench_expavg_update,
+    bench_throttle_observe,
+    bench_curve_fit
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (throughput gain vs workload homogeneity).
+
+fn main() {
+    let quick = ebs_bench::quick_requested();
+    println!("{}", ebs_bench::experiments::fig8::run(quick));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the Section 6.1 migration counts.
+
+fn main() {
+    let quick = ebs_bench::quick_requested();
+    println!("{}", ebs_bench::experiments::migrations::run(quick));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 1 (successive-timeslice power changes).
+
+fn main() {
+    let quick = ebs_bench::quick_requested();
+    println!("{}", ebs_bench::experiments::table1::run(quick));
+}

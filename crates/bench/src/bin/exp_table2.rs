@@ -1,0 +1,6 @@
+//! Regenerates Table 2 (program power levels).
+
+fn main() {
+    let quick = ebs_bench::quick_requested();
+    println!("{}", ebs_bench::experiments::table2::run(quick));
+}

@@ -1,0 +1,113 @@
+//! Figure 10: hot task migration with multiple tasks, plus the
+//! Section 6.4 single-task numbers.
+//!
+//! With `n` bitcnts instances under a 40 W package budget, energy-aware
+//! scheduling gains the most when idle processors exist for the hot
+//! tasks to escape to (paper: +76 % for one or two tasks). The gain
+//! shrinks as the machine fills (vacated processors do not cool down
+//! fast enough) and vanishes at eight tasks, when every physical
+//! processor is hot. At a 50 W budget the single-task gain drops to
+//! ~27 %.
+
+use crate::fmt::{pct, Table};
+use ebs_sim::{mean, run_seeds, MaxPowerSpec, SimConfig};
+use ebs_units::{SimDuration, Watts};
+use ebs_workloads::catalog;
+
+/// One task-count's result.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Number of bitcnts tasks.
+    pub tasks: usize,
+    /// Throughput gain of energy-aware over baseline.
+    pub gain: f64,
+}
+
+/// The Figure 10 result.
+#[derive(Clone, Debug)]
+pub struct Fig10 {
+    /// Gains for 1..=8 tasks at the 40 W package budget.
+    pub rows: Vec<Row>,
+    /// The single-task gain at the 50 W package budget (Section 6.4:
+    /// ~27 %).
+    pub gain_50w_single: f64,
+}
+
+fn gain_for(tasks: usize, budget: Watts, duration: SimDuration, seeds: &[u64]) -> f64 {
+    let base = SimConfig::xseries445()
+        .smt(true)
+        .throttling(true)
+        .max_power(MaxPowerSpec::PerPackage(budget));
+    let bitcnts = catalog::bitcnts();
+    let ips = |on: bool| {
+        let reports = run_seeds(&base.clone().energy_aware(on), seeds, duration, |sim| {
+            for _ in 0..tasks {
+                sim.spawn_program(&bitcnts);
+            }
+        });
+        mean(&reports, |r| r.throughput_ips)
+    };
+    ips(true) / ips(false) - 1.0
+}
+
+/// Runs the Figure 10 sweep.
+pub fn run(quick: bool) -> Fig10 {
+    let duration = SimDuration::from_secs(if quick { 240 } else { 600 });
+    let seeds: &[u64] = if quick { &crate::SEEDS[..2] } else { &crate::SEEDS[..3] };
+    let rows = (1..=8)
+        .map(|tasks| Row {
+            tasks,
+            gain: gain_for(tasks, Watts(40.0), duration, seeds),
+        })
+        .collect();
+    Fig10 {
+        rows,
+        gain_50w_single: gain_for(1, Watts(50.0), duration, seeds),
+    }
+}
+
+impl core::fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "Figure 10: hot task migration — throughput gain vs number of bitcnts tasks \
+             (40 W package limit)"
+        )?;
+        let mut t = Table::new(vec!["tasks", "gain"]);
+        for r in &self.rows {
+            t.row(vec![r.tasks.to_string(), pct(r.gain)]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "50 W limit, 1 task: {} (paper: ~27%; 40 W paper: ~76% at 1-2 tasks, ~0% at 8)",
+            pct(self.gain_50w_single)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_decays_with_occupancy() {
+        let fig = run(true);
+        let gain_at = |n: usize| fig.rows[n - 1].gain;
+        // Large gain with idle CPUs available.
+        assert!(gain_at(1) > 0.30, "1 task: {}", gain_at(1));
+        assert!(gain_at(2) > 0.25, "2 tasks: {}", gain_at(2));
+        // Monotone-ish decay towards full occupancy.
+        assert!(gain_at(6) < gain_at(1), "no decay: {} vs {}", gain_at(6), gain_at(1));
+        // All packages hot: no headroom left.
+        assert!(gain_at(8) < 0.10, "8 tasks: {}", gain_at(8));
+        // A looser limit shrinks the single-task gain.
+        assert!(
+            fig.gain_50w_single < gain_at(1),
+            "50W gain {} vs 40W gain {}",
+            fig.gain_50w_single,
+            gain_at(1)
+        );
+        assert!(fig.gain_50w_single > 0.02);
+    }
+}

@@ -1,0 +1,180 @@
+//! Figure 3: relation between temperature, power, and thermal power.
+//!
+//! A synthetic power step (low, high for a while, low again) is fed to
+//! the RC model (temperature) and to the thermal-power exponential
+//! average. The figure's point: thermal power follows the *shape* of
+//! temperature — slow exponential approach and decay — while raw power
+//! switches instantly.
+
+use ebs_thermal::{PowerAverage, RcThermalModel, ThermalNode};
+use ebs_units::{Celsius, SimDuration, Watts};
+
+/// One sample of the three curves.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Time in seconds.
+    pub t: f64,
+    /// The instantaneous power input.
+    pub power: Watts,
+    /// The RC model's temperature.
+    pub temperature: Celsius,
+    /// The thermal-power average.
+    pub thermal_power: Watts,
+}
+
+/// The full Figure 3 result.
+#[derive(Clone, Debug)]
+pub struct Fig3 {
+    /// Sampled curves (1 Hz).
+    pub samples: Vec<Sample>,
+    /// When the step up/down happens, in seconds.
+    pub step_up: f64,
+    /// When the power drops back, in seconds.
+    pub step_down: f64,
+}
+
+/// Runs the Figure 3 synthetic experiment.
+pub fn run(_quick: bool) -> Fig3 {
+    let model = RcThermalModel::reference();
+    let mut node = ThermalNode::new(model);
+    let dt = SimDuration::from_millis(100);
+    let mut thermal =
+        PowerAverage::with_time_constant(Watts(20.0), dt, model.time_constant());
+    // Pre-warm to the low level's steady state so the figure starts
+    // flat like the paper's.
+    for _ in 0..3_000 {
+        node.step(Watts(20.0), dt);
+        thermal.update(Watts(20.0), dt);
+    }
+    let (step_up, step_down, end) = (20.0_f64, 90.0_f64, 160.0_f64);
+    let mut samples = Vec::new();
+    let mut t = 0.0_f64;
+    while t < end {
+        let power = if (step_up..step_down).contains(&t) {
+            Watts(65.0)
+        } else {
+            Watts(20.0)
+        };
+        node.step(power, dt);
+        thermal.update(power, dt);
+        // Sample at 1 Hz.
+        if ((t * 10.0).round() as u64).is_multiple_of(10) {
+            samples.push(Sample {
+                t,
+                power,
+                temperature: node.temperature(),
+                thermal_power: thermal.watts(),
+            });
+        }
+        t += 0.1;
+    }
+    Fig3 {
+        samples,
+        step_up,
+        step_down,
+    }
+}
+
+impl Fig3 {
+    /// Renders the three curves as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,power_w,temperature_c,thermal_power_w\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.1},{:.2},{:.3},{:.3}\n",
+                s.t, s.power.0, s.temperature.0, s.thermal_power.0
+            ));
+        }
+        out
+    }
+
+    /// The normalised temperature and thermal-power trajectories must
+    /// coincide (same time constant); returns the maximum normalised
+    /// deviation between them.
+    pub fn tracking_error(&self) -> f64 {
+        let t_lo = 22.0 + 0.34 * 20.0;
+        let t_hi = 22.0 + 0.34 * 65.0;
+        self.samples
+            .iter()
+            .map(|s| {
+                let temp_norm = (s.temperature.0 - t_lo) / (t_hi - t_lo);
+                let tp_norm = (s.thermal_power.0 - 20.0) / 45.0;
+                (temp_norm - tp_norm).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl core::fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "Figure 3: temperature vs power vs thermal power (step at {:.0}s, back at {:.0}s)",
+            self.step_up, self.step_down
+        )?;
+        let peak_tp = self
+            .samples
+            .iter()
+            .map(|s| s.thermal_power.0)
+            .fold(f64::MIN, f64::max);
+        let peak_t = self
+            .samples
+            .iter()
+            .map(|s| s.temperature.0)
+            .fold(f64::MIN, f64::max);
+        writeln!(
+            f,
+            "peak temperature {peak_t:.1} degC, peak thermal power {peak_tp:.1} W, \
+             normalised tracking error {:.4}",
+            self.tracking_error()
+        )?;
+        writeln!(
+            f,
+            "(thermal power rises/decays exponentially with the RC time constant, \
+             while power switches instantly — see results/fig3.csv)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_power_tracks_temperature_shape() {
+        let fig = run(true);
+        // The two normalised curves coincide: that is the calibration
+        // claim of Section 4.3.
+        assert!(fig.tracking_error() < 0.02, "error {}", fig.tracking_error());
+    }
+
+    #[test]
+    fn thermal_power_lags_power() {
+        let fig = run(true);
+        // Just after the step up, power is at the high level but
+        // thermal power is still far below it.
+        let s = fig
+            .samples
+            .iter()
+            .find(|s| s.t > fig.step_up + 1.0)
+            .unwrap();
+        assert_eq!(s.power, Watts(65.0));
+        assert!(s.thermal_power.0 < 35.0, "{:?}", s.thermal_power);
+        // And it keeps rising after the step down.
+        let down = fig
+            .samples
+            .iter()
+            .find(|s| s.t > fig.step_down + 1.0)
+            .unwrap();
+        assert_eq!(down.power, Watts(20.0));
+        assert!(down.thermal_power.0 > 40.0);
+    }
+
+    #[test]
+    fn csv_well_formed() {
+        let fig = run(true);
+        let csv = fig.to_csv();
+        assert!(csv.starts_with("time_s,power_w"));
+        assert_eq!(csv.lines().count(), fig.samples.len() + 1);
+    }
+}

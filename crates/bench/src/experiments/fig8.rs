@@ -1,0 +1,115 @@
+//! Figure 8: dependence of the throughput gain on workload
+//! homogeneity.
+//!
+//! Ten scenarios from 9/0/9 (nine memrw, zero pushpop, nine bitcnts —
+//! maximally heterogeneous) to 0/18/0 (homogeneous), SMT off, under
+//! the 38 degC throttling regime with heterogeneous cooling. The paper
+//! measures the largest gain (12.3 %) at 8/2/8 — a few medium tasks
+//! help occupy the medium-cooling CPUs — and no gain for the
+//! homogeneous workload.
+
+use crate::fmt::{pct, Table};
+use crate::testbed_cooling_factors;
+use ebs_sim::{mean, run_seeds, MaxPowerSpec, SimConfig};
+use ebs_units::{Celsius, SimDuration};
+use ebs_workloads::fig8_scenarios;
+
+/// One scenario's result.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The paper's label, e.g. "8/2/8".
+    pub label: String,
+    /// Measured throughput gain of energy-aware over baseline.
+    pub gain: f64,
+}
+
+/// The Figure 8 result.
+#[derive(Clone, Debug)]
+pub struct Fig8 {
+    /// One row per scenario, heterogeneous to homogeneous.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the Figure 8 sweep.
+pub fn run(quick: bool) -> Fig8 {
+    let duration = SimDuration::from_secs(if quick { 240 } else { 600 });
+    let seeds: &[u64] = if quick { &crate::SEEDS[..2] } else { &crate::SEEDS[..3] };
+    let base = SimConfig::xseries445()
+        .smt(false)
+        .throttling(true)
+        .cooling_factors(testbed_cooling_factors())
+        .max_power(MaxPowerSpec::FromThermalLimit(Celsius(38.0)));
+    let mut rows = Vec::new();
+    for (label, mix) in fig8_scenarios() {
+        let ips = |on: bool| {
+            let reports = run_seeds(&base.clone().energy_aware(on), seeds, duration, |sim| {
+                sim.spawn_mix_entries(&mix)
+            });
+            mean(&reports, |r| r.throughput_ips)
+        };
+        let gain = ips(true) / ips(false) - 1.0;
+        rows.push(Row { label, gain });
+    }
+    Fig8 { rows }
+}
+
+impl Fig8 {
+    /// The scenario with the largest gain.
+    pub fn best(&self) -> &Row {
+        self.rows
+            .iter()
+            .max_by(|a, b| a.gain.partial_cmp(&b.gain).expect("finite gains"))
+            .expect("ten scenarios")
+    }
+}
+
+impl core::fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "Figure 8: throughput gain vs workload homogeneity (#memrw/#pushpop/#bitcnts)"
+        )?;
+        let mut t = Table::new(vec!["scenario", "gain"]);
+        for r in &self.rows {
+            t.row(vec![r.label.clone(), pct(r.gain)]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "best: {} at {} (paper: 12.3% at 8/2/8, ~0% at 0/18/0)",
+            pct(self.best().gain),
+            self.best().label
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_decreases_towards_homogeneous_workloads() {
+        let fig = run(true);
+        assert_eq!(fig.rows.len(), 10);
+        // Heterogeneous end gains clearly; homogeneous end does not.
+        let hetero_avg =
+            fig.rows[..3].iter().map(|r| r.gain).sum::<f64>() / 3.0;
+        let homo = fig.rows.last().unwrap().gain;
+        assert!(
+            hetero_avg > 0.02,
+            "heterogeneous workloads should gain, got {hetero_avg}"
+        );
+        assert!(
+            homo < hetero_avg / 2.0,
+            "homogeneous gain {homo} not clearly below heterogeneous {hetero_avg}"
+        );
+        assert!(homo.abs() < 0.04, "homogeneous gain should be near zero: {homo}");
+        // The peak lives on the heterogeneous half of the sweep.
+        let best_idx = fig
+            .rows
+            .iter()
+            .position(|r| r.label == fig.best().label)
+            .unwrap();
+        assert!(best_idx <= 4, "peak at {} ({})", best_idx, fig.best().label);
+    }
+}

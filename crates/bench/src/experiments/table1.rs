@@ -1,0 +1,141 @@
+//! Table 1: change in power consumption during successive timeslices.
+//!
+//! Each program runs solo on the simulated machine for several hundred
+//! timeslices; the per-slice power samples come from the same
+//! estimator path the kernel uses, and the row reports the maximum and
+//! average relative change between successive slices.
+
+use crate::experiments::successive_change_stats;
+use crate::fmt::{pct, Table};
+use ebs_sim::{SimConfig, Simulation};
+use ebs_units::SimDuration;
+use ebs_workloads::table1_programs;
+
+/// One program's row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Program name.
+    pub program: &'static str,
+    /// Paper's maximum change.
+    pub paper_max: f64,
+    /// Paper's average change.
+    pub paper_avg: f64,
+    /// Measured maximum change.
+    pub max: f64,
+    /// Measured average change.
+    pub avg: f64,
+    /// Number of timeslices observed.
+    pub slices: usize,
+}
+
+/// The full Table 1 result.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// One row per program.
+    pub rows: Vec<Row>,
+}
+
+/// Paper values: (program, max, avg).
+const PAPER: [(&str, f64, f64); 5] = [
+    ("bash", 0.190, 0.0205),
+    ("bzip2", 0.888, 0.0545),
+    ("grep", 0.843, 0.0106),
+    ("sshd", 0.183, 0.0138),
+    ("openssl", 0.632, 0.0248),
+];
+
+/// Runs the Table 1 experiment.
+pub fn run(quick: bool) -> Table1 {
+    let duration = SimDuration::from_secs(if quick { 80 } else { 600 });
+    let mut rows = Vec::new();
+    for program in table1_programs() {
+        let cfg = SimConfig::xseries445()
+            .smt(false)
+            .energy_aware(false)
+            .throttling(false)
+            .respawn(false)
+            .seed(42);
+        let mut sim = Simulation::new(cfg);
+        sim.record_slice_powers();
+        let id = sim.spawn_program(&program);
+        sim.run_for(duration);
+        let powers = sim
+            .slice_powers()
+            .and_then(|log| log.get(&id).cloned())
+            .unwrap_or_default();
+        let (max, avg) = successive_change_stats(&powers);
+        let (_, paper_max, paper_avg) = PAPER
+            .iter()
+            .find(|(name, _, _)| *name == program.name)
+            .copied()
+            .unwrap_or((program.name, 0.0, 0.0));
+        rows.push(Row {
+            program: program.name,
+            paper_max,
+            paper_avg,
+            max,
+            avg,
+            slices: powers.len(),
+        });
+    }
+    Table1 { rows }
+}
+
+impl core::fmt::Display for Table1 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "Table 1: change in power consumption during successive timeslices"
+        )?;
+        let mut t = Table::new(vec![
+            "program", "slices", "max", "max(paper)", "avg", "avg(paper)",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.program.to_string(),
+                r.slices.to_string(),
+                pct(r.max),
+                pct(r.paper_max),
+                pct(r.avg),
+                pct(r.paper_avg),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes_hold() {
+        let result = run(true);
+        assert_eq!(result.rows.len(), 5);
+        for row in &result.rows {
+            assert!(row.slices > 100, "{}: only {} slices", row.program, row.slices);
+            // Significant changes are rare: the average is far below
+            // the maximum for every program (the paper's point).
+            assert!(
+                row.avg < row.max / 3.0,
+                "{}: avg {} vs max {}",
+                row.program,
+                row.avg,
+                row.max
+            );
+            // Average change stays single-digit percent.
+            assert!(row.avg < 0.10, "{}: avg {}", row.program, row.avg);
+        }
+        // The two phase-heavy programs show the biggest worst case.
+        let max_of = |name: &str| {
+            result
+                .rows
+                .iter()
+                .find(|r| r.program == name)
+                .map(|r| r.max)
+                .unwrap()
+        };
+        assert!(max_of("bzip2") > max_of("bash"));
+        assert!(max_of("grep") > max_of("sshd"));
+    }
+}

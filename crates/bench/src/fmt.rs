@@ -1,0 +1,114 @@
+//! Minimal text-table formatting for experiment reports.
+//!
+//! Plain text keeps the harness free of serialisation dependencies;
+//! the rows are aligned so they read like the paper's tables.
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl core::fmt::Display for Table {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let n = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for i in 0..n {
+                widths[i] = widths[i].max(row[i].len());
+            }
+        }
+        let write_row = |f: &mut core::fmt::Formatter<'_>, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:>w$}", cell, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats watts with one decimal.
+pub fn watts(w: ebs_units::Watts) -> String {
+    format!("{:.1}W", w.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_output() {
+        let mut t = Table::new(vec!["program", "power"]);
+        t.row(vec!["bitcnts", "61W"]);
+        t.row(vec!["memrw", "38W"]);
+        let s = t.to_string();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("program"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned columns line up.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(watts(ebs_units::Watts(60.04)), "60.0W");
+    }
+}

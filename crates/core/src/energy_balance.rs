@@ -1,0 +1,543 @@
+//! The merged energy-and-load balancing algorithm (Section 4.4, Fig. 4).
+//!
+//! Energy balancing levels the power consumption of CPUs whose
+//! runqueues hold multiple tasks by combining hot tasks with cool tasks
+//! on each CPU. It is merged with load balancing into one algorithm so
+//! the two never undo each other's migrations, and it is pull-only and
+//! distributed like Linux's balancer.
+//!
+//! Per domain level, bottom-up:
+//!
+//! 1. **Energy step** (skipped in domains whose CPUs share chip power,
+//!    i.e. SMT siblings): find the CPU group with the highest average
+//!    *runqueue power ratio*. If it is not the local group **and** the
+//!    remote group is hotter in *both* metrics — thermal power ratio
+//!    (slow; provides hysteresis) and runqueue power ratio (fast;
+//!    forbids pulling an undue number of tasks) — pull a hot task from
+//!    the hottest queue of that group, and push a cool task back if
+//!    that created a load imbalance.
+//! 2. **Load step**: find the group with the highest average runqueue
+//!    length and pull tasks from its busiest queue, choosing *hot*
+//!    tasks if the remote group is hotter and *cool* tasks if it is
+//!    cooler, so load balancing does not create energy imbalances.
+
+use crate::metrics::{group_runqueue_ratio, runqueue_power, runqueue_power_ratio, PowerState};
+use ebs_sched::{BalanceOutcome, MigrationReason, System, TaskId};
+use ebs_topology::{CpuId, SchedDomain};
+use ebs_units::{SimTime, Watts};
+
+/// Tunables of the merged balancer.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyBalanceConfig {
+    /// Minimum `nr_running` difference before the load step moves
+    /// tasks (as in the baseline balancer).
+    pub min_imbalance: usize,
+    /// The remote group must exceed the local group's *thermal power
+    /// ratio* by this margin before the energy step acts. The thermal
+    /// ratio moves with the RC time constant, so the margin translates
+    /// into a minimum time between opposing decisions (hysteresis).
+    pub thermal_ratio_margin: f64,
+    /// The remote group must exceed the local group's *runqueue power
+    /// ratio* by this margin. This metric reacts instantly to
+    /// migrations and stops the balancer from over-pulling.
+    pub runqueue_ratio_margin: f64,
+    /// Whether the energy step runs at all; disabling it degrades the
+    /// balancer to energy-*aware task selection* in the load step only
+    /// (used by ablation experiments).
+    pub energy_step_enabled: bool,
+}
+
+impl Default for EnergyBalanceConfig {
+    /// Margins calibrated on the Section 6.1 workload so that the
+    /// balancer converges with a migration rate in the paper's range
+    /// (a few dozen per 15 minutes) instead of chasing every phase
+    /// swing of openssl/bzip2. Smaller margins balance tighter at the
+    /// cost of many more migrations; the ablation experiment
+    /// quantifies the trade-off.
+    fn default() -> Self {
+        EnergyBalanceConfig {
+            min_imbalance: 2,
+            thermal_ratio_margin: 0.10,
+            runqueue_ratio_margin: 0.12,
+            energy_step_enabled: true,
+        }
+    }
+}
+
+/// Per-CPU periodic state of the merged balancer.
+#[derive(Clone, Debug)]
+pub struct EnergyAwareBalancer {
+    cfg: EnergyBalanceConfig,
+    next_balance: Vec<Vec<SimTime>>,
+}
+
+impl EnergyAwareBalancer {
+    /// Creates a balancer for systems shaped like `sys`.
+    pub fn new(sys: &System, cfg: EnergyBalanceConfig) -> Self {
+        let next_balance = sys
+            .topology()
+            .cpu_ids()
+            .map(|c| vec![SimTime::ZERO; sys.topology().domains(c).len()])
+            .collect();
+        EnergyAwareBalancer { cfg, next_balance }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EnergyBalanceConfig {
+        &self.cfg
+    }
+
+    /// Runs the merged algorithm for `cpu` on every domain level whose
+    /// balancing interval elapsed.
+    pub fn run(&mut self, cpu: CpuId, sys: &mut System, power: &PowerState) -> BalanceOutcome {
+        let now = sys.now();
+        let mut outcome = BalanceOutcome::default();
+        let n_levels = sys.topology().domains(cpu).len();
+        for level in 0..n_levels {
+            if now < self.next_balance[cpu.0][level] {
+                continue;
+            }
+            let domain = sys.topology().domains(cpu)[level].clone();
+            self.next_balance[cpu.0][level] = now + domain.balance_interval();
+            if self.cfg.energy_step_enabled && !domain.flags().share_cpu_power {
+                outcome.pulled += energy_step(sys, cpu, &domain, power, &self.cfg);
+            }
+            outcome.pulled += load_step(sys, cpu, &domain, power, &self.cfg);
+        }
+        outcome
+    }
+
+    /// New-idle balancing, identical to the baseline's but choosing
+    /// tasks energy-aware: when `cpu` just went idle, pull the task
+    /// whose profile best matches what this CPU can afford.
+    pub fn newidle(&mut self, cpu: CpuId, sys: &mut System, power: &PowerState) -> BalanceOutcome {
+        let n_levels = sys.topology().domains(cpu).len();
+        for level in 0..n_levels {
+            let domain = sys.topology().domains(cpu)[level].clone();
+            let busiest = domain
+                .span()
+                .filter(|&c| c != cpu)
+                .max_by_key(|&c| sys.rq(c).nr_queued());
+            if let Some(src) = busiest {
+                if sys.rq(src).nr_queued() >= 1 && sys.nr_running(src) >= 2 {
+                    // Pull hot tasks onto cool CPUs and vice versa.
+                    let hottest_first = power.thermal_ratio(cpu)
+                        <= power.thermal_ratio(src);
+                    let pulled = pull_sorted(
+                        sys,
+                        src,
+                        cpu,
+                        1,
+                        MigrationReason::LoadBalance,
+                        hottest_first,
+                    );
+                    if pulled > 0 {
+                        return BalanceOutcome { pulled };
+                    }
+                }
+            }
+        }
+        BalanceOutcome::default()
+    }
+}
+
+/// The energy balancing step of Fig. 4 (left column). Returns tasks
+/// pulled.
+fn energy_step(
+    sys: &mut System,
+    cpu: CpuId,
+    domain: &SchedDomain,
+    power: &PowerState,
+    cfg: &EnergyBalanceConfig,
+) -> usize {
+    let Some(local_idx) = domain.local_group_index(cpu) else {
+        return 0;
+    };
+    // Search the CPU group with the highest average power ratio.
+    let Some((hot_idx, hot_rq_ratio)) = (0..domain.groups().len())
+        .map(|i| (i, group_runqueue_ratio(sys, &domain.groups()[i], power)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("ratios are finite"))
+    else {
+        return 0;
+    };
+    // Group contains local CPU? Then there is nothing to pull here.
+    if hot_idx == local_idx {
+        return 0;
+    }
+    let local_group = &domain.groups()[local_idx];
+    let hot_group = &domain.groups()[hot_idx];
+    // Hysteresis: the remote group must be hotter in *both* metrics.
+    let local_rq_ratio = group_runqueue_ratio(sys, local_group, power);
+    if hot_rq_ratio <= local_rq_ratio + cfg.runqueue_ratio_margin {
+        return 0;
+    }
+    if power.group_thermal_ratio(hot_group)
+        <= power.group_thermal_ratio(local_group) + cfg.thermal_ratio_margin
+    {
+        return 0;
+    }
+    // Search the queue with the highest power ratio within the group.
+    let Some(src) = hot_group
+        .cpus()
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            runqueue_power_ratio(sys, a, power)
+                .partial_cmp(&runqueue_power_ratio(sys, b, power))
+                .expect("ratios are finite")
+        })
+    else {
+        return 0;
+    };
+    // The source queue itself must be hotter than the local queue in
+    // both metrics as well.
+    if runqueue_power_ratio(sys, src, power)
+        <= runqueue_power_ratio(sys, cpu, power) + cfg.runqueue_ratio_margin
+        || power.thermal_ratio(src) <= power.thermal_ratio(cpu) + cfg.thermal_ratio_margin
+    {
+        return 0;
+    }
+    // Migrate hot task(s) to the local CPU: the hottest waiting task
+    // that is actually hotter than what the local queue averages —
+    // otherwise the move would not transport heat.
+    let local_power = runqueue_power(sys, cpu, power.idle_power());
+    let Some(hot_task) = hottest_candidate(sys, src, |p| p > local_power) else {
+        return 0;
+    };
+    if sys
+        .migrate_queued(hot_task, cpu, MigrationReason::EnergyBalance)
+        .is_err()
+    {
+        return 0;
+    }
+    let mut pulled = 1;
+    // Created a load imbalance? Migrate cool task(s) back in exchange.
+    if sys.nr_running(cpu) > sys.nr_running(src) {
+        if let Some(cool_task) = coolest_candidate(sys, cpu, |id, p| {
+            id != hot_task && p < sys.task(hot_task).profile()
+        }) {
+            if sys
+                .migrate_queued(cool_task, src, MigrationReason::Exchange)
+                .is_ok()
+            {
+                pulled += 1;
+            }
+        }
+    }
+    pulled
+}
+
+/// The load balancing step of Fig. 4 (right column). Returns tasks
+/// pulled.
+fn load_step(
+    sys: &mut System,
+    cpu: CpuId,
+    domain: &SchedDomain,
+    power: &PowerState,
+    cfg: &EnergyBalanceConfig,
+) -> usize {
+    let Some(local_idx) = domain.local_group_index(cpu) else {
+        return 0;
+    };
+    let Some((busiest_idx, _)) = ebs_sched::find_busiest_group(sys, domain, local_idx) else {
+        return 0;
+    };
+    let busiest_group = &domain.groups()[busiest_idx];
+    let Some(src) = ebs_sched::busiest_queue_in_group(sys, busiest_group) else {
+        return 0;
+    };
+    let src_load = sys.nr_running(src);
+    let dst_load = sys.nr_running(cpu);
+    if src_load < dst_load + cfg.min_imbalance {
+        return 0;
+    }
+    let n_move = (src_load - dst_load) / 2;
+    if n_move == 0 {
+        return 0;
+    }
+    // Move hot tasks if the remote group is hotter, cool tasks if it is
+    // cooler, so the load step does not create energy imbalances. In
+    // shared-power (SMT) domains the energy restrictions do not apply;
+    // thermal ratios of siblings are equal anyway, making the order
+    // irrelevant there.
+    let hottest_first = power.group_thermal_ratio(busiest_group)
+        >= power.group_thermal_ratio(&domain.groups()[local_idx]);
+    pull_sorted(sys, src, cpu, n_move, MigrationReason::LoadBalance, hottest_first)
+}
+
+/// The hottest waiting (non-running) task on `src` whose profile
+/// satisfies `pred`.
+fn hottest_candidate<F>(sys: &System, src: CpuId, pred: F) -> Option<TaskId>
+where
+    F: Fn(Watts) -> bool,
+{
+    sys.rq(src)
+        .iter_migration_candidates()
+        .filter(|&id| pred(sys.task(id).profile()))
+        .max_by(|&a, &b| {
+            sys.task(a)
+                .profile()
+                .partial_cmp(&sys.task(b).profile())
+                .expect("profiles are finite")
+        })
+}
+
+/// The coolest waiting task on `src` satisfying `pred`.
+fn coolest_candidate<F>(sys: &System, src: CpuId, pred: F) -> Option<TaskId>
+where
+    F: Fn(TaskId, Watts) -> bool,
+{
+    sys.rq(src)
+        .iter_migration_candidates()
+        .filter(|&id| pred(id, sys.task(id).profile()))
+        .min_by(|&a, &b| {
+            sys.task(a)
+                .profile()
+                .partial_cmp(&sys.task(b).profile())
+                .expect("profiles are finite")
+        })
+}
+
+/// Pulls up to `n` waiting tasks from `src` to `dst`, hottest or
+/// coolest profiles first.
+fn pull_sorted(
+    sys: &mut System,
+    src: CpuId,
+    dst: CpuId,
+    n: usize,
+    reason: MigrationReason,
+    hottest_first: bool,
+) -> usize {
+    if src == dst || n == 0 {
+        return 0;
+    }
+    let mut candidates: Vec<TaskId> = sys.rq(src).iter_migration_candidates().collect();
+    candidates.sort_by(|&a, &b| {
+        let pa = sys.task(a).profile();
+        let pb = sys.task(b).profile();
+        let ord = pa.partial_cmp(&pb).expect("profiles are finite");
+        if hottest_first {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    let mut moved = 0;
+    for id in candidates {
+        if moved == n {
+            break;
+        }
+        if sys.migrate_queued(id, dst, reason).is_ok() {
+            moved += 1;
+        }
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{PowerState, PowerStateConfig};
+    use ebs_sched::TaskConfig;
+    use ebs_topology::Topology;
+    use ebs_units::SimDuration;
+
+    fn setup() -> (System, PowerState) {
+        let sys = System::new(Topology::xseries445(false));
+        let power = PowerState::uniform(8, Watts(60.0), PowerStateConfig::default());
+        (sys, power)
+    }
+
+    fn spawn(sys: &mut System, cpu: CpuId, profile: f64) -> TaskId {
+        sys.spawn(
+            TaskConfig {
+                initial_profile: Watts(profile),
+                ..TaskConfig::default()
+            },
+            cpu,
+        )
+    }
+
+    /// Drives the thermal power of a CPU to a steady value.
+    fn heat(power: &mut PowerState, cpu: CpuId, watts: f64) {
+        for _ in 0..5_000 {
+            power.observe(cpu, Watts(watts), SimDuration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn pulls_hot_task_from_hot_group() {
+        let (mut sys, mut power) = setup();
+        // CPU 1 runs two hot tasks and is hot; CPU 0 runs two cool
+        // tasks and is cool. Same load: the stock balancer would do
+        // nothing.
+        let hot_a = spawn(&mut sys, CpuId(1), 61.0);
+        let _hot_b = spawn(&mut sys, CpuId(1), 60.0);
+        let _cool_a = spawn(&mut sys, CpuId(0), 38.0);
+        let _cool_b = spawn(&mut sys, CpuId(0), 37.0);
+        heat(&mut power, CpuId(1), 60.0);
+        heat(&mut power, CpuId(0), 38.0);
+
+        let mut bal = EnergyAwareBalancer::new(&sys, EnergyBalanceConfig::default());
+        let outcome = bal.run(CpuId(0), &mut sys, &power);
+        assert!(outcome.pulled >= 1, "energy step did not act");
+        // The hottest waiting task moved to CPU 0, and a cool task
+        // moved back: load stays equal.
+        assert_eq!(sys.task(hot_a).cpu(), CpuId(0));
+        assert_eq!(sys.nr_running(CpuId(0)), 2);
+        assert_eq!(sys.nr_running(CpuId(1)), 2);
+        assert!(sys.stats().migrations_for(MigrationReason::EnergyBalance) >= 1);
+        assert!(sys.stats().migrations_for(MigrationReason::Exchange) >= 1);
+        sys.validate();
+    }
+
+    #[test]
+    fn equal_heat_means_no_action() {
+        let (mut sys, mut power) = setup();
+        for c in 0..8 {
+            spawn(&mut sys, CpuId(c), 50.0);
+            spawn(&mut sys, CpuId(c), 50.0);
+            heat(&mut power, CpuId(c), 50.0);
+        }
+        let mut bal = EnergyAwareBalancer::new(&sys, EnergyBalanceConfig::default());
+        for c in 0..8 {
+            assert_eq!(bal.run(CpuId(c), &mut sys, &power).pulled, 0);
+        }
+        assert_eq!(sys.stats().migrations(), 0);
+    }
+
+    #[test]
+    fn thermal_hysteresis_blocks_fresh_imbalance() {
+        // Runqueue power says CPU 1 is hotter, but its thermal power
+        // has not caught up yet (e.g. the hot tasks just arrived
+        // there): the energy step must wait. This is the ping-pong
+        // guard.
+        let (mut sys, mut power) = setup();
+        spawn(&mut sys, CpuId(1), 61.0);
+        spawn(&mut sys, CpuId(1), 60.0);
+        spawn(&mut sys, CpuId(0), 38.0);
+        spawn(&mut sys, CpuId(0), 37.0);
+        // Both CPUs at the same (cool) thermal power.
+        heat(&mut power, CpuId(0), 30.0);
+        heat(&mut power, CpuId(1), 30.0);
+        let mut bal = EnergyAwareBalancer::new(&sys, EnergyBalanceConfig::default());
+        assert_eq!(bal.run(CpuId(0), &mut sys, &power).pulled, 0);
+    }
+
+    #[test]
+    fn runqueue_ratio_guard_blocks_overpull() {
+        // Thermal power says CPU 1 is hot, but its runqueue is already
+        // cooler than ours (the hot task has left): pulling would
+        // over-balance — exactly the "replaced by an imbalance in the
+        // opposite direction" failure of temperature-only balancing.
+        let (mut sys, mut power) = setup();
+        spawn(&mut sys, CpuId(1), 38.0);
+        spawn(&mut sys, CpuId(1), 37.0);
+        spawn(&mut sys, CpuId(0), 61.0);
+        spawn(&mut sys, CpuId(0), 60.0);
+        heat(&mut power, CpuId(1), 60.0); // Still hot from the past.
+        heat(&mut power, CpuId(0), 38.0);
+        let mut bal = EnergyAwareBalancer::new(&sys, EnergyBalanceConfig::default());
+        assert_eq!(bal.run(CpuId(0), &mut sys, &power).pulled, 0);
+        assert_eq!(sys.stats().migrations(), 0);
+    }
+
+    #[test]
+    fn energy_step_does_not_create_load_imbalance() {
+        let (mut sys, mut power) = setup();
+        // Hot CPU with 3 tasks, cool CPU with 2: pulling one hot task
+        // equalises load (3->2, 2->3 would overshoot; exchange brings
+        // it back).
+        spawn(&mut sys, CpuId(1), 61.0);
+        spawn(&mut sys, CpuId(1), 60.0);
+        spawn(&mut sys, CpuId(1), 59.0);
+        spawn(&mut sys, CpuId(0), 38.0);
+        spawn(&mut sys, CpuId(0), 37.0);
+        heat(&mut power, CpuId(1), 60.0);
+        heat(&mut power, CpuId(0), 38.0);
+        let mut bal = EnergyAwareBalancer::new(&sys, EnergyBalanceConfig::default());
+        bal.run(CpuId(0), &mut sys, &power);
+        let l0 = sys.nr_running(CpuId(0));
+        let l1 = sys.nr_running(CpuId(1));
+        assert!(
+            (l0 as i64 - l1 as i64).abs() <= 1,
+            "energy step created load imbalance: {l0} vs {l1}"
+        );
+        sys.validate();
+    }
+
+    #[test]
+    fn load_step_moves_cool_tasks_to_hot_cpu() {
+        let (mut sys, mut power) = setup();
+        // CPU 1 is overloaded with mixed tasks; CPU 0 is *hotter*
+        // thermally. The load step must prefer pulling the cool tasks.
+        let _h = spawn(&mut sys, CpuId(1), 61.0);
+        let cool = spawn(&mut sys, CpuId(1), 30.0);
+        spawn(&mut sys, CpuId(1), 45.0);
+        spawn(&mut sys, CpuId(1), 44.0);
+        heat(&mut power, CpuId(0), 55.0);
+        heat(&mut power, CpuId(1), 40.0);
+        let mut bal = EnergyAwareBalancer::new(&sys, EnergyBalanceConfig::default());
+        let outcome = bal.run(CpuId(0), &mut sys, &power);
+        assert!(outcome.pulled >= 1);
+        // The coolest task is among those moved.
+        assert_eq!(sys.task(cool).cpu(), CpuId(0));
+        sys.validate();
+    }
+
+    #[test]
+    fn newidle_prefers_hot_task_for_cool_cpu() {
+        let (mut sys, mut power) = setup();
+        let hot = spawn(&mut sys, CpuId(1), 61.0);
+        let _cool = spawn(&mut sys, CpuId(1), 30.0);
+        spawn(&mut sys, CpuId(1), 45.0);
+        heat(&mut power, CpuId(1), 50.0);
+        let mut bal = EnergyAwareBalancer::new(&sys, EnergyBalanceConfig::default());
+        let outcome = bal.newidle(CpuId(0), &mut sys, &power);
+        assert_eq!(outcome.pulled, 1);
+        assert_eq!(sys.task(hot).cpu(), CpuId(0));
+        sys.validate();
+    }
+
+    #[test]
+    fn disabled_energy_step_skips_pulls() {
+        let (mut sys, mut power) = setup();
+        spawn(&mut sys, CpuId(1), 61.0);
+        spawn(&mut sys, CpuId(1), 60.0);
+        spawn(&mut sys, CpuId(0), 38.0);
+        spawn(&mut sys, CpuId(0), 37.0);
+        heat(&mut power, CpuId(1), 60.0);
+        heat(&mut power, CpuId(0), 38.0);
+        let cfg = EnergyBalanceConfig {
+            energy_step_enabled: false,
+            ..EnergyBalanceConfig::default()
+        };
+        let mut bal = EnergyAwareBalancer::new(&sys, cfg);
+        assert_eq!(bal.run(CpuId(0), &mut sys, &power).pulled, 0);
+        assert_eq!(sys.stats().migrations(), 0);
+    }
+
+    #[test]
+    fn smt_domain_skips_energy_step() {
+        // With SMT, level 0 shares chip power; the energy step must not
+        // move tasks between siblings even under a blatant "imbalance".
+        let mut sys = System::new(Topology::xseries445(true));
+        let power = {
+            let mut p = PowerState::uniform(16, Watts(20.0), PowerStateConfig::default());
+            heat(&mut p, CpuId(0), 20.0);
+            p
+        };
+        spawn(&mut sys, CpuId(0), 61.0);
+        spawn(&mut sys, CpuId(0), 60.0);
+        spawn(&mut sys, CpuId(8), 10.0);
+        spawn(&mut sys, CpuId(8), 11.0);
+        let mut bal = EnergyAwareBalancer::new(&sys, EnergyBalanceConfig::default());
+        // Balance only the sibling (level 0 is its first domain).
+        let before = sys.stats().migrations();
+        bal.run(CpuId(8), &mut sys, &power);
+        // Any migrations that happened must not be EnergyBalance ones
+        // between siblings (the load is equal, so no load moves
+        // either).
+        assert_eq!(sys.stats().migrations(), before);
+    }
+}

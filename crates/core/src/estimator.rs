@@ -1,0 +1,189 @@
+//! The kernel-side energy estimator (paper Sections 3.2 and 5).
+//!
+//! "Our energy estimator, which we integrated into the kernel, reads
+//! the CPU's event counters on every task switch and at the end of each
+//! timeslice, transforming the counter values into energy values."
+//!
+//! The estimator keeps one previous counter snapshot per logical CPU;
+//! each accounting call attributes the events since that snapshot to
+//! the task that just ran. Time the CPU spent halted during the
+//! interval produces no events, so the estimator adds the known halt
+//! power for it — the kernel knows exactly when it was in the idle
+//! loop.
+
+use ebs_counters::{CounterBank, CounterSnapshot, EnergyModel};
+use ebs_topology::CpuId;
+use ebs_units::{Joules, SimDuration, Watts};
+
+/// Per-CPU counter-based energy accounting.
+#[derive(Clone, Debug)]
+pub struct EnergyEstimator {
+    model: EnergyModel,
+    last: Vec<CounterSnapshot>,
+    halt_power_share: Watts,
+}
+
+impl EnergyEstimator {
+    /// Creates an estimator for `n_cpus` logical CPUs.
+    ///
+    /// `model` is the *calibrated* energy model (not the ground truth);
+    /// `halt_power_share` is the power attributed to one logical CPU
+    /// while halted — the measured package halt power divided by the
+    /// number of hardware threads.
+    pub fn new(model: EnergyModel, n_cpus: usize, halt_power_share: Watts) -> Self {
+        assert!(halt_power_share.is_sane(), "halt power share not sane");
+        EnergyEstimator {
+            model,
+            last: vec![CounterSnapshot::ZERO; n_cpus],
+            halt_power_share,
+        }
+    }
+
+    /// The calibrated model in use.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// The halt power attributed per logical CPU.
+    pub fn halt_power_share(&self) -> Watts {
+        self.halt_power_share
+    }
+
+    /// Accounts the energy spent on `cpu` since the previous read.
+    ///
+    /// `interval` is the wall time covered and `halted` how much of it
+    /// the CPU spent in the idle/halt loop. Returns the estimated
+    /// energy for the interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `halted` exceeds `interval` or `cpu` is out of range.
+    pub fn account(
+        &mut self,
+        cpu: CpuId,
+        bank: &mut CounterBank,
+        interval: SimDuration,
+        halted: SimDuration,
+    ) -> Joules {
+        assert!(halted <= interval, "halted time exceeds the interval");
+        let snap = bank.snapshot();
+        let delta = snap.since(&self.last[cpu.0]);
+        self.last[cpu.0] = snap;
+        self.model.estimate(&delta) + self.halt_power_share.over(halted)
+    }
+
+    /// The average power over an accounted interval; convenience for
+    /// profile updates.
+    ///
+    /// Returns zero power for an empty interval.
+    pub fn account_power(
+        &mut self,
+        cpu: CpuId,
+        bank: &mut CounterBank,
+        interval: SimDuration,
+        halted: SimDuration,
+    ) -> Watts {
+        if interval.is_zero() {
+            return Watts::ZERO;
+        }
+        self.account(cpu, bank, interval, halted)
+            .average_power(interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_counters::EventRates;
+
+    fn estimator() -> EnergyEstimator {
+        EnergyEstimator::new(EnergyModel::ground_truth_weights(), 2, Watts(6.8))
+    }
+
+    fn run_cycles(bank: &mut CounterBank, rates: &EventRates, cycles: u64) {
+        bank.record(&rates.counts_for_cycles(cycles));
+    }
+
+    #[test]
+    fn attributes_only_the_interval_delta() {
+        let mut est = estimator();
+        let mut bank = CounterBank::new();
+        let rates = EventRates::builder().uops_retired(2.0).build();
+        let slice = SimDuration::from_millis(100);
+
+        run_cycles(&mut bank, &rates, 220_000_000);
+        let first = est.account(CpuId(0), &mut bank, slice, SimDuration::ZERO);
+        run_cycles(&mut bank, &rates, 220_000_000);
+        let second = est.account(CpuId(0), &mut bank, slice, SimDuration::ZERO);
+        // Identical activity in both slices: identical energy, no
+        // double counting.
+        assert!((first.0 - second.0).abs() < 1e-9);
+        assert!(first.0 > 0.0);
+    }
+
+    #[test]
+    fn per_cpu_snapshots_are_independent() {
+        let mut est = estimator();
+        let mut bank0 = CounterBank::new();
+        let mut bank1 = CounterBank::new();
+        let rates = EventRates::builder().uops_retired(1.0).build();
+        run_cycles(&mut bank0, &rates, 1_000_000);
+        let slice = SimDuration::from_millis(10);
+        let e0 = est.account(CpuId(0), &mut bank0, slice, SimDuration::ZERO);
+        // CPU 1 saw nothing.
+        let e1 = est.account(CpuId(1), &mut bank1, slice, SimDuration::ZERO);
+        assert!(e0.0 > 0.0);
+        assert_eq!(e1, Joules::ZERO);
+    }
+
+    #[test]
+    fn halted_time_charged_at_halt_share() {
+        let mut est = estimator();
+        let mut bank = CounterBank::new();
+        let interval = SimDuration::from_millis(100);
+        // Fully halted interval: no events, only halt power.
+        let e = est.account(CpuId(0), &mut bank, interval, interval);
+        assert!((e.0 - 6.8 * 0.1).abs() < 1e-12);
+        let p = est.account_power(CpuId(0), &mut bank, interval, interval);
+        assert!((p.0 - 6.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_interval_adds_both_parts() {
+        let mut est = estimator();
+        let mut bank = CounterBank::new();
+        let rates = EventRates::builder().uops_retired(2.0).build();
+        // 50 ms running at 2.2 GHz, 50 ms halted.
+        run_cycles(&mut bank, &rates, 110_000_000);
+        let e = est.account(
+            CpuId(0),
+            &mut bank,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(50),
+        );
+        let running_part = EnergyModel::ground_truth_weights()
+            .estimate(&rates.counts_for_cycles(110_000_000));
+        assert!((e.0 - running_part.0 - 6.8 * 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn account_power_of_empty_interval_is_zero() {
+        let mut est = estimator();
+        let mut bank = CounterBank::new();
+        let p = est.account_power(CpuId(0), &mut bank, SimDuration::ZERO, SimDuration::ZERO);
+        assert_eq!(p, Watts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "halted time exceeds")]
+    fn halted_longer_than_interval_rejected() {
+        let mut est = estimator();
+        let mut bank = CounterBank::new();
+        let _ = est.account(
+            CpuId(0),
+            &mut bank,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! The calculation parameters of energy-aware scheduling (Section 4.3).
+//!
+//! The paper's key observation: power and temperature have very
+//! different time constants, and an algorithm using only one of them
+//! misbehaves (power-only balancing ping-pongs; temperature-only
+//! balancing over-balances). The scheduler therefore works with *both*:
+//!
+//! - **Runqueue power**: the average of the energy profiles of all
+//!   tasks in a CPU's runqueue — reacts *immediately* to migrations.
+//! - **Thermal power**: a per-CPU exponential average of estimated
+//!   power calibrated to the RC time constant — follows temperature,
+//!   but keeps the dimension of a power.
+//! - **Maximum power**: the largest sustained power the CPU endures
+//!   without overheating; CPU-specific because cooling differs.
+//! - The **ratios** of the first two to the third are what the
+//!   balancing policies actually compare.
+
+use ebs_sched::System;
+use ebs_thermal::PowerAverage;
+use ebs_topology::{CpuGroup, CpuId};
+use ebs_units::{SimDuration, Watts};
+
+/// Configuration of the per-CPU power metrics.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerStateConfig {
+    /// Standard sampling period of the thermal-power average (one
+    /// timeslice).
+    pub standard_period: SimDuration,
+    /// Time constant the thermal-power average is calibrated to — the
+    /// RC constant of the processor's thermal model (Section 4.3:
+    /// "choosing an appropriate weight p ... that corresponds to the
+    /// time constant of the exponential function from the thermal
+    /// model").
+    pub time_constant: SimDuration,
+    /// Power attributed to an idle logical CPU; used as the runqueue
+    /// power of an empty queue and as the initial thermal power.
+    pub idle_power: Watts,
+}
+
+impl Default for PowerStateConfig {
+    fn default() -> Self {
+        PowerStateConfig {
+            standard_period: SimDuration::from_millis(100),
+            time_constant: SimDuration::from_micros(14_960_000),
+            idle_power: Watts(6.8),
+        }
+    }
+}
+
+/// Per-CPU scheduling metrics state.
+#[derive(Clone, Debug)]
+pub struct PowerState {
+    thermal: Vec<PowerAverage>,
+    max_power: Vec<Watts>,
+    idle_power: Watts,
+}
+
+impl PowerState {
+    /// Creates metrics for `n_cpus` logical CPUs, each with its own
+    /// maximum power budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_powers` length differs from `n_cpus`.
+    pub fn new(n_cpus: usize, max_powers: &[Watts], cfg: PowerStateConfig) -> Self {
+        assert_eq!(max_powers.len(), n_cpus, "one max power per CPU required");
+        PowerState {
+            thermal: (0..n_cpus)
+                .map(|_| {
+                    PowerAverage::with_time_constant(
+                        cfg.idle_power,
+                        cfg.standard_period,
+                        cfg.time_constant,
+                    )
+                })
+                .collect(),
+            max_power: max_powers.to_vec(),
+            idle_power: cfg.idle_power,
+        }
+    }
+
+    /// Creates metrics with a uniform maximum power (the paper's
+    /// Section 6.1 setup: "we set the maximum power of all CPUs to
+    /// 60 W").
+    pub fn uniform(n_cpus: usize, max_power: Watts, cfg: PowerStateConfig) -> Self {
+        PowerState::new(n_cpus, &vec![max_power; n_cpus], cfg)
+    }
+
+    /// Number of CPUs tracked.
+    pub fn n_cpus(&self) -> usize {
+        self.thermal.len()
+    }
+
+    /// Folds an estimated power sample (over `period` of wall time)
+    /// into `cpu`'s thermal power.
+    pub fn observe(&mut self, cpu: CpuId, power: Watts, period: SimDuration) -> Watts {
+        self.thermal[cpu.0].update(power, period)
+    }
+
+    /// The thermal power of `cpu` — the scheduler's temperature proxy.
+    pub fn thermal_power(&self, cpu: CpuId) -> Watts {
+        self.thermal[cpu.0].watts()
+    }
+
+    /// The maximum power of `cpu`.
+    pub fn max_power(&self, cpu: CpuId) -> Watts {
+        self.max_power[cpu.0]
+    }
+
+    /// Replaces the maximum power of `cpu` (e.g. when an experiment
+    /// lowers the budget at runtime).
+    pub fn set_max_power(&mut self, cpu: CpuId, max: Watts) {
+        assert!(max.is_sane(), "max power not sane");
+        self.max_power[cpu.0] = max;
+    }
+
+    /// The power attributed to an idle CPU.
+    pub fn idle_power(&self) -> Watts {
+        self.idle_power
+    }
+
+    /// Thermal power ratio of `cpu` (Section 4.3).
+    pub fn thermal_ratio(&self, cpu: CpuId) -> f64 {
+        self.thermal_power(cpu).ratio(self.max_power(cpu))
+    }
+
+    /// Average thermal power ratio over a CPU group.
+    pub fn group_thermal_ratio(&self, group: &CpuGroup) -> f64 {
+        group
+            .cpus()
+            .iter()
+            .map(|&c| self.thermal_ratio(c))
+            .sum::<f64>()
+            / group.len() as f64
+    }
+
+    /// Sum of the thermal powers of the given CPUs — the package-level
+    /// quantity the SMT adaptations compare against the package budget
+    /// (Section 4.7).
+    pub fn thermal_power_sum(&self, cpus: &[CpuId]) -> Watts {
+        cpus.iter().map(|&c| self.thermal_power(c)).sum()
+    }
+
+    /// Sum of the maximum powers of the given CPUs.
+    pub fn max_power_sum(&self, cpus: &[CpuId]) -> Watts {
+        cpus.iter().map(|&c| self.max_power(c)).sum()
+    }
+}
+
+/// Runqueue power of `cpu` (Section 4.3): the average of the energy
+/// profiles of every task associated with the queue, including the
+/// running one. An empty queue reports the idle power.
+pub fn runqueue_power(sys: &System, cpu: CpuId, idle_power: Watts) -> Watts {
+    let rq = sys.rq(cpu);
+    let n = rq.nr_running();
+    if n == 0 {
+        return idle_power;
+    }
+    let total: Watts = rq.iter_all().map(|id| sys.task(id).profile()).sum();
+    total / n as f64
+}
+
+/// Runqueue power ratio of `cpu`: runqueue power over maximum power.
+pub fn runqueue_power_ratio(sys: &System, cpu: CpuId, power: &PowerState) -> f64 {
+    runqueue_power(sys, cpu, power.idle_power()).ratio(power.max_power(cpu))
+}
+
+/// Average runqueue power ratio over a CPU group.
+pub fn group_runqueue_ratio(sys: &System, group: &CpuGroup, power: &PowerState) -> f64 {
+    group
+        .cpus()
+        .iter()
+        .map(|&c| runqueue_power_ratio(sys, c, power))
+        .sum::<f64>()
+        / group.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_sched::TaskConfig;
+    use ebs_topology::Topology;
+
+    fn cfg() -> PowerStateConfig {
+        PowerStateConfig::default()
+    }
+
+    fn spawn_with_profile(sys: &mut System, cpu: CpuId, watts: f64) {
+        let id = sys.spawn(
+            TaskConfig {
+                initial_profile: Watts(watts),
+                ..TaskConfig::default()
+            },
+            cpu,
+        );
+        // Profiles start exactly at the configured initial value.
+        assert_eq!(sys.task(id).profile(), Watts(watts));
+    }
+
+    #[test]
+    fn thermal_power_starts_at_idle_and_rises_slowly() {
+        let mut ps = PowerState::uniform(2, Watts(60.0), cfg());
+        assert_eq!(ps.thermal_power(CpuId(0)), Watts(6.8));
+        let after = ps.observe(CpuId(0), Watts(61.0), SimDuration::from_millis(100));
+        // One timeslice against a 15 s time constant barely moves it.
+        assert!(after > Watts(6.8));
+        assert!(after < Watts(7.4), "thermal power moved too fast: {after:?}");
+        // CPU 1 untouched.
+        assert_eq!(ps.thermal_power(CpuId(1)), Watts(6.8));
+    }
+
+    #[test]
+    fn thermal_power_converges_to_sustained_load() {
+        let mut ps = PowerState::uniform(1, Watts(60.0), cfg());
+        for _ in 0..3_000 {
+            ps.observe(CpuId(0), Watts(61.0), SimDuration::from_millis(100));
+        }
+        // 300 s >> 15 s time constant.
+        assert!((ps.thermal_power(CpuId(0)).0 - 61.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ratios_normalise_by_cpu_budget() {
+        let mut ps = PowerState::new(2, &[Watts(60.0), Watts(40.0)], cfg());
+        for _ in 0..3_000 {
+            ps.observe(CpuId(0), Watts(30.0), SimDuration::from_millis(100));
+            ps.observe(CpuId(1), Watts(30.0), SimDuration::from_millis(100));
+        }
+        // Same thermal power, different budgets, different ratios.
+        assert!((ps.thermal_ratio(CpuId(0)) - 0.5).abs() < 0.01);
+        assert!((ps.thermal_ratio(CpuId(1)) - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn runqueue_power_averages_profiles() {
+        let mut sys = System::new(Topology::xseries445(false));
+        spawn_with_profile(&mut sys, CpuId(0), 61.0);
+        spawn_with_profile(&mut sys, CpuId(0), 38.0);
+        // Running tasks count too.
+        sys.context_switch(CpuId(0));
+        let p = runqueue_power(&sys, CpuId(0), Watts(6.8));
+        assert!((p.0 - 49.5).abs() < 1e-9, "{p:?}");
+    }
+
+    #[test]
+    fn empty_runqueue_reports_idle_power() {
+        let sys = System::new(Topology::xseries445(false));
+        assert_eq!(runqueue_power(&sys, CpuId(3), Watts(6.8)), Watts(6.8));
+    }
+
+    #[test]
+    fn group_averages() {
+        let mut sys = System::new(Topology::xseries445(false));
+        let ps = PowerState::uniform(8, Watts(60.0), cfg());
+        spawn_with_profile(&mut sys, CpuId(0), 60.0);
+        spawn_with_profile(&mut sys, CpuId(1), 30.0);
+        let domain = sys.topology().domains(CpuId(0))[0].clone();
+        // Node-level group 0 contains only CPU 0.
+        let g0 = &domain.groups()[0];
+        assert!((group_runqueue_ratio(&sys, g0, &ps) - 1.0).abs() < 1e-9);
+        let g1 = &domain.groups()[1];
+        assert!((group_runqueue_ratio(&sys, g1, &ps) - 0.5).abs() < 1e-9);
+        assert!(ps.group_thermal_ratio(g0) > 0.0);
+    }
+
+    #[test]
+    fn package_sums_for_smt() {
+        let mut ps = PowerState::uniform(4, Watts(20.0), cfg());
+        for _ in 0..3_000 {
+            ps.observe(CpuId(0), Watts(30.0), SimDuration::from_millis(100));
+            ps.observe(CpuId(2), Watts(10.0), SimDuration::from_millis(100));
+        }
+        let sum = ps.thermal_power_sum(&[CpuId(0), CpuId(2)]);
+        assert!((sum.0 - 40.0).abs() < 0.1);
+        assert_eq!(ps.max_power_sum(&[CpuId(0), CpuId(2)]), Watts(40.0));
+    }
+
+    #[test]
+    fn set_max_power_takes_effect() {
+        let mut ps = PowerState::uniform(1, Watts(60.0), cfg());
+        ps.set_max_power(CpuId(0), Watts(40.0));
+        assert_eq!(ps.max_power(CpuId(0)), Watts(40.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one max power per CPU")]
+    fn wrong_budget_count_rejected() {
+        let _ = PowerState::new(3, &[Watts(60.0)], cfg());
+    }
+}

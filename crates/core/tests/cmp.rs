@@ -1,0 +1,179 @@
+//! The Section 7 CMP extension at the policy level: with a core layer
+//! in the domain hierarchy, energy balancing and hot task migration
+//! exploit temperature differences *between cores of one die*.
+
+use ebs_core::{
+    EnergyAwareBalancer, EnergyBalanceConfig, HotMigration, HotTaskConfig, HotTaskMigrator,
+    PowerState, PowerStateConfig,
+};
+use ebs_sched::{System, TaskConfig};
+use ebs_topology::{CpuId, DomainLevel, Topology};
+use ebs_units::{SimDuration, SimTime, Watts};
+
+/// A dual-core version of the testbed: 2 nodes x 4 packages x 2 cores
+/// x 1 thread = 16 CPUs, with a Core level in every domain stack.
+fn cmp_topology() -> Topology {
+    Topology::build_cmp(2, 4, 2, 1)
+}
+
+fn heat(power: &mut PowerState, cpu: CpuId, watts: f64) {
+    for _ in 0..5_000 {
+        power.observe(cpu, Watts(watts), SimDuration::from_millis(100));
+    }
+}
+
+fn spawn_running(sys: &mut System, cpu: CpuId, profile: f64) -> ebs_sched::TaskId {
+    let id = sys.spawn(
+        TaskConfig {
+            initial_profile: Watts(profile),
+            ..TaskConfig::default()
+        },
+        cpu,
+    );
+    sys.context_switch(cpu);
+    id
+}
+
+#[test]
+fn cmp_hierarchy_has_core_level_between_smt_and_node() {
+    let topo = Topology::build_cmp(2, 4, 2, 2);
+    let levels: Vec<_> = topo.domains(CpuId(0)).iter().map(|d| d.level()).collect();
+    assert_eq!(
+        levels,
+        vec![
+            DomainLevel::Smt,
+            DomainLevel::Core,
+            DomainLevel::Node,
+            DomainLevel::Top
+        ]
+    );
+}
+
+#[test]
+fn hot_task_prefers_the_cool_core_on_the_same_die() {
+    let topo = cmp_topology();
+    let mut sys = System::new(topo.clone());
+    let mut power = PowerState::uniform(16, Watts(40.0), PowerStateConfig::default());
+    // CPU 0 = core 0 of package 0 runs hot; CPU 1 = core 1 of the same
+    // package is idle and cool; other packages are also cool.
+    assert!(topo.same_package(CpuId(0), CpuId(1)));
+    assert!(!topo.same_core(CpuId(0), CpuId(1)));
+    let hot = spawn_running(&mut sys, CpuId(0), 61.0);
+    heat(&mut power, CpuId(0), 61.0);
+    // Make the trigger fire against the *package* budget.
+    let migrator = HotTaskMigrator::new(HotTaskConfig {
+        trigger_fraction: 0.80,
+        ..HotTaskConfig::default()
+    });
+    assert!(migrator.triggered(CpuId(0), &sys, &power));
+    let result = migrator.run(CpuId(0), &mut sys, &power).unwrap();
+    match result {
+        HotMigration::ToIdle { task, dest } => {
+            assert_eq!(task, hot);
+            // The sibling *core* on the same die wins: cheapest level.
+            assert_eq!(dest, CpuId(1), "expected the same-die core");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    sys.validate();
+}
+
+#[test]
+fn hot_task_leaves_the_die_when_the_whole_die_is_hot() {
+    let topo = cmp_topology();
+    let mut sys = System::new(topo);
+    let mut power = PowerState::uniform(16, Watts(40.0), PowerStateConfig::default());
+    let _hot = spawn_running(&mut sys, CpuId(0), 61.0);
+    heat(&mut power, CpuId(0), 61.0);
+    heat(&mut power, CpuId(1), 55.0); // The die's other core is hot too.
+    let migrator = HotTaskMigrator::new(HotTaskConfig {
+        trigger_fraction: 0.80,
+        ..HotTaskConfig::default()
+    });
+    let result = migrator.run(CpuId(0), &mut sys, &power).unwrap();
+    if let HotMigration::ToIdle { dest, .. } = result {
+        assert_ne!(dest, CpuId(1), "picked the hot same-die core");
+        assert!(
+            sys.topology().same_node(dest, CpuId(0)),
+            "should stay on the node when its packages are cool"
+        );
+    }
+}
+
+#[test]
+fn energy_balancing_acts_between_cores_of_one_die() {
+    // Core 0 of package 0 (CPU 0) holds two hot tasks; core 1 (CPU 1)
+    // holds two cool ones. The core-level domain lets the energy step
+    // even this out within the die.
+    let topo = cmp_topology();
+    let mut sys = System::new(topo);
+    let mut power = PowerState::uniform(16, Watts(60.0), PowerStateConfig::default());
+    let hot_a = sys.spawn(
+        TaskConfig {
+            initial_profile: Watts(61.0),
+            ..TaskConfig::default()
+        },
+        CpuId(0),
+    );
+    sys.spawn(
+        TaskConfig {
+            initial_profile: Watts(60.0),
+            ..TaskConfig::default()
+        },
+        CpuId(0),
+    );
+    for w in [30.0, 31.0] {
+        sys.spawn(
+            TaskConfig {
+                initial_profile: Watts(w),
+                ..TaskConfig::default()
+            },
+            CpuId(1),
+        );
+    }
+    heat(&mut power, CpuId(0), 60.0);
+    heat(&mut power, CpuId(1), 30.0);
+    let mut bal = EnergyAwareBalancer::new(&sys, EnergyBalanceConfig::default());
+    sys.set_now(SimTime::from_millis(100));
+    let outcome = bal.run(CpuId(1), &mut sys, &power);
+    assert!(outcome.pulled >= 1, "core-level energy step did not act");
+    assert_eq!(sys.task(hot_a).cpu(), CpuId(1), "hot task should cross cores");
+    // Load stayed even.
+    assert_eq!(sys.nr_running(CpuId(0)), 2);
+    assert_eq!(sys.nr_running(CpuId(1)), 2);
+    sys.validate();
+}
+
+#[test]
+fn smt_siblings_on_cmp_are_still_protected() {
+    // Full CMP with SMT: 2 threads per core. The energy step must not
+    // move heat between threads of one core, but may move it between
+    // cores.
+    let topo = Topology::build_cmp(1, 1, 2, 2); // 1 package, 2 cores, 4 CPUs.
+    let mut sys = System::new(topo.clone());
+    let power = PowerState::uniform(4, Watts(30.0), PowerStateConfig::default());
+    // Threads of core 0 are CPUs 0 and 2; threads of core 1 are 1 and 3.
+    assert!(topo.same_core(CpuId(0), CpuId(2)));
+    assert!(topo.same_core(CpuId(1), CpuId(3)));
+    // Two tasks of very different heat on the two threads of core 0.
+    for (cpu, w) in [(0usize, 61.0), (0, 60.0), (2, 20.0), (2, 21.0)] {
+        sys.spawn(
+            TaskConfig {
+                initial_profile: Watts(w),
+                ..TaskConfig::default()
+            },
+            CpuId(cpu),
+        );
+    }
+    let mut bal = EnergyAwareBalancer::new(&sys, EnergyBalanceConfig::default());
+    sys.set_now(SimTime::from_millis(100));
+    bal.run(CpuId(2), &mut sys, &power);
+    // Any move between CPUs 0 and 2 would be an energy move between
+    // SMT siblings (load is equal) — forbidden.
+    assert_eq!(
+        sys.stats().migrations_for(ebs_sched::MigrationReason::EnergyBalance),
+        0,
+        "energy balancing between SMT siblings of one core"
+    );
+    sys.validate();
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the energy-aware policies.
+
+use ebs_core::{
+    place_new_task, runqueue_power, EnergyAwareBalancer, EnergyBalanceConfig, HotTaskConfig,
+    HotTaskMigrator, PowerState, PowerStateConfig,
+};
+use ebs_sched::{System, TaskConfig};
+use ebs_topology::{CpuId, Topology};
+use ebs_units::{SimDuration, SimTime, Watts};
+use proptest::prelude::*;
+
+fn spawn(sys: &mut System, cpu: usize, watts: f64) {
+    sys.spawn(
+        TaskConfig {
+            initial_profile: Watts(watts),
+            ..TaskConfig::default()
+        },
+        CpuId(cpu),
+    );
+}
+
+fn heated(n: usize, budget: f64, temps: &[f64]) -> PowerState {
+    let mut ps = PowerState::uniform(n, Watts(budget), PowerStateConfig::default());
+    for (c, &t) in temps.iter().enumerate() {
+        for _ in 0..5_000 {
+            ps.observe(CpuId(c), Watts(t), SimDuration::from_millis(100));
+        }
+    }
+    ps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any profile distribution, the energy balancer never makes
+    /// queue lengths differ by more than one extra task, and the
+    /// invariants hold after every pass.
+    #[test]
+    fn balancer_never_wrecks_load(
+        profiles in prop::collection::vec((0usize..8, 20.0f64..70.0), 4..24),
+        temps in prop::collection::vec(10.0f64..60.0, 8),
+    ) {
+        let mut sys = System::new(Topology::xseries445(false));
+        for &(cpu, watts) in &profiles {
+            spawn(&mut sys, cpu, watts);
+        }
+        let before_loads: Vec<i64> =
+            (0..8).map(|c| sys.nr_running(CpuId(c)) as i64).collect();
+        let spread_before =
+            before_loads.iter().max().unwrap() - before_loads.iter().min().unwrap();
+        let power = heated(8, 60.0, &temps);
+        let mut bal = EnergyAwareBalancer::new(&sys, EnergyBalanceConfig::default());
+        for step in 0..40u64 {
+            sys.set_now(SimTime::from_millis(step * 64));
+            for c in 0..8 {
+                bal.run(CpuId(c), &mut sys, &power);
+            }
+            sys.validate();
+        }
+        let after_loads: Vec<i64> =
+            (0..8).map(|c| sys.nr_running(CpuId(c)) as i64).collect();
+        let spread_after =
+            after_loads.iter().max().unwrap() - after_loads.iter().min().unwrap();
+        // Balancing (energy or load) never worsens the load spread
+        // beyond the +-1 an exchange can transiently leave.
+        prop_assert!(
+            spread_after <= spread_before.max(1),
+            "load spread grew: {before_loads:?} -> {after_loads:?}"
+        );
+    }
+
+    /// Placement always picks a least-loaded CPU, whatever the power
+    /// landscape looks like.
+    #[test]
+    fn placement_respects_load_first(
+        loads in prop::collection::vec(0usize..4, 8),
+        profile in 10.0f64..70.0,
+        temps in prop::collection::vec(10.0f64..60.0, 8),
+    ) {
+        let mut sys = System::new(Topology::xseries445(false));
+        for (c, &n) in loads.iter().enumerate() {
+            for i in 0..n {
+                spawn(&mut sys, c, 30.0 + i as f64);
+            }
+        }
+        let power = heated(8, 60.0, &temps);
+        let dest = place_new_task(&sys, &power, Watts(profile));
+        let min_load = (0..8).map(|c| sys.nr_running(CpuId(c))).min().unwrap();
+        prop_assert_eq!(sys.nr_running(dest), min_load);
+    }
+
+    /// Hot task migration, when it acts, never picks a sibling and
+    /// never leaves a load imbalance behind.
+    #[test]
+    fn hot_migration_is_always_legal(
+        hot_cpu in 0usize..16,
+        dest_profiles in prop::collection::vec(prop::option::of(15.0f64..45.0), 16),
+        smt_budget in 15.0f64..25.0,
+    ) {
+        let topo = Topology::xseries445(true);
+        let mut sys = System::new(topo.clone());
+        let mut temps = vec![6.8; 16];
+        // The hot CPU runs one hot task at trigger heat.
+        spawn(&mut sys, hot_cpu, 61.0);
+        sys.context_switch(CpuId(hot_cpu));
+        temps[hot_cpu] = 61.0;
+        // Other CPUs optionally run one task each.
+        for (c, p) in dest_profiles.iter().enumerate() {
+            if c != hot_cpu {
+                if let Some(watts) = p {
+                    spawn(&mut sys, c, *watts);
+                    sys.context_switch(CpuId(c));
+                    temps[c] = *watts;
+                }
+            }
+        }
+        let power = heated(16, smt_budget, &temps);
+        let before: Vec<usize> = (0..16).map(|c| sys.nr_running(CpuId(c))).collect();
+        let migrator = HotTaskMigrator::new(HotTaskConfig::default());
+        if let Some(result) = migrator.run(CpuId(hot_cpu), &mut sys, &power) {
+            let (dest, exchanged) = match result {
+                ebs_core::HotMigration::ToIdle { dest, .. } => (dest, false),
+                ebs_core::HotMigration::Exchanged { dest, .. } => (dest, true),
+            };
+            prop_assert!(!topo.same_package(dest, CpuId(hot_cpu)), "sibling destination");
+            if exchanged {
+                // Exchange keeps every queue length unchanged.
+                let after: Vec<usize> = (0..16).map(|c| sys.nr_running(CpuId(c))).collect();
+                prop_assert_eq!(before, after);
+            } else {
+                prop_assert_eq!(before[dest.0], 0, "idle migration to a busy CPU");
+            }
+        }
+        sys.validate();
+    }
+
+    /// Runqueue power of a queue after pulling a task equals the mean
+    /// of the new membership (metric consistency under migration).
+    #[test]
+    fn runqueue_power_tracks_membership(
+        src_profiles in prop::collection::vec(10.0f64..70.0, 2..6),
+        dst_profiles in prop::collection::vec(10.0f64..70.0, 1..6),
+    ) {
+        let mut sys = System::new(Topology::xseries445(false));
+        for &p in &src_profiles {
+            spawn(&mut sys, 1, p);
+        }
+        for &p in &dst_profiles {
+            spawn(&mut sys, 0, p);
+        }
+        let moved = sys.rq(CpuId(1)).iter_migration_candidates().next().unwrap();
+        let moved_profile = sys.task(moved).profile().0;
+        sys.migrate_queued(moved, CpuId(0), ebs_sched::MigrationReason::EnergyBalance)
+            .unwrap();
+        let expected = (dst_profiles.iter().sum::<f64>() + moved_profile)
+            / (dst_profiles.len() + 1) as f64;
+        let actual = runqueue_power(&sys, CpuId(0), Watts(13.6)).0;
+        prop_assert!((actual - expected).abs() < 1e-9, "{actual} vs {expected}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Multiprocessor scheduler substrate.
+//!
+//! This crate is the stand-in for the Linux 2.6.10 scheduler the paper
+//! modifies (Section 5): per-CPU runqueues with O(1) priority arrays,
+//! nice-scaled timeslices, task states, migration machinery, and the
+//! stock hierarchical load balancer. The energy-aware policies of
+//! `ebs-core` plug into this substrate exactly where the paper patched
+//! Linux:
+//!
+//! - the load-balancing algorithm is replaceable (the paper *merges*
+//!   energy balancing into it, Fig. 4),
+//! - a running task can be pushed to another CPU (hot task migration,
+//!   Fig. 5),
+//! - the placement of newly started tasks is a policy hook
+//!   (Section 4.6).
+//!
+//! Simplifications relative to real Linux 2.6 are documented on the
+//! items concerned; the main ones are static priorities (no interactive
+//! bonus — the evaluation workloads are CPU hogs) and load measured as
+//! runqueue length (which is what the paper balances).
+//!
+//! # Examples
+//!
+//! ```
+//! use ebs_sched::{System, TaskConfig};
+//! use ebs_topology::{CpuId, Topology};
+//!
+//! let mut sys = System::new(Topology::xseries445(false));
+//! let t = sys.spawn(TaskConfig::default(), CpuId(0));
+//! let next = sys.context_switch(CpuId(0)).next;
+//! assert_eq!(next, Some(t));
+//! ```
+
+mod load_balance;
+mod prio_array;
+mod runqueue;
+mod system;
+mod task;
+
+pub use load_balance::{
+    balance_domain, busiest_queue_in_group, find_busiest_group, group_avg_load, idlest_cpu,
+    pull_tasks, BalanceOutcome, LoadBalancer, LoadBalancerConfig,
+};
+pub use prio_array::PrioArray;
+pub use runqueue::RunQueue;
+pub use system::{MigrateError, MigrationReason, SwitchResult, System, SystemStats, TickResult};
+pub use task::{
+    timeslice_for_nice, BinaryId, Task, TaskConfig, TaskId, TaskState, DEFAULT_TIMESLICE,
+};

@@ -1,0 +1,385 @@
+//! The stock hierarchical load balancer (the paper's baseline).
+//!
+//! Mirrors the Linux 2.6 algorithm at the granularity the paper cares
+//! about: each CPU periodically walks its domain hierarchy bottom-up;
+//! within a domain it finds the busiest CPU group, and if that group is
+//! busier than the local one by a meaningful margin, it *pulls* tasks
+//! from the busiest runqueue of that group into the local runqueue.
+//! Balancing is pull-only — push imbalances resolve when the balancer
+//! runs on the remote CPU (Section 4.4 describes how the energy
+//! balancer inherits this structure).
+//!
+//! The group/queue search helpers are public: `ebs-core` reuses them to
+//! implement the merged energy-and-load balancing algorithm of Fig. 4.
+
+use crate::system::{MigrationReason, System};
+use crate::task::TaskId;
+use ebs_topology::{CpuGroup, CpuId, SchedDomain};
+use ebs_units::SimTime;
+
+/// Tunables of the baseline balancer.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadBalancerConfig {
+    /// Minimum `nr_running` difference between the busiest and the
+    /// local runqueue before tasks are moved. Linux moves half the
+    /// difference and therefore effectively requires a difference of
+    /// two; the same default keeps the baseline as quiet as the paper's
+    /// (3.3 migrations in 15 minutes).
+    pub min_imbalance: usize,
+}
+
+impl Default for LoadBalancerConfig {
+    fn default() -> Self {
+        LoadBalancerConfig { min_imbalance: 2 }
+    }
+}
+
+/// What a balancing pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BalanceOutcome {
+    /// Tasks pulled to the balancing CPU.
+    pub pulled: usize,
+}
+
+/// Periodic, per-CPU hierarchical load balancing state.
+#[derive(Clone, Debug)]
+pub struct LoadBalancer {
+    cfg: LoadBalancerConfig,
+    /// `next_balance[cpu][level]`: when that domain level is due.
+    next_balance: Vec<Vec<SimTime>>,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer for systems shaped like `sys`.
+    pub fn new(sys: &System, cfg: LoadBalancerConfig) -> Self {
+        let next_balance = sys
+            .topology()
+            .cpu_ids()
+            .map(|c| vec![SimTime::ZERO; sys.topology().domains(c).len()])
+            .collect();
+        LoadBalancer { cfg, next_balance }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LoadBalancerConfig {
+        &self.cfg
+    }
+
+    /// Runs periodic balancing for `cpu`: every domain level whose
+    /// interval elapsed gets one balancing attempt.
+    pub fn run(&mut self, cpu: CpuId, sys: &mut System) -> BalanceOutcome {
+        let now = sys.now();
+        let mut outcome = BalanceOutcome::default();
+        let n_levels = sys.topology().domains(cpu).len();
+        for level in 0..n_levels {
+            if now < self.next_balance[cpu.0][level] {
+                continue;
+            }
+            let domain = sys.topology().domains(cpu)[level].clone();
+            self.next_balance[cpu.0][level] = now + domain.balance_interval();
+            outcome.pulled += balance_domain(sys, cpu, &domain, &self.cfg);
+        }
+        outcome
+    }
+
+    /// New-idle balancing: called when `cpu` just went idle; pulls one
+    /// task from the nearest overloaded queue so the CPU does not sit
+    /// idle while others queue (work conservation).
+    pub fn newidle(&mut self, cpu: CpuId, sys: &mut System) -> BalanceOutcome {
+        debug_assert!(sys.rq(cpu).is_idle(), "newidle on a busy CPU");
+        let n_levels = sys.topology().domains(cpu).len();
+        for level in 0..n_levels {
+            let domain = sys.topology().domains(cpu)[level].clone();
+            // Pull from the busiest queue in the whole domain span that
+            // has waiting tasks.
+            let busiest = domain
+                .span()
+                .filter(|&c| c != cpu)
+                .max_by_key(|&c| sys.rq(c).nr_queued());
+            if let Some(src) = busiest {
+                if sys.rq(src).nr_queued() >= 1 && sys.nr_running(src) >= 2 {
+                    let pulled =
+                        pull_tasks(sys, src, cpu, 1, MigrationReason::LoadBalance, |_, _| true);
+                    if pulled > 0 {
+                        return BalanceOutcome { pulled };
+                    }
+                }
+            }
+        }
+        BalanceOutcome::default()
+    }
+}
+
+/// One balancing attempt within one domain, pulling towards `cpu`.
+/// Returns the number of tasks moved.
+pub fn balance_domain(
+    sys: &mut System,
+    cpu: CpuId,
+    domain: &SchedDomain,
+    cfg: &LoadBalancerConfig,
+) -> usize {
+    let Some(local_idx) = domain.local_group_index(cpu) else {
+        return 0;
+    };
+    let Some((busiest_idx, _)) = find_busiest_group(sys, domain, local_idx) else {
+        return 0;
+    };
+    let Some(src) = busiest_queue_in_group(sys, &domain.groups()[busiest_idx]) else {
+        return 0;
+    };
+    let src_load = sys.nr_running(src);
+    let dst_load = sys.nr_running(cpu);
+    if src_load < dst_load + cfg.min_imbalance {
+        return 0;
+    }
+    let n_move = (src_load - dst_load) / 2;
+    if n_move == 0 {
+        return 0;
+    }
+    pull_tasks(sys, src, cpu, n_move, MigrationReason::LoadBalance, |_, _| true)
+}
+
+/// Finds the group with the highest average load (`nr_running` per
+/// CPU), excluding the local group. Returns `None` when no remote group
+/// is busier than the local one.
+pub fn find_busiest_group(
+    sys: &System,
+    domain: &SchedDomain,
+    local_idx: usize,
+) -> Option<(usize, f64)> {
+    let local_load = group_avg_load(sys, &domain.groups()[local_idx]);
+    let mut best: Option<(usize, f64)> = None;
+    for (i, group) in domain.groups().iter().enumerate() {
+        if i == local_idx {
+            continue;
+        }
+        let load = group_avg_load(sys, group);
+        if load > local_load && best.is_none_or(|(_, b)| load > b) {
+            best = Some((i, load));
+        }
+    }
+    best
+}
+
+/// Average `nr_running` per CPU over a group.
+pub fn group_avg_load(sys: &System, group: &CpuGroup) -> f64 {
+    let total: usize = group.cpus().iter().map(|&c| sys.nr_running(c)).sum();
+    total as f64 / group.len() as f64
+}
+
+/// The queue with the most runnable tasks in a group; `None` if every
+/// queue in the group is idle.
+pub fn busiest_queue_in_group(sys: &System, group: &CpuGroup) -> Option<CpuId> {
+    group
+        .cpus()
+        .iter()
+        .copied()
+        .max_by_key(|&c| sys.nr_running(c))
+        .filter(|&c| sys.nr_running(c) > 0)
+}
+
+/// Pulls up to `n` queued tasks from `src` to `dst`, preferring tasks
+/// that will not run soon (expired, low priority). `filter` lets the
+/// caller restrict the choice, e.g. to hot or cool tasks when the
+/// energy balancer avoids creating energy imbalances.
+///
+/// Returns the number of tasks actually moved.
+pub fn pull_tasks<F>(
+    sys: &mut System,
+    src: CpuId,
+    dst: CpuId,
+    n: usize,
+    reason: MigrationReason,
+    mut filter: F,
+) -> usize
+where
+    F: FnMut(&System, TaskId) -> bool,
+{
+    if src == dst || n == 0 {
+        return 0;
+    }
+    let candidates: Vec<TaskId> = sys.rq(src).iter_migration_candidates().collect();
+    let mut moved = 0;
+    for id in candidates {
+        if moved == n {
+            break;
+        }
+        if !filter(sys, id) {
+            continue;
+        }
+        if sys.migrate_queued(id, dst, reason).is_ok() {
+            moved += 1;
+        }
+    }
+    moved
+}
+
+/// The CPU with the fewest runnable tasks (ties broken by lowest id) —
+/// the baseline placement for newly spawned tasks.
+pub fn idlest_cpu(sys: &System) -> CpuId {
+    sys.topology()
+        .cpu_ids()
+        .min_by_key(|&c| (sys.nr_running(c), c.0))
+        .expect("topology has at least one CPU")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskConfig;
+    use ebs_topology::Topology;
+
+    fn system() -> System {
+        System::new(Topology::xseries445(false))
+    }
+
+    fn spawn_n(sys: &mut System, cpu: CpuId, n: usize) -> Vec<TaskId> {
+        (0..n)
+            .map(|_| sys.spawn(TaskConfig::default(), cpu))
+            .collect()
+    }
+
+    #[test]
+    fn balanced_system_stays_quiet() {
+        let mut sys = system();
+        for c in 0..8 {
+            spawn_n(&mut sys, CpuId(c), 2);
+        }
+        let mut lb = LoadBalancer::new(&sys, LoadBalancerConfig::default());
+        for _ in 0..10 {
+            for c in 0..8 {
+                lb.run(CpuId(c), &mut sys);
+            }
+            let t = sys.now() + ebs_units::SimDuration::from_millis(100);
+            sys.set_now(t);
+        }
+        assert_eq!(sys.stats().migrations(), 0, "balanced load must not migrate");
+        sys.validate();
+    }
+
+    #[test]
+    fn off_by_one_does_not_migrate() {
+        // 18 tasks on 8 CPUs: queues of 2 and 3; Linux tolerates this.
+        let mut sys = system();
+        for c in 0..8 {
+            spawn_n(&mut sys, CpuId(c), if c < 2 { 3 } else { 2 });
+        }
+        let mut lb = LoadBalancer::new(&sys, LoadBalancerConfig::default());
+        for c in 0..8 {
+            lb.run(CpuId(c), &mut sys);
+        }
+        assert_eq!(sys.stats().migrations(), 0);
+    }
+
+    #[test]
+    fn gross_imbalance_is_pulled_level() {
+        let mut sys = system();
+        spawn_n(&mut sys, CpuId(0), 8);
+        let mut lb = LoadBalancer::new(&sys, LoadBalancerConfig::default());
+        // Run balancing on every CPU over a few intervals.
+        for step in 0..20u64 {
+            sys.set_now(ebs_units::SimTime::from_millis(step * 64));
+            for c in 0..8 {
+                lb.run(CpuId(c), &mut sys);
+            }
+        }
+        let loads: Vec<usize> = (0..8).map(|c| sys.nr_running(CpuId(c))).collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        assert!(max - min <= 1, "loads {loads:?} not balanced");
+        assert!(sys.stats().migrations() >= 6);
+        sys.validate();
+    }
+
+    #[test]
+    fn newidle_pulls_one_task() {
+        let mut sys = system();
+        spawn_n(&mut sys, CpuId(1), 3);
+        let mut lb = LoadBalancer::new(&sys, LoadBalancerConfig::default());
+        let outcome = lb.newidle(CpuId(0), &mut sys);
+        assert_eq!(outcome.pulled, 1);
+        assert_eq!(sys.nr_running(CpuId(0)), 1);
+        assert_eq!(sys.nr_running(CpuId(1)), 2);
+        sys.validate();
+    }
+
+    #[test]
+    fn newidle_leaves_single_running_task_alone() {
+        // A lone running task cannot be stolen (it is not queued).
+        let mut sys = system();
+        spawn_n(&mut sys, CpuId(1), 1);
+        sys.context_switch(CpuId(1));
+        let mut lb = LoadBalancer::new(&sys, LoadBalancerConfig::default());
+        let outcome = lb.newidle(CpuId(0), &mut sys);
+        assert_eq!(outcome.pulled, 0);
+        assert_eq!(sys.nr_running(CpuId(1)), 1);
+    }
+
+    #[test]
+    fn find_busiest_group_ignores_local() {
+        let mut sys = system();
+        spawn_n(&mut sys, CpuId(0), 1);
+        spawn_n(&mut sys, CpuId(1), 3);
+        spawn_n(&mut sys, CpuId(2), 2);
+        let domain = sys.topology().domains(CpuId(0))[0].clone();
+        let local_idx = domain.local_group_index(CpuId(0)).unwrap();
+        let busiest = find_busiest_group(&sys, &domain, local_idx);
+        // CPU 1's group is the busiest *remote* group.
+        let (idx, load) = busiest.unwrap();
+        assert!(domain.groups()[idx].contains(CpuId(1)));
+        assert!((load - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn find_busiest_group_none_when_local_heaviest() {
+        let mut sys = system();
+        spawn_n(&mut sys, CpuId(0), 5);
+        let domain = sys.topology().domains(CpuId(0))[0].clone();
+        let local_idx = domain.local_group_index(CpuId(0)).unwrap();
+        assert!(find_busiest_group(&sys, &domain, local_idx).is_none());
+    }
+
+    #[test]
+    fn pull_tasks_respects_filter_and_limit() {
+        let mut sys = system();
+        let tasks = spawn_n(&mut sys, CpuId(0), 4);
+        let banned = tasks[0];
+        let moved = pull_tasks(
+            &mut sys,
+            CpuId(0),
+            CpuId(1),
+            2,
+            MigrationReason::LoadBalance,
+            |_, id| id != banned,
+        );
+        assert_eq!(moved, 2);
+        assert_eq!(sys.nr_running(CpuId(1)), 2);
+        assert_eq!(sys.task(banned).cpu(), CpuId(0));
+    }
+
+    #[test]
+    fn pull_tasks_noop_cases() {
+        let mut sys = system();
+        spawn_n(&mut sys, CpuId(0), 2);
+        assert_eq!(
+            pull_tasks(&mut sys, CpuId(0), CpuId(0), 5, MigrationReason::LoadBalance, |_, _| true),
+            0
+        );
+        assert_eq!(
+            pull_tasks(&mut sys, CpuId(0), CpuId(1), 0, MigrationReason::LoadBalance, |_, _| true),
+            0
+        );
+    }
+
+    #[test]
+    fn idlest_cpu_prefers_low_load_then_low_id() {
+        let mut sys = system();
+        assert_eq!(idlest_cpu(&sys), CpuId(0));
+        spawn_n(&mut sys, CpuId(0), 1);
+        assert_eq!(idlest_cpu(&sys), CpuId(1));
+        for c in 1..8 {
+            spawn_n(&mut sys, CpuId(c), 1);
+        }
+        assert_eq!(idlest_cpu(&sys), CpuId(0));
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-CPU runqueues with active/expired priority arrays.
+//!
+//! As in Linux 2.6: each CPU owns a runqueue with two priority arrays.
+//! Tasks whose timeslice expires move to the *expired* array; when the
+//! *active* array drains, the arrays are swapped. This gives round-robin
+//! behaviour within a priority level at timeslice granularity, with O(1)
+//! scheduling operations throughout.
+
+use crate::prio_array::PrioArray;
+use crate::task::TaskId;
+use ebs_topology::CpuId;
+
+/// A per-CPU runqueue.
+#[derive(Clone, Debug)]
+pub struct RunQueue {
+    cpu: CpuId,
+    active: PrioArray,
+    expired: PrioArray,
+    /// The task currently executing on this CPU (not in either array).
+    current: Option<TaskId>,
+}
+
+impl RunQueue {
+    /// Creates an empty runqueue for `cpu`.
+    pub fn new(cpu: CpuId) -> Self {
+        RunQueue {
+            cpu,
+            active: PrioArray::new(),
+            expired: PrioArray::new(),
+            current: None,
+        }
+    }
+
+    /// The owning CPU.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// The currently executing task.
+    pub fn current(&self) -> Option<TaskId> {
+        self.current
+    }
+
+    pub(crate) fn set_current(&mut self, task: Option<TaskId>) {
+        self.current = task;
+    }
+
+    /// Number of runnable tasks including the running one — Linux's
+    /// `nr_running`, the load metric the balancer equalises.
+    pub fn nr_running(&self) -> usize {
+        self.active.len() + self.expired.len() + usize::from(self.current.is_some())
+    }
+
+    /// Whether the CPU has nothing to run.
+    pub fn is_idle(&self) -> bool {
+        self.nr_running() == 0
+    }
+
+    /// Number of tasks waiting in the arrays (excluding current).
+    pub fn nr_queued(&self) -> usize {
+        self.active.len() + self.expired.len()
+    }
+
+    /// Enqueues a task on the active array.
+    pub(crate) fn enqueue_active(&mut self, prio: usize, task: TaskId) {
+        self.active.enqueue(prio, task);
+    }
+
+    /// Enqueues a task on the expired array (timeslice ran out).
+    pub(crate) fn enqueue_expired(&mut self, prio: usize, task: TaskId) {
+        self.expired.enqueue(prio, task);
+    }
+
+    /// Removes a queued (non-running) task; returns whether it was
+    /// found.
+    pub(crate) fn remove(&mut self, prio: usize, task: TaskId) -> bool {
+        self.active.remove(prio, task) || self.expired.remove(prio, task)
+    }
+
+    /// Picks the next task to run, swapping the arrays if the active
+    /// one drained. Returns `None` if the queue is empty. The caller is
+    /// responsible for updating `current`.
+    pub(crate) fn pick_next(&mut self) -> Option<TaskId> {
+        if self.active.is_empty() && !self.expired.is_empty() {
+            core::mem::swap(&mut self.active, &mut self.expired);
+        }
+        self.active.pop()
+    }
+
+    /// Iterates over queued (waiting) tasks in migration-preference
+    /// order: expired tasks first (they will not run for the longest
+    /// time), lowest priorities first.
+    pub fn iter_migration_candidates(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.expired
+            .iter_migration_order()
+            .chain(self.active.iter_migration_order())
+    }
+
+    /// Iterates over every task associated with this queue, including
+    /// the running one. This is the set whose energy profiles average
+    /// into the *runqueue power* (Section 4.3).
+    pub fn iter_all(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.current
+            .into_iter()
+            .chain(self.active.iter())
+            .chain(self.expired.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rq() -> RunQueue {
+        RunQueue::new(CpuId(0))
+    }
+
+    #[test]
+    fn empty_queue_is_idle() {
+        let q = rq();
+        assert!(q.is_idle());
+        assert_eq!(q.nr_running(), 0);
+        assert_eq!(q.current(), None);
+    }
+
+    #[test]
+    fn nr_running_counts_current() {
+        let mut q = rq();
+        q.enqueue_active(20, TaskId(1));
+        q.set_current(Some(TaskId(2)));
+        assert_eq!(q.nr_running(), 2);
+        assert_eq!(q.nr_queued(), 1);
+        assert!(!q.is_idle());
+    }
+
+    #[test]
+    fn pick_next_swaps_arrays_when_active_drains() {
+        let mut q = rq();
+        q.enqueue_active(20, TaskId(1));
+        q.enqueue_expired(20, TaskId(2));
+        assert_eq!(q.pick_next(), Some(TaskId(1)));
+        // Active now empty; expired array must rotate in.
+        assert_eq!(q.pick_next(), Some(TaskId(2)));
+        assert_eq!(q.pick_next(), None);
+    }
+
+    #[test]
+    fn round_robin_via_expired_array() {
+        let mut q = rq();
+        q.enqueue_active(20, TaskId(1));
+        q.enqueue_active(20, TaskId(2));
+        // Simulate: run 1, expire it, run 2, expire it, then both again.
+        let first = q.pick_next().unwrap();
+        q.enqueue_expired(20, first);
+        let second = q.pick_next().unwrap();
+        q.enqueue_expired(20, second);
+        assert_eq!(first, TaskId(1));
+        assert_eq!(second, TaskId(2));
+        assert_eq!(q.pick_next(), Some(TaskId(1)));
+        assert_eq!(q.pick_next(), Some(TaskId(2)));
+    }
+
+    #[test]
+    fn remove_searches_both_arrays() {
+        let mut q = rq();
+        q.enqueue_active(20, TaskId(1));
+        q.enqueue_expired(20, TaskId(2));
+        assert!(q.remove(20, TaskId(2)));
+        assert!(q.remove(20, TaskId(1)));
+        assert!(!q.remove(20, TaskId(3)));
+        assert_eq!(q.nr_queued(), 0);
+    }
+
+    #[test]
+    fn migration_candidates_prefer_expired_and_low_prio() {
+        let mut q = rq();
+        q.enqueue_active(10, TaskId(1));
+        q.enqueue_active(30, TaskId(2));
+        q.enqueue_expired(20, TaskId(3));
+        let order: Vec<_> = q.iter_migration_candidates().collect();
+        assert_eq!(order, vec![TaskId(3), TaskId(2), TaskId(1)]);
+    }
+
+    #[test]
+    fn iter_all_includes_current() {
+        let mut q = rq();
+        q.set_current(Some(TaskId(9)));
+        q.enqueue_active(20, TaskId(1));
+        q.enqueue_expired(20, TaskId(2));
+        let all: Vec<_> = q.iter_all().collect();
+        assert_eq!(all, vec![TaskId(9), TaskId(1), TaskId(2)]);
+    }
+}

@@ -1,0 +1,651 @@
+//! The scheduler system: task table, per-CPU runqueues, and migration
+//! machinery.
+//!
+//! [`System`] owns every task and runqueue and enforces the state
+//! invariants (a task is either running on exactly one CPU, queued on
+//! exactly one runqueue, blocked, or exited). Policies — the baseline
+//! load balancer here and the energy-aware policies in `ebs-core` —
+//! mutate the system exclusively through its migration and scheduling
+//! methods, so the invariants hold no matter what a policy does.
+
+use crate::runqueue::RunQueue;
+use crate::task::{Task, TaskConfig, TaskId, TaskState};
+use ebs_topology::{CpuId, Topology};
+use ebs_units::{SimDuration, SimTime};
+
+/// Why a migration happened, for the statistics the paper reports
+/// (migration counts with and without energy balancing, Section 6.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MigrationReason {
+    /// The stock load balancer equalising runqueue lengths.
+    LoadBalance,
+    /// The energy balancing step pulling heat towards a cool CPU.
+    EnergyBalance,
+    /// Hot task migration away from a nearly-overheating CPU.
+    HotTask,
+    /// The cool task moved in exchange, to avoid a load imbalance.
+    Exchange,
+}
+
+impl MigrationReason {
+    /// All reasons, for stats arrays.
+    pub const ALL: [MigrationReason; 4] = [
+        MigrationReason::LoadBalance,
+        MigrationReason::EnergyBalance,
+        MigrationReason::HotTask,
+        MigrationReason::Exchange,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            MigrationReason::LoadBalance => 0,
+            MigrationReason::EnergyBalance => 1,
+            MigrationReason::HotTask => 2,
+            MigrationReason::Exchange => 3,
+        }
+    }
+}
+
+/// Aggregate scheduler statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemStats {
+    /// Total task migrations, by reason (index via
+    /// [`MigrationReason::ALL`] order).
+    pub migrations_by_reason: [u64; 4],
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Tasks spawned.
+    pub spawns: u64,
+    /// Tasks exited.
+    pub exits: u64,
+}
+
+impl SystemStats {
+    /// Total migrations across all reasons.
+    pub fn migrations(&self) -> u64 {
+        self.migrations_by_reason.iter().sum()
+    }
+
+    /// Migrations attributed to one reason.
+    pub fn migrations_for(&self, reason: MigrationReason) -> u64 {
+        self.migrations_by_reason[reason.index()]
+    }
+}
+
+/// Result of a clock tick on one CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TickResult {
+    /// The task that was charged the tick, if any.
+    pub current: Option<TaskId>,
+    /// Whether its timeslice is now exhausted (caller should context
+    /// switch and perform end-of-timeslice energy accounting).
+    pub timeslice_expired: bool,
+}
+
+/// Result of a context switch on one CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchResult {
+    /// The task that was descheduled, if any.
+    pub prev: Option<TaskId>,
+    /// The task now running, if any.
+    pub next: Option<TaskId>,
+}
+
+/// Errors from migration requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrateError {
+    /// Source and destination CPU are the same.
+    SameCpu,
+    /// The task is not in a migratable state (e.g. blocked or exited).
+    BadState,
+    /// The task is currently running; use [`System::migrate_running`].
+    Running,
+    /// The CPU has no running task to push.
+    NoCurrent,
+}
+
+impl core::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MigrateError::SameCpu => write!(f, "source and destination CPU are identical"),
+            MigrateError::BadState => write!(f, "task is not runnable"),
+            MigrateError::Running => write!(f, "task is running; push it via migrate_running"),
+            MigrateError::NoCurrent => write!(f, "CPU has no running task"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// The multiprocessor scheduler state.
+#[derive(Clone, Debug)]
+pub struct System {
+    topology: Topology,
+    tasks: Vec<Task>,
+    rqs: Vec<RunQueue>,
+    now: SimTime,
+    stats: SystemStats,
+}
+
+impl System {
+    /// Creates a system with empty runqueues.
+    pub fn new(topology: Topology) -> Self {
+        let rqs = topology.cpu_ids().map(RunQueue::new).collect();
+        System {
+            topology,
+            tasks: Vec::new(),
+            rqs,
+            now: SimTime::ZERO,
+            stats: SystemStats::default(),
+        }
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the scheduler clock. The driving engine calls this once
+    /// per simulation step, before any scheduling operations for that
+    /// step.
+    pub fn set_now(&mut self, now: SimTime) {
+        debug_assert!(now >= self.now, "clock moved backwards");
+        self.now = now;
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// Spawns a task and enqueues it runnable on `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn spawn(&mut self, config: TaskConfig, cpu: CpuId) -> TaskId {
+        assert!(cpu.0 < self.rqs.len(), "{cpu} out of range");
+        let id = TaskId(self.tasks.len() as u64);
+        let task = Task::new(id, config, cpu);
+        let prio = task.prio_index();
+        self.tasks.push(task);
+        self.rqs[cpu.0].enqueue_active(prio, id);
+        self.stats.spawns += 1;
+        id
+    }
+
+    /// Immutable task accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// Mutable task accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn task_mut(&mut self, id: TaskId) -> &mut Task {
+        &mut self.tasks[id.0 as usize]
+    }
+
+    /// Number of tasks ever spawned.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The runqueue of `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn rq(&self, cpu: CpuId) -> &RunQueue {
+        &self.rqs[cpu.0]
+    }
+
+    /// The running task on `cpu`.
+    pub fn current(&self, cpu: CpuId) -> Option<TaskId> {
+        self.rqs[cpu.0].current()
+    }
+
+    /// `nr_running` of `cpu` (queued plus running).
+    pub fn nr_running(&self, cpu: CpuId) -> usize {
+        self.rqs[cpu.0].nr_running()
+    }
+
+    /// Charges `dt` of CPU time to the running task of `cpu`.
+    pub fn tick(&mut self, cpu: CpuId, dt: SimDuration) -> TickResult {
+        match self.rqs[cpu.0].current() {
+            Some(id) => {
+                let expired = self.tasks[id.0 as usize].consume_timeslice(dt);
+                TickResult {
+                    current: Some(id),
+                    timeslice_expired: expired,
+                }
+            }
+            None => TickResult {
+                current: None,
+                timeslice_expired: false,
+            },
+        }
+    }
+
+    /// Performs a context switch on `cpu`: the running task (if any) is
+    /// put back — on the expired array with a fresh timeslice if its
+    /// slice ran out, on the active array otherwise — and the next task
+    /// is picked.
+    pub fn context_switch(&mut self, cpu: CpuId) -> SwitchResult {
+        let prev = self.rqs[cpu.0].current();
+        if let Some(id) = prev {
+            let (prio, expired) = {
+                let task = &mut self.tasks[id.0 as usize];
+                task.set_state(TaskState::Runnable);
+                let expired = task.timeslice().is_zero();
+                if expired {
+                    task.refresh_timeslice();
+                }
+                (task.prio_index(), expired)
+            };
+            if expired {
+                self.rqs[cpu.0].enqueue_expired(prio, id);
+            } else {
+                self.rqs[cpu.0].enqueue_active(prio, id);
+            }
+        }
+        let next = self.rqs[cpu.0].pick_next();
+        self.rqs[cpu.0].set_current(next);
+        if let Some(id) = next {
+            let now = self.now;
+            let task = &mut self.tasks[id.0 as usize];
+            task.set_state(TaskState::Running);
+            task.set_cpu(cpu);
+            task.set_last_scheduled(now);
+        }
+        if prev != next {
+            self.stats.context_switches += 1;
+        }
+        SwitchResult { prev, next }
+    }
+
+    /// Blocks the running task of `cpu` (it leaves the runqueue) and
+    /// returns it.
+    pub fn block_current(&mut self, cpu: CpuId) -> Option<TaskId> {
+        let id = self.rqs[cpu.0].current()?;
+        self.rqs[cpu.0].set_current(None);
+        self.tasks[id.0 as usize].set_state(TaskState::Blocked);
+        Some(id)
+    }
+
+    /// Wakes a blocked task, enqueuing it runnable on `cpu` (or on the
+    /// CPU it last ran on when `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not blocked.
+    pub fn wake(&mut self, id: TaskId, cpu: Option<CpuId>) {
+        let target = cpu.unwrap_or(self.tasks[id.0 as usize].cpu());
+        {
+            let task = &mut self.tasks[id.0 as usize];
+            assert_eq!(task.state(), TaskState::Blocked, "waking a non-blocked task");
+            task.set_state(TaskState::Runnable);
+            task.set_cpu(target);
+        }
+        let prio = self.tasks[id.0 as usize].prio_index();
+        self.rqs[target.0].enqueue_active(prio, id);
+    }
+
+    /// Terminates the running task of `cpu` and returns it.
+    pub fn exit_current(&mut self, cpu: CpuId) -> Option<TaskId> {
+        let id = self.rqs[cpu.0].current()?;
+        self.rqs[cpu.0].set_current(None);
+        self.tasks[id.0 as usize].set_state(TaskState::Exited);
+        self.stats.exits += 1;
+        Some(id)
+    }
+
+    /// Migrates a *queued* (waiting, not running) task to another CPU's
+    /// active array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MigrateError`] when the task is running, not runnable,
+    /// or already on the destination CPU.
+    pub fn migrate_queued(
+        &mut self,
+        id: TaskId,
+        to: CpuId,
+        reason: MigrationReason,
+    ) -> Result<(), MigrateError> {
+        let (from, prio, state) = {
+            let t = &self.tasks[id.0 as usize];
+            (t.cpu(), t.prio_index(), t.state())
+        };
+        if from == to {
+            return Err(MigrateError::SameCpu);
+        }
+        match state {
+            TaskState::Runnable => {}
+            TaskState::Running => return Err(MigrateError::Running),
+            _ => return Err(MigrateError::BadState),
+        }
+        if self.rqs[from.0].current() == Some(id) {
+            return Err(MigrateError::Running);
+        }
+        let removed = self.rqs[from.0].remove(prio, id);
+        debug_assert!(removed, "runnable task {id} missing from its runqueue");
+        self.rqs[to.0].enqueue_active(prio, id);
+        self.finish_migration(id, from, to, reason);
+        Ok(())
+    }
+
+    /// Pushes the *running* task of `from` to `to`'s active array. The
+    /// source CPU is left without a current task; the caller performs
+    /// the context switch (as Linux's migration thread does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MigrateError::NoCurrent`] if `from` is idle or
+    /// [`MigrateError::SameCpu`] for a self-migration.
+    pub fn migrate_running(
+        &mut self,
+        from: CpuId,
+        to: CpuId,
+        reason: MigrationReason,
+    ) -> Result<TaskId, MigrateError> {
+        if from == to {
+            return Err(MigrateError::SameCpu);
+        }
+        let id = self.rqs[from.0].current().ok_or(MigrateError::NoCurrent)?;
+        self.rqs[from.0].set_current(None);
+        let prio = {
+            let task = &mut self.tasks[id.0 as usize];
+            task.set_state(TaskState::Runnable);
+            task.prio_index()
+        };
+        self.rqs[to.0].enqueue_active(prio, id);
+        self.finish_migration(id, from, to, reason);
+        Ok(id)
+    }
+
+    fn finish_migration(&mut self, id: TaskId, from: CpuId, to: CpuId, reason: MigrationReason) {
+        let cross_node = !self.topology.same_node(from, to);
+        let now = self.now;
+        let task = &mut self.tasks[id.0 as usize];
+        task.set_cpu(to);
+        task.record_migration(now, cross_node);
+        self.stats.migrations_by_reason[reason.index()] += 1;
+    }
+
+    /// Checks every cross-structure invariant; used by tests and debug
+    /// assertions in the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violated invariant.
+    pub fn validate(&self) {
+        let mut seen = vec![0usize; self.tasks.len()];
+        for rq in &self.rqs {
+            for id in rq.iter_all() {
+                seen[id.0 as usize] += 1;
+                let task = &self.tasks[id.0 as usize];
+                assert_eq!(
+                    task.cpu(),
+                    rq.cpu(),
+                    "{id} on {} but task.cpu() says {}",
+                    rq.cpu(),
+                    task.cpu()
+                );
+                if rq.current() == Some(id) {
+                    assert_eq!(task.state(), TaskState::Running, "{id} current but not Running");
+                } else {
+                    assert_eq!(task.state(), TaskState::Runnable, "{id} queued but not Runnable");
+                }
+            }
+        }
+        for (i, task) in self.tasks.iter().enumerate() {
+            let expected = match task.state() {
+                TaskState::Runnable | TaskState::Running => 1,
+                TaskState::Blocked | TaskState::Exited => 0,
+            };
+            assert_eq!(
+                seen[i],
+                expected,
+                "{} in state {:?} appears {} times on runqueues",
+                task.id(),
+                task.state(),
+                seen[i]
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> System {
+        System::new(Topology::xseries445(false))
+    }
+
+    #[test]
+    fn spawn_enqueues_runnable() {
+        let mut sys = system();
+        let t = sys.spawn(TaskConfig::default(), CpuId(3));
+        assert_eq!(sys.task(t).state(), TaskState::Runnable);
+        assert_eq!(sys.nr_running(CpuId(3)), 1);
+        assert_eq!(sys.stats().spawns, 1);
+        sys.validate();
+    }
+
+    #[test]
+    fn context_switch_runs_highest_priority() {
+        let mut sys = system();
+        let lo = sys.spawn(
+            TaskConfig {
+                nice: 5,
+                ..TaskConfig::default()
+            },
+            CpuId(0),
+        );
+        let hi = sys.spawn(
+            TaskConfig {
+                nice: -5,
+                ..TaskConfig::default()
+            },
+            CpuId(0),
+        );
+        let sw = sys.context_switch(CpuId(0));
+        assert_eq!(sw.next, Some(hi));
+        assert_eq!(sys.task(hi).state(), TaskState::Running);
+        assert_eq!(sys.task(lo).state(), TaskState::Runnable);
+        sys.validate();
+    }
+
+    #[test]
+    fn tick_expires_timeslice_and_round_robins() {
+        let mut sys = system();
+        let a = sys.spawn(TaskConfig::default(), CpuId(0));
+        let b = sys.spawn(TaskConfig::default(), CpuId(0));
+        assert_eq!(sys.context_switch(CpuId(0)).next, Some(a));
+        // Burn a's entire 100 ms slice.
+        let mut expired = false;
+        for _ in 0..100 {
+            expired = sys.tick(CpuId(0), SimDuration::from_millis(1)).timeslice_expired;
+        }
+        assert!(expired);
+        let sw = sys.context_switch(CpuId(0));
+        assert_eq!(sw.prev, Some(a));
+        assert_eq!(sw.next, Some(b));
+        // a got a fresh slice for its next turn.
+        assert_eq!(sys.task(a).timeslice(), crate::task::DEFAULT_TIMESLICE);
+        sys.validate();
+    }
+
+    #[test]
+    fn tick_on_idle_cpu_is_empty() {
+        let mut sys = system();
+        let r = sys.tick(CpuId(1), SimDuration::from_millis(1));
+        assert_eq!(r.current, None);
+        assert!(!r.timeslice_expired);
+    }
+
+    #[test]
+    fn block_and_wake_cycle() {
+        let mut sys = system();
+        let t = sys.spawn(TaskConfig::default(), CpuId(0));
+        sys.context_switch(CpuId(0));
+        assert_eq!(sys.block_current(CpuId(0)), Some(t));
+        assert_eq!(sys.task(t).state(), TaskState::Blocked);
+        assert!(sys.rq(CpuId(0)).is_idle());
+        sys.validate();
+        sys.wake(t, None);
+        assert_eq!(sys.task(t).state(), TaskState::Runnable);
+        assert_eq!(sys.nr_running(CpuId(0)), 1);
+        sys.validate();
+        // Wake onto a different CPU.
+        sys.context_switch(CpuId(0));
+        sys.block_current(CpuId(0));
+        sys.wake(t, Some(CpuId(5)));
+        assert_eq!(sys.task(t).cpu(), CpuId(5));
+        sys.validate();
+    }
+
+    #[test]
+    fn exit_removes_from_scheduling() {
+        let mut sys = system();
+        let t = sys.spawn(TaskConfig::default(), CpuId(0));
+        sys.context_switch(CpuId(0));
+        assert_eq!(sys.exit_current(CpuId(0)), Some(t));
+        assert_eq!(sys.task(t).state(), TaskState::Exited);
+        assert_eq!(sys.stats().exits, 1);
+        assert_eq!(sys.context_switch(CpuId(0)).next, None);
+        sys.validate();
+    }
+
+    #[test]
+    fn migrate_queued_moves_between_runqueues() {
+        let mut sys = system();
+        let _running = sys.spawn(TaskConfig::default(), CpuId(0));
+        let queued = sys.spawn(TaskConfig::default(), CpuId(0));
+        sys.context_switch(CpuId(0));
+        sys.migrate_queued(queued, CpuId(4), MigrationReason::LoadBalance)
+            .unwrap();
+        assert_eq!(sys.task(queued).cpu(), CpuId(4));
+        assert_eq!(sys.nr_running(CpuId(4)), 1);
+        assert_eq!(sys.stats().migrations(), 1);
+        assert_eq!(
+            sys.stats().migrations_for(MigrationReason::LoadBalance),
+            1
+        );
+        // Cross-node flag: CPU 0 is node 0, CPU 4 is node 1.
+        assert_eq!(
+            sys.task(queued).last_migration(),
+            Some((SimTime::ZERO, true))
+        );
+        sys.validate();
+    }
+
+    #[test]
+    fn migrate_queued_rejects_running_and_same_cpu() {
+        let mut sys = system();
+        let t = sys.spawn(TaskConfig::default(), CpuId(0));
+        sys.context_switch(CpuId(0));
+        assert_eq!(
+            sys.migrate_queued(t, CpuId(1), MigrationReason::LoadBalance),
+            Err(MigrateError::Running)
+        );
+        let q = sys.spawn(TaskConfig::default(), CpuId(0));
+        assert_eq!(
+            sys.migrate_queued(q, CpuId(0), MigrationReason::LoadBalance),
+            Err(MigrateError::SameCpu)
+        );
+    }
+
+    #[test]
+    fn migrate_queued_rejects_blocked() {
+        let mut sys = system();
+        let t = sys.spawn(TaskConfig::default(), CpuId(0));
+        sys.context_switch(CpuId(0));
+        sys.block_current(CpuId(0));
+        assert_eq!(
+            sys.migrate_queued(t, CpuId(1), MigrationReason::LoadBalance),
+            Err(MigrateError::BadState)
+        );
+    }
+
+    #[test]
+    fn migrate_running_pushes_current() {
+        let mut sys = system();
+        let t = sys.spawn(TaskConfig::default(), CpuId(0));
+        sys.context_switch(CpuId(0));
+        let moved = sys
+            .migrate_running(CpuId(0), CpuId(2), MigrationReason::HotTask)
+            .unwrap();
+        assert_eq!(moved, t);
+        assert_eq!(sys.current(CpuId(0)), None);
+        assert_eq!(sys.task(t).cpu(), CpuId(2));
+        assert_eq!(sys.task(t).state(), TaskState::Runnable);
+        assert_eq!(sys.stats().migrations_for(MigrationReason::HotTask), 1);
+        // Destination picks it up at its next switch.
+        assert_eq!(sys.context_switch(CpuId(2)).next, Some(t));
+        sys.validate();
+    }
+
+    #[test]
+    fn migrate_running_errors() {
+        let mut sys = system();
+        assert_eq!(
+            sys.migrate_running(CpuId(0), CpuId(1), MigrationReason::HotTask),
+            Err(MigrateError::NoCurrent)
+        );
+        let _ = sys.spawn(TaskConfig::default(), CpuId(0));
+        sys.context_switch(CpuId(0));
+        assert_eq!(
+            sys.migrate_running(CpuId(0), CpuId(0), MigrationReason::HotTask),
+            Err(MigrateError::SameCpu)
+        );
+    }
+
+    #[test]
+    fn hot_task_exchange_sequence() {
+        // The Fig. 5 "exchange tasks" path: hot current moves to dest,
+        // dest's cool current moves back.
+        let mut sys = system();
+        let hot = sys.spawn(TaskConfig::default(), CpuId(0));
+        let cool = sys.spawn(TaskConfig::default(), CpuId(1));
+        sys.context_switch(CpuId(0));
+        sys.context_switch(CpuId(1));
+        sys.migrate_running(CpuId(1), CpuId(0), MigrationReason::Exchange)
+            .unwrap();
+        sys.migrate_running(CpuId(0), CpuId(1), MigrationReason::HotTask)
+            .unwrap();
+        assert_eq!(sys.context_switch(CpuId(0)).next, Some(cool));
+        assert_eq!(sys.context_switch(CpuId(1)).next, Some(hot));
+        assert_eq!(sys.stats().migrations(), 2);
+        sys.validate();
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut sys = system();
+        sys.set_now(SimTime::from_millis(5));
+        assert_eq!(sys.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn last_scheduled_records_dispatch_time() {
+        let mut sys = system();
+        let t = sys.spawn(TaskConfig::default(), CpuId(0));
+        sys.set_now(SimTime::from_millis(250));
+        sys.context_switch(CpuId(0));
+        assert_eq!(sys.task(t).last_scheduled(), SimTime::from_millis(250));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests: scheduler invariants under arbitrary
+//! operation sequences.
+
+use ebs_sched::{
+    LoadBalancer, LoadBalancerConfig, MigrationReason, System, TaskConfig, TaskState,
+};
+use ebs_topology::{CpuId, Topology};
+use ebs_units::{SimDuration, SimTime, Watts};
+use proptest::prelude::*;
+
+/// An abstract scheduler operation for random-sequence testing.
+#[derive(Clone, Debug)]
+enum Op {
+    Spawn(usize),
+    Tick(usize, u64),
+    Switch(usize),
+    Block(usize),
+    WakeOldest,
+    MigrateQueued(usize, usize),
+    MigrateRunning(usize, usize),
+    Exit(usize),
+}
+
+fn op_strategy(n_cpus: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n_cpus).prop_map(Op::Spawn),
+        ((0..n_cpus), 1u64..150).prop_map(|(c, ms)| Op::Tick(c, ms)),
+        (0..n_cpus).prop_map(Op::Switch),
+        (0..n_cpus).prop_map(Op::Block),
+        Just(Op::WakeOldest),
+        ((0..n_cpus), (0..n_cpus)).prop_map(|(a, b)| Op::MigrateQueued(a, b)),
+        ((0..n_cpus), (0..n_cpus)).prop_map(|(a, b)| Op::MigrateRunning(a, b)),
+        (0..n_cpus).prop_map(Op::Exit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of scheduler operations preserves the system
+    /// invariants (each live task on exactly one queue, states
+    /// consistent, no task lost or duplicated).
+    #[test]
+    fn invariants_hold_under_arbitrary_ops(
+        ops in prop::collection::vec(op_strategy(8), 1..120),
+    ) {
+        let mut sys = System::new(Topology::xseries445(false));
+        let mut blocked: Vec<ebs_sched::TaskId> = Vec::new();
+        let mut clock = 0u64;
+        for op in ops {
+            clock += 1;
+            sys.set_now(SimTime::from_millis(clock));
+            match op {
+                Op::Spawn(c) => {
+                    sys.spawn(TaskConfig::default(), CpuId(c));
+                }
+                Op::Tick(c, ms) => {
+                    sys.tick(CpuId(c), SimDuration::from_millis(ms));
+                }
+                Op::Switch(c) => {
+                    sys.context_switch(CpuId(c));
+                }
+                Op::Block(c) => {
+                    if let Some(id) = sys.block_current(CpuId(c)) {
+                        blocked.push(id);
+                    }
+                }
+                Op::WakeOldest => {
+                    if !blocked.is_empty() {
+                        let id = blocked.remove(0);
+                        sys.wake(id, None);
+                    }
+                }
+                Op::MigrateQueued(a, b) => {
+                    let candidate = sys.rq(CpuId(a)).iter_migration_candidates().next();
+                    if let Some(id) = candidate {
+                        let _ = sys.migrate_queued(id, CpuId(b), MigrationReason::LoadBalance);
+                    }
+                }
+                Op::MigrateRunning(a, b) => {
+                    let _ = sys.migrate_running(CpuId(a), CpuId(b), MigrationReason::HotTask);
+                }
+                Op::Exit(c) => {
+                    sys.exit_current(CpuId(c));
+                }
+            }
+            sys.validate();
+        }
+        // Final consistency: every task is in exactly the state the
+        // bookkeeping says.
+        let mut live = 0;
+        for i in 0..sys.n_tasks() {
+            match sys.task(ebs_sched::TaskId(i as u64)).state() {
+                TaskState::Runnable | TaskState::Running => live += 1,
+                TaskState::Blocked => prop_assert!(
+                    blocked.contains(&ebs_sched::TaskId(i as u64))
+                ),
+                TaskState::Exited => {}
+            }
+        }
+        let queued: usize = (0..8).map(|c| sys.nr_running(CpuId(c))).sum();
+        prop_assert_eq!(live, queued);
+    }
+
+    /// From any initial distribution, repeated balancing converges to
+    /// queue lengths within one task of each other, and then stays
+    /// quiescent.
+    #[test]
+    fn load_balancer_converges_and_stays_quiet(
+        loads in prop::collection::vec(0usize..8, 8),
+    ) {
+        let mut sys = System::new(Topology::xseries445(false));
+        for (c, &n) in loads.iter().enumerate() {
+            for _ in 0..n {
+                sys.spawn(TaskConfig::default(), CpuId(c));
+            }
+        }
+        let mut lb = LoadBalancer::new(&sys, LoadBalancerConfig::default());
+        for step in 0..60u64 {
+            sys.set_now(SimTime::from_millis(step * 64));
+            for c in 0..8 {
+                lb.run(CpuId(c), &mut sys);
+            }
+        }
+        let final_loads: Vec<usize> = (0..8).map(|c| sys.nr_running(CpuId(c))).collect();
+        let max = *final_loads.iter().max().unwrap();
+        let min = *final_loads.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "{final_loads:?}");
+        // Once balanced, further passes migrate nothing.
+        let before = sys.stats().migrations();
+        for step in 60..80u64 {
+            sys.set_now(SimTime::from_millis(step * 64));
+            for c in 0..8 {
+                lb.run(CpuId(c), &mut sys);
+            }
+        }
+        prop_assert_eq!(sys.stats().migrations(), before);
+        sys.validate();
+    }
+
+    /// Profile updates keep the profile within the observed sample
+    /// range — no overshoot for any update sequence.
+    #[test]
+    fn profiles_are_convex_combinations(
+        updates in prop::collection::vec((5.0f64..100.0, 1u64..300), 1..50),
+    ) {
+        let mut sys = System::new(Topology::xseries445(false));
+        let id = sys.spawn(
+            TaskConfig { initial_profile: Watts(30.0), ..TaskConfig::default() },
+            CpuId(0),
+        );
+        let mut lo = 30.0f64;
+        let mut hi = 30.0f64;
+        for (watts, ms) in updates {
+            lo = lo.min(watts);
+            hi = hi.max(watts);
+            sys.task_mut(id).update_profile(Watts(watts), SimDuration::from_millis(ms));
+            let p = sys.task(id).profile().0;
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+}

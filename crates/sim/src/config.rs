@@ -1,0 +1,272 @@
+//! Simulation configuration.
+
+use ebs_core::EnergyBalanceConfig;
+use ebs_units::{Celsius, SimDuration, Watts};
+
+/// How the per-CPU maximum power (the thermal budget) is determined.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MaxPowerSpec {
+    /// The same budget for every *logical* CPU, as in Section 6.1
+    /// ("we set the maximum power of all CPUs to 60 W") — with SMT the
+    /// package budget is split between siblings, so Section 6.4's
+    /// "40 W per physical processor" is `PerPackage(Watts(40.0))`.
+    PerLogical(Watts),
+    /// A budget per physical package, split evenly between its
+    /// hardware threads.
+    PerPackage(Watts),
+    /// Derive each package's budget from its (possibly heterogeneous)
+    /// thermal model at the given temperature limit — the Section 6.2
+    /// setup with its artificial 38 degC limit.
+    FromThermalLimit(Celsius),
+}
+
+/// Full configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// NUMA nodes.
+    pub n_nodes: usize,
+    /// Physical packages per node.
+    pub packages_per_node: usize,
+    /// Whether simultaneous multithreading is enabled (2 threads per
+    /// package) or not (1 thread).
+    pub smt: bool,
+    /// RNG seed; every random choice in the run derives from it.
+    pub seed: u64,
+    /// Simulation tick (scheduler granularity).
+    pub tick: SimDuration,
+    /// Core clock in hertz.
+    pub freq_hz: f64,
+    /// Use the energy-aware balancer (Fig. 4) instead of the stock
+    /// load balancer.
+    pub energy_balancing: bool,
+    /// Tunables of the energy-aware balancer (margins provide the
+    /// hysteresis of Section 4.3; the ablation experiments weaken them
+    /// to reproduce the ping-pong and over-balancing failure modes).
+    pub balance: EnergyBalanceConfig,
+    /// Enable hot task migration (Fig. 5).
+    pub hot_task_migration: bool,
+    /// Enable energy-aware initial placement (Section 4.6).
+    pub energy_placement: bool,
+    /// Enable `hlt` throttling at the maximum power.
+    pub throttling: bool,
+    /// The per-CPU power budgets.
+    pub max_power: MaxPowerSpec,
+    /// Per-package cooling factors scaling the thermal resistance
+    /// (>1 = poorer cooling). Empty means homogeneous.
+    pub cooling_factors: Vec<f64>,
+    /// Use the ground-truth energy model in the estimator instead of a
+    /// calibrated one (for ablation: what would perfect estimation
+    /// change?).
+    pub perfect_estimation: bool,
+    /// Respawn a finished task's program immediately (keeps the
+    /// configured task population constant, as the paper's throughput
+    /// runs do).
+    pub respawn: bool,
+    /// Sample the per-CPU thermal power at this interval for the
+    /// thermal trace (fig. 6/7); `None` disables the trace.
+    pub thermal_trace_interval: Option<SimDuration>,
+    /// Record which CPU every task runs on, whenever it changes
+    /// (fig. 9); cheap, but unneeded for most runs.
+    pub task_cpu_trace: bool,
+    /// Combined throughput factor of two busy SMT siblings relative to
+    /// one solo thread (the literature's ~1.25 for the Pentium 4).
+    pub smt_speedup: f64,
+    /// Cache-warmup model: IPC factor right after an intra-node
+    /// migration, ramping linearly back to 1.
+    pub warmup_ipc_floor: f64,
+    /// Instructions to regain full warmth after an intra-node
+    /// migration.
+    pub warmup_instructions: u64,
+    /// IPC floor after a cross-node migration (node affinity is more
+    /// expensive to rebuild, Section 4.1).
+    pub warmup_ipc_floor_cross_node: f64,
+    /// Instructions to regain full warmth after a cross-node migration.
+    pub warmup_instructions_cross_node: u64,
+}
+
+impl SimConfig {
+    /// The paper's testbed shape with the paper's defaults: SMT on,
+    /// energy-aware scheduling on, throttling on, 60 W logical budgets.
+    pub fn xseries445() -> Self {
+        SimConfig {
+            n_nodes: 2,
+            packages_per_node: 4,
+            smt: true,
+            seed: 1,
+            tick: SimDuration::from_millis(1),
+            freq_hz: 2.2e9,
+            energy_balancing: true,
+            balance: EnergyBalanceConfig::default(),
+            hot_task_migration: true,
+            energy_placement: true,
+            throttling: true,
+            max_power: MaxPowerSpec::PerLogical(Watts(60.0)),
+            cooling_factors: Vec::new(),
+            perfect_estimation: false,
+            respawn: true,
+            thermal_trace_interval: None,
+            task_cpu_trace: false,
+            smt_speedup: 1.25,
+            warmup_ipc_floor: 0.55,
+            warmup_instructions: 40_000_000,
+            warmup_ipc_floor_cross_node: 0.40,
+            warmup_instructions_cross_node: 90_000_000,
+        }
+    }
+
+    /// Sets SMT on or off.
+    pub fn smt(mut self, smt: bool) -> Self {
+        self.smt = smt;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables *all* energy-aware mechanisms at once — the
+    /// toggle the paper's "energy-aware scheduling enabled/disabled"
+    /// comparisons flip.
+    pub fn energy_aware(mut self, on: bool) -> Self {
+        self.energy_balancing = on;
+        self.hot_task_migration = on;
+        self.energy_placement = on;
+        self
+    }
+
+    /// Enables or disables only the merged energy balancer.
+    pub fn energy_balancing(mut self, on: bool) -> Self {
+        self.energy_balancing = on;
+        self
+    }
+
+    /// Overrides the energy-balancer tunables (ablations).
+    pub fn balance_config(mut self, balance: EnergyBalanceConfig) -> Self {
+        self.balance = balance;
+        self
+    }
+
+    /// Enables or disables only hot task migration.
+    pub fn hot_task_migration(mut self, on: bool) -> Self {
+        self.hot_task_migration = on;
+        self
+    }
+
+    /// Enables or disables only energy-aware placement.
+    pub fn energy_placement(mut self, on: bool) -> Self {
+        self.energy_placement = on;
+        self
+    }
+
+    /// Enables or disables throttling.
+    pub fn throttling(mut self, on: bool) -> Self {
+        self.throttling = on;
+        self
+    }
+
+    /// Sets the power budget specification.
+    pub fn max_power(mut self, spec: MaxPowerSpec) -> Self {
+        self.max_power = spec;
+        self
+    }
+
+    /// Sets per-package cooling factors (length must equal the package
+    /// count; checked at machine construction).
+    pub fn cooling_factors(mut self, factors: Vec<f64>) -> Self {
+        self.cooling_factors = factors;
+        self
+    }
+
+    /// Enables the thermal-power trace at the given sampling interval.
+    pub fn trace_thermal(mut self, every: SimDuration) -> Self {
+        self.thermal_trace_interval = Some(every);
+        self
+    }
+
+    /// Enables the per-task CPU trace.
+    pub fn trace_task_cpu(mut self, on: bool) -> Self {
+        self.task_cpu_trace = on;
+        self
+    }
+
+    /// Enables or disables respawning of finished tasks.
+    pub fn respawn(mut self, on: bool) -> Self {
+        self.respawn = on;
+        self
+    }
+
+    /// Uses the ground-truth model for estimation (ablation).
+    pub fn perfect_estimation(mut self, on: bool) -> Self {
+        self.perfect_estimation = on;
+        self
+    }
+
+    /// Number of physical packages.
+    pub fn n_packages(&self) -> usize {
+        self.n_nodes * self.packages_per_node
+    }
+
+    /// Number of logical CPUs.
+    pub fn n_cpus(&self) -> usize {
+        self.n_packages() * if self.smt { 2 } else { 1 }
+    }
+
+    /// Hardware threads per package.
+    pub fn threads_per_package(&self) -> usize {
+        if self.smt {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_testbed_shape() {
+        let cfg = SimConfig::xseries445();
+        assert_eq!(cfg.n_packages(), 8);
+        assert_eq!(cfg.n_cpus(), 16);
+        assert_eq!(cfg.threads_per_package(), 2);
+        let cfg = cfg.smt(false);
+        assert_eq!(cfg.n_cpus(), 8);
+        assert_eq!(cfg.threads_per_package(), 1);
+    }
+
+    #[test]
+    fn energy_aware_toggles_all_three() {
+        let cfg = SimConfig::xseries445().energy_aware(false);
+        assert!(!cfg.energy_balancing);
+        assert!(!cfg.hot_task_migration);
+        assert!(!cfg.energy_placement);
+        let cfg = cfg.energy_balancing(true);
+        assert!(cfg.energy_balancing);
+        assert!(!cfg.hot_task_migration);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let cfg = SimConfig::xseries445()
+            .seed(99)
+            .throttling(false)
+            .max_power(MaxPowerSpec::PerPackage(Watts(40.0)))
+            .trace_thermal(SimDuration::from_secs(1))
+            .trace_task_cpu(true)
+            .respawn(false)
+            .perfect_estimation(true)
+            .cooling_factors(vec![1.0; 8]);
+        assert_eq!(cfg.seed, 99);
+        assert!(!cfg.throttling);
+        assert_eq!(cfg.max_power, MaxPowerSpec::PerPackage(Watts(40.0)));
+        assert_eq!(cfg.thermal_trace_interval, Some(SimDuration::from_secs(1)));
+        assert!(cfg.task_cpu_trace);
+        assert!(!cfg.respawn);
+        assert!(cfg.perfect_estimation);
+        assert_eq!(cfg.cooling_factors.len(), 8);
+    }
+}

@@ -1,0 +1,798 @@
+//! The simulation engine: ticks the machine, drives the scheduler, and
+//! wires the energy-aware policies into it exactly where the paper
+//! patched Linux (Section 5).
+
+use crate::config::SimConfig;
+use crate::machine::PhysicalMachine;
+use crate::runtime::{TaskRuntime, WarmthModel};
+use crate::trace::{SimReport, TaskCpuTrace, ThermalTrace};
+use ebs_core::{
+    place_new_task, EnergyAwareBalancer, EnergyEstimator, HotTaskConfig, HotTaskMigrator,
+    PlacementTable, PowerState, PowerStateConfig,
+};
+use ebs_counters::{calibration, EnergyModel};
+use ebs_sched::{
+    idlest_cpu, BinaryId, LoadBalancer, LoadBalancerConfig, System, TaskConfig, TaskId,
+};
+use ebs_thermal::ThrottleState;
+use ebs_topology::{CpuId, Topology};
+use ebs_units::{Celsius, Joules, SimDuration, SimTime, Watts};
+use ebs_workloads::{Program, ProgramState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Which balancing policy drives periodic migration decisions.
+#[derive(Clone, Debug)]
+enum Balancer {
+    /// The stock Linux-like load balancer (energy-aware disabled).
+    Baseline(LoadBalancer),
+    /// The merged energy-and-load balancer of Fig. 4.
+    EnergyAware(EnergyAwareBalancer),
+}
+
+/// Per-CPU accounting of the currently running task's interval (energy
+/// and execution time since it was dispatched or last accounted).
+#[derive(Clone, Copy, Debug, Default)]
+struct IntervalAcc {
+    task: Option<TaskId>,
+    energy: Joules,
+    time: SimDuration,
+}
+
+/// A complete simulation: machine, scheduler, policies, and statistics.
+pub struct Simulation {
+    cfg: SimConfig,
+    sys: System,
+    machine: PhysicalMachine,
+    power: PowerState,
+    estimator: EnergyEstimator,
+    balancer: Balancer,
+    hot: HotTaskMigrator,
+    placement: PlacementTable,
+    warmth: WarmthModel,
+    /// Runtime state, indexed by `TaskId` (dense).
+    runtimes: Vec<Option<TaskRuntime>>,
+    /// Program catalog by binary id, for respawning.
+    programs: HashMap<u64, Program>,
+    /// Blocked tasks and their wake times (microseconds).
+    sleepers: BinaryHeap<Reverse<(u64, TaskId)>>,
+    rng: StdRng,
+    acc: Vec<IntervalAcc>,
+    /// Whether a new-idle balance attempt is pending for the CPU.
+    newidle_pending: Vec<bool>,
+    now: SimTime,
+    // Statistics.
+    completions: HashMap<u64, u64>,
+    instructions: u64,
+    max_temp: Celsius,
+    true_energy: Joules,
+    estimated_energy: Joules,
+    thermal_trace: ThermalTrace,
+    next_thermal_sample: Option<SimTime>,
+    task_trace: TaskCpuTrace,
+    /// Per-task successive-timeslice power samples (Table 1), recorded
+    /// when enabled via [`Simulation::record_slice_powers`].
+    slice_powers: Option<HashMap<TaskId, Vec<Watts>>>,
+}
+
+impl Simulation {
+    /// Builds a simulation from a configuration. The energy model is
+    /// calibrated (least squares over synthetic multimeter runs) as
+    /// part of bring-up, unless `perfect_estimation` is set.
+    pub fn new(cfg: SimConfig) -> Self {
+        let topo = Topology::build(
+            cfg.n_nodes,
+            cfg.packages_per_node,
+            cfg.threads_per_package(),
+        );
+        let machine = PhysicalMachine::new(&cfg, &topo);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let model: EnergyModel = if cfg.perfect_estimation {
+            machine.truth().model
+        } else {
+            calibration::standard_calibration(machine.truth(), &mut rng)
+        };
+        let n_cpus = topo.n_cpus();
+        let power_cfg = PowerStateConfig {
+            idle_power: machine.halt_power_share(),
+            ..PowerStateConfig::default()
+        };
+        let power = PowerState::new(n_cpus, machine.max_powers(), power_cfg);
+        let estimator = EnergyEstimator::new(model, n_cpus, machine.halt_power_share());
+        let sys = System::new(topo);
+        let balancer = if cfg.energy_balancing {
+            Balancer::EnergyAware(EnergyAwareBalancer::new(&sys, cfg.balance))
+        } else {
+            Balancer::Baseline(LoadBalancer::new(&sys, LoadBalancerConfig::default()))
+        };
+        let warmth = WarmthModel {
+            floor: cfg.warmup_ipc_floor,
+            ramp: cfg.warmup_instructions,
+            floor_cross_node: cfg.warmup_ipc_floor_cross_node,
+            ramp_cross_node: cfg.warmup_instructions_cross_node,
+        };
+        let next_thermal_sample = cfg.thermal_trace_interval.map(|_| SimTime::ZERO);
+        Simulation {
+            sys,
+            power,
+            estimator,
+            balancer,
+            hot: HotTaskMigrator::new(HotTaskConfig::default()),
+            placement: PlacementTable::new(Watts(30.0)),
+            warmth,
+            runtimes: Vec::new(),
+            programs: HashMap::new(),
+            sleepers: BinaryHeap::new(),
+            rng,
+            acc: vec![IntervalAcc::default(); n_cpus],
+            newidle_pending: vec![false; n_cpus],
+            now: SimTime::ZERO,
+            completions: HashMap::new(),
+            instructions: 0,
+            max_temp: Celsius::AMBIENT,
+            true_energy: Joules::ZERO,
+            estimated_energy: Joules::ZERO,
+            thermal_trace: ThermalTrace::default(),
+            next_thermal_sample,
+            task_trace: TaskCpuTrace::default(),
+            slice_powers: None,
+            machine,
+            cfg,
+        }
+    }
+
+    /// Enables per-timeslice power logging (Table 1 experiments).
+    pub fn record_slice_powers(&mut self) {
+        self.slice_powers = Some(HashMap::new());
+    }
+
+    /// The recorded per-task timeslice powers, if enabled.
+    pub fn slice_powers(&self) -> Option<&HashMap<TaskId, Vec<Watts>>> {
+        self.slice_powers.as_ref()
+    }
+
+    /// The scheduler state (read-only).
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// The per-CPU power metrics (read-only).
+    pub fn power_state(&self) -> &PowerState {
+        &self.power
+    }
+
+    /// The physical machine (read-only).
+    pub fn machine(&self) -> &PhysicalMachine {
+        &self.machine
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The thermal-power trace (empty unless enabled in the config).
+    pub fn thermal_trace(&self) -> &ThermalTrace {
+        &self.thermal_trace
+    }
+
+    /// The task-placement trace (empty unless enabled in the config).
+    pub fn task_trace(&self) -> &TaskCpuTrace {
+        &self.task_trace
+    }
+
+    /// Spawns one instance of a program; returns its task id.
+    pub fn spawn_program(&mut self, program: &Program) -> TaskId {
+        self.programs
+            .entry(program.binary)
+            .or_insert_with(|| program.clone());
+        let seed = self.rng.gen();
+        self.spawn_internal(program.clone(), seed)
+    }
+
+    /// Spawns `copies` instances of every program in the slice (the
+    /// paper's "started each program thrice, for a total of 18 running
+    /// tasks").
+    pub fn spawn_mix(&mut self, programs: &[Program], copies: usize) {
+        for program in programs {
+            for _ in 0..copies {
+                self.spawn_program(program);
+            }
+        }
+    }
+
+    /// Spawns a [`ebs_workloads::Mix`] (programs with counts).
+    pub fn spawn_mix_entries(&mut self, mix: &ebs_workloads::Mix) {
+        for entry in mix {
+            for _ in 0..entry.count {
+                self.spawn_program(&entry.program);
+            }
+        }
+    }
+
+    fn spawn_internal(&mut self, program: Program, seed: u64) -> TaskId {
+        let binary = BinaryId(program.binary);
+        let profile = if self.cfg.energy_placement {
+            self.placement.profile_for(binary)
+        } else {
+            Watts(30.0)
+        };
+        let cpu = if self.cfg.energy_placement {
+            place_new_task(&self.sys, &self.power, profile)
+        } else {
+            idlest_cpu(&self.sys)
+        };
+        let id = self.sys.spawn(
+            TaskConfig {
+                nice: 0,
+                binary,
+                initial_profile: profile,
+                profile_weight: 0.25,
+            },
+            cpu,
+        );
+        let state = ProgramState::new(program, seed);
+        if self.runtimes.len() <= id.0 as usize {
+            self.runtimes.resize(id.0 as usize + 1, None);
+        }
+        self.runtimes[id.0 as usize] = Some(TaskRuntime::new(state));
+        if self.cfg.task_cpu_trace {
+            self.task_trace.push(self.now, id, cpu);
+        }
+        id
+    }
+
+    /// Runs the simulation for a span of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let end = self.now + duration;
+        while self.now < end {
+            self.step();
+        }
+    }
+
+    /// Advances the simulation by one tick.
+    pub fn step(&mut self) {
+        let dt = self.cfg.tick;
+        self.now += dt;
+        self.sys.set_now(self.now);
+
+        self.wake_sleepers();
+        self.dispatch_idle_cpus();
+        let completed = self.physics_tick(dt);
+        if self.cfg.throttling {
+            self.throttle_tick(dt);
+        }
+        self.scheduler_tick(dt, &completed);
+        self.sample_traces();
+    }
+
+    /// Wakes blocked tasks whose sleep expired.
+    fn wake_sleepers(&mut self) {
+        while let Some(&Reverse((when, task))) = self.sleepers.peek() {
+            if when > self.now.as_micros() {
+                break;
+            }
+            self.sleepers.pop();
+            self.sys.wake(task, None);
+        }
+    }
+
+    /// Gives idle CPUs with runnable tasks something to run.
+    fn dispatch_idle_cpus(&mut self) {
+        for c in 0..self.n_cpus() {
+            let cpu = CpuId(c);
+            if self.sys.current(cpu).is_none() && !self.sys.rq(cpu).is_idle() {
+                let sw = self.sys.context_switch(cpu);
+                if let Some(next) = sw.next {
+                    self.on_dispatch(cpu, next);
+                }
+            }
+        }
+    }
+
+    /// Executes one tick of physical machine time: instruction
+    /// progress, counter events, true power, temperature. Returns the
+    /// CPUs whose running task completed its work this tick.
+    fn physics_tick(&mut self, dt: SimDuration) -> Vec<CpuId> {
+        let mut completed = Vec::new();
+        let topo = self.sys.topology().clone();
+        let freq = self.cfg.freq_hz;
+        for pkg in 0..topo.n_packages() {
+            let cpus = topo.cpus_of_package(ebs_topology::PackageId(pkg));
+            // A CPU executes this tick if it has a running task and is
+            // not halted by the throttle controller.
+            let pkg_running = self.machine.throttles[pkg].state() == ThrottleState::Running;
+            let executing: Vec<bool> = cpus
+                .iter()
+                .map(|&c| self.sys.current(c).is_some() && pkg_running)
+                .collect();
+            let n_active = executing.iter().filter(|&&e| e).count();
+            let share = if n_active <= 1 {
+                1.0
+            } else {
+                self.cfg.smt_speedup / n_active as f64
+            };
+            let mut pkg_energy = Joules::ZERO;
+            for (i, &cpu) in cpus.iter().enumerate() {
+                if executing[i] {
+                    let task = self.sys.current(cpu).expect("executing CPU has a task");
+                    let cycles = (freq * dt.as_secs_f64() * share) as u64;
+                    let rt = self.runtimes[task.0 as usize]
+                        .as_mut()
+                        .expect("running task has runtime state");
+                    let counts = rt.program.current_rates().counts_for_cycles(cycles);
+                    self.machine.banks[cpu.0].record(&counts);
+                    pkg_energy += self.machine.truth().model.estimate(&counts);
+                    // Instruction progress, damped by cache warmth.
+                    let wf = rt.warmth_factor(&self.warmth);
+                    let instr = (cycles as f64 * rt.program.ipc() * wf) as u64;
+                    rt.add_warmth(instr);
+                    let done = rt.program.add_work(instr);
+                    rt.program.advance_time(dt);
+                    self.instructions += instr;
+                    if done {
+                        completed.push(cpu);
+                    }
+                    // Estimator: running interval, nothing halted.
+                    let est =
+                        self.estimator
+                            .account(cpu, &mut self.machine.banks[cpu.0], dt, SimDuration::ZERO);
+                    self.acc[cpu.0].energy += est;
+                    self.acc[cpu.0].time += dt;
+                    self.estimated_energy += est;
+                    self.power.observe(cpu, est.average_power(dt), dt);
+                } else {
+                    // Idle or throttled: halt power only.
+                    pkg_energy += self.machine.halt_power_share().over(dt);
+                    let est =
+                        self.estimator
+                            .account(cpu, &mut self.machine.banks[cpu.0], dt, dt);
+                    self.estimated_energy += est;
+                    self.power.observe(cpu, est.average_power(dt), dt);
+                }
+            }
+            // Counter-invisible leakage, then the RC step.
+            let temp = self.machine.thermals[pkg].temperature();
+            pkg_energy += self.machine.truth().leakage.power(temp).over(dt);
+            self.true_energy += pkg_energy;
+            let t = self.machine.thermals[pkg].step(pkg_energy.average_power(dt), dt);
+            self.max_temp = self.max_temp.max(t);
+        }
+        completed
+    }
+
+    /// Updates the per-package throttle controllers from the sum of
+    /// the sibling thermal powers (only physical processors overheat).
+    fn throttle_tick(&mut self, dt: SimDuration) {
+        let topo = self.sys.topology().clone();
+        for pkg in 0..topo.n_packages() {
+            let cpus = topo.cpus_of_package(ebs_topology::PackageId(pkg));
+            let thermal = self.power.thermal_power_sum(&cpus);
+            self.machine.throttles[pkg].observe(thermal, dt);
+        }
+    }
+
+    /// Scheduler work for one tick: timeslices, completions, blocking,
+    /// the balancing policies, and hot task migration.
+    fn scheduler_tick(&mut self, dt: SimDuration, completed: &[CpuId]) {
+        // Task completions first: they free CPUs and may respawn.
+        for &cpu in completed {
+            if let Some(task) = self.sys.current(cpu) {
+                self.finalize_interval(cpu);
+                self.sys.exit_current(cpu);
+                let binary = self.sys.task(task).binary().0;
+                *self.completions.entry(binary).or_insert(0) += 1;
+                self.runtimes[task.0 as usize] = None;
+                if self.cfg.respawn {
+                    if let Some(program) = self.programs.get(&binary).cloned() {
+                        let seed = self.rng.gen();
+                        self.spawn_internal(program, seed);
+                    }
+                }
+                let sw = self.sys.context_switch(cpu);
+                match sw.next {
+                    Some(next) => self.on_dispatch(cpu, next),
+                    None => self.newidle_pending[cpu.0] = true,
+                }
+            }
+        }
+
+        for c in 0..self.n_cpus() {
+            let cpu = CpuId(c);
+            // Timeslice accounting only while actually executing.
+            let pkg = self.sys.topology().package_of(cpu).0;
+            let throttled = self.machine.throttles[pkg].state() == ThrottleState::Halted;
+            if !throttled && self.sys.current(cpu).is_some() {
+                let r = self.sys.tick(cpu, dt);
+                if r.timeslice_expired {
+                    self.end_of_timeslice(cpu);
+                }
+            }
+
+            // Hot task migration: checked whenever thermal power was
+            // updated, i.e. every tick (cheap trigger test).
+            if self.cfg.hot_task_migration {
+                self.hot_check(cpu);
+            }
+
+            // Periodic balancing (self-gated by domain intervals).
+            match &mut self.balancer {
+                Balancer::Baseline(lb) => {
+                    lb.run(cpu, &mut self.sys);
+                }
+                Balancer::EnergyAware(eb) => {
+                    eb.run(cpu, &mut self.sys, &self.power);
+                }
+            }
+
+            // New-idle balancing, once per idle transition.
+            if self.newidle_pending[c] && self.sys.rq(cpu).is_idle() {
+                self.newidle_pending[c] = false;
+                match &mut self.balancer {
+                    Balancer::Baseline(lb) => {
+                        lb.newidle(cpu, &mut self.sys);
+                    }
+                    Balancer::EnergyAware(eb) => {
+                        eb.newidle(cpu, &mut self.sys, &self.power);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles a timeslice expiry on `cpu`: energy accounting, the
+    /// blocking decision, and the context switch.
+    fn end_of_timeslice(&mut self, cpu: CpuId) {
+        let Some(task) = self.sys.current(cpu) else {
+            return;
+        };
+        self.finalize_interval(cpu);
+        // Interactive programs may block at slice end.
+        let sleeps = self.runtimes[task.0 as usize]
+            .as_mut()
+            .and_then(|rt| rt.program.end_slice());
+        if let Some(sleep) = sleeps {
+            self.sys.block_current(cpu);
+            self.sleepers
+                .push(Reverse(((self.now + sleep).as_micros(), task)));
+        }
+        let sw = self.sys.context_switch(cpu);
+        match sw.next {
+            Some(next) => self.on_dispatch(cpu, next),
+            None => self.newidle_pending[cpu.0] = true,
+        }
+    }
+
+    /// Runs the hot-task policy for `cpu`; performs the context
+    /// switches its migrations require.
+    fn hot_check(&mut self, cpu: CpuId) -> Option<()> {
+        if !self.hot.triggered(cpu, &self.sys, &self.power) {
+            return None;
+        }
+        // The running task is about to move: close its accounting
+        // interval first.
+        self.finalize_interval(cpu);
+        let migration = self.hot.run(cpu, &mut self.sys, &self.power)?;
+        match migration {
+            ebs_core::HotMigration::ToIdle { dest, .. } => {
+                // Source went idle; destination dispatches the task.
+                let sw = self.sys.context_switch(dest);
+                if let Some(next) = sw.next {
+                    self.on_dispatch(dest, next);
+                }
+                self.newidle_pending[cpu.0] = true;
+            }
+            ebs_core::HotMigration::Exchanged { dest, .. } => {
+                self.finalize_interval(dest);
+                for c in [cpu, dest] {
+                    let sw = self.sys.context_switch(c);
+                    if let Some(next) = sw.next {
+                        self.on_dispatch(c, next);
+                    }
+                }
+            }
+        }
+        Some(())
+    }
+
+    /// Bookkeeping when `task` starts running on `cpu`.
+    fn on_dispatch(&mut self, cpu: CpuId, task: TaskId) {
+        let migrations = self.sys.task(task).migrations();
+        let last = self.sys.task(task).last_migration();
+        if let Some(rt) = self.runtimes[task.0 as usize].as_mut() {
+            if migrations != rt.migrations_seen {
+                let cross = last.map(|(_, c)| c).unwrap_or(false);
+                rt.note_migration(migrations, cross);
+                if self.cfg.task_cpu_trace {
+                    self.task_trace.push(self.now, task, cpu);
+                }
+            }
+            rt.program.begin_slice();
+        }
+        self.acc[cpu.0] = IntervalAcc {
+            task: Some(task),
+            energy: Joules::ZERO,
+            time: SimDuration::ZERO,
+        };
+    }
+
+    /// Closes the running task's accounting interval on `cpu`: updates
+    /// its energy profile (Eq. 2, variable period) and the placement
+    /// table after the first timeslice.
+    fn finalize_interval(&mut self, cpu: CpuId) {
+        let a = self.acc[cpu.0];
+        self.acc[cpu.0] = IntervalAcc {
+            task: a.task,
+            energy: Joules::ZERO,
+            time: SimDuration::ZERO,
+        };
+        let Some(task) = a.task else { return };
+        if a.time.is_zero() {
+            return;
+        }
+        let p = a.energy.average_power(a.time);
+        self.sys.task_mut(task).update_profile(p, a.time);
+        let binary = self.sys.task(task).binary();
+        if let Some(rt) = self.runtimes[task.0 as usize].as_mut() {
+            if !rt.first_slice_recorded {
+                rt.first_slice_recorded = true;
+                self.placement.record_first_slice(binary, p);
+            }
+        }
+        if let Some(log) = self.slice_powers.as_mut() {
+            // Only count substantial slices; sub-50 ms fragments are
+            // migration artefacts, not the paper's "timeslices".
+            if a.time >= SimDuration::from_millis(50) {
+                log.entry(task).or_default().push(p);
+            }
+        }
+    }
+
+    fn sample_traces(&mut self) {
+        if let (Some(interval), Some(due)) =
+            (self.cfg.thermal_trace_interval, self.next_thermal_sample)
+        {
+            if self.now >= due {
+                let row: Vec<Watts> = (0..self.n_cpus())
+                    .map(|c| self.power.thermal_power(CpuId(c)))
+                    .collect();
+                self.thermal_trace.push(self.now, row);
+                self.next_thermal_sample = Some(due + interval);
+            }
+        }
+    }
+
+    fn n_cpus(&self) -> usize {
+        self.sys.topology().n_cpus()
+    }
+
+    /// Summarises the run.
+    pub fn report(&self) -> SimReport {
+        let stats = self.sys.stats();
+        // Per-logical view of the per-package throttle statistics.
+        let throttled: Vec<f64> = (0..self.n_cpus())
+            .map(|c| {
+                let pkg = self.sys.topology().package_of(CpuId(c)).0;
+                self.machine.throttles[pkg].stats().throttled_fraction()
+            })
+            .collect();
+        let avg = if throttled.is_empty() {
+            0.0
+        } else {
+            throttled.iter().sum::<f64>() / throttled.len() as f64
+        };
+        let mut completions_by_binary: Vec<(u64, u64)> =
+            self.completions.iter().map(|(&b, &n)| (b, n)).collect();
+        completions_by_binary.sort_unstable();
+        SimReport {
+            duration: self.now - SimTime::ZERO,
+            migrations: stats.migrations(),
+            migrations_by_reason: stats.migrations_by_reason,
+            context_switches: stats.context_switches,
+            completions: completions_by_binary.iter().map(|&(_, n)| n).sum(),
+            completions_by_binary,
+            instructions_retired: self.instructions,
+            throughput_ips: if self.now == SimTime::ZERO {
+                0.0
+            } else {
+                self.instructions as f64 / self.now.as_secs_f64()
+            },
+            throttled_fraction: throttled,
+            avg_throttled_fraction: avg,
+            max_package_temp: self.max_temp,
+            true_energy: self.true_energy,
+            estimated_energy: self.estimated_energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_workloads::catalog;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig::xseries445().smt(false).seed(7)
+    }
+
+    #[test]
+    fn empty_simulation_idles_at_halt_power() {
+        let mut sim = Simulation::new(quick_cfg());
+        sim.run_for(SimDuration::from_secs(1));
+        let report = sim.report();
+        assert_eq!(report.instructions_retired, 0);
+        assert_eq!(report.migrations, 0);
+        // Thermal power of every CPU sits at the halt share.
+        for c in 0..8 {
+            let p = sim.power_state().thermal_power(CpuId(c));
+            assert!((p.0 - 13.6).abs() < 0.5, "cpu{c}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn single_task_makes_progress_and_heats_its_package() {
+        let mut sim = Simulation::new(quick_cfg().throttling(false));
+        let id = sim.spawn_program(&catalog::bitcnts());
+        sim.run_for(SimDuration::from_secs(10));
+        assert!(sim.report().instructions_retired > 1_000_000_000);
+        let cpu = sim.system().task(id).cpu();
+        let pkg = sim.system().topology().package_of(cpu);
+        assert!(
+            sim.machine().package_temp(pkg).0 > 30.0,
+            "package never warmed: {:?}",
+            sim.machine().package_temp(pkg)
+        );
+        // Thermal power approaches the ~61 W profile of bitcnts.
+        let tp = sim.power_state().thermal_power(cpu);
+        assert!(tp.0 > 35.0, "thermal power {tp:?}");
+    }
+
+    #[test]
+    fn profiles_converge_to_table2_powers() {
+        let mut sim = Simulation::new(quick_cfg().throttling(false));
+        let hot = sim.spawn_program(&catalog::bitcnts());
+        let cool = sim.spawn_program(&catalog::memrw());
+        sim.run_for(SimDuration::from_secs(5));
+        let hot_profile = sim.system().task(hot).profile();
+        let cool_profile = sim.system().task(cool).profile();
+        // Within estimation error (<10 %) of Table 2.
+        assert!(
+            (hot_profile.0 - 61.0).abs() < 6.0,
+            "bitcnts profile {hot_profile:?}"
+        );
+        assert!(
+            (cool_profile.0 - 38.0).abs() < 4.0,
+            "memrw profile {cool_profile:?}"
+        );
+    }
+
+    #[test]
+    fn tasks_spread_across_cpus() {
+        let mut sim = Simulation::new(quick_cfg());
+        sim.spawn_mix(&ebs_workloads::section61_mix(), 1);
+        sim.run_for(SimDuration::from_millis(100));
+        // Six tasks on eight CPUs: all running simultaneously.
+        let running = (0..8)
+            .filter(|&c| sim.system().current(CpuId(c)).is_some())
+            .count();
+        assert_eq!(running, 6);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = || {
+            let mut sim = Simulation::new(quick_cfg().seed(1234));
+            sim.spawn_mix(&ebs_workloads::section61_mix(), 2);
+            sim.run_for(SimDuration::from_secs(3));
+            let r = sim.report();
+            (r.instructions_retired, r.migrations, r.context_switches)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut sim = Simulation::new(quick_cfg().seed(seed));
+            sim.spawn_mix(&ebs_workloads::section61_mix(), 2);
+            sim.run_for(SimDuration::from_secs(2));
+            sim.report().instructions_retired
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn throttling_engages_under_low_budget() {
+        let cfg = quick_cfg()
+            .max_power(crate::MaxPowerSpec::PerLogical(Watts(40.0)))
+            .energy_aware(false);
+        let mut sim = Simulation::new(cfg);
+        sim.spawn_program(&catalog::bitcnts());
+        sim.run_for(SimDuration::from_secs(60));
+        let report = sim.report();
+        assert!(
+            report.avg_throttled_fraction > 0.01,
+            "bitcnts at 61 W under a 40 W budget must throttle: {}",
+            report.avg_throttled_fraction
+        );
+    }
+
+    #[test]
+    fn hot_task_migration_avoids_throttling() {
+        let base = quick_cfg()
+            .max_power(crate::MaxPowerSpec::PerLogical(Watts(40.0)))
+            .seed(5);
+        let mut off = Simulation::new(base.clone().energy_aware(false));
+        off.spawn_program(&catalog::bitcnts());
+        off.run_for(SimDuration::from_secs(120));
+        let mut on = Simulation::new(base.energy_aware(true));
+        on.spawn_program(&catalog::bitcnts());
+        on.run_for(SimDuration::from_secs(120));
+        let gain = on.report().throughput_gain_over(&off.report());
+        assert!(
+            gain > 0.10,
+            "hot task migration should improve throughput substantially, got {gain:.3}"
+        );
+        assert!(on.report().migrations > off.report().migrations);
+    }
+
+    #[test]
+    fn blocked_tasks_wake_up() {
+        let mut sim = Simulation::new(quick_cfg());
+        let id = sim.spawn_program(&catalog::bash());
+        sim.run_for(SimDuration::from_secs(5));
+        // bash blocks constantly but must keep making progress.
+        assert!(sim.system().task(id).cpu_time() > SimDuration::from_millis(500));
+        assert!(sim.report().instructions_retired > 0);
+    }
+
+    #[test]
+    fn respawn_keeps_population_constant() {
+        let program = catalog::aluadd().with_total_work(2_000_000_000); // ~0.45 s.
+        let mut sim = Simulation::new(quick_cfg());
+        for _ in 0..4 {
+            sim.spawn_program(&program);
+        }
+        sim.run_for(SimDuration::from_secs(10));
+        let report = sim.report();
+        assert!(report.completions >= 4, "completions {}", report.completions);
+        // Population stays at 4 runnable tasks.
+        let running: usize = (0..8).map(|c| sim.system().nr_running(CpuId(c))).sum();
+        assert_eq!(running, 4);
+    }
+
+    #[test]
+    fn traces_record_when_enabled() {
+        let cfg = quick_cfg()
+            .trace_thermal(SimDuration::from_millis(500))
+            .trace_task_cpu(true);
+        let mut sim = Simulation::new(cfg);
+        sim.spawn_program(&catalog::bitcnts());
+        sim.run_for(SimDuration::from_secs(2));
+        assert!(sim.thermal_trace().samples.len() >= 4);
+        assert!(!sim.task_trace().events.is_empty());
+    }
+
+    #[test]
+    fn slice_power_log_tracks_timeslices() {
+        let mut sim = Simulation::new(quick_cfg().throttling(false));
+        sim.record_slice_powers();
+        let id = sim.spawn_program(&catalog::bitcnts());
+        sim.run_for(SimDuration::from_secs(3));
+        let log = sim.slice_powers().unwrap();
+        let slices = &log[&id];
+        // ~30 timeslices in 3 s at 100 ms each.
+        assert!(slices.len() >= 25, "only {} slices", slices.len());
+        // All near the 61 W level.
+        for p in slices {
+            assert!((p.0 - 61.0).abs() < 8.0, "slice power {p:?}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The physical machine: ground-truth power, per-package thermal
+//! nodes, counter banks, and throttle controllers.
+
+use crate::config::{MaxPowerSpec, SimConfig};
+use ebs_counters::{CounterBank, GroundTruth};
+use ebs_thermal::{RcThermalModel, ThermalNode, ThrottleController};
+use ebs_topology::{CpuId, PackageId, Topology};
+use ebs_units::{Celsius, Watts};
+
+/// The hardware-side state of the simulated machine.
+#[derive(Clone, Debug)]
+pub struct PhysicalMachine {
+    truth: GroundTruth,
+    /// Per-logical-CPU event counter banks.
+    pub banks: Vec<CounterBank>,
+    /// Per-package thermal state.
+    pub thermals: Vec<ThermalNode>,
+    /// Per-*package* throttle controllers: only physical processors
+    /// overheat, so `hlt` enforcement compares the package's thermal
+    /// power sum against the package budget and halts all its hardware
+    /// threads together (the paper's "this processor would have to be
+    /// throttled 33 % of the time to enforce the 40 W limit").
+    pub throttles: Vec<ThrottleController>,
+    max_power_per_logical: Vec<Watts>,
+    threads_per_package: usize,
+}
+
+impl PhysicalMachine {
+    /// Builds the machine for a configuration and topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cooling_factors` is non-empty but does not match the
+    /// package count.
+    pub fn new(cfg: &SimConfig, topo: &Topology) -> Self {
+        let truth = GroundTruth::p4_xeon_2200();
+        let n_packages = topo.n_packages();
+        let n_cpus = topo.n_cpus();
+        let threads = topo.threads_per_package();
+
+        let factors: Vec<f64> = if cfg.cooling_factors.is_empty() {
+            vec![1.0; n_packages]
+        } else {
+            assert_eq!(
+                cfg.cooling_factors.len(),
+                n_packages,
+                "need one cooling factor per package"
+            );
+            cfg.cooling_factors.clone()
+        };
+        let models: Vec<RcThermalModel> = factors
+            .iter()
+            .map(|&f| RcThermalModel::reference().with_cooling_factor(f))
+            .collect();
+
+        // Derive the per-logical budgets.
+        let max_power_per_logical: Vec<Watts> = (0..n_cpus)
+            .map(|c| {
+                let pkg = topo.package_of(CpuId(c));
+                match &cfg.max_power {
+                    MaxPowerSpec::PerLogical(w) => *w,
+                    MaxPowerSpec::PerPackage(w) => *w / threads as f64,
+                    MaxPowerSpec::FromThermalLimit(limit) => {
+                        models[pkg.0].max_power_for_limit(*limit) / threads as f64
+                    }
+                }
+            })
+            .collect();
+
+        // Package budget = sum of its logical budgets.
+        let throttles = (0..n_packages)
+            .map(|p| {
+                let budget: Watts = (0..n_cpus)
+                    .filter(|&c| topo.package_of(CpuId(c)) == PackageId(p))
+                    .map(|c| max_power_per_logical[c])
+                    .sum();
+                ThrottleController::new(budget)
+            })
+            .collect();
+        PhysicalMachine {
+            truth,
+            banks: (0..n_cpus).map(|_| CounterBank::new()).collect(),
+            thermals: models.into_iter().map(ThermalNode::new).collect(),
+            throttles,
+            max_power_per_logical,
+            threads_per_package: threads,
+        }
+    }
+
+    /// The ground-truth power model.
+    pub fn truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+
+    /// The budget of one logical CPU.
+    pub fn max_power(&self, cpu: CpuId) -> Watts {
+        self.max_power_per_logical[cpu.0]
+    }
+
+    /// All per-logical budgets.
+    pub fn max_powers(&self) -> &[Watts] {
+        &self.max_power_per_logical
+    }
+
+    /// Package halt power attributed to one logical CPU.
+    pub fn halt_power_share(&self) -> Watts {
+        self.truth.halt_power / self.threads_per_package as f64
+    }
+
+    /// Die temperature of a package.
+    pub fn package_temp(&self, pkg: PackageId) -> Celsius {
+        self.thermals[pkg.0].temperature()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_units::SimDuration;
+
+    fn topo(smt: bool) -> Topology {
+        Topology::xseries445(smt)
+    }
+
+    #[test]
+    fn per_logical_budget_is_uniform() {
+        let cfg = SimConfig::xseries445().max_power(MaxPowerSpec::PerLogical(Watts(60.0)));
+        let m = PhysicalMachine::new(&cfg, &topo(true));
+        assert!(m.max_powers().iter().all(|&w| w == Watts(60.0)));
+    }
+
+    #[test]
+    fn per_package_budget_splits_between_siblings() {
+        let cfg = SimConfig::xseries445().max_power(MaxPowerSpec::PerPackage(Watts(40.0)));
+        let m = PhysicalMachine::new(&cfg, &topo(true));
+        assert!(m.max_powers().iter().all(|&w| w == Watts(20.0)));
+        // Without SMT the full package budget goes to the one thread.
+        let cfg = SimConfig::xseries445()
+            .smt(false)
+            .max_power(MaxPowerSpec::PerPackage(Watts(40.0)));
+        let m = PhysicalMachine::new(&cfg, &topo(false));
+        assert!(m.max_powers().iter().all(|&w| w == Watts(40.0)));
+    }
+
+    #[test]
+    fn thermal_limit_budget_reflects_cooling() {
+        let mut factors = vec![1.0; 8];
+        factors[3] = 1.3; // Poorly cooled package 3.
+        let cfg = SimConfig::xseries445()
+            .smt(false)
+            .cooling_factors(factors)
+            .max_power(MaxPowerSpec::FromThermalLimit(Celsius(38.0)));
+        let m = PhysicalMachine::new(&cfg, &topo(false));
+        assert!(
+            m.max_power(CpuId(3)) < m.max_power(CpuId(0)),
+            "poor cooling must shrink the budget"
+        );
+        // Steady state at the budget hits the limit exactly.
+        let model = RcThermalModel::reference().with_cooling_factor(1.3);
+        let t = model.steady_state(m.max_power(CpuId(3)));
+        assert!((t.0 - 38.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn halt_power_share_splits_by_threads() {
+        let m = PhysicalMachine::new(&SimConfig::xseries445(), &topo(true));
+        assert!((m.halt_power_share().0 - 6.8).abs() < 1e-12);
+        let m = PhysicalMachine::new(&SimConfig::xseries445().smt(false), &topo(false));
+        assert!((m.halt_power_share().0 - 13.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packages_start_at_ambient() {
+        let m = PhysicalMachine::new(&SimConfig::xseries445(), &topo(true));
+        for p in 0..8 {
+            assert_eq!(m.package_temp(PackageId(p)), Celsius::AMBIENT);
+        }
+    }
+
+    #[test]
+    fn throttle_limits_are_package_budgets() {
+        let cfg = SimConfig::xseries445().max_power(MaxPowerSpec::PerPackage(Watts(40.0)));
+        let m = PhysicalMachine::new(&cfg, &topo(true));
+        assert_eq!(m.throttles.len(), 8);
+        for p in 0..8 {
+            // Two 20 W logical budgets sum back to the 40 W package.
+            assert_eq!(m.throttles[p].limit(), Watts(40.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one cooling factor per package")]
+    fn wrong_factor_count_rejected() {
+        let cfg = SimConfig::xseries445().cooling_factors(vec![1.0; 3]);
+        let _ = PhysicalMachine::new(&cfg, &topo(true));
+    }
+
+    #[test]
+    fn thermal_nodes_heat_independently() {
+        let mut m = PhysicalMachine::new(&SimConfig::xseries445(), &topo(true));
+        m.thermals[0].step(Watts(68.0), SimDuration::from_secs(30));
+        assert!(m.package_temp(PackageId(0)).0 > 35.0);
+        assert_eq!(m.package_temp(PackageId(1)), Celsius::AMBIENT);
+    }
+}

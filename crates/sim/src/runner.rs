@@ -1,0 +1,136 @@
+//! Parallel experiment running.
+//!
+//! The paper averages its migration counts and throughput numbers over
+//! several runs; the benchmark harness sweeps workload mixes and task
+//! counts. Both map to running many independent simulations, which
+//! parallelise trivially — each simulation is self-contained and
+//! deterministic given its config.
+
+use crate::config::SimConfig;
+use crate::engine::Simulation;
+use crate::trace::SimReport;
+use ebs_units::SimDuration;
+
+/// Runs one simulation to completion: build, populate via `setup`,
+/// run, report.
+pub fn run_one<F>(cfg: SimConfig, duration: SimDuration, setup: F) -> SimReport
+where
+    F: FnOnce(&mut Simulation),
+{
+    let mut sim = Simulation::new(cfg);
+    setup(&mut sim);
+    sim.run_for(duration);
+    sim.report()
+}
+
+/// Runs the same experiment under several seeds in parallel and
+/// returns the reports in seed order.
+pub fn run_seeds<F>(
+    base: &SimConfig,
+    seeds: &[u64],
+    duration: SimDuration,
+    setup: F,
+) -> Vec<SimReport>
+where
+    F: Fn(&mut Simulation) + Sync,
+{
+    run_parallel(
+        seeds
+            .iter()
+            .map(|&s| base.clone().seed(s))
+            .collect::<Vec<_>>(),
+        duration,
+        &setup,
+    )
+}
+
+/// Runs several configurations in parallel and returns the reports in
+/// input order.
+pub fn run_configs<F>(configs: Vec<SimConfig>, duration: SimDuration, setup: F) -> Vec<SimReport>
+where
+    F: Fn(&mut Simulation) + Sync,
+{
+    run_parallel(configs, duration, &setup)
+}
+
+fn run_parallel<F>(configs: Vec<SimConfig>, duration: SimDuration, setup: &F) -> Vec<SimReport>
+where
+    F: Fn(&mut Simulation) + Sync,
+{
+    let mut out: Vec<Option<SimReport>> = configs.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, cfg) in configs.into_iter().enumerate() {
+            handles.push((
+                i,
+                scope.spawn(move |_| {
+                    let mut sim = Simulation::new(cfg);
+                    setup(&mut sim);
+                    sim.run_for(duration);
+                    sim.report()
+                }),
+            ));
+        }
+        for (i, handle) in handles {
+            out[i] = Some(handle.join().expect("simulation thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// The mean of a per-report metric.
+pub fn mean<F: Fn(&SimReport) -> f64>(reports: &[SimReport], f: F) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(f).sum::<f64>() / reports.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_workloads::catalog;
+
+    #[test]
+    fn seeds_run_in_parallel_and_stay_deterministic() {
+        let base = SimConfig::xseries445().smt(false);
+        let setup = |sim: &mut Simulation| {
+            sim.spawn_program(&catalog::aluadd());
+            sim.spawn_program(&catalog::memrw());
+        };
+        let a = run_seeds(&base, &[1, 2, 3], SimDuration::from_secs(1), setup);
+        let b = run_seeds(&base, &[1, 2, 3], SimDuration::from_secs(1), setup);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.instructions_retired, y.instructions_retired);
+        }
+        // Different seeds genuinely differ.
+        assert_ne!(a[0].instructions_retired, a[1].instructions_retired);
+    }
+
+    #[test]
+    fn run_one_matches_manual_run() {
+        let cfg = SimConfig::xseries445().smt(false).seed(9);
+        let report = run_one(cfg.clone(), SimDuration::from_secs(1), |sim| {
+            sim.spawn_program(&catalog::pushpop());
+        });
+        let mut sim = Simulation::new(cfg);
+        sim.spawn_program(&catalog::pushpop());
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(report.instructions_retired, sim.report().instructions_retired);
+    }
+
+    #[test]
+    fn mean_helper() {
+        let base = SimConfig::xseries445().smt(false);
+        let reports = run_seeds(&base, &[1, 2], SimDuration::from_millis(100), |sim| {
+            sim.spawn_program(&catalog::aluadd());
+        });
+        let m = mean(&reports, |r| r.instructions_retired as f64);
+        assert!(m > 0.0);
+        assert_eq!(mean(&[], |_| 1.0), 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Traces and run reports.
+
+use ebs_sched::TaskId;
+use ebs_topology::CpuId;
+use ebs_units::{Celsius, Joules, SimDuration, SimTime, Watts};
+
+/// Sampled per-CPU thermal power over time — the data behind the
+/// paper's Figures 6 and 7.
+#[derive(Clone, Debug, Default)]
+pub struct ThermalTrace {
+    /// One row per sample: time and the thermal power of every CPU.
+    pub samples: Vec<(SimTime, Vec<Watts>)>,
+}
+
+impl ThermalTrace {
+    /// Records one sample.
+    pub fn push(&mut self, t: SimTime, values: Vec<Watts>) {
+        self.samples.push((t, values));
+    }
+
+    /// The minimum and maximum thermal power over all CPUs in samples
+    /// taken at or after `from` — the "width of the array of curves"
+    /// the paper reads off Figures 6 and 7.
+    pub fn band(&self, from: SimTime) -> Option<(Watts, Watts)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (t, row) in &self.samples {
+            if *t < from {
+                continue;
+            }
+            for w in row {
+                lo = lo.min(w.0);
+                hi = hi.max(w.0);
+            }
+        }
+        if lo.is_finite() {
+            Some((Watts(lo), Watts(hi)))
+        } else {
+            None
+        }
+    }
+
+    /// The largest spread between the hottest and coolest CPU within
+    /// any single sample at or after `from`.
+    pub fn max_spread(&self, from: SimTime) -> Option<Watts> {
+        self.samples
+            .iter()
+            .filter(|(t, _)| *t >= from)
+            .map(|(_, row)| {
+                let lo = row.iter().cloned().fold(Watts(f64::INFINITY), Watts::min);
+                let hi = row.iter().cloned().fold(Watts(f64::NEG_INFINITY), Watts::max);
+                hi - lo
+            })
+            .max_by(|a, b| a.partial_cmp(b).expect("finite spreads"))
+    }
+
+    /// Fraction of samples (at or after `from`) in which at least one
+    /// CPU exceeds `limit` — "some of the time some CPUs operate above
+    /// the limit".
+    pub fn fraction_any_above(&self, limit: Watts, from: SimTime) -> f64 {
+        let rows: Vec<_> = self.samples.iter().filter(|(t, _)| *t >= from).collect();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let above = rows
+            .iter()
+            .filter(|(_, row)| row.iter().any(|&w| w > limit))
+            .count();
+        above as f64 / rows.len() as f64
+    }
+
+    /// Renders the trace as CSV (`time_s,cpu0,cpu1,...`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        if let Some((_, first)) = self.samples.first() {
+            out.push_str("time_s");
+            for i in 0..first.len() {
+                out.push_str(&format!(",cpu{i}"));
+            }
+            out.push('\n');
+        }
+        for (t, row) in &self.samples {
+            out.push_str(&format!("{:.3}", t.as_secs_f64()));
+            for w in row {
+                out.push_str(&format!(",{:.3}", w.0));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Which CPU a task ran on, recorded at every change — the data behind
+/// the paper's Figure 9.
+#[derive(Clone, Debug, Default)]
+pub struct TaskCpuTrace {
+    /// (time, task, cpu it moved to).
+    pub events: Vec<(SimTime, TaskId, CpuId)>,
+}
+
+impl TaskCpuTrace {
+    /// Records a placement change.
+    pub fn push(&mut self, t: SimTime, task: TaskId, cpu: CpuId) {
+        self.events.push((t, task, cpu));
+    }
+
+    /// The CPU visit sequence of one task.
+    pub fn visits(&self, task: TaskId) -> Vec<(SimTime, CpuId)> {
+        self.events
+            .iter()
+            .filter(|(_, id, _)| *id == task)
+            .map(|&(t, _, c)| (t, c))
+            .collect()
+    }
+
+    /// Renders the trace as CSV (`time_s,task,cpu`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,task,cpu\n");
+        for (t, task, cpu) in &self.events {
+            out.push_str(&format!("{:.3},{},{}\n", t.as_secs_f64(), task.0, cpu.0));
+        }
+        out
+    }
+}
+
+/// Summary of a finished simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Simulated wall time.
+    pub duration: SimDuration,
+    /// Total task migrations.
+    pub migrations: u64,
+    /// Migrations by reason, in [`ebs_sched::MigrationReason::ALL`]
+    /// order (load, energy, hot-task, exchange).
+    pub migrations_by_reason: [u64; 4],
+    /// Context switches.
+    pub context_switches: u64,
+    /// Tasks that ran to completion.
+    pub completions: u64,
+    /// Completions per binary id.
+    pub completions_by_binary: Vec<(u64, u64)>,
+    /// Total instructions retired — the throughput measure for
+    /// non-terminating workloads.
+    pub instructions_retired: u64,
+    /// Instructions per simulated second.
+    pub throughput_ips: f64,
+    /// Fraction of time each logical CPU spent throttled (Table 3).
+    pub throttled_fraction: Vec<f64>,
+    /// Average throttled fraction over all CPUs.
+    pub avg_throttled_fraction: f64,
+    /// Hottest package temperature seen during the run.
+    pub max_package_temp: Celsius,
+    /// Ground-truth energy the machine physically dissipated.
+    pub true_energy: Joules,
+    /// Energy the counter-based estimator accounted for — comparing
+    /// the two gives the end-to-end estimation error (paper: <10 %).
+    pub estimated_energy: Joules,
+}
+
+impl SimReport {
+    /// Relative end-to-end energy estimation error, `|est - true| /
+    /// true` (zero for an empty run).
+    pub fn estimation_error(&self) -> f64 {
+        if self.true_energy.0 == 0.0 {
+            0.0
+        } else {
+            (self.estimated_energy.0 - self.true_energy.0).abs() / self.true_energy.0
+        }
+    }
+
+    /// Relative throughput gain of `self` over a baseline run, in
+    /// instructions per second (the paper's "increase in throughput").
+    pub fn throughput_gain_over(&self, baseline: &SimReport) -> f64 {
+        if baseline.throughput_ips == 0.0 {
+            0.0
+        } else {
+            self.throughput_ips / baseline.throughput_ips - 1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> ThermalTrace {
+        let mut t = ThermalTrace::default();
+        t.push(SimTime::from_secs(0), vec![Watts(10.0), Watts(20.0)]);
+        t.push(SimTime::from_secs(1), vec![Watts(30.0), Watts(55.0)]);
+        t.push(SimTime::from_secs(2), vec![Watts(35.0), Watts(45.0)]);
+        t
+    }
+
+    #[test]
+    fn band_over_window() {
+        let t = trace();
+        let (lo, hi) = t.band(SimTime::ZERO).unwrap();
+        assert_eq!((lo, hi), (Watts(10.0), Watts(55.0)));
+        let (lo, hi) = t.band(SimTime::from_secs(2)).unwrap();
+        assert_eq!((lo, hi), (Watts(35.0), Watts(45.0)));
+        assert!(t.band(SimTime::from_secs(3)).is_none());
+    }
+
+    #[test]
+    fn max_spread_is_within_sample() {
+        let t = trace();
+        assert_eq!(t.max_spread(SimTime::ZERO), Some(Watts(25.0)));
+        assert_eq!(t.max_spread(SimTime::from_secs(2)), Some(Watts(10.0)));
+    }
+
+    #[test]
+    fn fraction_above_limit() {
+        let t = trace();
+        let f = t.fraction_any_above(Watts(50.0), SimTime::ZERO);
+        assert!((f - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.fraction_any_above(Watts(100.0), SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn thermal_csv_shape() {
+        let csv = trace().to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,cpu0,cpu1");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0.000,10.000,20.000"));
+    }
+
+    #[test]
+    fn task_trace_visits() {
+        let mut t = TaskCpuTrace::default();
+        t.push(SimTime::from_secs(0), TaskId(0), CpuId(0));
+        t.push(SimTime::from_secs(10), TaskId(0), CpuId(1));
+        t.push(SimTime::from_secs(11), TaskId(1), CpuId(5));
+        t.push(SimTime::from_secs(20), TaskId(0), CpuId(2));
+        let visits = t.visits(TaskId(0));
+        assert_eq!(visits.len(), 3);
+        assert_eq!(visits[1], (SimTime::from_secs(10), CpuId(1)));
+        assert!(t.to_csv().contains("11.000,1,5"));
+    }
+
+    #[test]
+    fn throughput_gain() {
+        let mk = |ips: f64| SimReport {
+            duration: SimDuration::from_secs(1),
+            migrations: 0,
+            migrations_by_reason: [0; 4],
+            context_switches: 0,
+            completions: 0,
+            completions_by_binary: vec![],
+            instructions_retired: 0,
+            throughput_ips: ips,
+            throttled_fraction: vec![],
+            avg_throttled_fraction: 0.0,
+            max_package_temp: Celsius(22.0),
+            true_energy: Joules(100.0),
+            estimated_energy: Joules(95.0),
+        };
+        let base = mk(100.0);
+        let better = mk(105.0);
+        assert!((better.throughput_gain_over(&base) - 0.05).abs() < 1e-12);
+        assert_eq!(better.throughput_gain_over(&mk(0.0)), 0.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Fitting the RC model to an observed heating curve.
+//!
+//! The paper calibrates its thermal model per CPU by "starting a task
+//! producing a maximum of heat on a processor formerly idle, recording
+//! the temperature values over time and fitting an exponential function
+//! to the experimental data" (Section 4.2). This module performs that
+//! fit.
+//!
+//! For a constant heating power `P` starting from ambient, the RC
+//! response is
+//!
+//! ```text
+//! T(t) = T_amb + R * P * (1 - exp(-t / tau))
+//! ```
+//!
+//! Three equally spaced samples `T(t0)`, `T(t0 + d)`, `T(t0 + 2d)` obey
+//! `(T3 - T2) / (T2 - T1) = exp(-d / tau)` regardless of `t0`, which
+//! gives `tau` directly; the asymptote (and hence `R`) follows. The
+//! estimator averages the ratio over the whole trace for robustness to
+//! sensor noise.
+
+use crate::rc_model::RcThermalModel;
+use ebs_units::{Celsius, SimDuration, Watts};
+
+/// A recorded heating experiment: temperature samples at a fixed period
+/// under constant known power.
+#[derive(Clone, Debug)]
+pub struct HeatingTrace {
+    /// Sampling period between consecutive samples.
+    pub period: SimDuration,
+    /// Temperature readings, starting at (or near) ambient.
+    pub samples: Vec<Celsius>,
+    /// The constant package power applied during the experiment.
+    pub power: Watts,
+    /// Ambient temperature during the experiment.
+    pub ambient: Celsius,
+}
+
+/// Errors from curve fitting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than three samples, or a zero sampling period.
+    TooShort,
+    /// The trace shows no usable heating (already at steady state, zero
+    /// power, or dominated by noise).
+    NoHeating,
+}
+
+impl core::fmt::Display for FitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FitError::TooShort => write!(f, "heating trace has too few samples"),
+            FitError::NoHeating => write!(f, "heating trace shows no exponential rise"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// The result of fitting an RC model to a heating trace.
+#[derive(Clone, Copy, Debug)]
+pub struct FittedThermal {
+    /// The recovered model.
+    pub model: RcThermalModel,
+    /// Root-mean-square temperature residual of the fit in kelvin.
+    pub rms_residual_k: f64,
+}
+
+/// Fits an [`RcThermalModel`] to a heating trace.
+///
+/// # Errors
+///
+/// Returns [`FitError::TooShort`] for traces with fewer than three
+/// samples or a zero period, and [`FitError::NoHeating`] when no
+/// exponential rise is detectable.
+pub fn fit_heating_curve(trace: &HeatingTrace) -> Result<FittedThermal, FitError> {
+    let n = trace.samples.len();
+    if n < 3 || trace.period.is_zero() {
+        return Err(FitError::TooShort);
+    }
+    if trace.power.0 <= 0.0 {
+        return Err(FitError::NoHeating);
+    }
+    let d = trace.period.as_secs_f64();
+
+    // Average the consecutive-difference ratio over the trace. Weight
+    // each ratio by the magnitude of its denominator so the flat tail
+    // (where differences vanish into noise) does not dominate.
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for w in trace.samples.windows(3) {
+        let d1 = w[1].delta(w[0]);
+        let d2 = w[2].delta(w[1]);
+        if d1 > 0.0 {
+            num += d2 * d1;
+            den += d1 * d1;
+        }
+    }
+    if den == 0.0 {
+        return Err(FitError::NoHeating);
+    }
+    let ratio = num / den;
+    if !(ratio > 0.0 && ratio < 1.0) {
+        return Err(FitError::NoHeating);
+    }
+    let tau = -d / ratio.ln();
+
+    // With tau known the model is linear in the asymptote: fit the
+    // steady-state temperature by least squares over
+    // T_i = T_ss - (T_ss - T_0) * exp(-t_i / tau).
+    let t0 = trace.samples[0].0;
+    let mut sum_xx = 0.0;
+    let mut sum_xy = 0.0;
+    for (i, s) in trace.samples.iter().enumerate() {
+        // x_i = 1 - exp(-t_i / tau); T_i - T_0 = (T_ss - T_0) * x_i.
+        let x = 1.0 - (-(i as f64) * d / tau).exp();
+        sum_xx += x * x;
+        sum_xy += x * (s.0 - t0);
+    }
+    if sum_xx == 0.0 {
+        return Err(FitError::NoHeating);
+    }
+    let rise = sum_xy / sum_xx;
+    if rise <= 0.0 {
+        return Err(FitError::NoHeating);
+    }
+    let t_ss = t0 + rise;
+
+    let resistance = (t_ss - trace.ambient.0) / trace.power.0;
+    if resistance <= 0.0 || !resistance.is_finite() {
+        return Err(FitError::NoHeating);
+    }
+    let capacitance = tau / resistance;
+    let model = RcThermalModel {
+        resistance_k_per_w: resistance,
+        capacitance_j_per_k: capacitance,
+        ambient: trace.ambient,
+    };
+
+    // Residual of the fitted curve against the samples.
+    let mut sq = 0.0;
+    for (i, s) in trace.samples.iter().enumerate() {
+        let x = 1.0 - (-(i as f64) * d / tau).exp();
+        let predicted = t0 + rise * x;
+        sq += (s.0 - predicted) * (s.0 - predicted);
+    }
+    Ok(FittedThermal {
+        model,
+        rms_residual_k: (sq / n as f64).sqrt(),
+    })
+}
+
+/// Records a synthetic heating trace from a known model, optionally with
+/// additive sensor noise supplied by the caller (one value per sample).
+///
+/// # Panics
+///
+/// Panics if `noise` is non-empty and shorter than `samples`.
+pub fn record_trace(
+    model: &RcThermalModel,
+    power: Watts,
+    period: SimDuration,
+    samples: usize,
+    noise: &[f64],
+) -> HeatingTrace {
+    assert!(
+        noise.is_empty() || noise.len() >= samples,
+        "noise vector shorter than trace"
+    );
+    let mut node = crate::rc_model::ThermalNode::new(*model);
+    let mut out = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let jitter = if noise.is_empty() { 0.0 } else { noise[i] };
+        out.push(node.temperature() + jitter);
+        node.step(power, period);
+    }
+    HeatingTrace {
+        period,
+        samples: out,
+        power,
+        ambient: model.ambient,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> RcThermalModel {
+        RcThermalModel::reference()
+    }
+
+    #[test]
+    fn clean_trace_recovers_model() {
+        let truth = reference();
+        let trace = record_trace(&truth, Watts(68.0), SimDuration::from_millis(500), 120, &[]);
+        let fit = fit_heating_curve(&trace).unwrap();
+        let r_err =
+            (fit.model.resistance_k_per_w - truth.resistance_k_per_w) / truth.resistance_k_per_w;
+        let tau_true = truth.resistance_k_per_w * truth.capacitance_j_per_k;
+        let tau_fit = fit.model.resistance_k_per_w * fit.model.capacitance_j_per_k;
+        assert!(r_err.abs() < 0.01, "resistance error {r_err}");
+        assert!(((tau_fit - tau_true) / tau_true).abs() < 0.01);
+        assert!(fit.rms_residual_k < 1e-6);
+    }
+
+    #[test]
+    fn recovers_heterogeneous_cooling() {
+        for factor in [0.7, 0.9, 1.1, 1.3] {
+            let truth = reference().with_cooling_factor(factor);
+            let trace =
+                record_trace(&truth, Watts(60.0), SimDuration::from_millis(500), 150, &[]);
+            let fit = fit_heating_curve(&trace).unwrap();
+            let err = (fit.model.resistance_k_per_w - truth.resistance_k_per_w).abs()
+                / truth.resistance_k_per_w;
+            assert!(err < 0.02, "factor {factor}: resistance error {err}");
+        }
+    }
+
+    #[test]
+    fn noisy_trace_still_close() {
+        let truth = reference();
+        // Deterministic pseudo-noise, +-0.05 K (thermal diodes quantise
+        // around 1 K; we sample the *model*, which has no quantisation,
+        // so this stands in for readout jitter).
+        let noise: Vec<f64> = (0..240)
+            .map(|i| 0.05 * ((i * 2_654_435_761_u64 % 1000) as f64 / 500.0 - 1.0))
+            .collect();
+        let trace = record_trace(
+            &truth,
+            Watts(68.0),
+            SimDuration::from_millis(500),
+            240,
+            &noise,
+        );
+        let fit = fit_heating_curve(&trace).unwrap();
+        let err = (fit.model.resistance_k_per_w - truth.resistance_k_per_w).abs()
+            / truth.resistance_k_per_w;
+        assert!(err < 0.10, "resistance error {err}");
+    }
+
+    #[test]
+    fn max_power_round_trip_through_fit() {
+        // The quantity the scheduler actually consumes is max power at
+        // the throttling limit; it must survive the fit accurately.
+        let truth = reference();
+        let trace = record_trace(&truth, Watts(68.0), SimDuration::from_millis(200), 400, &[]);
+        let fit = fit_heating_curve(&trace).unwrap();
+        let truth_budget = truth.max_power_for_limit(Celsius(38.0));
+        let fit_budget = fit.model.max_power_for_limit(Celsius(38.0));
+        assert!(
+            (truth_budget.0 - fit_budget.0).abs() < 0.5,
+            "{truth_budget:?} vs {fit_budget:?}"
+        );
+    }
+
+    #[test]
+    fn short_trace_rejected() {
+        let trace = HeatingTrace {
+            period: SimDuration::from_millis(500),
+            samples: vec![Celsius(22.0), Celsius(23.0)],
+            power: Watts(60.0),
+            ambient: Celsius(22.0),
+        };
+        assert!(matches!(fit_heating_curve(&trace), Err(FitError::TooShort)));
+    }
+
+    #[test]
+    fn flat_trace_rejected() {
+        let trace = HeatingTrace {
+            period: SimDuration::from_millis(500),
+            samples: vec![Celsius(22.0); 50],
+            power: Watts(60.0),
+            ambient: Celsius(22.0),
+        };
+        assert!(matches!(fit_heating_curve(&trace), Err(FitError::NoHeating)));
+    }
+
+    #[test]
+    fn zero_power_rejected() {
+        let truth = reference();
+        let trace = record_trace(&truth, Watts::ZERO, SimDuration::from_millis(500), 50, &[]);
+        assert!(matches!(fit_heating_curve(&trace), Err(FitError::NoHeating)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(FitError::TooShort.to_string(), "heating trace has too few samples");
+        assert_eq!(
+            FitError::NoHeating.to_string(),
+            "heating trace shows no exponential rise"
+        );
+    }
+}

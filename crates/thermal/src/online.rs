@@ -1,0 +1,263 @@
+//! Online thermal-model calibration (paper Section 4.2, last
+//! paragraph).
+//!
+//! The evaluation calibrates each CPU's RC model off-line from a
+//! heating curve, but the paper notes that "calibration could also be
+//! done on-line by simultaneously observing temperature (read from the
+//! chip's thermal diode) and power consumption (derived from energy
+//! estimation) to account for changes in the cooling system, e.g. the
+//! activation or deactivation of additional fans, or changes in the
+//! ambient temperature."
+//!
+//! This module implements that idea. The discretised RC update over a
+//! fixed sampling period `d` is linear in two unknowns:
+//!
+//! ```text
+//! T[k+1] = a * T[k] + b * P[k] + c            with
+//! a = exp(-d / tau),  b = R * (1 - a),  c = T_amb * (1 - a)
+//! ```
+//!
+//! A recursive least-squares estimator with exponential forgetting
+//! tracks `(a, b, c)` from (temperature, power) observations and
+//! recovers `tau = -d / ln a`, `R = b / (1 - a)`, and the ambient
+//! temperature — adapting within minutes when a fan changes the
+//! effective thermal resistance.
+
+use crate::rc_model::RcThermalModel;
+use ebs_units::{Celsius, SimDuration, Watts};
+
+/// Recursive least-squares tracker of one CPU's thermal parameters.
+#[derive(Clone, Debug)]
+pub struct OnlineCalibrator {
+    period: SimDuration,
+    /// Parameter estimate (a, b, c).
+    theta: [f64; 3],
+    /// Inverse covariance (3x3, row-major).
+    p: [[f64; 3]; 3],
+    forgetting: f64,
+    last: Option<(Celsius, Watts)>,
+    samples: u64,
+}
+
+impl OnlineCalibrator {
+    /// Creates a calibrator for a fixed sampling period, seeded from a
+    /// prior model (e.g. the factory calibration).
+    ///
+    /// `forgetting` in `(0, 1]` controls adaptation speed: 1 never
+    /// forgets; 0.995 adapts within a few hundred samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero or the forgetting factor is out of
+    /// range.
+    pub fn new(period: SimDuration, prior: &RcThermalModel, forgetting: f64) -> Self {
+        assert!(!period.is_zero(), "sampling period must be positive");
+        assert!(
+            forgetting > 0.0 && forgetting <= 1.0,
+            "forgetting factor {forgetting} outside (0, 1]"
+        );
+        let tau = prior.resistance_k_per_w * prior.capacitance_j_per_k;
+        let a = (-period.as_secs_f64() / tau).exp();
+        let theta = [
+            a,
+            prior.resistance_k_per_w * (1.0 - a),
+            prior.ambient.0 * (1.0 - a),
+        ];
+        // A loose prior covariance lets observations take over quickly.
+        let mut p = [[0.0; 3]; 3];
+        for (i, row) in p.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        OnlineCalibrator {
+            period,
+            theta,
+            p,
+            forgetting,
+            last: None,
+            samples: 0,
+        }
+    }
+
+    /// Number of (pairs of) samples folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Feeds one (temperature, average power over the period) sample.
+    pub fn observe(&mut self, temperature: Celsius, power: Watts) {
+        let Some((t_prev, p_prev)) = self.last.replace((temperature, power)) else {
+            return;
+        };
+        self.samples += 1;
+        // Regressor x = [T[k], P[k], 1], target y = T[k+1].
+        let x = [t_prev.0, p_prev.0, 1.0];
+        let y = temperature.0;
+        // RLS update with forgetting.
+        let px = [
+            self.p[0][0] * x[0] + self.p[0][1] * x[1] + self.p[0][2] * x[2],
+            self.p[1][0] * x[0] + self.p[1][1] * x[1] + self.p[1][2] * x[2],
+            self.p[2][0] * x[0] + self.p[2][1] * x[1] + self.p[2][2] * x[2],
+        ];
+        let denom = self.forgetting + x[0] * px[0] + x[1] * px[1] + x[2] * px[2];
+        let k = [px[0] / denom, px[1] / denom, px[2] / denom];
+        let err = y - (self.theta[0] * x[0] + self.theta[1] * x[1] + self.theta[2] * x[2]);
+        for (t, ki) in self.theta.iter_mut().zip(k) {
+            *t += ki * err;
+        }
+        let mut new_p = [[0.0; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                new_p[i][j] = (self.p[i][j] - k[i] * px[j]) / self.forgetting;
+            }
+        }
+        self.p = new_p;
+    }
+
+    /// The current model estimate, if the parameters are physically
+    /// meaningful (enough informative samples seen).
+    pub fn model(&self) -> Option<RcThermalModel> {
+        let a = self.theta[0];
+        if !(0.0 < a && a < 1.0) {
+            return None;
+        }
+        let one_minus_a = 1.0 - a;
+        let resistance = self.theta[1] / one_minus_a;
+        let ambient = self.theta[2] / one_minus_a;
+        let tau = -self.period.as_secs_f64() / a.ln();
+        if !(resistance.is_finite() && resistance > 0.0 && tau.is_finite() && tau > 0.0) {
+            return None;
+        }
+        Some(RcThermalModel {
+            resistance_k_per_w: resistance,
+            capacitance_j_per_k: tau / resistance,
+            ambient: Celsius(ambient),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rc_model::ThermalNode;
+
+    const PERIOD: SimDuration = SimDuration::from_millis(500);
+
+    /// Drives a node with a power schedule and feeds the calibrator.
+    fn feed(
+        cal: &mut OnlineCalibrator,
+        truth: &RcThermalModel,
+        schedule: impl Iterator<Item = f64>,
+    ) -> ThermalNode {
+        let mut node = ThermalNode::new(*truth);
+        for p in schedule {
+            cal.observe(node.temperature(), Watts(p));
+            node.step(Watts(p), PERIOD);
+        }
+        node
+    }
+
+    /// A power schedule with enough excitation to identify the model.
+    fn rich_schedule(n: usize) -> impl Iterator<Item = f64> {
+        (0..n).map(|i| match (i / 40) % 4 {
+            0 => 20.0,
+            1 => 65.0,
+            2 => 35.0,
+            _ => 55.0,
+        })
+    }
+
+    #[test]
+    fn recovers_true_parameters_from_prior_mismatch() {
+        let truth = RcThermalModel::reference().with_cooling_factor(1.2);
+        // Seed with the *wrong* (reference) prior.
+        let mut cal = OnlineCalibrator::new(PERIOD, &RcThermalModel::reference(), 1.0);
+        feed(&mut cal, &truth, rich_schedule(2_000));
+        let model = cal.model().expect("identified");
+        let r_err = (model.resistance_k_per_w - truth.resistance_k_per_w).abs()
+            / truth.resistance_k_per_w;
+        assert!(r_err < 0.02, "resistance error {r_err}");
+        assert!((model.ambient.0 - truth.ambient.0).abs() < 0.5, "{:?}", model.ambient);
+        let tau_true = truth.resistance_k_per_w * truth.capacitance_j_per_k;
+        let tau_est = model.resistance_k_per_w * model.capacitance_j_per_k;
+        assert!(((tau_est - tau_true) / tau_true).abs() < 0.05);
+    }
+
+    #[test]
+    fn adapts_when_a_fan_turns_off() {
+        // Cooling degrades mid-run (fan off: resistance up 30 %); with
+        // forgetting the estimate follows.
+        let good = RcThermalModel::reference();
+        let poor = good.with_cooling_factor(1.3);
+        let mut cal = OnlineCalibrator::new(PERIOD, &good, 0.995);
+        feed(&mut cal, &good, rich_schedule(1_200));
+        let before = cal.model().unwrap().resistance_k_per_w;
+        // Continue from the warm state under the degraded model.
+        let mut node = ThermalNode::with_temperature(poor, Celsius(30.0));
+        for (i, _) in (0..2_400).enumerate() {
+            let p = match (i / 40) % 4 {
+                0 => 20.0,
+                1 => 65.0,
+                2 => 35.0,
+                _ => 55.0,
+            };
+            cal.observe(node.temperature(), Watts(p));
+            node.step(Watts(p), PERIOD);
+        }
+        let after = cal.model().unwrap().resistance_k_per_w;
+        assert!(
+            (after - poor.resistance_k_per_w).abs() < 0.03,
+            "did not adapt: {after} vs {}",
+            poor.resistance_k_per_w
+        );
+        assert!(after > before * 1.15, "resistance should have risen");
+    }
+
+    #[test]
+    fn max_power_budget_tracks_recalibration() {
+        // The quantity the scheduler consumes: after adaptation the
+        // derived budget matches the new cooling reality.
+        let truth = RcThermalModel::reference().with_cooling_factor(0.8);
+        let mut cal = OnlineCalibrator::new(PERIOD, &RcThermalModel::reference(), 1.0);
+        feed(&mut cal, &truth, rich_schedule(2_000));
+        let model = cal.model().unwrap();
+        let budget_true = truth.max_power_for_limit(Celsius(38.0));
+        let budget_est = model.max_power_for_limit(Celsius(38.0));
+        assert!(
+            (budget_true.0 - budget_est.0).abs() < 1.0,
+            "{budget_true:?} vs {budget_est:?}"
+        );
+    }
+
+    #[test]
+    fn insufficient_excitation_keeps_prior_sanity() {
+        // Constant power and temperature: the regression is degenerate,
+        // but the calibrator must not produce nonsense.
+        let truth = RcThermalModel::reference();
+        let mut cal = OnlineCalibrator::new(PERIOD, &truth, 1.0);
+        let mut node = ThermalNode::with_temperature(truth, truth.steady_state(Watts(40.0)));
+        for _ in 0..200 {
+            cal.observe(node.temperature(), Watts(40.0));
+            node.step(Watts(40.0), PERIOD);
+        }
+        if let Some(model) = cal.model() {
+            assert!(model.resistance_k_per_w > 0.0);
+            assert!(model.resistance_k_per_w < 10.0);
+        }
+    }
+
+    #[test]
+    fn first_sample_is_a_no_op() {
+        let truth = RcThermalModel::reference();
+        let mut cal = OnlineCalibrator::new(PERIOD, &truth, 1.0);
+        cal.observe(Celsius(25.0), Watts(40.0));
+        assert_eq!(cal.samples(), 0);
+        cal.observe(Celsius(25.5), Watts(40.0));
+        assert_eq!(cal.samples(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "forgetting factor")]
+    fn bad_forgetting_rejected() {
+        let _ = OnlineCalibrator::new(PERIOD, &RcThermalModel::reference(), 0.0);
+    }
+}

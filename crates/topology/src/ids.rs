@@ -1,0 +1,69 @@
+//! Identifier newtypes for logical CPUs, physical packages, and NUMA
+//! nodes.
+
+use core::fmt;
+
+/// A logical CPU (hardware thread) identifier.
+///
+/// Numbering follows the paper's testbed convention: sibling hardware
+/// threads differ in the most significant bit, i.e. on a 16-way system
+/// CPU 0's sibling is CPU 8, CPU 1's is CPU 9, and so on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CpuId(pub usize);
+
+/// A core identifier, global across the machine. On the paper's
+/// single-core-per-package testbed cores and packages coincide; the
+/// CMP extension (paper Section 7) separates them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CoreId(pub usize);
+
+/// A physical processor (package/socket) identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PackageId(pub usize);
+
+/// A NUMA node identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for PackageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkg{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CpuId(3).to_string(), "cpu3");
+        assert_eq!(CoreId(2).to_string(), "core2");
+        assert_eq!(PackageId(1).to_string(), "pkg1");
+        assert_eq!(NodeId(0).to_string(), "node0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CpuId(1) < CpuId(8));
+        assert!(PackageId(0) < PackageId(7));
+    }
+}

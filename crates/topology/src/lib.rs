@@ -1,0 +1,37 @@
+//! CPU topology and hierarchical scheduler domains.
+//!
+//! Linux represents a machine's CPU topology to the scheduler as a
+//! per-CPU stack of *scheduler domains* (paper Section 4.1, Fig. 1).
+//! A domain spans a set of CPUs and is partitioned into *CPU groups*;
+//! balancing within a domain moves tasks between its groups, and the
+//! higher the level, the costlier the migrations. The paper's testbed,
+//! an IBM xSeries 445, has three levels: SMT siblings on one physical
+//! processor, physical processors on one NUMA node, and the two nodes.
+//!
+//! The energy-aware policies consult the same hierarchy: energy
+//! balancing is *skipped* in domains whose CPUs share chip power (SMT
+//! siblings, flagged [`DomainFlags::share_cpu_power`]), and hot-task
+//! migration searches for a destination bottom-up so that migrations
+//! stay as cheap as possible.
+//!
+//! # Examples
+//!
+//! ```
+//! use ebs_topology::Topology;
+//!
+//! let topo = Topology::xseries445(true);
+//! assert_eq!(topo.n_cpus(), 16);
+//! // The paper: "CPU 0 is the sibling of CPU 8".
+//! let sib = topo.siblings(ebs_topology::CpuId(0));
+//! assert_eq!(sib, vec![ebs_topology::CpuId(8)]);
+//! // Three domain levels per CPU: SMT, node, top.
+//! assert_eq!(topo.domains(ebs_topology::CpuId(0)).len(), 3);
+//! ```
+
+mod domain;
+mod ids;
+mod machine;
+
+pub use domain::{CpuGroup, DomainFlags, DomainLevel, SchedDomain};
+pub use ids::{CoreId, CpuId, NodeId, PackageId};
+pub use machine::Topology;

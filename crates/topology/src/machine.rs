@@ -1,0 +1,553 @@
+//! Machine topology: nodes, packages, cores, logical CPUs, and the
+//! per-CPU domain hierarchy built from them.
+
+use crate::domain::{CpuGroup, DomainFlags, DomainLevel, SchedDomain};
+use crate::ids::{CoreId, CpuId, NodeId, PackageId};
+
+/// Static description of one logical CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CpuInfo {
+    core: CoreId,
+    package: PackageId,
+    node: NodeId,
+    /// Hardware-thread index within the core.
+    thread: usize,
+}
+
+/// A machine's CPU topology and scheduler-domain hierarchy.
+///
+/// Logical CPU numbering follows the paper's testbed: thread `t` of
+/// global core `g` is CPU `g + t * n_cores`, so SMT siblings "differ
+/// in the most significant bit". On the paper's machine every package
+/// has exactly one core, so cores and packages coincide; the CMP
+/// builder ([`Topology::build_cmp`]) adds the extra *core* layer the
+/// paper's Section 7 describes ("extending energy-aware scheduling for
+/// use on a CMP is a matter of adding an additional layer to the
+/// domain hierarchy").
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n_nodes: usize,
+    packages_per_node: usize,
+    cores_per_package: usize,
+    threads_per_core: usize,
+    cpus: Vec<CpuInfo>,
+    /// Per-CPU domain stacks, bottom-up.
+    domains: Vec<Vec<SchedDomain>>,
+}
+
+impl Topology {
+    /// Builds a single-core-per-package topology (the paper's machine
+    /// shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn build(n_nodes: usize, packages_per_node: usize, threads_per_package: usize) -> Self {
+        Topology::build_cmp(n_nodes, packages_per_node, 1, threads_per_package)
+    }
+
+    /// Builds a chip-multiprocessor topology: each package holds
+    /// `cores_per_package` cores of `threads_per_core` hardware
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn build_cmp(
+        n_nodes: usize,
+        packages_per_node: usize,
+        cores_per_package: usize,
+        threads_per_core: usize,
+    ) -> Self {
+        assert!(n_nodes > 0, "need at least one node");
+        assert!(packages_per_node > 0, "need at least one package per node");
+        assert!(cores_per_package > 0, "need at least one core per package");
+        assert!(threads_per_core > 0, "need at least one thread per core");
+        let n_packages = n_nodes * packages_per_node;
+        let n_cores = n_packages * cores_per_package;
+        let n_cpus = n_cores * threads_per_core;
+
+        let mut cpus = vec![
+            CpuInfo {
+                core: CoreId(0),
+                package: PackageId(0),
+                node: NodeId(0),
+                thread: 0,
+            };
+            n_cpus
+        ];
+        for core in 0..n_cores {
+            let pkg = core / cores_per_package;
+            for thread in 0..threads_per_core {
+                let cpu = core + thread * n_cores;
+                cpus[cpu] = CpuInfo {
+                    core: CoreId(core),
+                    package: PackageId(pkg),
+                    node: NodeId(pkg / packages_per_node),
+                    thread,
+                };
+            }
+        }
+
+        let mut topo = Topology {
+            n_nodes,
+            packages_per_node,
+            cores_per_package,
+            threads_per_core,
+            cpus,
+            domains: Vec::new(),
+        };
+        topo.domains = (0..n_cpus).map(|c| topo.build_domains(CpuId(c))).collect();
+        topo
+    }
+
+    /// The paper's testbed: an IBM xSeries 445 with two NUMA nodes of
+    /// four two-way multithreaded Pentium 4 Xeon processors. With
+    /// `smt == false` the hyperthreads are disabled, leaving 8 CPUs.
+    pub fn xseries445(smt: bool) -> Self {
+        Topology::build(2, 4, if smt { 2 } else { 1 })
+    }
+
+    /// Number of logical CPUs.
+    pub fn n_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Number of physical packages.
+    pub fn n_packages(&self) -> usize {
+        self.n_nodes * self.packages_per_node
+    }
+
+    /// Number of cores across the machine.
+    pub fn n_cores(&self) -> usize {
+        self.n_packages() * self.cores_per_package
+    }
+
+    /// Number of NUMA nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Cores per package (1 = the paper's machine).
+    pub fn cores_per_package(&self) -> usize {
+        self.cores_per_package
+    }
+
+    /// Hardware threads per core (1 = SMT disabled).
+    pub fn threads_per_core(&self) -> usize {
+        self.threads_per_core
+    }
+
+    /// Hardware threads per package.
+    pub fn threads_per_package(&self) -> usize {
+        self.cores_per_package * self.threads_per_core
+    }
+
+    /// Whether SMT is enabled.
+    pub fn smt_enabled(&self) -> bool {
+        self.threads_per_core > 1
+    }
+
+    /// All logical CPU ids.
+    pub fn cpu_ids(&self) -> impl Iterator<Item = CpuId> {
+        (0..self.n_cpus()).map(CpuId)
+    }
+
+    /// The core of a logical CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn core_of(&self, cpu: CpuId) -> CoreId {
+        self.cpus[cpu.0].core
+    }
+
+    /// The physical package of a logical CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn package_of(&self, cpu: CpuId) -> PackageId {
+        self.cpus[cpu.0].package
+    }
+
+    /// The NUMA node of a logical CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn node_of(&self, cpu: CpuId) -> NodeId {
+        self.cpus[cpu.0].node
+    }
+
+    /// The logical CPUs of a core, in thread order.
+    pub fn cpus_of_core(&self, core: CoreId) -> Vec<CpuId> {
+        (0..self.threads_per_core)
+            .map(|t| CpuId(core.0 + t * self.n_cores()))
+            .collect()
+    }
+
+    /// The cores of a package.
+    pub fn cores_of_package(&self, pkg: PackageId) -> Vec<CoreId> {
+        (0..self.cores_per_package)
+            .map(|i| CoreId(pkg.0 * self.cores_per_package + i))
+            .collect()
+    }
+
+    /// The logical CPUs of a package, core-major order.
+    pub fn cpus_of_package(&self, pkg: PackageId) -> Vec<CpuId> {
+        self.cores_of_package(pkg)
+            .into_iter()
+            .flat_map(|c| self.cpus_of_core(c))
+            .collect()
+    }
+
+    /// The logical CPUs of a node.
+    pub fn cpus_of_node(&self, node: NodeId) -> Vec<CpuId> {
+        self.cpu_ids()
+            .filter(|&c| self.node_of(c) == node)
+            .collect()
+    }
+
+    /// The SMT sibling threads of `cpu` (same core, excluding `cpu`).
+    pub fn siblings(&self, cpu: CpuId) -> Vec<CpuId> {
+        self.cpus_of_core(self.core_of(cpu))
+            .into_iter()
+            .filter(|&c| c != cpu)
+            .collect()
+    }
+
+    /// Whether two CPUs are hardware threads of the same core.
+    pub fn same_core(&self, a: CpuId, b: CpuId) -> bool {
+        self.core_of(a) == self.core_of(b)
+    }
+
+    /// Whether two CPUs share one physical package.
+    pub fn same_package(&self, a: CpuId, b: CpuId) -> bool {
+        self.package_of(a) == self.package_of(b)
+    }
+
+    /// Whether two CPUs reside on the same NUMA node.
+    pub fn same_node(&self, a: CpuId, b: CpuId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The domain stack of `cpu`, bottom-up (cheapest balancing first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn domains(&self, cpu: CpuId) -> &[SchedDomain] {
+        &self.domains[cpu.0]
+    }
+
+    fn build_domains(&self, cpu: CpuId) -> Vec<SchedDomain> {
+        let mut out = Vec::new();
+        // SMT level: groups are the hardware threads of this core.
+        if self.threads_per_core > 1 {
+            let groups = self
+                .cpus_of_core(self.core_of(cpu))
+                .into_iter()
+                .map(|c| CpuGroup::new(vec![c]))
+                .collect();
+            out.push(SchedDomain::new(
+                DomainLevel::Smt,
+                DomainFlags {
+                    share_cpu_power: true,
+                    crosses_node: false,
+                },
+                groups,
+            ));
+        }
+        // Core level: groups are the cores of this package. Cores have
+        // their own pipelines and (transiently) their own temperatures,
+        // so energy balancing *does* run here (Section 7).
+        if self.cores_per_package > 1 {
+            let groups = self
+                .cores_of_package(self.package_of(cpu))
+                .into_iter()
+                .map(|c| CpuGroup::new(self.cpus_of_core(c)))
+                .collect();
+            out.push(SchedDomain::new(
+                DomainLevel::Core,
+                DomainFlags::default(),
+                groups,
+            ));
+        }
+        // Node level: groups are the packages of this CPU's node.
+        if self.packages_per_node > 1 {
+            let node = self.node_of(cpu);
+            let groups = (0..self.packages_per_node)
+                .map(|i| {
+                    let pkg = PackageId(node.0 * self.packages_per_node + i);
+                    CpuGroup::new(self.cpus_of_package(pkg))
+                })
+                .collect();
+            out.push(SchedDomain::new(
+                DomainLevel::Node,
+                DomainFlags::default(),
+                groups,
+            ));
+        }
+        // Top level: groups are the nodes.
+        if self.n_nodes > 1 {
+            let groups = (0..self.n_nodes)
+                .map(|n| CpuGroup::new(self.cpus_of_node(NodeId(n))))
+                .collect();
+            out.push(SchedDomain::new(
+                DomainLevel::Top,
+                DomainFlags {
+                    share_cpu_power: false,
+                    crosses_node: true,
+                },
+                groups,
+            ));
+        }
+        // Degenerate single-core single-node machines still need one
+        // domain so the balancer has something to walk.
+        if out.is_empty() {
+            out.push(SchedDomain::new(
+                DomainLevel::Top,
+                DomainFlags::default(),
+                vec![CpuGroup::new(vec![cpu])],
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xseries_smt_shape() {
+        let t = Topology::xseries445(true);
+        assert_eq!(t.n_cpus(), 16);
+        assert_eq!(t.n_packages(), 8);
+        assert_eq!(t.n_cores(), 8);
+        assert_eq!(t.n_nodes(), 2);
+        assert!(t.smt_enabled());
+    }
+
+    #[test]
+    fn xseries_no_smt_shape() {
+        let t = Topology::xseries445(false);
+        assert_eq!(t.n_cpus(), 8);
+        assert_eq!(t.n_packages(), 8);
+        assert!(!t.smt_enabled());
+        // No SMT level in the hierarchy.
+        let levels: Vec<_> = t.domains(CpuId(0)).iter().map(|d| d.level()).collect();
+        assert_eq!(levels, vec![DomainLevel::Node, DomainLevel::Top]);
+    }
+
+    #[test]
+    fn paper_sibling_numbering() {
+        // "CPU 0 is the sibling of CPU 8, CPU 1 is the sibling of CPU 9,
+        // and so forth."
+        let t = Topology::xseries445(true);
+        for i in 0..8 {
+            assert_eq!(t.siblings(CpuId(i)), vec![CpuId(i + 8)]);
+            assert_eq!(t.siblings(CpuId(i + 8)), vec![CpuId(i)]);
+            assert!(t.same_package(CpuId(i), CpuId(i + 8)));
+            assert!(t.same_core(CpuId(i), CpuId(i + 8)));
+        }
+        assert!(!t.same_package(CpuId(0), CpuId(1)));
+    }
+
+    #[test]
+    fn paper_node_assignment() {
+        // "CPUs 0 to 3 (with their siblings 8 to 11) reside on node 0,
+        // whereas CPUs 4 to 7 (with their siblings 12 to 15) reside on
+        // node 1."
+        let t = Topology::xseries445(true);
+        for i in 0..4 {
+            assert_eq!(t.node_of(CpuId(i)), NodeId(0));
+            assert_eq!(t.node_of(CpuId(i + 8)), NodeId(0));
+        }
+        for i in 4..8 {
+            assert_eq!(t.node_of(CpuId(i)), NodeId(1));
+            assert_eq!(t.node_of(CpuId(i + 8)), NodeId(1));
+        }
+    }
+
+    #[test]
+    fn three_level_hierarchy_with_smt() {
+        let t = Topology::xseries445(true);
+        let stack = t.domains(CpuId(0));
+        let levels: Vec<_> = stack.iter().map(|d| d.level()).collect();
+        assert_eq!(
+            levels,
+            vec![DomainLevel::Smt, DomainLevel::Node, DomainLevel::Top]
+        );
+        // The SMT domain spans exactly the two siblings and carries the
+        // share-cpu-power flag the energy balancer checks.
+        assert_eq!(stack[0].span().collect::<Vec<_>>(), vec![CpuId(0), CpuId(8)]);
+        assert!(stack[0].flags().share_cpu_power);
+        assert!(!stack[1].flags().share_cpu_power);
+        assert!(stack[2].flags().crosses_node);
+        // Node domain: 4 groups (packages), spanning 8 logical CPUs.
+        assert_eq!(stack[1].groups().len(), 4);
+        assert_eq!(stack[1].span().count(), 8);
+        // Top domain: 2 groups (nodes), spanning all 16.
+        assert_eq!(stack[2].groups().len(), 2);
+        assert_eq!(stack[2].span().count(), 16);
+    }
+
+    #[test]
+    fn cmp_adds_a_core_level() {
+        // Section 7: a dual-core version of the testbed gets a fourth
+        // hierarchy layer.
+        let t = Topology::build_cmp(2, 4, 2, 2);
+        assert_eq!(t.n_cpus(), 32);
+        assert_eq!(t.n_cores(), 16);
+        assert_eq!(t.n_packages(), 8);
+        let stack = t.domains(CpuId(0));
+        let levels: Vec<_> = stack.iter().map(|d| d.level()).collect();
+        assert_eq!(
+            levels,
+            vec![
+                DomainLevel::Smt,
+                DomainLevel::Core,
+                DomainLevel::Node,
+                DomainLevel::Top
+            ]
+        );
+        // The core level spans the package's 4 hardware threads,
+        // grouped per core, and energy balancing is allowed there.
+        assert_eq!(stack[1].span().count(), 4);
+        assert_eq!(stack[1].groups().len(), 2);
+        assert!(!stack[1].flags().share_cpu_power);
+        // The SMT level still shares chip power.
+        assert!(stack[0].flags().share_cpu_power);
+    }
+
+    #[test]
+    fn cmp_core_and_package_relations() {
+        let t = Topology::build_cmp(1, 2, 2, 2);
+        // 8 CPUs: cores 0..4, packages 0..2. CPU = core + thread*4.
+        assert_eq!(t.core_of(CpuId(0)), CoreId(0));
+        assert_eq!(t.core_of(CpuId(4)), CoreId(0)); // Thread 1 of core 0.
+        assert_eq!(t.core_of(CpuId(1)), CoreId(1));
+        assert!(t.same_core(CpuId(0), CpuId(4)));
+        assert!(!t.same_core(CpuId(0), CpuId(1)));
+        // Cores 0 and 1 share package 0.
+        assert!(t.same_package(CpuId(0), CpuId(1)));
+        assert!(!t.same_package(CpuId(0), CpuId(2)));
+        assert_eq!(t.cores_of_package(PackageId(1)), vec![CoreId(2), CoreId(3)]);
+        assert_eq!(
+            t.cpus_of_package(PackageId(0)),
+            vec![CpuId(0), CpuId(4), CpuId(1), CpuId(5)]
+        );
+        assert_eq!(t.siblings(CpuId(1)), vec![CpuId(5)]);
+    }
+
+    #[test]
+    fn every_domain_contains_its_cpu() {
+        for topo in [
+            Topology::xseries445(false),
+            Topology::xseries445(true),
+            Topology::build_cmp(2, 2, 2, 2),
+        ] {
+            for cpu in topo.cpu_ids() {
+                for d in topo.domains(cpu) {
+                    assert!(d.contains(cpu), "{cpu} missing from {:?}", d.level());
+                    assert!(d.local_group_index(cpu).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn domain_spans_nest_upward() {
+        for topo in [Topology::xseries445(true), Topology::build_cmp(2, 2, 4, 2)] {
+            for cpu in topo.cpu_ids() {
+                let stack = topo.domains(cpu);
+                for pair in stack.windows(2) {
+                    let lower: Vec<_> = pair[0].span().collect();
+                    let upper: Vec<_> = pair[1].span().collect();
+                    for c in &lower {
+                        assert!(upper.contains(c), "span of lower level not nested");
+                    }
+                    assert!(lower.len() < upper.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn groups_partition_span() {
+        for topo in [
+            Topology::xseries445(false),
+            Topology::xseries445(true),
+            Topology::build_cmp(1, 2, 4, 2),
+        ] {
+            for cpu in topo.cpu_ids() {
+                for d in topo.domains(cpu) {
+                    let total: usize = d.groups().iter().map(|g| g.len()).sum();
+                    assert_eq!(total, d.span().count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn package_cpu_listing() {
+        let t = Topology::xseries445(true);
+        assert_eq!(t.cpus_of_package(PackageId(2)), vec![CpuId(2), CpuId(10)]);
+        assert_eq!(
+            t.cpus_of_node(NodeId(1)),
+            vec![
+                CpuId(4),
+                CpuId(5),
+                CpuId(6),
+                CpuId(7),
+                CpuId(12),
+                CpuId(13),
+                CpuId(14),
+                CpuId(15)
+            ]
+        );
+    }
+
+    #[test]
+    fn single_cpu_machine_gets_degenerate_domain() {
+        let t = Topology::build(1, 1, 1);
+        assert_eq!(t.n_cpus(), 1);
+        let stack = t.domains(CpuId(0));
+        assert_eq!(stack.len(), 1);
+        assert_eq!(stack[0].span().collect::<Vec<_>>(), vec![CpuId(0)]);
+    }
+
+    #[test]
+    fn uma_smp_has_single_level() {
+        // A 1-node 4-package machine without SMT: only the node level.
+        let t = Topology::build(1, 4, 1);
+        let stack = t.domains(CpuId(2));
+        assert_eq!(stack.len(), 1);
+        assert_eq!(stack[0].level(), DomainLevel::Node);
+        assert_eq!(stack[0].groups().len(), 4);
+    }
+
+    #[test]
+    fn single_package_cmp_has_core_level_only_plus_smt() {
+        // One package with 4 dual-threaded cores: SMT + Core levels.
+        let t = Topology::build_cmp(1, 1, 4, 2);
+        let stack = t.domains(CpuId(0));
+        let levels: Vec<_> = stack.iter().map(|d| d.level()).collect();
+        assert_eq!(levels, vec![DomainLevel::Smt, DomainLevel::Core]);
+        assert_eq!(stack[1].groups().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Topology::build(0, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = Topology::build_cmp(1, 1, 0, 1);
+    }
+}

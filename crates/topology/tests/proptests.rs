@@ -1,0 +1,122 @@
+//! Property-based tests: structural invariants of arbitrary machine
+//! shapes.
+
+use ebs_topology::{CpuId, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    /// For any machine shape: groups partition spans, spans nest
+    /// strictly upward, and the top level spans the whole machine.
+    #[test]
+    fn domain_structure_invariants(
+        nodes in 1usize..4,
+        packages in 1usize..5,
+        cores in 1usize..4,
+        threads in 1usize..3,
+    ) {
+        let topo = Topology::build_cmp(nodes, packages, cores, threads);
+        prop_assert_eq!(topo.n_cpus(), nodes * packages * cores * threads);
+        for cpu in topo.cpu_ids() {
+            let stack = topo.domains(cpu);
+            prop_assert!(!stack.is_empty());
+            for d in stack {
+                prop_assert!(d.contains(cpu));
+                let total: usize = d.groups().iter().map(|g| g.len()).sum();
+                prop_assert_eq!(total, d.span().count());
+                // No CPU appears twice in a span.
+                let mut seen: Vec<CpuId> = d.span().collect();
+                seen.sort_unstable();
+                let len = seen.len();
+                seen.dedup();
+                prop_assert_eq!(seen.len(), len);
+            }
+            for pair in stack.windows(2) {
+                let lower: Vec<CpuId> = pair[0].span().collect();
+                let upper: Vec<CpuId> = pair[1].span().collect();
+                prop_assert!(lower.len() < upper.len());
+                prop_assert!(lower.iter().all(|c| upper.contains(c)));
+            }
+            let top: Vec<CpuId> = stack.last().unwrap().span().collect();
+            // The top level spans everything (or the machine is a
+            // single CPU with its degenerate domain).
+            if topo.n_cpus() > 1 {
+                prop_assert_eq!(top.len(), topo.n_cpus());
+            }
+        }
+    }
+
+    /// Sibling relations are symmetric and consistent with packages.
+    #[test]
+    fn sibling_symmetry(
+        nodes in 1usize..4,
+        packages in 1usize..5,
+        cores in 1usize..3,
+        threads in 1usize..4,
+    ) {
+        let topo = Topology::build_cmp(nodes, packages, cores, threads);
+        for cpu in topo.cpu_ids() {
+            for sib in topo.siblings(cpu) {
+                prop_assert_ne!(sib, cpu);
+                prop_assert!(topo.same_core(cpu, sib));
+                prop_assert!(topo.same_package(cpu, sib));
+                prop_assert!(topo.siblings(sib).contains(&cpu));
+            }
+            prop_assert_eq!(topo.siblings(cpu).len(), threads - 1);
+        }
+    }
+
+    /// Every CPU belongs to exactly one package and node, and the
+    /// package listing round-trips.
+    #[test]
+    fn package_membership_round_trips(
+        nodes in 1usize..4,
+        packages in 1usize..5,
+        cores in 1usize..3,
+        threads in 1usize..4,
+    ) {
+        let topo = Topology::build_cmp(nodes, packages, cores, threads);
+        for cpu in topo.cpu_ids() {
+            let core = topo.core_of(cpu);
+            prop_assert!(topo.cpus_of_core(core).contains(&cpu));
+            let pkg = topo.package_of(cpu);
+            prop_assert!(topo.cores_of_package(pkg).contains(&core));
+            prop_assert!(topo.cpus_of_package(pkg).contains(&cpu));
+            let node = topo.node_of(cpu);
+            prop_assert!(topo.cpus_of_node(node).contains(&cpu));
+        }
+        // Packages partition the CPU set.
+        let mut all: Vec<CpuId> = (0..topo.n_packages())
+            .flat_map(|p| topo.cpus_of_package(ebs_topology::PackageId(p)))
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, topo.cpu_ids().collect::<Vec<_>>());
+    }
+
+    /// SMT domains carry the share-cpu-power flag; higher levels never
+    /// do, and only the top level crosses nodes.
+    #[test]
+    fn domain_flags_match_levels(
+        nodes in 1usize..3,
+        packages in 2usize..5,
+        smt in any::<bool>(),
+    ) {
+        let topo = Topology::build(nodes, packages, if smt { 2 } else { 1 });
+        for cpu in topo.cpu_ids() {
+            for d in topo.domains(cpu) {
+                match d.level() {
+                    ebs_topology::DomainLevel::Smt => {
+                        prop_assert!(d.flags().share_cpu_power);
+                        prop_assert!(!d.flags().crosses_node);
+                    }
+                    ebs_topology::DomainLevel::Core | ebs_topology::DomainLevel::Node => {
+                        prop_assert!(!d.flags().share_cpu_power);
+                        prop_assert!(!d.flags().crosses_node);
+                    }
+                    ebs_topology::DomainLevel::Top => {
+                        prop_assert!(!d.flags().share_cpu_power);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Physical unit newtypes shared across the EBS workspace.
+//!
+//! The energy-aware scheduler of Merkel & Bellosa (EuroSys 2006) juggles
+//! several physical quantities — energy estimates, power ratios,
+//! temperatures, and simulated time. Mixing them up (e.g. comparing a
+//! runqueue *power* to a *temperature*) is exactly the class of bug the
+//! paper's Section 4.3 warns about when it insists that *thermal power*
+//! keep "the dimension of a power". These newtypes make such confusion a
+//! compile error while staying zero-cost.
+//!
+//! # Examples
+//!
+//! ```
+//! use ebs_units::{Joules, SimDuration, Watts};
+//!
+//! let timeslice = SimDuration::from_millis(100);
+//! let energy = Watts(55.0) * timeslice;
+//! assert!((energy.0 - 5.5).abs() < 1e-9);
+//! assert_eq!(energy / timeslice, Watts(55.0));
+//! ```
+
+mod power;
+mod temp;
+mod time;
+
+pub use power::{Joules, Watts};
+pub use temp::Celsius;
+pub use time::{SimDuration, SimTime};
+
+/// Clock cycles executed by a CPU, used by the counter and IPC models.
+pub type Cycles = u64;
+
+/// Retired instructions, the work unit of simulated programs.
+pub type Instructions = u64;

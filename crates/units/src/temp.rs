@@ -1,0 +1,117 @@
+//! Temperature in degrees Celsius.
+//!
+//! The paper reports temperatures in Celsius (45 °C workload maximum,
+//! 38 °C artificial throttling limit), so the workspace follows suit.
+//! Only differences of temperature enter the RC model, which makes the
+//! Celsius/Kelvin distinction immaterial as long as a single scale is
+//! used consistently.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Temperature in degrees Celsius.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(pub f64);
+
+impl Celsius {
+    /// A typical machine-room ambient temperature.
+    pub const AMBIENT: Celsius = Celsius(22.0);
+
+    /// The difference `self - other` in kelvin.
+    pub fn delta(self, other: Celsius) -> f64 {
+        self.0 - other.0
+    }
+
+    /// The larger of two temperatures.
+    pub fn max(self, other: Celsius) -> Celsius {
+        Celsius(self.0.max(other.0))
+    }
+
+    /// The smaller of two temperatures.
+    pub fn min(self, other: Celsius) -> Celsius {
+        Celsius(self.0.min(other.0))
+    }
+
+    /// Whether the value is finite and above absolute zero.
+    pub fn is_sane(self) -> bool {
+        self.0.is_finite() && self.0 > -273.15
+    }
+}
+
+impl Add<f64> for Celsius {
+    type Output = Celsius;
+    fn add(self, rhs: f64) -> Celsius {
+        Celsius(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for Celsius {
+    fn add_assign(&mut self, rhs: f64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<f64> for Celsius {
+    type Output = Celsius;
+    fn sub(self, rhs: f64) -> Celsius {
+        Celsius(self.0 - rhs)
+    }
+}
+
+impl SubAssign<f64> for Celsius {
+    fn sub_assign(&mut self, rhs: f64) {
+        self.0 -= rhs;
+    }
+}
+
+impl fmt::Debug for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}degC", self.0)
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}degC", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_signed() {
+        assert_eq!(Celsius(38.0).delta(Celsius(22.0)), 16.0);
+        assert_eq!(Celsius(22.0).delta(Celsius(38.0)), -16.0);
+    }
+
+    #[test]
+    fn offset_arithmetic() {
+        let mut t = Celsius(22.0) + 10.0;
+        assert_eq!(t, Celsius(32.0));
+        t -= 2.0;
+        assert_eq!(t, Celsius(30.0));
+        t += 1.0;
+        assert_eq!(t, Celsius(31.0));
+        assert_eq!(Celsius(31.0) - 1.0, Celsius(30.0));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Celsius(38.0).max(Celsius(45.0)), Celsius(45.0));
+        assert_eq!(Celsius(38.0).min(Celsius(45.0)), Celsius(38.0));
+    }
+
+    #[test]
+    fn sanity() {
+        assert!(Celsius(22.0).is_sane());
+        assert!(!Celsius(-300.0).is_sane());
+        assert!(!Celsius(f64::NAN).is_sane());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Celsius(37.96)), "38.0degC");
+    }
+}

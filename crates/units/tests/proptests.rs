@@ -1,0 +1,57 @@
+//! Property-based tests for the unit newtypes.
+
+use ebs_units::{Joules, SimDuration, SimTime, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    /// Power -> energy -> power round-trips exactly (up to float
+    /// rounding) for any positive duration.
+    #[test]
+    fn power_energy_round_trip(watts in 0.0f64..1_000.0, us in 1u64..10_000_000_000) {
+        let dt = SimDuration::from_micros(us);
+        let e = Watts(watts) * dt;
+        let p = e / dt;
+        prop_assert!((p.0 - watts).abs() < 1e-9 * watts.max(1.0));
+    }
+
+    /// Instant/duration arithmetic is consistent: `(t + d) - t == d`
+    /// and `(t + d) - d == t`.
+    #[test]
+    fn instant_arithmetic_round_trips(t_us in 0u64..1_000_000_000, d_us in 0u64..1_000_000_000) {
+        let t = SimTime::from_micros(t_us);
+        let d = SimDuration::from_micros(d_us);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+    }
+
+    /// Duration ratios and scalar multiplication agree.
+    #[test]
+    fn duration_ratio_inverts_scaling(us in 1u64..1_000_000, k in 1u64..1_000) {
+        let d = SimDuration::from_micros(us);
+        let scaled = d * k;
+        prop_assert!((scaled.ratio(d) - k as f64).abs() < 1e-9);
+        prop_assert_eq!(scaled / k, d);
+    }
+
+    /// Summing watts over an iterator equals fold-addition.
+    #[test]
+    fn watt_sum_is_fold(values in prop::collection::vec(0.0f64..100.0, 0..20)) {
+        let sum: Watts = values.iter().map(|&v| Watts(v)).sum();
+        let fold = values.iter().fold(Watts::ZERO, |acc, &v| acc + Watts(v));
+        prop_assert!((sum.0 - fold.0).abs() < 1e-9);
+        let jsum: Joules = values.iter().map(|&v| Joules(v)).sum();
+        prop_assert!((jsum.0 - values.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    /// `mul_f64` scales monotonically and never panics on large
+    /// factors (saturation).
+    #[test]
+    fn duration_mul_f64_is_monotone(us in 0u64..1_000_000, a in 0.0f64..10.0, b in 0.0f64..10.0) {
+        let d = SimDuration::from_micros(us);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(d.mul_f64(lo) <= d.mul_f64(hi));
+        let _ = d.mul_f64(f64::MAX); // Must saturate, not panic.
+    }
+}

@@ -1,0 +1,418 @@
+//! The program catalog: the paper's test applications as phase models.
+//!
+//! Power levels follow Table 2 (on the ground-truth energy model at
+//! 2.2 GHz) and phase-change statistics follow Table 1. The activity
+//! vectors are chosen to be *microarchitecturally* plausible for each
+//! program — bitcnts is pure ALU pressure, memrw is bus-bound with low
+//! IPC, openssl rotates through *different algorithms with different
+//! power* (42–57 W), and so on.
+
+use crate::phase::{Behavior, BlockProfile, Phase};
+use crate::program::Program;
+use ebs_counters::EventRates;
+use ebs_units::SimDuration;
+
+/// Binary ids of the catalog programs (the "inode numbers").
+pub mod binaries {
+    /// bitcnts binary id.
+    pub const BITCNTS: u64 = 1;
+    /// memrw binary id.
+    pub const MEMRW: u64 = 2;
+    /// aluadd binary id.
+    pub const ALUADD: u64 = 3;
+    /// pushpop binary id.
+    pub const PUSHPOP: u64 = 4;
+    /// openssl binary id.
+    pub const OPENSSL: u64 = 5;
+    /// bzip2 binary id.
+    pub const BZIP2: u64 = 6;
+    /// bash binary id.
+    pub const BASH: u64 = 7;
+    /// grep binary id.
+    pub const GREP: u64 = 8;
+    /// sshd binary id.
+    pub const SSHD: u64 = 9;
+}
+
+const LONG: SimDuration = SimDuration::from_secs(3_600);
+
+/// bitcnts — bit counting operations; the hottest program (61 W).
+pub fn bitcnts() -> Program {
+    let rates = EventRates::builder()
+        .uops_retired(2.6)
+        .mem_loads(0.35)
+        .mem_stores(0.12)
+        .branch_mispredictions(0.025)
+        .l2_references(0.016)
+        .build();
+    Program::new(
+        "bitcnts",
+        binaries::BITCNTS,
+        vec![Phase::new("count", rates, 1.8, LONG)],
+        Behavior::Steady,
+        0.01,
+    )
+}
+
+/// memrw — memory reads/writes; bus-bound and cool (38 W).
+pub fn memrw() -> Program {
+    let rates = EventRates::builder()
+        .uops_retired(0.35)
+        .mem_loads(0.20)
+        .mem_stores(0.20)
+        .l2_references(0.07)
+        .l2_misses(0.022)
+        .bus_transactions(0.036)
+        .build();
+    Program::new(
+        "memrw",
+        binaries::MEMRW,
+        vec![Phase::new("stream", rates, 0.25, LONG)],
+        Behavior::Steady,
+        0.01,
+    )
+}
+
+/// aluadd — integer additions (50 W).
+pub fn aluadd() -> Program {
+    let rates = EventRates::builder()
+        .uops_retired(2.3)
+        .mem_loads(0.10)
+        .mem_stores(0.05)
+        .l2_references(0.002)
+        .build();
+    Program::new(
+        "aluadd",
+        binaries::ALUADD,
+        vec![Phase::new("add", rates, 2.0, LONG)],
+        Behavior::Steady,
+        0.01,
+    )
+}
+
+/// pushpop — stack push/pop (47 W).
+pub fn pushpop() -> Program {
+    let rates = EventRates::builder()
+        .uops_retired(1.6)
+        .mem_loads(0.50)
+        .mem_stores(0.50)
+        .l2_references(0.005)
+        .build();
+    Program::new(
+        "pushpop",
+        binaries::PUSHPOP,
+        vec![Phase::new("stack", rates, 1.5, LONG)],
+        Behavior::Steady,
+        0.01,
+    )
+}
+
+/// openssl — the OpenSSL benchmark rotating through encryption and
+/// checksum algorithms; power varies between 42 W and 57 W with brief
+/// low-power setup stretches between algorithms.
+pub fn openssl() -> Program {
+    let dwell = SimDuration::from_secs(12);
+    let setup = SimDuration::from_millis(1_200);
+    let phases = vec![
+        Phase::new(
+            "rsa",
+            EventRates::builder()
+                .fp_uops(0.90)
+                .uops_retired(1.30)
+                .mem_loads(0.15)
+                .mem_stores(0.08)
+                .build(),
+            1.0,
+            dwell,
+        ),
+        Phase::new(
+            "aes",
+            EventRates::builder()
+                .uops_retired(2.20)
+                .mem_loads(0.45)
+                .mem_stores(0.15)
+                .build(),
+            1.6,
+            dwell,
+        ),
+        Phase::new(
+            "sha",
+            EventRates::builder()
+                .uops_retired(2.00)
+                .mem_loads(0.35)
+                .mem_stores(0.13)
+                .build(),
+            1.7,
+            dwell,
+        ),
+        Phase::new(
+            "des",
+            EventRates::builder()
+                .uops_retired(1.90)
+                .mem_loads(0.30)
+                .mem_stores(0.02)
+                .build(),
+            1.6,
+            dwell,
+        ),
+        Phase::new(
+            "md5",
+            EventRates::builder()
+                .uops_retired(1.75)
+                .mem_loads(0.23)
+                .build(),
+            1.7,
+            dwell,
+        ),
+        Phase::new(
+            "setup",
+            EventRates::builder()
+                .uops_retired(1.20)
+                .mem_loads(0.30)
+                .mem_stores(0.10)
+                .build(),
+            1.2,
+            setup,
+        ),
+    ];
+    Program::new(
+        "openssl",
+        binaries::OPENSSL,
+        phases,
+        Behavior::Cyclic,
+        0.035,
+    )
+}
+
+/// bzip2 — file compression (48 W) with rare input-refill stalls that
+/// produce Table 1's 88.8 % worst-case slice-to-slice change.
+pub fn bzip2() -> Program {
+    let compress = EventRates::builder()
+        .uops_retired(1.50)
+        .mem_loads(0.35)
+        .mem_stores(0.18)
+        .l2_references(0.06)
+        .l2_misses(0.008)
+        .bus_transactions(0.008)
+        .branch_mispredictions(0.006)
+        .build();
+    let refill = EventRates::builder()
+        .uops_retired(0.37)
+        .mem_loads(0.10)
+        .l2_references(0.05)
+        .l2_misses(0.01)
+        .bus_transactions(0.006)
+        .build();
+    Program::new(
+        "bzip2",
+        binaries::BZIP2,
+        vec![
+            Phase::new("compress", compress, 1.1, LONG),
+            Phase::new("refill", refill, 0.35, SimDuration::from_millis(100)),
+        ],
+        Behavior::Spiky { spike_prob: 0.02 },
+        0.04,
+    )
+}
+
+/// bash — an interactive shell: mostly waiting, moderate bursts when
+/// active (Table 1: 19.0 % max, 2.05 % average change).
+pub fn bash() -> Program {
+    let prompt = EventRates::builder()
+        .uops_retired(0.60)
+        .mem_loads(0.20)
+        .mem_stores(0.10)
+        .build();
+    let burst = EventRates::builder()
+        .uops_retired(0.85)
+        .mem_loads(0.25)
+        .mem_stores(0.14)
+        .build();
+    Program::new(
+        "bash",
+        binaries::BASH,
+        vec![
+            Phase::new("prompt", prompt, 0.8, LONG),
+            Phase::new("burst", burst, 1.0, SimDuration::from_millis(100)),
+        ],
+        Behavior::Spiky { spike_prob: 0.01 },
+        0.055,
+    )
+    .with_blocking(BlockProfile::new(0.35, SimDuration::from_millis(60)))
+}
+
+/// grep — a steady text scanner with rare I/O stalls (Table 1: 84.3 %
+/// max but only 1.06 % average change).
+pub fn grep() -> Program {
+    let scan = EventRates::builder()
+        .uops_retired(1.55)
+        .mem_loads(0.30)
+        .l2_references(0.02)
+        .build();
+    let stall = EventRates::builder()
+        .uops_retired(0.20)
+        .l2_references(0.02)
+        .l2_misses(0.01)
+        .bus_transactions(0.012)
+        .build();
+    Program::new(
+        "grep",
+        binaries::GREP,
+        vec![
+            Phase::new("scan", scan, 1.4, LONG),
+            Phase::new("stall", stall, 0.15, SimDuration::from_millis(100)),
+        ],
+        Behavior::Spiky { spike_prob: 0.004 },
+        0.01,
+    )
+}
+
+/// sshd — a network daemon: light steady crypto with occasional
+/// bursts, frequent blocking (Table 1: 18.3 % max, 1.38 % average).
+pub fn sshd() -> Program {
+    let idle_crypt = EventRates::builder()
+        .uops_retired(1.10)
+        .mem_loads(0.30)
+        .mem_stores(0.15)
+        .l2_references(0.02)
+        .build();
+    let burst = EventRates::builder()
+        .uops_retired(1.53)
+        .mem_loads(0.35)
+        .mem_stores(0.20)
+        .build();
+    Program::new(
+        "sshd",
+        binaries::SSHD,
+        vec![
+            Phase::new("relay", idle_crypt, 1.2, LONG),
+            Phase::new("burst", burst, 1.4, SimDuration::from_millis(100)),
+        ],
+        Behavior::Spiky { spike_prob: 0.005 },
+        0.03,
+    )
+    .with_blocking(BlockProfile::new(0.25, SimDuration::from_millis(40)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_counters::EnergyModel;
+
+    const FREQ: f64 = 2.2e9;
+
+    fn main_power(p: &Program) -> f64 {
+        EnergyModel::ground_truth_weights()
+            .power_for_rates(&p.main_phase().rates, FREQ)
+            .0
+    }
+
+    #[test]
+    fn table2_power_levels() {
+        // Table 2 of the paper, within half a watt.
+        let cases = [
+            (bitcnts(), 61.0),
+            (memrw(), 38.0),
+            (aluadd(), 50.0),
+            (pushpop(), 47.0),
+            (bzip2(), 48.0),
+        ];
+        for (program, expected) in cases {
+            let p = main_power(&program);
+            assert!(
+                (p - expected).abs() < 0.5,
+                "{}: modelled {p:.2} W, Table 2 says {expected} W",
+                program.name
+            );
+        }
+    }
+
+    #[test]
+    fn openssl_power_spans_42_to_57() {
+        let program = openssl();
+        let model = EnergyModel::ground_truth_weights();
+        let powers: Vec<f64> = program
+            .phases
+            .iter()
+            .filter(|ph| ph.name != "setup")
+            .map(|ph| model.power_for_rates(&ph.rates, FREQ).0)
+            .collect();
+        let max = powers.iter().cloned().fold(f64::MIN, f64::max);
+        let min = powers.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max - 57.0).abs() < 0.5, "openssl max {max:.2}");
+        assert!((min - 42.0).abs() < 0.5, "openssl min {min:.2}");
+    }
+
+    #[test]
+    fn table1_worst_case_jumps() {
+        // The biggest phase-to-phase power jump of each program should
+        // approximate Table 1's maximum successive-slice change.
+        let model = EnergyModel::ground_truth_weights();
+        let max_jump = |p: &Program| -> f64 {
+            let powers: Vec<f64> = p
+                .phases
+                .iter()
+                .map(|ph| model.power_for_rates(&ph.rates, FREQ).0)
+                .collect();
+            let mut worst = 0.0_f64;
+            for &a in &powers {
+                for &b in &powers {
+                    worst = worst.max((b - a).abs() / a.min(b));
+                }
+            }
+            worst
+        };
+        let cases = [
+            (bash(), 0.190),
+            (bzip2(), 0.888),
+            (grep(), 0.843),
+            (sshd(), 0.183),
+            (openssl(), 0.632),
+        ];
+        for (program, expected) in cases {
+            let jump = max_jump(&program);
+            assert!(
+                (jump - expected).abs() < 0.05,
+                "{}: max jump {jump:.3}, Table 1 says {expected}",
+                program.name
+            );
+        }
+    }
+
+    #[test]
+    fn binary_ids_are_unique() {
+        let programs = [
+            bitcnts(),
+            memrw(),
+            aluadd(),
+            pushpop(),
+            openssl(),
+            bzip2(),
+            bash(),
+            grep(),
+            sshd(),
+        ];
+        for (i, a) in programs.iter().enumerate() {
+            for b in &programs[i + 1..] {
+                assert_ne!(a.binary, b.binary, "{} and {} share a binary", a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn interactive_programs_block() {
+        assert!(bash().blocking.is_some());
+        assert!(sshd().blocking.is_some());
+        assert!(bitcnts().blocking.is_none());
+    }
+
+    #[test]
+    fn hot_programs_have_high_ipc() {
+        // The memory-bound program must be slow, the ALU ones fast —
+        // otherwise the cache/IPC model would be inconsistent with the
+        // power model.
+        assert!(memrw().main_phase().ipc < 0.5);
+        assert!(bitcnts().main_phase().ipc > 1.5);
+        assert!(aluadd().main_phase().ipc >= 2.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Workload mixes: the task populations of the paper's experiments.
+
+use crate::catalog;
+use crate::program::Program;
+
+/// A program with an instance count.
+#[derive(Clone, Debug)]
+pub struct MixEntry {
+    /// The program to run.
+    pub program: Program,
+    /// How many instances to start.
+    pub count: usize,
+}
+
+/// A full workload: several programs with counts.
+pub type Mix = Vec<MixEntry>;
+
+/// Total number of tasks in a mix.
+pub fn mix_size(mix: &Mix) -> usize {
+    mix.iter().map(|e| e.count).sum()
+}
+
+/// The Section 6.1 mixed workload: the six Table 2 programs. The paper
+/// starts each program three times (18 tasks on 8 CPUs) with SMT off,
+/// or six times (36 tasks on 16 logical CPUs) with SMT on.
+pub fn section61_mix() -> Vec<Program> {
+    vec![
+        catalog::bitcnts(),
+        catalog::memrw(),
+        catalog::aluadd(),
+        catalog::pushpop(),
+        catalog::openssl(),
+        catalog::bzip2(),
+    ]
+}
+
+/// The Table 1 characterisation programs.
+pub fn table1_programs() -> Vec<Program> {
+    vec![
+        catalog::bash(),
+        catalog::bzip2(),
+        catalog::grep(),
+        catalog::sshd(),
+        catalog::openssl(),
+    ]
+}
+
+/// One Fig. 8 scenario: `n_memrw` instances of memrw (low power),
+/// `n_pushpop` of pushpop (medium), `n_bitcnts` of bitcnts (high).
+pub fn fig8_scenario(n_memrw: usize, n_pushpop: usize, n_bitcnts: usize) -> Mix {
+    vec![
+        MixEntry {
+            program: catalog::memrw(),
+            count: n_memrw,
+        },
+        MixEntry {
+            program: catalog::pushpop(),
+            count: n_pushpop,
+        },
+        MixEntry {
+            program: catalog::bitcnts(),
+            count: n_bitcnts,
+        },
+    ]
+}
+
+/// All ten Fig. 8 scenarios, from fully heterogeneous 9/0/9 to fully
+/// homogeneous 0/18/0, with their paper labels.
+pub fn fig8_scenarios() -> Vec<(String, Mix)> {
+    (0..10)
+        .map(|i| {
+            let outer = 9 - i;
+            let inner = 2 * i;
+            (
+                format!("{outer}/{inner}/{outer}"),
+                fig8_scenario(outer, inner, outer),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section61_has_six_distinct_programs() {
+        let mix = section61_mix();
+        assert_eq!(mix.len(), 6);
+        let names: Vec<_> = mix.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["bitcnts", "memrw", "aluadd", "pushpop", "openssl", "bzip2"]
+        );
+    }
+
+    #[test]
+    fn fig8_scenarios_match_paper_labels() {
+        let scenarios = fig8_scenarios();
+        assert_eq!(scenarios.len(), 10);
+        assert_eq!(scenarios[0].0, "9/0/9");
+        assert_eq!(scenarios[4].0, "5/8/5");
+        assert_eq!(scenarios[9].0, "0/18/0");
+        // Every scenario totals 18 tasks.
+        for (label, mix) in &scenarios {
+            assert_eq!(mix_size(mix), 18, "scenario {label}");
+        }
+    }
+
+    #[test]
+    fn fig8_scenario_counts() {
+        let mix = fig8_scenario(8, 2, 8);
+        assert_eq!(mix[0].count, 8);
+        assert_eq!(mix[0].program.name, "memrw");
+        assert_eq!(mix[1].count, 2);
+        assert_eq!(mix[1].program.name, "pushpop");
+        assert_eq!(mix[2].count, 8);
+        assert_eq!(mix[2].program.name, "bitcnts");
+    }
+
+    #[test]
+    fn table1_covers_paper_rows() {
+        let names: Vec<_> = table1_programs().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["bash", "bzip2", "grep", "sshd", "openssl"]);
+    }
+}

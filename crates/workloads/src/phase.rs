@@ -1,0 +1,136 @@
+//! Phases: the building blocks of program behaviour.
+//!
+//! "An analysis of the processor's power consumption while running a
+//! particular task shows that power consumption is fairly static most
+//! of the time, but exhibits changes as the task experiences different
+//! phases of execution" (Section 3.1). A [`Phase`] bundles the activity
+//! (event rates → power) and speed (IPC) of one such execution phase.
+
+use ebs_counters::EventRates;
+use ebs_units::SimDuration;
+
+/// One execution phase of a program.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    /// A short label for reports ("rsa", "compress", ...).
+    pub name: &'static str,
+    /// Events generated per cycle while in this phase.
+    pub rates: EventRates,
+    /// Instructions retired per cycle (warm-cache speed).
+    pub ipc: f64,
+    /// How long the program stays in this phase before the behaviour
+    /// model moves on.
+    pub dwell: SimDuration,
+}
+
+impl Phase {
+    /// Creates a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ipc` is not positive and finite.
+    pub fn new(name: &'static str, rates: EventRates, ipc: f64, dwell: SimDuration) -> Self {
+        assert!(ipc.is_finite() && ipc > 0.0, "IPC must be positive, got {ipc}");
+        Phase {
+            name,
+            rates,
+            ipc,
+            dwell,
+        }
+    }
+}
+
+/// How a program moves between its phases.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Behavior {
+    /// Stay in phase 0 forever (bitcnts, memrw, aluadd, pushpop).
+    Steady,
+    /// Rotate through the phases in order, each for its dwell time
+    /// (the openssl benchmark running one algorithm after another).
+    Cyclic,
+    /// Phase 0 dominates; at the start of a timeslice, with the given
+    /// probability, spend that one slice in a randomly chosen other
+    /// phase (bzip2's rare I/O stalls, grep's buffer refills).
+    Spiky {
+        /// Per-timeslice probability of a spike.
+        spike_prob: f64,
+    },
+}
+
+/// Blocking behaviour of interactive programs (bash, sshd): the paper's
+/// variable-period exponential average exists precisely because "a task
+/// may block any time".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockProfile {
+    /// Probability of blocking at the end of a timeslice.
+    pub prob_per_slice: f64,
+    /// Mean sleep duration; actual sleeps vary ±50 % around this.
+    pub mean_sleep: SimDuration,
+}
+
+impl BlockProfile {
+    /// Creates a blocking profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]` or the sleep is
+    /// zero.
+    pub fn new(prob_per_slice: f64, mean_sleep: SimDuration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&prob_per_slice),
+            "probability {prob_per_slice} outside [0, 1]"
+        );
+        assert!(!mean_sleep.is_zero(), "mean sleep must be positive");
+        BlockProfile {
+            prob_per_slice,
+            mean_sleep,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_counters::EventRates;
+
+    #[test]
+    fn phase_construction() {
+        let p = Phase::new(
+            "main",
+            EventRates::builder().uops_retired(2.0).build(),
+            1.8,
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(p.name, "main");
+        assert_eq!(p.ipc, 1.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "IPC must be positive")]
+    fn zero_ipc_rejected() {
+        let _ = Phase::new(
+            "bad",
+            EventRates::builder().build(),
+            0.0,
+            SimDuration::from_secs(1),
+        );
+    }
+
+    #[test]
+    fn block_profile_validation() {
+        let b = BlockProfile::new(0.3, SimDuration::from_millis(50));
+        assert_eq!(b.prob_per_slice, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_probability_rejected() {
+        let _ = BlockProfile::new(1.5, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_sleep_rejected() {
+        let _ = BlockProfile::new(0.5, SimDuration::ZERO);
+    }
+}

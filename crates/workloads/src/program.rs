@@ -1,0 +1,374 @@
+//! Programs and their per-task runtime state.
+
+use crate::phase::{Behavior, BlockProfile, Phase};
+use ebs_counters::EventRates;
+use ebs_units::{Instructions, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A workload program: phases plus the behaviour moving between them.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Program name as reported in tables ("bitcnts", ...).
+    pub name: &'static str,
+    /// The binary identity, keying the initial-placement table. One
+    /// id per program, shared by all its instances — like the inode of
+    /// `/usr/bin/bzip2`.
+    pub binary: u64,
+    /// The phases; phase 0 is the initial/dominant one.
+    pub phases: Vec<Phase>,
+    /// Phase-transition behaviour.
+    pub behavior: Behavior,
+    /// Per-timeslice multiplicative activity jitter (relative, e.g.
+    /// 0.02 = ±2 %): input-data dependence within a phase.
+    pub jitter: f64,
+    /// Blocking behaviour, for interactive programs.
+    pub blocking: Option<BlockProfile>,
+    /// Instructions until the task finishes; `None` runs forever.
+    pub total_work: Option<Instructions>,
+}
+
+impl Program {
+    /// Creates a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no phases or the jitter is negative.
+    pub fn new(
+        name: &'static str,
+        binary: u64,
+        phases: Vec<Phase>,
+        behavior: Behavior,
+        jitter: f64,
+    ) -> Self {
+        assert!(!phases.is_empty(), "program needs at least one phase");
+        assert!(
+            (0.0..1.0).contains(&jitter),
+            "jitter {jitter} outside [0, 1)"
+        );
+        Program {
+            name,
+            binary,
+            phases,
+            behavior,
+            jitter,
+            blocking: None,
+            total_work: None,
+        }
+    }
+
+    /// Adds blocking behaviour.
+    pub fn with_blocking(mut self, blocking: BlockProfile) -> Self {
+        self.blocking = Some(blocking);
+        self
+    }
+
+    /// Bounds the task's work so it terminates (for throughput
+    /// experiments).
+    pub fn with_total_work(mut self, instructions: Instructions) -> Self {
+        self.total_work = Some(instructions);
+        self
+    }
+
+    /// The program's dominant (initial) phase.
+    pub fn main_phase(&self) -> &Phase {
+        &self.phases[0]
+    }
+}
+
+/// Per-task runtime state of a program: phase position, per-slice
+/// jitter, accumulated work, and a private RNG so every task instance
+/// behaves deterministically given its seed (the paper: "the sequence
+/// and the duration of these phases depend on the task's input data").
+#[derive(Clone, Debug)]
+pub struct ProgramState {
+    program: Program,
+    phase_idx: usize,
+    dwell_left: SimDuration,
+    /// A one-timeslice spike phase, overriding `phase_idx`.
+    spike: Option<usize>,
+    jitter_factor: f64,
+    work_done: Instructions,
+    rng: StdRng,
+}
+
+impl ProgramState {
+    /// Creates runtime state for one task instance.
+    pub fn new(program: Program, seed: u64) -> Self {
+        let dwell = program.phases[0].dwell;
+        ProgramState {
+            program,
+            phase_idx: 0,
+            dwell_left: dwell,
+            spike: None,
+            jitter_factor: 1.0,
+            work_done: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The program definition.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Index of the phase currently in effect (spikes included).
+    pub fn phase_index(&self) -> usize {
+        self.spike.unwrap_or(self.phase_idx)
+    }
+
+    /// The phase currently in effect.
+    pub fn active_phase(&self) -> &Phase {
+        &self.program.phases[self.phase_index()]
+    }
+
+    /// Called when the task starts a new timeslice: resamples the
+    /// per-slice jitter and, for spiky programs, decides whether this
+    /// slice is a spike.
+    pub fn begin_slice(&mut self) {
+        let j = self.program.jitter;
+        self.jitter_factor = if j > 0.0 {
+            1.0 + self.rng.gen_range(-j..=j)
+        } else {
+            1.0
+        };
+        self.spike = None;
+        if let Behavior::Spiky { spike_prob } = self.program.behavior {
+            if self.program.phases.len() > 1 && self.rng.gen_bool(spike_prob) {
+                self.spike = Some(self.rng.gen_range(1..self.program.phases.len()));
+            }
+        }
+    }
+
+    /// Called at the end of a timeslice: interactive programs may
+    /// decide to block; returns the sleep duration if so.
+    pub fn end_slice(&mut self) -> Option<SimDuration> {
+        self.spike = None;
+        let blocking = self.program.blocking?;
+        if self.rng.gen_bool(blocking.prob_per_slice) {
+            let scale = self.rng.gen_range(0.5..=1.5);
+            Some(blocking.mean_sleep.mul_f64(scale))
+        } else {
+            None
+        }
+    }
+
+    /// Advances phase dwell by `dt` of *execution* time (only while the
+    /// task actually runs).
+    pub fn advance_time(&mut self, dt: SimDuration) {
+        if matches!(self.program.behavior, Behavior::Steady) || self.program.phases.len() < 2 {
+            return;
+        }
+        if let Behavior::Cyclic = self.program.behavior {
+            let mut dt = dt;
+            while dt >= self.dwell_left {
+                dt -= self.dwell_left;
+                self.phase_idx = (self.phase_idx + 1) % self.program.phases.len();
+                self.dwell_left = self.program.phases[self.phase_idx].dwell;
+            }
+            self.dwell_left -= dt;
+        }
+        // Spiky programs stay in phase 0 between spikes.
+    }
+
+    /// The effective event rates right now: the active phase's rates
+    /// with the per-slice jitter applied to the activity events.
+    pub fn current_rates(&self) -> EventRates {
+        self.active_phase().rates.scale_activity(self.jitter_factor)
+    }
+
+    /// The effective IPC right now. Power and speed move together: a
+    /// slice with more activity per cycle also retires more
+    /// instructions.
+    pub fn ipc(&self) -> f64 {
+        self.active_phase().ipc * self.jitter_factor
+    }
+
+    /// Credits retired instructions; returns `true` when the program's
+    /// total work is complete.
+    pub fn add_work(&mut self, instructions: Instructions) -> bool {
+        self.work_done = self.work_done.saturating_add(instructions);
+        self.is_complete()
+    }
+
+    /// Whether the program has finished its work.
+    pub fn is_complete(&self) -> bool {
+        match self.program.total_work {
+            Some(total) => self.work_done >= total,
+            None => false,
+        }
+    }
+
+    /// Instructions retired so far.
+    pub fn work_done(&self) -> Instructions {
+        self.work_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_counters::{EnergyModel, EventRates};
+    use ebs_units::Watts;
+
+    fn two_phase_program(behavior: Behavior) -> Program {
+        Program::new(
+            "test",
+            1,
+            vec![
+                Phase::new(
+                    "main",
+                    EventRates::builder().uops_retired(2.0).build(),
+                    1.5,
+                    SimDuration::from_secs(1),
+                ),
+                Phase::new(
+                    "alt",
+                    EventRates::builder().uops_retired(0.5).build(),
+                    0.5,
+                    SimDuration::from_secs(2),
+                ),
+            ],
+            behavior,
+            0.02,
+        )
+    }
+
+    #[test]
+    fn steady_program_never_changes_phase() {
+        let mut s = ProgramState::new(two_phase_program(Behavior::Steady), 1);
+        for _ in 0..100 {
+            s.begin_slice();
+            s.advance_time(SimDuration::from_millis(100));
+            assert_eq!(s.phase_index(), 0);
+        }
+    }
+
+    #[test]
+    fn cyclic_program_rotates_on_dwell() {
+        let mut s = ProgramState::new(two_phase_program(Behavior::Cyclic), 1);
+        assert_eq!(s.phase_index(), 0);
+        s.advance_time(SimDuration::from_millis(1_000));
+        assert_eq!(s.phase_index(), 1);
+        s.advance_time(SimDuration::from_millis(2_000));
+        assert_eq!(s.phase_index(), 0);
+        // Multiple dwells in one call wrap correctly.
+        s.advance_time(SimDuration::from_millis(3_000));
+        assert_eq!(s.phase_index(), 0);
+    }
+
+    #[test]
+    fn spiky_program_spikes_for_one_slice() {
+        let mut s = ProgramState::new(
+            two_phase_program(Behavior::Spiky { spike_prob: 1.0 }),
+            7,
+        );
+        s.begin_slice();
+        assert_eq!(s.phase_index(), 1, "guaranteed spike did not occur");
+        // The spike ends with the slice.
+        let _ = s.end_slice();
+        assert_eq!(s.phase_index(), 0);
+    }
+
+    #[test]
+    fn spike_probability_zero_never_spikes() {
+        let mut s = ProgramState::new(
+            two_phase_program(Behavior::Spiky { spike_prob: 0.0 }),
+            7,
+        );
+        for _ in 0..200 {
+            s.begin_slice();
+            assert_eq!(s.phase_index(), 0);
+            let _ = s.end_slice();
+        }
+    }
+
+    #[test]
+    fn jitter_moves_power_and_speed_together() {
+        let mut s = ProgramState::new(two_phase_program(Behavior::Steady), 3);
+        let model = EnergyModel::ground_truth_weights();
+        let base_power = model.power_for_rates(&s.program().phases[0].rates, 2.2e9);
+        let base_ipc = s.program().phases[0].ipc;
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for _ in 0..50 {
+            s.begin_slice();
+            let p = model.power_for_rates(&s.current_rates(), 2.2e9);
+            let rel_power = (p.0 - base_power.0) / (base_power.0 - 13.2);
+            let rel_ipc = s.ipc() / base_ipc - 1.0;
+            // Same relative deviation for dynamic power and IPC.
+            assert!(
+                (rel_power - rel_ipc).abs() < 1e-9,
+                "power jitter {rel_power} != ipc jitter {rel_ipc}"
+            );
+            if rel_ipc < -0.005 {
+                saw_low = true;
+            }
+            if rel_ipc > 0.005 {
+                saw_high = true;
+            }
+        }
+        assert!(saw_low && saw_high, "jitter never varied");
+        let _ = Watts(0.0);
+    }
+
+    #[test]
+    fn work_accounting_completes() {
+        let p = two_phase_program(Behavior::Steady).with_total_work(1_000);
+        let mut s = ProgramState::new(p, 1);
+        assert!(!s.add_work(400));
+        assert!(!s.is_complete());
+        assert!(s.add_work(600));
+        assert!(s.is_complete());
+        assert_eq!(s.work_done(), 1_000);
+    }
+
+    #[test]
+    fn unbounded_program_never_completes() {
+        let mut s = ProgramState::new(two_phase_program(Behavior::Steady), 1);
+        assert!(!s.add_work(u64::MAX / 2));
+        assert!(!s.is_complete());
+    }
+
+    #[test]
+    fn blocking_program_blocks_eventually() {
+        let p = two_phase_program(Behavior::Steady)
+            .with_blocking(BlockProfile::new(0.5, SimDuration::from_millis(40)));
+        let mut s = ProgramState::new(p, 11);
+        let mut blocked = 0;
+        for _ in 0..100 {
+            s.begin_slice();
+            if let Some(sleep) = s.end_slice() {
+                blocked += 1;
+                // ±50 % around the mean.
+                assert!(sleep >= SimDuration::from_millis(20));
+                assert!(sleep <= SimDuration::from_millis(60));
+            }
+        }
+        assert!(blocked > 20 && blocked < 80, "blocked {blocked}/100");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mk = || {
+            let mut s = ProgramState::new(
+                two_phase_program(Behavior::Spiky { spike_prob: 0.3 }),
+                99,
+            );
+            let mut trace = Vec::new();
+            for _ in 0..50 {
+                s.begin_slice();
+                trace.push((s.phase_index(), s.ipc().to_bits()));
+                let _ = s.end_slice();
+            }
+            trace
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_program_rejected() {
+        let _ = Program::new("bad", 0, vec![], Behavior::Steady, 0.0);
+    }
+}

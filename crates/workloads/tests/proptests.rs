@@ -1,0 +1,96 @@
+//! Property-based tests for program behaviour models.
+
+use ebs_counters::EnergyModel;
+use ebs_units::SimDuration;
+use ebs_workloads::{catalog, ProgramState};
+use proptest::prelude::*;
+
+fn all_programs() -> Vec<ebs_workloads::Program> {
+    vec![
+        catalog::bitcnts(),
+        catalog::memrw(),
+        catalog::aluadd(),
+        catalog::pushpop(),
+        catalog::openssl(),
+        catalog::bzip2(),
+        catalog::bash(),
+        catalog::grep(),
+        catalog::sshd(),
+    ]
+}
+
+proptest! {
+    /// Any program, any seed: per-slice power stays within the convex
+    /// hull of its phases' powers (expanded by the jitter), and IPC
+    /// stays positive.
+    #[test]
+    fn slice_behaviour_stays_in_phase_hull(
+        program_idx in 0usize..9,
+        seed in 0u64..10_000,
+        slices in 1usize..100,
+    ) {
+        let program = all_programs()[program_idx].clone();
+        let model = EnergyModel::ground_truth_weights();
+        let jitter = program.jitter;
+        let phase_powers: Vec<f64> = program
+            .phases
+            .iter()
+            .map(|ph| model.power_for_rates(&ph.rates, 2.2e9).0)
+            .collect();
+        let static_w = 13.2;
+        let lo = phase_powers.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = phase_powers.iter().cloned().fold(f64::MIN, f64::max);
+        // Jitter scales only the dynamic part.
+        let lo_bound = static_w + (lo - static_w) * (1.0 - jitter) - 1e-9;
+        let hi_bound = static_w + (hi - static_w) * (1.0 + jitter) + 1e-9;
+        let mut state = ProgramState::new(program, seed);
+        for _ in 0..slices {
+            state.begin_slice();
+            let p = model.power_for_rates(&state.current_rates(), 2.2e9).0;
+            prop_assert!(p >= lo_bound && p <= hi_bound, "{p} outside [{lo_bound}, {hi_bound}]");
+            prop_assert!(state.ipc() > 0.0);
+            state.advance_time(SimDuration::from_millis(100));
+            let _ = state.end_slice();
+        }
+    }
+
+    /// Work accounting is monotone and completion is permanent.
+    #[test]
+    fn work_is_monotone(
+        chunks in prop::collection::vec(1u64..1_000_000_000, 1..30),
+        total in 1u64..10_000_000_000,
+    ) {
+        let program = catalog::aluadd().with_total_work(total);
+        let mut state = ProgramState::new(program, 1);
+        let mut done = false;
+        let mut last = 0;
+        for c in chunks {
+            let complete = state.add_work(c);
+            prop_assert!(state.work_done() >= last);
+            last = state.work_done();
+            if done {
+                prop_assert!(complete, "completion went backwards");
+            }
+            done = complete;
+            prop_assert_eq!(complete, state.work_done() >= total);
+        }
+    }
+
+    /// Identical seeds replay identical behaviour; the stream of
+    /// phases, rates, and blocking decisions is a pure function of
+    /// (program, seed).
+    #[test]
+    fn behaviour_is_deterministic(program_idx in 0usize..9, seed in 0u64..10_000) {
+        let run = || {
+            let mut s = ProgramState::new(all_programs()[program_idx].clone(), seed);
+            let mut trace = Vec::new();
+            for _ in 0..40 {
+                s.begin_slice();
+                trace.push((s.phase_index(), s.ipc().to_bits(), s.end_slice()));
+                s.advance_time(SimDuration::from_millis(100));
+            }
+            trace
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

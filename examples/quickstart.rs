@@ -1,0 +1,57 @@
+//! Quickstart: run the paper's mixed workload on the simulated
+//! 8-way machine and print what energy-aware scheduling did.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ebs::sim::{MaxPowerSpec, SimConfig, Simulation};
+use ebs::topology::CpuId;
+use ebs::units::{SimDuration, Watts};
+use ebs::workloads::section61_mix;
+
+fn main() {
+    // The paper's Section 6.1 setup: SMT off, every CPU budgeted at
+    // 60 W, 18 tasks (three instances of each Table 2 program).
+    let cfg = SimConfig::xseries445()
+        .smt(false)
+        .energy_aware(true)
+        .throttling(false)
+        .max_power(MaxPowerSpec::PerLogical(Watts(60.0)))
+        .seed(42);
+    let mut sim = Simulation::new(cfg);
+    sim.spawn_mix(&section61_mix(), 3);
+
+    println!("running 18 tasks for 300 simulated seconds...");
+    sim.run_for(SimDuration::from_secs(300));
+
+    let report = sim.report();
+    println!("\nper-CPU state after 300 s:");
+    println!("{:>5} {:>10} {:>14} {:>12}", "cpu", "tasks", "thermal power", "rq power");
+    for c in 0..8 {
+        let cpu = CpuId(c);
+        println!(
+            "{:>5} {:>10} {:>14} {:>12}",
+            format!("cpu{c}"),
+            sim.system().nr_running(cpu),
+            format!("{}", sim.power_state().thermal_power(cpu)),
+            format!(
+                "{}",
+                ebs::core::runqueue_power(sim.system(), cpu, Watts(13.6))
+            ),
+        );
+    }
+    println!(
+        "\nmigrations: {} (load {}, energy {}, hot-task {}, exchange {})",
+        report.migrations,
+        report.migrations_by_reason[0],
+        report.migrations_by_reason[1],
+        report.migrations_by_reason[2],
+        report.migrations_by_reason[3],
+    );
+    println!(
+        "instructions retired: {:.2e} ({:.2e}/s)",
+        report.instructions_retired as f64, report.throughput_ips
+    );
+    println!("hottest package: {}", report.max_package_temp);
+}

@@ -1,0 +1,38 @@
+//! EBS — energy-balancing scheduler.
+//!
+//! A full Rust reproduction of *Merkel & Bellosa, "Balancing Power
+//! Consumption in Multiprocessor Systems", EuroSys 2006*: online task
+//! energy estimation from event-monitoring counters, energy-aware
+//! multiprocessor scheduling (energy balancing + hot task migration), and
+//! the simulated 8-way SMT/NUMA machine the policies are evaluated on.
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names; see the individual crates for details.
+//!
+//! # Examples
+//!
+//! ```
+//! use ebs::sim::{SimConfig, Simulation};
+//! use ebs::workloads::section61_mix;
+//!
+//! // Paper Section 6.1: 18 tasks, 3 instances each of 6 programs,
+//! // on an 8-CPU machine with SMT disabled and energy balancing on.
+//! let cfg = SimConfig::xseries445()
+//!     .smt(false)
+//!     .energy_aware(true)
+//!     .seed(42);
+//! let mut sim = Simulation::new(cfg);
+//! sim.spawn_mix(&section61_mix(), 3);
+//! sim.run_for(ebs::units::SimDuration::from_secs(5));
+//! let report = sim.report();
+//! assert!(report.instructions_retired > 0);
+//! ```
+
+pub use ebs_core as core;
+pub use ebs_counters as counters;
+pub use ebs_sched as sched;
+pub use ebs_sim as sim;
+pub use ebs_thermal as thermal;
+pub use ebs_topology as topology;
+pub use ebs_units as units;
+pub use ebs_workloads as workloads;
