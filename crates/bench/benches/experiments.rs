@@ -15,7 +15,10 @@ fn bench_sim_second(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut sim = Simulation::new(
-                    SimConfig::xseries445().smt(false).energy_aware(true).seed(1),
+                    SimConfig::xseries445()
+                        .smt(false)
+                        .energy_aware(true)
+                        .seed(1),
                 );
                 sim.spawn_mix(&section61_mix(), 3);
                 sim

@@ -34,13 +34,8 @@ fn bench_throttle_observe(c: &mut Criterion) {
 
 fn bench_curve_fit(c: &mut Criterion) {
     let model = RcThermalModel::reference();
-    let trace = calibrate::record_trace(
-        &model,
-        Watts(68.0),
-        SimDuration::from_millis(500),
-        120,
-        &[],
-    );
+    let trace =
+        calibrate::record_trace(&model, Watts(68.0), SimDuration::from_millis(500), 120, &[]);
     c.bench_function("thermal/fit_heating_curve", |b| {
         b.iter(|| black_box(calibrate::fit_heating_curve(black_box(&trace)).unwrap()))
     });

@@ -32,6 +32,9 @@ fn main() {
     println!("{f10}");
     let ab = exp::ablation::run(quick);
     println!("{ab}");
+    let dv = exp::dvfs::run(quick);
+    ebs_bench::write_artifact("dvfs.csv", &dv.to_csv()).expect("dvfs.csv");
+    println!("{dv}");
 
     println!("done; CSV artefacts in results/");
 }

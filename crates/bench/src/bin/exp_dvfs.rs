@@ -1,0 +1,8 @@
+//! Runs the DVFS-vs-hlt thermal enforcement study.
+
+fn main() {
+    let quick = ebs_bench::quick_requested();
+    let study = ebs_bench::experiments::dvfs::run(quick);
+    ebs_bench::write_artifact("dvfs.csv", &study.to_csv()).expect("dvfs.csv");
+    println!("{study}");
+}

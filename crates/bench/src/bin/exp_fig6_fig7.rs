@@ -6,8 +6,8 @@ fn main() {
     let fig = ebs_bench::experiments::fig67::run(quick);
     let p6 = ebs_bench::write_artifact("fig6.csv", &fig.disabled.trace.to_csv())
         .expect("write fig6.csv");
-    let p7 = ebs_bench::write_artifact("fig7.csv", &fig.enabled.trace.to_csv())
-        .expect("write fig7.csv");
+    let p7 =
+        ebs_bench::write_artifact("fig7.csv", &fig.enabled.trace.to_csv()).expect("write fig7.csv");
     println!("{fig}");
     println!("curves written to {} and {}", p6.display(), p7.display());
 }

@@ -35,7 +35,11 @@ pub struct Ablation {
     pub duration: SimDuration,
 }
 
-fn variant(label: &'static str, cfg_balance: Option<EnergyBalanceConfig>, duration: SimDuration) -> Row {
+fn variant(
+    label: &'static str,
+    cfg_balance: Option<EnergyBalanceConfig>,
+    duration: SimDuration,
+) -> Row {
     let mut cfg = SimConfig::xseries445()
         .smt(false)
         .throttling(false)
@@ -53,10 +57,7 @@ fn variant(label: &'static str, cfg_balance: Option<EnergyBalanceConfig>, durati
     Row {
         label,
         migrations: sim.report().migrations,
-        spread: sim
-            .thermal_trace()
-            .max_spread(warm)
-            .unwrap_or(Watts::ZERO),
+        spread: sim.thermal_trace().max_spread(warm).unwrap_or(Watts::ZERO),
     }
 }
 

@@ -53,7 +53,11 @@ fn gain_for(tasks: usize, budget: Watts, duration: SimDuration, seeds: &[u64]) -
 /// Runs the Figure 10 sweep.
 pub fn run(quick: bool) -> Fig10 {
     let duration = SimDuration::from_secs(if quick { 240 } else { 600 });
-    let seeds: &[u64] = if quick { &crate::SEEDS[..2] } else { &crate::SEEDS[..3] };
+    let seeds: &[u64] = if quick {
+        &crate::SEEDS[..2]
+    } else {
+        &crate::SEEDS[..3]
+    };
     let rows = (1..=8)
         .map(|tasks| Row {
             tasks,
@@ -98,7 +102,12 @@ mod tests {
         assert!(gain_at(1) > 0.30, "1 task: {}", gain_at(1));
         assert!(gain_at(2) > 0.25, "2 tasks: {}", gain_at(2));
         // Monotone-ish decay towards full occupancy.
-        assert!(gain_at(6) < gain_at(1), "no decay: {} vs {}", gain_at(6), gain_at(1));
+        assert!(
+            gain_at(6) < gain_at(1),
+            "no decay: {} vs {}",
+            gain_at(6),
+            gain_at(1)
+        );
         // All packages hot: no headroom left.
         assert!(gain_at(8) < 0.10, "8 tasks: {}", gain_at(8));
         // A looser limit shrinks the single-task gain.

@@ -38,8 +38,7 @@ pub fn run(_quick: bool) -> Fig3 {
     let model = RcThermalModel::reference();
     let mut node = ThermalNode::new(model);
     let dt = SimDuration::from_millis(100);
-    let mut thermal =
-        PowerAverage::with_time_constant(Watts(20.0), dt, model.time_constant());
+    let mut thermal = PowerAverage::with_time_constant(Watts(20.0), dt, model.time_constant());
     // Pre-warm to the low level's steady state so the figure starts
     // flat like the paper's.
     for _ in 0..3_000 {
@@ -145,7 +144,11 @@ mod tests {
         let fig = run(true);
         // The two normalised curves coincide: that is the calibration
         // claim of Section 4.3.
-        assert!(fig.tracking_error() < 0.02, "error {}", fig.tracking_error());
+        assert!(
+            fig.tracking_error() < 0.02,
+            "error {}",
+            fig.tracking_error()
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub struct Fig8 {
 /// Runs the Figure 8 sweep.
 pub fn run(quick: bool) -> Fig8 {
     let duration = SimDuration::from_secs(if quick { 240 } else { 600 });
-    let seeds: &[u64] = if quick { &crate::SEEDS[..2] } else { &crate::SEEDS[..3] };
+    let seeds: &[u64] = if quick {
+        &crate::SEEDS[..2]
+    } else {
+        &crate::SEEDS[..3]
+    };
     let base = SimConfig::xseries445()
         .smt(false)
         .throttling(true)
@@ -92,8 +96,7 @@ mod tests {
         let fig = run(true);
         assert_eq!(fig.rows.len(), 10);
         // Heterogeneous end gains clearly; homogeneous end does not.
-        let hetero_avg =
-            fig.rows[..3].iter().map(|r| r.gain).sum::<f64>() / 3.0;
+        let hetero_avg = fig.rows[..3].iter().map(|r| r.gain).sum::<f64>() / 3.0;
         let homo = fig.rows.last().unwrap().gain;
         assert!(
             hetero_avg > 0.02,
@@ -103,7 +106,10 @@ mod tests {
             homo < hetero_avg / 2.0,
             "homogeneous gain {homo} not clearly below heterogeneous {hetero_avg}"
         );
-        assert!(homo.abs() < 0.04, "homogeneous gain should be near zero: {homo}");
+        assert!(
+            homo.abs() < 0.04,
+            "homogeneous gain should be near zero: {homo}"
+        );
         // The peak lives on the heterogeneous half of the sweep.
         let best_idx = fig
             .rows

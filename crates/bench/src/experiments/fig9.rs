@@ -91,7 +91,10 @@ impl Fig9 {
 
 impl core::fmt::Display for Fig9 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        writeln!(f, "Figure 9: hot task migration of a single bitcnts (40 W package limit)")?;
+        writeln!(
+            f,
+            "Figure 9: hot task migration of a single bitcnts (40 W package limit)"
+        )?;
         write!(f, "visits:")?;
         for (t, c) in self.visits.iter().take(24) {
             write!(f, " {:.0}s->cpu{}", t.as_secs_f64(), c.0)?;

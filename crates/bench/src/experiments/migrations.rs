@@ -134,7 +134,12 @@ mod tests {
         // Without energy balancing the stock balancer is essentially
         // silent in both configurations (paper: 3.3 and 9.8).
         for row in &m.rows {
-            assert!(row.disabled < 15.0, "{}: disabled {}", row.label, row.disabled);
+            assert!(
+                row.disabled < 15.0,
+                "{}: disabled {}",
+                row.label,
+                row.disabled
+            );
         }
     }
 }

@@ -1,6 +1,7 @@
 //! One module per reproduced table or figure.
 
 pub mod ablation;
+pub mod dvfs;
 pub mod fig10;
 pub mod fig3;
 pub mod fig67;

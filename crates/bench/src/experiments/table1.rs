@@ -88,7 +88,12 @@ impl core::fmt::Display for Table1 {
             "Table 1: change in power consumption during successive timeslices"
         )?;
         let mut t = Table::new(vec![
-            "program", "slices", "max", "max(paper)", "avg", "avg(paper)",
+            "program",
+            "slices",
+            "max",
+            "max(paper)",
+            "avg",
+            "avg(paper)",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -113,7 +118,12 @@ mod tests {
         let result = run(true);
         assert_eq!(result.rows.len(), 5);
         for row in &result.rows {
-            assert!(row.slices > 100, "{}: only {} slices", row.program, row.slices);
+            assert!(
+                row.slices > 100,
+                "{}: only {} slices",
+                row.program,
+                row.slices
+            );
             // Significant changes are rare: the average is far below
             // the maximum for every program (the paper's point).
             assert!(

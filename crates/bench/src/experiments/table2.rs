@@ -58,7 +58,10 @@ pub fn run(quick: bool) -> Table2 {
             .slice_powers()
             .and_then(|log| log.get(&id).cloned())
             .unwrap_or_default();
-        let lo = powers.iter().cloned().fold(Watts(f64::INFINITY), Watts::min);
+        let lo = powers
+            .iter()
+            .cloned()
+            .fold(Watts(f64::INFINITY), Watts::min);
         let hi = powers
             .iter()
             .cloned()

@@ -54,7 +54,11 @@ fn averaged(reports: &[SimReport]) -> (Vec<f64>, f64, f64) {
 /// Runs the Table 3 experiment.
 pub fn run(quick: bool) -> Table3 {
     let duration = SimDuration::from_secs(if quick { 300 } else { 900 });
-    let seeds: &[u64] = if quick { &crate::SEEDS[..2] } else { &crate::SEEDS[..3] };
+    let seeds: &[u64] = if quick {
+        &crate::SEEDS[..2]
+    } else {
+        &crate::SEEDS[..3]
+    };
     let mix = section61_mix();
 
     let runs = |on: bool| {
@@ -105,7 +109,10 @@ impl Table3 {
 
 impl core::fmt::Display for Table3 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        writeln!(f, "Table 3: CPU throttling percentage (38 degC limit, SMT on)")?;
+        writeln!(
+            f,
+            "Table 3: CPU throttling percentage (38 degC limit, SMT on)"
+        )?;
         let mut t = Table::new(vec!["logical CPU", "EB disabled", "EB enabled"]);
         for c in self.interesting_cpus() {
             t.row(vec![

@@ -1,0 +1,202 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the subset of the criterion API the workspace's benches
+//! use — `Criterion`, benchmark groups, `Bencher::iter` /
+//! `iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a deliberately simple wall-clock
+//! measurement loop. It reports a mean time per iteration; it does not
+//! do criterion's statistical analysis, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup; all variants behave identically
+/// in this shim (one setup per timed routine call).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    iterations: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (untimed).
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+    }
+}
+
+fn run_benchmark(label: &str, iterations: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iterations,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.total.as_nanos() as f64 / b.iterations.max(1) as f64;
+    println!(
+        "bench {label:<40} {per_iter:>14.1} ns/iter ({} iters)",
+        b.iterations
+    );
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the iteration count used for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size as u64, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the iteration count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{name}", self.name),
+            self.sample_size as u64,
+            &mut f,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        c.sample_size(5)
+            .bench_function("counts", |b| b.iter(|| calls += 1));
+        // 5 timed + 1 warm-up.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup_from_routine() {
+        let mut setups = 0u64;
+        let mut routines = 0u64;
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| {
+                    routines += 1;
+                    black_box(x)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 5);
+        assert_eq!(routines, 5);
+    }
+}

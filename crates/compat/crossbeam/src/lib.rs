@@ -1,0 +1,100 @@
+//! In-tree stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` for structured
+//! fork/join parallelism, which the standard library has provided since
+//! Rust 1.63. This shim keeps the crossbeam call-site shape (a scope
+//! closure receiving a spawner whose spawned closures in turn receive
+//! the scope) while delegating to [`std::thread::scope`].
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention.
+
+    /// A handle for spawning threads inside a scope.
+    ///
+    /// `Copy` so it can be handed to every spawned closure, mirroring
+    /// crossbeam's nested-spawn capability.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope again, so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned in the scope
+    /// are joined before this returns.
+    ///
+    /// Always returns `Ok`: unjoined-thread panics propagate as panics,
+    /// exactly like [`std::thread::scope`]. The `Result` return keeps
+    /// crossbeam's signature so call sites can `.expect(..)` it.
+    #[allow(clippy::unnecessary_wraps)]
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_all_threads() {
+        let mut results = vec![0u64; 4];
+        crate::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for i in 0..4u64 {
+                handles.push((i as usize, scope.spawn(move |_| i * i)));
+            }
+            for (i, h) in handles {
+                results[i] = h.join().expect("thread ok");
+            }
+        })
+        .expect("scope ok");
+        assert_eq!(results, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let n = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().expect("inner") * 2)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope ok");
+        assert_eq!(n, 42);
+    }
+}

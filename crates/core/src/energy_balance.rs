@@ -121,8 +121,7 @@ impl EnergyAwareBalancer {
             if let Some(src) = busiest {
                 if sys.rq(src).nr_queued() >= 1 && sys.nr_running(src) >= 2 {
                     // Pull hot tasks onto cool CPUs and vice versa.
-                    let hottest_first = power.thermal_ratio(cpu)
-                        <= power.thermal_ratio(src);
+                    let hottest_first = power.thermal_ratio(cpu) <= power.thermal_ratio(src);
                     let pulled = pull_sorted(
                         sys,
                         src,
@@ -177,16 +176,11 @@ fn energy_step(
         return 0;
     }
     // Search the queue with the highest power ratio within the group.
-    let Some(src) = hot_group
-        .cpus()
-        .iter()
-        .copied()
-        .max_by(|&a, &b| {
-            runqueue_power_ratio(sys, a, power)
-                .partial_cmp(&runqueue_power_ratio(sys, b, power))
-                .expect("ratios are finite")
-        })
-    else {
+    let Some(src) = hot_group.cpus().iter().copied().max_by(|&a, &b| {
+        runqueue_power_ratio(sys, a, power)
+            .partial_cmp(&runqueue_power_ratio(sys, b, power))
+            .expect("ratios are finite")
+    }) else {
         return 0;
     };
     // The source queue itself must be hotter than the local queue in
@@ -262,7 +256,14 @@ fn load_step(
     // irrelevant there.
     let hottest_first = power.group_thermal_ratio(busiest_group)
         >= power.group_thermal_ratio(&domain.groups()[local_idx]);
-    pull_sorted(sys, src, cpu, n_move, MigrationReason::LoadBalance, hottest_first)
+    pull_sorted(
+        sys,
+        src,
+        cpu,
+        n_move,
+        MigrationReason::LoadBalance,
+        hottest_first,
+    )
 }
 
 /// The hottest waiting (non-running) task on `src` whose profile

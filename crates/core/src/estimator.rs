@@ -161,8 +161,8 @@ mod tests {
             SimDuration::from_millis(100),
             SimDuration::from_millis(50),
         );
-        let running_part = EnergyModel::ground_truth_weights()
-            .estimate(&rates.counts_for_cycles(110_000_000));
+        let running_part =
+            EnergyModel::ground_truth_weights().estimate(&rates.counts_for_cycles(110_000_000));
         assert!((e.0 - running_part.0 - 6.8 * 0.05).abs() < 1e-9);
     }
 

@@ -109,12 +109,7 @@ impl HotTaskMigrator {
     /// The caller (the simulation engine) is responsible for context
     /// switching the CPUs whose running tasks were moved, as Linux's
     /// migration thread would.
-    pub fn run(
-        &self,
-        cpu: CpuId,
-        sys: &mut System,
-        power: &PowerState,
-    ) -> Option<HotMigration> {
+    pub fn run(&self, cpu: CpuId, sys: &mut System, power: &PowerState) -> Option<HotMigration> {
         if !self.triggered(cpu, sys, power) {
             return None;
         }

@@ -204,7 +204,10 @@ mod tests {
         let after = ps.observe(CpuId(0), Watts(61.0), SimDuration::from_millis(100));
         // One timeslice against a 15 s time constant barely moves it.
         assert!(after > Watts(6.8));
-        assert!(after < Watts(7.4), "thermal power moved too fast: {after:?}");
+        assert!(
+            after < Watts(7.4),
+            "thermal power moved too fast: {after:?}"
+        );
         // CPU 1 untouched.
         assert_eq!(ps.thermal_power(CpuId(1)), Watts(6.8));
     }

@@ -137,7 +137,11 @@ fn energy_balancing_acts_between_cores_of_one_die() {
     sys.set_now(SimTime::from_millis(100));
     let outcome = bal.run(CpuId(1), &mut sys, &power);
     assert!(outcome.pulled >= 1, "core-level energy step did not act");
-    assert_eq!(sys.task(hot_a).cpu(), CpuId(1), "hot task should cross cores");
+    assert_eq!(
+        sys.task(hot_a).cpu(),
+        CpuId(1),
+        "hot task should cross cores"
+    );
     // Load stayed even.
     assert_eq!(sys.nr_running(CpuId(0)), 2);
     assert_eq!(sys.nr_running(CpuId(1)), 2);
@@ -171,7 +175,8 @@ fn smt_siblings_on_cmp_are_still_protected() {
     // Any move between CPUs 0 and 2 would be an energy move between
     // SMT siblings (load is equal) — forbidden.
     assert_eq!(
-        sys.stats().migrations_for(ebs_sched::MigrationReason::EnergyBalance),
+        sys.stats()
+            .migrations_for(ebs_sched::MigrationReason::EnergyBalance),
         0,
         "energy balancing between SMT siblings of one core"
     );

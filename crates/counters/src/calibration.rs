@@ -44,7 +44,10 @@ impl core::fmt::Display for CalibrationError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             CalibrationError::TooFewRuns { runs, needed } => {
-                write!(f, "{runs} calibration runs cannot determine {needed} weights")
+                write!(
+                    f,
+                    "{runs} calibration runs cannot determine {needed} weights"
+                )
             }
             CalibrationError::DegenerateDesign(e) => {
                 write!(f, "calibration workloads are degenerate: {e}")
@@ -189,7 +192,11 @@ pub fn evaluate(model: &EnergyModel, runs: &[CalibrationRun]) -> CalibrationRepo
         n += 1;
     }
     CalibrationReport {
-        rms_relative_error: if n == 0 { 0.0 } else { (sum_sq / n as f64).sqrt() },
+        rms_relative_error: if n == 0 {
+            0.0
+        } else {
+            (sum_sq / n as f64).sqrt()
+        },
         max_relative_error: max,
     }
 }
@@ -261,7 +268,10 @@ mod tests {
         let runs = synthesize_runs(&gt, 4, SimDuration::from_secs(1), 0.0, &mut rng);
         assert_eq!(
             calibrate(&runs),
-            Err(CalibrationError::TooFewRuns { runs: 4, needed: N_EVENTS })
+            Err(CalibrationError::TooFewRuns {
+                runs: 4,
+                needed: N_EVENTS
+            })
         );
     }
 
@@ -298,6 +308,9 @@ mod tests {
     #[test]
     fn error_messages() {
         let e = CalibrationError::TooFewRuns { runs: 2, needed: 9 };
-        assert_eq!(e.to_string(), "2 calibration runs cannot determine 9 weights");
+        assert_eq!(
+            e.to_string(),
+            "2 calibration runs cannot determine 9 weights"
+        );
     }
 }

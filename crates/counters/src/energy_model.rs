@@ -188,7 +188,10 @@ mod tests {
     #[test]
     fn estimate_is_linear_in_counts() {
         let m = EnergyModel::ground_truth_weights();
-        let rates = EventRates::builder().uops_retired(2.0).mem_loads(0.5).build();
+        let rates = EventRates::builder()
+            .uops_retired(2.0)
+            .mem_loads(0.5)
+            .build();
         let once = m.estimate(&rates.counts_for_cycles(1_000_000));
         let thrice = m.estimate(&rates.counts_for_cycles(3_000_000));
         assert!((thrice.0 - 3.0 * once.0).abs() < 1e-9);

@@ -225,10 +225,7 @@ mod tests {
     fn subtraction_and_saturation() {
         let a = EventCounts::from_array([5, 5, 5, 5, 5, 5, 5, 5, 5]);
         let b = EventCounts::from_array([1, 2, 3, 4, 5, 0, 0, 0, 0]);
-        assert_eq!(
-            a - b,
-            EventCounts::from_array([4, 3, 2, 1, 0, 5, 5, 5, 5])
-        );
+        assert_eq!(a - b, EventCounts::from_array([4, 3, 2, 1, 0, 5, 5, 5, 5]));
         // Saturating difference across a reset (b "after", a "before").
         assert_eq!(
             b.saturating_sub(&a),

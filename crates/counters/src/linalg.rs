@@ -279,7 +279,10 @@ mod tests {
             solve(a.clone(), vec![1.0]),
             Err(LinalgError::DimensionMismatch)
         );
-        assert_eq!(a.transpose_mul_vec(&[1.0, 2.0]), Err(LinalgError::DimensionMismatch));
+        assert_eq!(
+            a.transpose_mul_vec(&[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch)
+        );
         assert_eq!(a.mul_vec(&[1.0]), Err(LinalgError::DimensionMismatch));
     }
 

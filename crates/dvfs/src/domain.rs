@@ -1,0 +1,237 @@
+//! Per-package frequency domains.
+
+use crate::pstate::{PState, PStateTable};
+use ebs_units::{Hertz, SimDuration, Volts};
+
+/// Residency of one P-state over a run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PStateResidency {
+    /// The state's clock frequency.
+    pub frequency: Hertz,
+    /// Total time the domain spent in the state.
+    pub time: SimDuration,
+    /// `time` as a fraction of the observed total, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// The scaling state of one physical package.
+///
+/// Both hardware threads of an SMT package share one clock and one
+/// voltage plane (just as they share one thermal budget), so the
+/// simulator keeps one domain per package, not per logical CPU.
+#[derive(Clone, Debug)]
+pub struct FrequencyDomain {
+    table: PStateTable,
+    current: usize,
+    residency: Vec<SimDuration>,
+    observed: SimDuration,
+    transitions: u64,
+}
+
+impl FrequencyDomain {
+    /// Creates a domain starting at the nominal state (P0).
+    pub fn new(table: PStateTable) -> Self {
+        let n = table.len();
+        FrequencyDomain {
+            table,
+            current: 0,
+            residency: vec![SimDuration::ZERO; n],
+            observed: SimDuration::ZERO,
+            transitions: 0,
+        }
+    }
+
+    /// The P-state table.
+    pub fn table(&self) -> &PStateTable {
+        &self.table
+    }
+
+    /// Index of the current state.
+    pub fn current_index(&self) -> usize {
+        self.current
+    }
+
+    /// The current state.
+    pub fn current(&self) -> &PState {
+        self.table.get(self.current)
+    }
+
+    /// Current clock frequency.
+    pub fn frequency(&self) -> Hertz {
+        self.current().frequency
+    }
+
+    /// Current supply voltage.
+    pub fn voltage(&self) -> Volts {
+        self.current().voltage
+    }
+
+    /// Instruction-throughput factor of the current state relative to
+    /// nominal (`f / f₀`).
+    pub fn speed_factor(&self) -> f64 {
+        self.table.speed_factor(self.current)
+    }
+
+    /// Dynamic-power factor of the current state relative to nominal
+    /// (`(V/V₀)² · f/f₀`).
+    pub fn power_factor(&self) -> f64 {
+        self.table.power_factor(self.current)
+    }
+
+    /// Dynamic-energy-per-event factor of the current state relative
+    /// to nominal (`(V/V₀)²`) — the multiplier to apply to counter-
+    /// derived energy, whose event counts already scale with `f`.
+    pub fn voltage_scale_sq(&self) -> f64 {
+        self.voltage().ratio_squared(self.table.nominal().voltage)
+    }
+
+    /// Switches to state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_state(&mut self, index: usize) {
+        assert!(
+            index < self.table.len(),
+            "P-state index {index} out of range (table has {})",
+            self.table.len()
+        );
+        if index != self.current {
+            self.transitions += 1;
+            self.current = index;
+        }
+    }
+
+    /// Accounts `dt` of residency in the current state.
+    pub fn advance(&mut self, dt: SimDuration) {
+        self.residency[self.current] += dt;
+        self.observed += dt;
+    }
+
+    /// Number of state transitions performed.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Total time observed by [`FrequencyDomain::advance`].
+    pub fn observed(&self) -> SimDuration {
+        self.observed
+    }
+
+    /// Fraction of observed time spent *below* the nominal state —
+    /// DVFS's analogue of the `hlt` throttle's throttled fraction.
+    pub fn scaled_fraction(&self) -> f64 {
+        if self.observed.is_zero() {
+            return 0.0;
+        }
+        let below: SimDuration = self.residency.iter().skip(1).copied().sum::<SimDuration>();
+        below.ratio(self.observed)
+    }
+
+    /// Time-weighted mean clock frequency over the observed run.
+    pub fn mean_frequency(&self) -> Hertz {
+        if self.observed.is_zero() {
+            return self.table.nominal().frequency;
+        }
+        let weighted: f64 = self
+            .residency
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| self.table.get(i).frequency.0 * t.ratio(self.observed))
+            .sum();
+        Hertz(weighted)
+    }
+
+    /// Per-state residency, fastest state first.
+    pub fn residency(&self) -> Vec<PStateResidency> {
+        self.residency
+            .iter()
+            .enumerate()
+            .map(|(i, &time)| PStateResidency {
+                frequency: self.table.get(i).frequency,
+                time,
+                fraction: if self.observed.is_zero() {
+                    0.0
+                } else {
+                    time.ratio(self.observed)
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> FrequencyDomain {
+        FrequencyDomain::new(PStateTable::p4_xeon())
+    }
+
+    #[test]
+    fn starts_at_nominal() {
+        let d = domain();
+        assert_eq!(d.current_index(), 0);
+        assert_eq!(d.frequency(), Hertz::from_ghz(2.2));
+        assert_eq!(d.speed_factor(), 1.0);
+        assert_eq!(d.power_factor(), 1.0);
+        assert_eq!(d.voltage_scale_sq(), 1.0);
+        assert_eq!(d.transitions(), 0);
+    }
+
+    #[test]
+    fn set_state_counts_real_transitions_only() {
+        let mut d = domain();
+        d.set_state(3);
+        d.set_state(3);
+        d.set_state(0);
+        assert_eq!(d.transitions(), 2);
+        assert_eq!(d.current_index(), 0);
+    }
+
+    #[test]
+    fn residency_accounts_per_state() {
+        let mut d = domain();
+        d.advance(SimDuration::from_secs(3));
+        d.set_state(5);
+        d.advance(SimDuration::from_secs(1));
+        assert_eq!(d.observed(), SimDuration::from_secs(4));
+        let res = d.residency();
+        assert_eq!(res[0].time, SimDuration::from_secs(3));
+        assert!((res[0].fraction - 0.75).abs() < 1e-12);
+        assert_eq!(res[5].time, SimDuration::from_secs(1));
+        assert!((d.scaled_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_frequency_is_time_weighted() {
+        let mut d = domain();
+        d.advance(SimDuration::from_secs(1));
+        d.set_state(5); // 1.2 GHz
+        d.advance(SimDuration::from_secs(1));
+        let mean = d.mean_frequency();
+        assert!((mean.as_ghz() - 1.7).abs() < 1e-9, "{mean:?}");
+    }
+
+    #[test]
+    fn empty_observation_defaults() {
+        let d = domain();
+        assert_eq!(d.scaled_fraction(), 0.0);
+        assert_eq!(d.mean_frequency(), Hertz::from_ghz(2.2));
+        assert!(d.residency().iter().all(|r| r.fraction == 0.0));
+    }
+
+    #[test]
+    fn voltage_scale_sq_tracks_current_state() {
+        let mut d = domain();
+        d.set_state(5);
+        assert!((d.voltage_scale_sq() - (1.25f64 / 1.5).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_state_rejected() {
+        let mut d = domain();
+        d.set_state(6);
+    }
+}

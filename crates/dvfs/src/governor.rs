@@ -1,0 +1,313 @@
+//! Frequency governors: the policies choosing the next P-state.
+
+use crate::domain::FrequencyDomain;
+use ebs_units::Watts;
+
+/// The per-package observations a governor decides from, assembled by
+/// the simulation engine once per policy interval.
+#[derive(Clone, Copy, Debug)]
+pub struct GovernorInput {
+    /// The package's thermal power — the sum of its hardware threads'
+    /// exponential power averages (the same signal the `hlt` throttle
+    /// compares against the budget).
+    pub thermal_power: Watts,
+    /// The package's power budget (its maximum power).
+    pub budget: Watts,
+    /// The package's power at zero activity (halt power): the floor no
+    /// amount of frequency scaling goes below.
+    pub idle_floor: Watts,
+    /// Fraction of the package's hardware threads that were busy over
+    /// the last interval, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// A frequency-selection policy for one [`FrequencyDomain`].
+pub trait Governor {
+    /// Chooses the P-state index for the next interval. Must return an
+    /// index within the domain's table.
+    fn decide(&mut self, input: &GovernorInput, domain: &FrequencyDomain) -> usize;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Pins the domain at one P-state (the paper's fixed-clock baseline,
+/// or a fixed low-power mode).
+#[derive(Clone, Copy, Debug)]
+pub struct Fixed(pub usize);
+
+impl Governor for Fixed {
+    fn decide(&mut self, _input: &GovernorInput, domain: &FrequencyDomain) -> usize {
+        self.0.min(domain.table().slowest_index())
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// The classic utilization-driven governor, after Linux's `ondemand`:
+/// jump to nominal when the package is busy beyond the up-threshold,
+/// otherwise pick the slowest state still fast enough to serve the
+/// observed load (`f/f₀ ≥ utilization / up_threshold`).
+///
+/// Picking proportionally — instead of stepping down and holding —
+/// means the governor can ramp back *up* from any state: a package
+/// with one busy SMT sibling (utilization 0.5) settles at the state
+/// serving half-load, rather than staying trapped wherever an earlier
+/// idle period left it.
+#[derive(Clone, Copy, Debug)]
+pub struct OnDemand {
+    /// Utilization at or above which the governor jumps to P0.
+    pub up_threshold: f64,
+}
+
+impl Default for OnDemand {
+    fn default() -> Self {
+        OnDemand { up_threshold: 0.8 }
+    }
+}
+
+impl Governor for OnDemand {
+    fn decide(&mut self, input: &GovernorInput, domain: &FrequencyDomain) -> usize {
+        if input.utilization >= self.up_threshold {
+            return 0;
+        }
+        let required = input.utilization / self.up_threshold;
+        let table = domain.table();
+        // Slowest state still fast enough; P0 (speed factor 1) always
+        // qualifies, so the search cannot fail.
+        (0..table.len())
+            .rev()
+            .find(|&i| table.speed_factor(i) >= required)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "ondemand"
+    }
+}
+
+/// Thermal enforcement by scaling instead of halting.
+///
+/// Projects what the package's thermal power would become at every
+/// P-state and picks the fastest one whose projection stays below
+/// `engage · budget`. Counter-visible power — static cycle cost
+/// included — scales with `V² · f`, so the projection normalises the
+/// observed thermal power back to the nominal state through the
+/// current state's power factor and rescales it with each candidate's.
+/// (Time spent halted does not scale; ignoring that only makes the
+/// projection conservative, since halt power is far below any running
+/// power.) Engaging at a margin *below* the budget (default 95 %)
+/// means the `hlt` limit is never reached: the clock has already come
+/// down by the time the bang-bang controller would have tripped.
+#[derive(Clone, Copy, Debug)]
+pub struct ThermalAware {
+    /// Fraction of the budget the governor steers to, in `(0, 1]`.
+    pub engage: f64,
+}
+
+impl Default for ThermalAware {
+    fn default() -> Self {
+        ThermalAware { engage: 0.95 }
+    }
+}
+
+impl Governor for ThermalAware {
+    fn decide(&mut self, input: &GovernorInput, domain: &FrequencyDomain) -> usize {
+        let target = input.budget * self.engage;
+        if (target - input.idle_floor).0 <= 0.0 {
+            // The budget does not even cover halt power; all the
+            // governor can do is run as slowly as possible.
+            return domain.table().slowest_index();
+        }
+        // The observed thermal power normalised back to what it would
+        // be at nominal frequency and voltage.
+        let nominal_power = input.thermal_power.0 / domain.power_factor();
+        if nominal_power <= 0.0 {
+            return 0;
+        }
+        // Fastest state whose projected power fits the target.
+        domain.table().highest_within(target.0 / nominal_power)
+    }
+
+    fn name(&self) -> &'static str {
+        "thermal-aware"
+    }
+}
+
+/// Serialisable governor selection for simulation configs; builds the
+/// boxed policy instance per frequency domain.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GovernorKind {
+    /// [`Fixed`] at the given P-state index.
+    Fixed(usize),
+    /// [`OnDemand`] with default thresholds.
+    OnDemand,
+    /// [`ThermalAware`] with the default engagement margin.
+    ThermalAware,
+}
+
+impl GovernorKind {
+    /// Instantiates the governor.
+    pub fn build(&self) -> Box<dyn Governor + Send> {
+        match *self {
+            GovernorKind::Fixed(index) => Box::new(Fixed(index)),
+            GovernorKind::OnDemand => Box::new(OnDemand::default()),
+            GovernorKind::ThermalAware => Box::new(ThermalAware::default()),
+        }
+    }
+
+    /// The policy's report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GovernorKind::Fixed(_) => "fixed",
+            GovernorKind::OnDemand => "ondemand",
+            GovernorKind::ThermalAware => "thermal-aware",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pstate::PStateTable;
+
+    fn domain() -> FrequencyDomain {
+        FrequencyDomain::new(PStateTable::p4_xeon())
+    }
+
+    fn input(thermal: f64) -> GovernorInput {
+        GovernorInput {
+            thermal_power: Watts(thermal),
+            budget: Watts(40.0),
+            idle_floor: Watts(13.6),
+            utilization: 1.0,
+        }
+    }
+
+    #[test]
+    fn fixed_clamps_to_table() {
+        let d = domain();
+        assert_eq!(Fixed(2).decide(&input(50.0), &d), 2);
+        assert_eq!(Fixed(99).decide(&input(50.0), &d), 5);
+    }
+
+    #[test]
+    fn ondemand_follows_utilization() {
+        let mut d = domain();
+        let mut g = OnDemand::default();
+        let at = |utilization: f64| GovernorInput {
+            utilization,
+            ..input(30.0)
+        };
+        // Idle drops straight to the slowest state.
+        let next = g.decide(&at(0.0), &d);
+        assert_eq!(next, 5);
+        d.set_state(next);
+        // Half-load (one busy SMT sibling) recovers from the slowest
+        // state to the one serving 0.5/0.8 of nominal speed — 1.4 GHz
+        // (0.636) — instead of staying trapped at 1.2 GHz.
+        let next = g.decide(&at(0.5), &d);
+        assert_eq!(next, 4);
+        d.set_state(next);
+        // Busy jumps straight back to nominal.
+        assert_eq!(g.decide(&at(1.0), &d), 0);
+        assert_eq!(g.decide(&at(0.8), &d), 0);
+    }
+
+    #[test]
+    fn ondemand_is_monotone_in_utilization() {
+        let d = domain();
+        let mut g = OnDemand::default();
+        let mut last = d.table().slowest_index();
+        for tenths in 0..=10 {
+            let next = g.decide(
+                &GovernorInput {
+                    utilization: tenths as f64 / 10.0,
+                    ..input(30.0)
+                },
+                &d,
+            );
+            assert!(next <= last, "clock dropped as load grew");
+            last = next;
+        }
+    }
+
+    #[test]
+    fn thermal_aware_is_idle_at_nominal_when_cool() {
+        let d = domain();
+        let mut g = ThermalAware::default();
+        // Thermal power well under the 38 W target: stay at P0.
+        assert_eq!(g.decide(&input(30.0), &d), 0);
+        // At the idle floor (nothing running): P0.
+        assert_eq!(g.decide(&input(13.6), &d), 0);
+    }
+
+    #[test]
+    fn thermal_aware_scales_down_under_pressure() {
+        let d = domain();
+        let mut g = ThermalAware::default();
+        // 61 W of thermal power against a 40 W budget: power must
+        // shrink to the 38 W target, a factor ~0.62 — P3 (0.59) is the
+        // fastest fitting state.
+        let idx = g.decide(&input(61.0), &d);
+        assert_eq!(idx, 3);
+        // And the projection at the chosen state fits the target.
+        assert!(61.0 * d.table().power_factor(idx) <= 38.0);
+    }
+
+    #[test]
+    fn thermal_aware_monotone_in_thermal_power() {
+        let d = domain();
+        let mut g = ThermalAware::default();
+        let mut last = 0;
+        for tenths in 136..800 {
+            let idx = g.decide(&input(tenths as f64 / 10.0), &d);
+            assert!(
+                idx >= last,
+                "frequency rose as thermal power grew: {last} -> {idx}"
+            );
+            last = idx;
+        }
+        assert_eq!(last, d.table().slowest_index());
+    }
+
+    #[test]
+    fn thermal_aware_projection_accounts_for_current_state() {
+        let mut d = domain();
+        let mut g = ThermalAware::default();
+        // Already slowed to P4: 30 W observed there corresponds to
+        // ~63 W of nominal-state power, so speeding back up to P0
+        // would overshoot; the governor holds a reduced state.
+        d.set_state(4);
+        let idx = g.decide(&input(30.0), &d);
+        assert!(idx > 0, "governor sped up into an overshoot");
+        // Near-idle at P4, though, it returns to nominal: 7 W observed
+        // projects to ~15 W even at full clock.
+        assert_eq!(g.decide(&input(7.0), &d), 0);
+    }
+
+    #[test]
+    fn thermal_aware_handles_budget_below_idle_floor() {
+        let d = domain();
+        let mut g = ThermalAware::default();
+        let hopeless = GovernorInput {
+            budget: Watts(10.0),
+            ..input(30.0)
+        };
+        assert_eq!(g.decide(&hopeless, &d), d.table().slowest_index());
+    }
+
+    #[test]
+    fn kind_builds_matching_governor() {
+        for (kind, name) in [
+            (GovernorKind::Fixed(1), "fixed"),
+            (GovernorKind::OnDemand, "ondemand"),
+            (GovernorKind::ThermalAware, "thermal-aware"),
+        ] {
+            assert_eq!(kind.name(), name);
+            assert_eq!(kind.build().name(), name);
+        }
+    }
+}

@@ -136,7 +136,14 @@ pub fn balance_domain(
     if n_move == 0 {
         return 0;
     }
-    pull_tasks(sys, src, cpu, n_move, MigrationReason::LoadBalance, |_, _| true)
+    pull_tasks(
+        sys,
+        src,
+        cpu,
+        n_move,
+        MigrationReason::LoadBalance,
+        |_, _| true,
+    )
 }
 
 /// Finds the group with the highest average load (`nr_running` per
@@ -253,7 +260,11 @@ mod tests {
             let t = sys.now() + ebs_units::SimDuration::from_millis(100);
             sys.set_now(t);
         }
-        assert_eq!(sys.stats().migrations(), 0, "balanced load must not migrate");
+        assert_eq!(
+            sys.stats().migrations(),
+            0,
+            "balanced load must not migrate"
+        );
         sys.validate();
     }
 
@@ -362,11 +373,25 @@ mod tests {
         let mut sys = system();
         spawn_n(&mut sys, CpuId(0), 2);
         assert_eq!(
-            pull_tasks(&mut sys, CpuId(0), CpuId(0), 5, MigrationReason::LoadBalance, |_, _| true),
+            pull_tasks(
+                &mut sys,
+                CpuId(0),
+                CpuId(0),
+                5,
+                MigrationReason::LoadBalance,
+                |_, _| true
+            ),
             0
         );
         assert_eq!(
-            pull_tasks(&mut sys, CpuId(0), CpuId(1), 0, MigrationReason::LoadBalance, |_, _| true),
+            pull_tasks(
+                &mut sys,
+                CpuId(0),
+                CpuId(1),
+                0,
+                MigrationReason::LoadBalance,
+                |_, _| true
+            ),
             0
         );
     }

@@ -107,7 +107,10 @@ impl PrioArray {
     /// within a priority) — the order Linux scans when picking tasks to
     /// migrate away, preferring those that will not run soon anyway.
     pub fn iter_migration_order(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.queues.iter().rev().flat_map(|q| q.iter().rev().copied())
+        self.queues
+            .iter()
+            .rev()
+            .flat_map(|q| q.iter().rev().copied())
     }
 }
 

@@ -294,7 +294,11 @@ impl System {
         let target = cpu.unwrap_or(self.tasks[id.0 as usize].cpu());
         {
             let task = &mut self.tasks[id.0 as usize];
-            assert_eq!(task.state(), TaskState::Blocked, "waking a non-blocked task");
+            assert_eq!(
+                task.state(),
+                TaskState::Blocked,
+                "waking a non-blocked task"
+            );
             task.set_state(TaskState::Runnable);
             task.set_cpu(target);
         }
@@ -404,9 +408,17 @@ impl System {
                     task.cpu()
                 );
                 if rq.current() == Some(id) {
-                    assert_eq!(task.state(), TaskState::Running, "{id} current but not Running");
+                    assert_eq!(
+                        task.state(),
+                        TaskState::Running,
+                        "{id} current but not Running"
+                    );
                 } else {
-                    assert_eq!(task.state(), TaskState::Runnable, "{id} queued but not Runnable");
+                    assert_eq!(
+                        task.state(),
+                        TaskState::Runnable,
+                        "{id} queued but not Runnable"
+                    );
                 }
             }
         }
@@ -478,7 +490,9 @@ mod tests {
         // Burn a's entire 100 ms slice.
         let mut expired = false;
         for _ in 0..100 {
-            expired = sys.tick(CpuId(0), SimDuration::from_millis(1)).timeslice_expired;
+            expired = sys
+                .tick(CpuId(0), SimDuration::from_millis(1))
+                .timeslice_expired;
         }
         assert!(expired);
         let sw = sys.context_switch(CpuId(0));
@@ -541,10 +555,7 @@ mod tests {
         assert_eq!(sys.task(queued).cpu(), CpuId(4));
         assert_eq!(sys.nr_running(CpuId(4)), 1);
         assert_eq!(sys.stats().migrations(), 1);
-        assert_eq!(
-            sys.stats().migrations_for(MigrationReason::LoadBalance),
-            1
-        );
+        assert_eq!(sys.stats().migrations_for(MigrationReason::LoadBalance), 1);
         // Cross-node flag: CPU 0 is node 0, CPU 4 is node 1.
         assert_eq!(
             sys.task(queued).last_migration(),

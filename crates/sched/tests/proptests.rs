@@ -1,9 +1,7 @@
 //! Property-based tests: scheduler invariants under arbitrary
 //! operation sequences.
 
-use ebs_sched::{
-    LoadBalancer, LoadBalancerConfig, MigrationReason, System, TaskConfig, TaskState,
-};
+use ebs_sched::{LoadBalancer, LoadBalancerConfig, MigrationReason, System, TaskConfig, TaskState};
 use ebs_topology::{CpuId, Topology};
 use ebs_units::{SimDuration, SimTime, Watts};
 use proptest::prelude::*;

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use ebs_core::EnergyBalanceConfig;
+use ebs_dvfs::{GovernorKind, PStateTable};
 use ebs_units::{Celsius, SimDuration, Watts};
 
 /// How the per-CPU maximum power (the thermal budget) is determined.
@@ -18,6 +19,34 @@ pub enum MaxPowerSpec {
     /// thermal model at the given temperature limit — the Section 6.2
     /// setup with its artificial 38 degC limit.
     FromThermalLimit(Celsius),
+}
+
+/// Configuration of the DVFS subsystem.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DvfsSpec {
+    /// The P-state ladder every package scales over. Execution speed
+    /// follows the table's *absolute* frequencies, so a table whose
+    /// nominal differs from [`SimConfig::freq_hz`] simulates a
+    /// differently-clocked part consistently (reports and physics
+    /// agree); `freq_hz` only sets the clock of a machine without
+    /// DVFS.
+    pub table: PStateTable,
+    /// The governor policy driving each package's frequency domain.
+    pub governor: GovernorKind,
+    /// How often the governor re-decides the P-state. Real cpufreq
+    /// governors run every few scheduler ticks; 10 ms keeps decisions
+    /// well inside the thermal time constant.
+    pub interval: SimDuration,
+}
+
+impl Default for DvfsSpec {
+    fn default() -> Self {
+        DvfsSpec {
+            table: PStateTable::p4_xeon(),
+            governor: GovernorKind::ThermalAware,
+            interval: SimDuration::from_millis(10),
+        }
+    }
 }
 
 /// Full configuration of a simulation run.
@@ -49,6 +78,9 @@ pub struct SimConfig {
     pub energy_placement: bool,
     /// Enable `hlt` throttling at the maximum power.
     pub throttling: bool,
+    /// Dynamic voltage/frequency scaling; `None` pins every package at
+    /// the nominal clock (the paper's original testbed behaviour).
+    pub dvfs: Option<DvfsSpec>,
     /// The per-CPU power budgets.
     pub max_power: MaxPowerSpec,
     /// Per-package cooling factors scaling the thermal resistance
@@ -100,6 +132,7 @@ impl SimConfig {
             hot_task_migration: true,
             energy_placement: true,
             throttling: true,
+            dvfs: None,
             max_power: MaxPowerSpec::PerLogical(Watts(60.0)),
             cooling_factors: Vec::new(),
             perfect_estimation: false,
@@ -164,6 +197,33 @@ impl SimConfig {
     pub fn throttling(mut self, on: bool) -> Self {
         self.throttling = on;
         self
+    }
+
+    /// Enables DVFS with an explicit specification.
+    pub fn dvfs(mut self, spec: DvfsSpec) -> Self {
+        self.dvfs = Some(spec);
+        self
+    }
+
+    /// Enables DVFS with the default P4 Xeon table and decision
+    /// interval, under the given governor.
+    pub fn dvfs_governor(mut self, governor: GovernorKind) -> Self {
+        self.dvfs = Some(DvfsSpec {
+            governor,
+            ..DvfsSpec::default()
+        });
+        self
+    }
+
+    /// Disables DVFS (the default).
+    pub fn dvfs_off(mut self) -> Self {
+        self.dvfs = None;
+        self
+    }
+
+    /// Whether DVFS is enabled.
+    pub fn dvfs_enabled(&self) -> bool {
+        self.dvfs.is_some()
     }
 
     /// Sets the power budget specification.
@@ -247,6 +307,26 @@ mod tests {
         let cfg = cfg.energy_balancing(true);
         assert!(cfg.energy_balancing);
         assert!(!cfg.hot_task_migration);
+    }
+
+    #[test]
+    fn dvfs_builders() {
+        let cfg = SimConfig::xseries445();
+        assert!(!cfg.dvfs_enabled());
+        let cfg = cfg.dvfs_governor(GovernorKind::ThermalAware);
+        assert!(cfg.dvfs_enabled());
+        let spec = cfg.dvfs.clone().unwrap();
+        assert_eq!(spec.governor, GovernorKind::ThermalAware);
+        assert_eq!(spec.table, PStateTable::p4_xeon());
+        assert_eq!(spec.interval, SimDuration::from_millis(10));
+        let custom = DvfsSpec {
+            governor: GovernorKind::Fixed(2),
+            interval: SimDuration::from_millis(50),
+            ..DvfsSpec::default()
+        };
+        let cfg = cfg.dvfs(custom.clone());
+        assert_eq!(cfg.dvfs, Some(custom));
+        assert!(!cfg.dvfs_off().dvfs_enabled());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use ebs_core::{
     PlacementTable, PowerState, PowerStateConfig,
 };
 use ebs_counters::{calibration, EnergyModel};
+use ebs_dvfs::{Governor, GovernorInput, PStateResidency};
 use ebs_sched::{
     idlest_cpu, BinaryId, LoadBalancer, LoadBalancerConfig, System, TaskConfig, TaskId,
 };
@@ -52,6 +53,19 @@ pub struct Simulation {
     hot: HotTaskMigrator,
     placement: PlacementTable,
     warmth: WarmthModel,
+    /// Per-package frequency governors (empty when DVFS is disabled).
+    governors: Vec<Box<dyn Governor + Send>>,
+    /// Next instant the governors re-decide their P-states.
+    next_dvfs_decision: SimTime,
+    /// Per-package CPU lists, precomputed once — the topology is
+    /// immutable and the DVFS accounting below runs every tick.
+    pkg_cpus: Vec<Vec<CpuId>>,
+    /// Per-package busy time (thread-fraction · seconds) accumulated
+    /// since the last governor decision, so utilization covers the
+    /// whole window rather than sampling the decision instant.
+    dvfs_busy: Vec<f64>,
+    /// Wall time accumulated since the last governor decision.
+    dvfs_window: SimDuration,
     /// Runtime state, indexed by `TaskId` (dense).
     runtimes: Vec<Option<TaskRuntime>>,
     /// Program catalog by binary id, for respawning.
@@ -114,6 +128,16 @@ impl Simulation {
             ramp_cross_node: cfg.warmup_instructions_cross_node,
         };
         let next_thermal_sample = cfg.thermal_trace_interval.map(|_| SimTime::ZERO);
+        let governors: Vec<Box<dyn Governor + Send>> = match &cfg.dvfs {
+            Some(spec) => (0..sys.topology().n_packages())
+                .map(|_| spec.governor.build())
+                .collect(),
+            None => Vec::new(),
+        };
+        let dvfs_busy = vec![0.0; sys.topology().n_packages()];
+        let pkg_cpus: Vec<Vec<CpuId>> = (0..sys.topology().n_packages())
+            .map(|p| sys.topology().cpus_of_package(ebs_topology::PackageId(p)))
+            .collect();
         Simulation {
             sys,
             power,
@@ -122,6 +146,11 @@ impl Simulation {
             hot: HotTaskMigrator::new(HotTaskConfig::default()),
             placement: PlacementTable::new(Watts(30.0)),
             warmth,
+            governors,
+            next_dvfs_decision: SimTime::ZERO,
+            pkg_cpus,
+            dvfs_busy,
+            dvfs_window: SimDuration::ZERO,
             runtimes: Vec::new(),
             programs: HashMap::new(),
             sleepers: BinaryHeap::new(),
@@ -269,6 +298,7 @@ impl Simulation {
         if self.cfg.throttling {
             self.throttle_tick(dt);
         }
+        self.dvfs_tick(dt);
         self.scheduler_tick(dt, &completed);
         self.sample_traces();
     }
@@ -302,10 +332,20 @@ impl Simulation {
     /// CPUs whose running task completed its work this tick.
     fn physics_tick(&mut self, dt: SimDuration) -> Vec<CpuId> {
         let mut completed = Vec::new();
-        let topo = self.sys.topology().clone();
-        let freq = self.cfg.freq_hz;
-        for pkg in 0..topo.n_packages() {
-            let cpus = topo.cpus_of_package(ebs_topology::PackageId(pkg));
+        for pkg in 0..self.pkg_cpus.len() {
+            // Cloning the (1-2 entry) CPU list frees `self` for the
+            // mutations below; far cheaper than the whole-`Topology`
+            // clone this loop used to take per tick.
+            let cpus = self.pkg_cpus[pkg].clone();
+            // The package's frequency domain scales execution speed
+            // (cycles ~ f) and dynamic energy per event (~ V²); the
+            // event counts themselves already shrink with the cycle
+            // count, so dynamic power scales as V²·f overall. The
+            // domain's frequency is absolute, so execution and the
+            // reported clocks agree even for a custom table whose
+            // nominal differs from `cfg.freq_hz`.
+            let freq = self.machine.freq_domains[pkg].frequency().0;
+            let vscale_sq = self.machine.freq_domains[pkg].voltage_scale_sq();
             // A CPU executes this tick if it has a running task and is
             // not halted by the throttle controller.
             let pkg_running = self.machine.throttles[pkg].state() == ThrottleState::Running;
@@ -329,7 +369,7 @@ impl Simulation {
                         .expect("running task has runtime state");
                     let counts = rt.program.current_rates().counts_for_cycles(cycles);
                     self.machine.banks[cpu.0].record(&counts);
-                    pkg_energy += self.machine.truth().model.estimate(&counts);
+                    pkg_energy += self.machine.truth().model.estimate(&counts) * vscale_sq;
                     // Instruction progress, damped by cache warmth.
                     let wf = rt.warmth_factor(&self.warmth);
                     let instr = (cycles as f64 * rt.program.ipc() * wf) as u64;
@@ -340,10 +380,16 @@ impl Simulation {
                     if done {
                         completed.push(cpu);
                     }
-                    // Estimator: running interval, nothing halted.
-                    let est =
-                        self.estimator
-                            .account(cpu, &mut self.machine.banks[cpu.0], dt, SimDuration::ZERO);
+                    // Estimator: running interval, nothing halted. The
+                    // kernel programs the P-state itself, so it scales
+                    // the counter-derived energy by the known (V/V₀)²
+                    // just as it adds the known halt power for idling.
+                    let est = self.estimator.account(
+                        cpu,
+                        &mut self.machine.banks[cpu.0],
+                        dt,
+                        SimDuration::ZERO,
+                    ) * vscale_sq;
                     self.acc[cpu.0].energy += est;
                     self.acc[cpu.0].time += dt;
                     self.estimated_energy += est;
@@ -351,9 +397,9 @@ impl Simulation {
                 } else {
                     // Idle or throttled: halt power only.
                     pkg_energy += self.machine.halt_power_share().over(dt);
-                    let est =
-                        self.estimator
-                            .account(cpu, &mut self.machine.banks[cpu.0], dt, dt);
+                    let est = self
+                        .estimator
+                        .account(cpu, &mut self.machine.banks[cpu.0], dt, dt);
                     self.estimated_energy += est;
                     self.power.observe(cpu, est.average_power(dt), dt);
                 }
@@ -371,11 +417,61 @@ impl Simulation {
     /// Updates the per-package throttle controllers from the sum of
     /// the sibling thermal powers (only physical processors overheat).
     fn throttle_tick(&mut self, dt: SimDuration) {
-        let topo = self.sys.topology().clone();
-        for pkg in 0..topo.n_packages() {
-            let cpus = topo.cpus_of_package(ebs_topology::PackageId(pkg));
-            let thermal = self.power.thermal_power_sum(&cpus);
+        for pkg in 0..self.pkg_cpus.len() {
+            let thermal = self.power.thermal_power_sum(&self.pkg_cpus[pkg]);
             self.machine.throttles[pkg].observe(thermal, dt);
+        }
+    }
+
+    /// Advances P-state residency and, at every governor interval,
+    /// lets each package's governor pick its next P-state from the
+    /// same thermal-power signal the throttle controllers watch.
+    fn dvfs_tick(&mut self, dt: SimDuration) {
+        for dom in &mut self.machine.freq_domains {
+            dom.advance(dt);
+        }
+        let Some(spec) = &self.cfg.dvfs else { return };
+        // Accumulate busy time every tick so a task blocking and
+        // waking between decisions still shows up as load. A package
+        // halted by the throttle executes nothing, whatever its
+        // runqueues hold — mirroring `physics_tick`'s notion of
+        // executing, so a throttled package reads as idle and the
+        // governor downclocks to relieve the pressure.
+        for pkg in 0..self.pkg_cpus.len() {
+            if self.machine.throttles[pkg].state() != ThrottleState::Running {
+                continue;
+            }
+            let cpus = &self.pkg_cpus[pkg];
+            let busy = cpus
+                .iter()
+                .filter(|&&c| self.sys.current(c).is_some())
+                .count();
+            let share = busy as f64 / cpus.len() as f64 * dt.as_secs_f64();
+            self.dvfs_busy[pkg] += share;
+        }
+        self.dvfs_window += dt;
+        if self.now < self.next_dvfs_decision {
+            return;
+        }
+        self.next_dvfs_decision = self.now + spec.interval;
+        let window = self.dvfs_window.as_secs_f64();
+        self.dvfs_window = SimDuration::ZERO;
+        for pkg in 0..self.pkg_cpus.len() {
+            let cpus = &self.pkg_cpus[pkg];
+            let utilization = if window > 0.0 {
+                (self.dvfs_busy[pkg] / window).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let input = GovernorInput {
+                thermal_power: self.power.thermal_power_sum(cpus),
+                budget: self.power.max_power_sum(cpus),
+                idle_floor: self.machine.truth().halt_power,
+                utilization,
+            };
+            self.dvfs_busy[pkg] = 0.0;
+            let next = self.governors[pkg].decide(&input, &self.machine.freq_domains[pkg]);
+            self.machine.freq_domains[pkg].set_state(next);
         }
     }
 
@@ -591,6 +687,43 @@ impl Simulation {
         let mut completions_by_binary: Vec<(u64, u64)> =
             self.completions.iter().map(|(&b, &n)| (b, n)).collect();
         completions_by_binary.sort_unstable();
+        // Per-package throttle statistics, surfaced directly so
+        // experiments stop recomputing them from per-logical views.
+        let throttle_stats: Vec<_> = self.machine.throttles.iter().map(|t| t.stats()).collect();
+        // P-state residency aggregated over the (identical) per-package
+        // tables: state-wise sums of time, fractions of the total.
+        let domains = &self.machine.freq_domains;
+        let total_observed: SimDuration = domains.iter().map(|d| d.observed()).sum();
+        let per_domain: Vec<Vec<PStateResidency>> = domains.iter().map(|d| d.residency()).collect();
+        let pstate_residency: Vec<PStateResidency> = match domains.first() {
+            Some(first) => (0..first.table().len())
+                .map(|i| {
+                    let time: SimDuration = per_domain.iter().map(|r| r[i].time).sum();
+                    PStateResidency {
+                        frequency: first.table().get(i).frequency,
+                        time,
+                        fraction: if total_observed.is_zero() {
+                            0.0
+                        } else {
+                            time.ratio(total_observed)
+                        },
+                    }
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let avg_scaled_fraction = if domains.is_empty() {
+            0.0
+        } else {
+            domains.iter().map(|d| d.scaled_fraction()).sum::<f64>() / domains.len() as f64
+        };
+        let mean_frequency = if domains.is_empty() {
+            ebs_units::Hertz(self.cfg.freq_hz)
+        } else {
+            ebs_units::Hertz(
+                domains.iter().map(|d| d.mean_frequency().0).sum::<f64>() / domains.len() as f64,
+            )
+        };
         SimReport {
             duration: self.now - SimTime::ZERO,
             migrations: stats.migrations(),
@@ -606,6 +739,11 @@ impl Simulation {
             },
             throttled_fraction: throttled,
             avg_throttled_fraction: avg,
+            throttle_stats,
+            pstate_residency,
+            avg_scaled_fraction,
+            mean_frequency,
+            dvfs_transitions: domains.iter().map(|d| d.transitions()).sum(),
             max_package_temp: self.max_temp,
             true_energy: self.true_energy,
             estimated_energy: self.estimated_energy,
@@ -744,6 +882,161 @@ mod tests {
     }
 
     #[test]
+    fn dvfs_off_reports_a_pinned_nominal_clock() {
+        let mut sim = Simulation::new(quick_cfg());
+        sim.spawn_program(&catalog::aluadd());
+        sim.run_for(SimDuration::from_secs(2));
+        let report = sim.report();
+        assert_eq!(report.pstate_residency.len(), 1);
+        assert!((report.pstate_residency[0].fraction - 1.0).abs() < 1e-12);
+        assert_eq!(report.avg_scaled_fraction, 0.0);
+        assert_eq!(report.dvfs_transitions, 0);
+        assert!((report.mean_frequency.as_ghz() - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_aware_dvfs_scales_under_budget_pressure() {
+        let cfg = quick_cfg()
+            .max_power(crate::MaxPowerSpec::PerLogical(Watts(40.0)))
+            .energy_aware(false)
+            .throttling(false)
+            .dvfs_governor(ebs_dvfs::GovernorKind::ThermalAware);
+        let mut sim = Simulation::new(cfg);
+        sim.spawn_program(&catalog::bitcnts());
+        sim.run_for(SimDuration::from_secs(90));
+        let report = sim.report();
+        // bitcnts at ~61 W against a 40 W budget: the clock must come
+        // down, and with it the mean frequency.
+        assert!(
+            report.avg_scaled_fraction > 0.05,
+            "never scaled: {}",
+            report.avg_scaled_fraction
+        );
+        assert!(report.mean_frequency.as_ghz() < 2.2);
+        assert!(report.dvfs_transitions > 0);
+        // The residency table accounts every tick across all states.
+        assert_eq!(report.pstate_residency.len(), 6);
+        let fractions: f64 = report.pstate_residency.iter().map(|r| r.fraction).sum();
+        assert!((fractions - 1.0).abs() < 1e-9);
+        // Enforcement works: the hot package's thermal power converges
+        // below its 40 W budget without any hlt involvement.
+        let cpu = (0..8)
+            .map(CpuId)
+            .max_by(|&a, &b| {
+                let pa = sim.power_state().thermal_power(a).0;
+                let pb = sim.power_state().thermal_power(b).0;
+                pa.partial_cmp(&pb).expect("finite powers")
+            })
+            .expect("eight CPUs");
+        assert!(
+            sim.power_state().thermal_power(cpu) < Watts(40.0),
+            "budget exceeded: {:?}",
+            sim.power_state().thermal_power(cpu)
+        );
+        assert_eq!(report.avg_throttled_fraction, 0.0);
+    }
+
+    #[test]
+    fn fixed_governor_slows_execution_proportionally() {
+        let run = |dvfs: Option<crate::DvfsSpec>| {
+            let mut cfg = quick_cfg().energy_aware(false).throttling(false);
+            cfg.dvfs = dvfs;
+            let mut sim = Simulation::new(cfg);
+            sim.spawn_program(&catalog::aluadd());
+            sim.run_for(SimDuration::from_secs(10));
+            sim.report().instructions_retired as f64
+        };
+        let nominal = run(None);
+        let slowest = run(Some(crate::DvfsSpec {
+            governor: ebs_dvfs::GovernorKind::Fixed(5),
+            ..crate::DvfsSpec::default()
+        }));
+        // Throughput ~ f: the 1.2 GHz state retires ~1.2/2.2 of the
+        // nominal instructions.
+        let ratio = slowest / nominal;
+        assert!(
+            (ratio - 1.2 / 2.2).abs() < 0.03,
+            "throughput did not track frequency: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn custom_table_nominal_drives_execution_absolutely() {
+        // A table whose nominal is half the machine clock must halve
+        // throughput and report the table's own frequency.
+        let run = |dvfs: Option<crate::DvfsSpec>| {
+            let mut cfg = quick_cfg().energy_aware(false).throttling(false);
+            cfg.dvfs = dvfs;
+            let mut sim = Simulation::new(cfg);
+            sim.spawn_program(&catalog::aluadd());
+            sim.run_for(SimDuration::from_secs(10));
+            sim.report()
+        };
+        let nominal = run(None);
+        let half = run(Some(crate::DvfsSpec {
+            table: ebs_dvfs::PStateTable::nominal_only(
+                ebs_units::Hertz::from_ghz(1.1),
+                ebs_units::Volts(1.5),
+            ),
+            governor: ebs_dvfs::GovernorKind::Fixed(0),
+            ..crate::DvfsSpec::default()
+        }));
+        let ratio = half.instructions_retired as f64 / nominal.instructions_retired as f64;
+        assert!(
+            (ratio - 0.5).abs() < 0.02,
+            "1.1 GHz table did not halve 2.2 GHz throughput: {ratio}"
+        );
+        assert!((half.mean_frequency.as_ghz() - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dvfs_runs_stay_deterministic() {
+        let run = || {
+            let cfg = quick_cfg()
+                .max_power(crate::MaxPowerSpec::PerLogical(Watts(40.0)))
+                .dvfs_governor(ebs_dvfs::GovernorKind::ThermalAware)
+                .seed(77);
+            let mut sim = Simulation::new(cfg);
+            sim.spawn_mix(&ebs_workloads::section61_mix(), 2);
+            sim.run_for(SimDuration::from_secs(5));
+            let r = sim.report();
+            (r.instructions_retired, r.dvfs_transitions, r.migrations)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ondemand_governor_downclocks_idle_packages() {
+        let cfg = quick_cfg()
+            .energy_aware(false)
+            .dvfs_governor(ebs_dvfs::GovernorKind::OnDemand);
+        // One busy task: seven packages idle at the slowest state, one
+        // stays at nominal.
+        let mut sim = Simulation::new(cfg);
+        let id = sim.spawn_program(&catalog::aluadd());
+        sim.run_for(SimDuration::from_secs(5));
+        let busy_pkg = sim
+            .system()
+            .topology()
+            .package_of(sim.system().task(id).cpu());
+        for p in 0..8 {
+            let dom = sim.machine().freq_domain(ebs_topology::PackageId(p));
+            if p == busy_pkg.0 {
+                assert_eq!(dom.current_index(), 0, "busy package downclocked");
+            } else {
+                assert_eq!(
+                    dom.current_index(),
+                    dom.table().slowest_index(),
+                    "idle package {p} not downclocked"
+                );
+            }
+        }
+        // Idle packages burn halt power regardless of their clock, so
+        // the report's mean frequency reflects the idle downclocking.
+        assert!(sim.report().mean_frequency.as_ghz() < 2.2);
+    }
+
+    #[test]
     fn blocked_tasks_wake_up() {
         let mut sim = Simulation::new(quick_cfg());
         let id = sim.spawn_program(&catalog::bash());
@@ -762,7 +1055,11 @@ mod tests {
         }
         sim.run_for(SimDuration::from_secs(10));
         let report = sim.report();
-        assert!(report.completions >= 4, "completions {}", report.completions);
+        assert!(
+            report.completions >= 4,
+            "completions {}",
+            report.completions
+        );
         // Population stays at 4 runnable tasks.
         let running: usize = (0..8).map(|c| sim.system().nr_running(CpuId(c))).sum();
         assert_eq!(running, 4);

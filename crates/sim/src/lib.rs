@@ -43,7 +43,7 @@ mod runner;
 mod runtime;
 mod trace;
 
-pub use config::{MaxPowerSpec, SimConfig};
+pub use config::{DvfsSpec, MaxPowerSpec, SimConfig};
 pub use engine::Simulation;
 pub use machine::PhysicalMachine;
 pub use runner::{mean, run_configs, run_one, run_seeds};

@@ -3,9 +3,10 @@
 
 use crate::config::{MaxPowerSpec, SimConfig};
 use ebs_counters::{CounterBank, GroundTruth};
+use ebs_dvfs::{FrequencyDomain, PStateTable};
 use ebs_thermal::{RcThermalModel, ThermalNode, ThrottleController};
 use ebs_topology::{CpuId, PackageId, Topology};
-use ebs_units::{Celsius, Watts};
+use ebs_units::{Celsius, Hertz, Volts, Watts};
 
 /// The hardware-side state of the simulated machine.
 #[derive(Clone, Debug)]
@@ -21,6 +22,10 @@ pub struct PhysicalMachine {
     /// threads together (the paper's "this processor would have to be
     /// throttled 33 % of the time to enforce the 40 W limit").
     pub throttles: Vec<ThrottleController>,
+    /// Per-*package* frequency domains: SMT siblings share one clock
+    /// and one voltage plane, just as they share one thermal budget.
+    /// Without DVFS every domain has a single nominal P-state.
+    pub freq_domains: Vec<FrequencyDomain>,
     max_power_per_logical: Vec<Watts>,
     threads_per_package: usize,
 }
@@ -77,11 +82,21 @@ impl PhysicalMachine {
                 ThrottleController::new(budget)
             })
             .collect();
+        // The scaling ladder; a machine without DVFS support is a
+        // single-state ladder pinned at the nominal clock.
+        let table = match &cfg.dvfs {
+            Some(spec) => spec.table.clone(),
+            None => PStateTable::nominal_only(Hertz(cfg.freq_hz), Volts(1.5)),
+        };
+        let freq_domains = (0..n_packages)
+            .map(|_| FrequencyDomain::new(table.clone()))
+            .collect();
         PhysicalMachine {
             truth,
             banks: (0..n_cpus).map(|_| CounterBank::new()).collect(),
             thermals: models.into_iter().map(ThermalNode::new).collect(),
             throttles,
+            freq_domains,
             max_power_per_logical,
             threads_per_package: threads,
         }
@@ -110,6 +125,16 @@ impl PhysicalMachine {
     /// Die temperature of a package.
     pub fn package_temp(&self, pkg: PackageId) -> Celsius {
         self.thermals[pkg.0].temperature()
+    }
+
+    /// The frequency domain of a package.
+    pub fn freq_domain(&self, pkg: PackageId) -> &FrequencyDomain {
+        &self.freq_domains[pkg.0]
+    }
+
+    /// Current effective clock of a package.
+    pub fn package_frequency(&self, pkg: PackageId) -> Hertz {
+        self.freq_domains[pkg.0].frequency()
     }
 }
 
@@ -193,6 +218,29 @@ mod tests {
     fn wrong_factor_count_rejected() {
         let cfg = SimConfig::xseries445().cooling_factors(vec![1.0; 3]);
         let _ = PhysicalMachine::new(&cfg, &topo(true));
+    }
+
+    #[test]
+    fn without_dvfs_domains_are_pinned_at_nominal() {
+        let m = PhysicalMachine::new(&SimConfig::xseries445(), &topo(true));
+        assert_eq!(m.freq_domains.len(), 8);
+        for p in 0..8 {
+            let dom = m.freq_domain(PackageId(p));
+            assert_eq!(dom.table().len(), 1);
+            assert_eq!(m.package_frequency(PackageId(p)), Hertz::from_ghz(2.2));
+            assert_eq!(dom.speed_factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn with_dvfs_domains_carry_the_configured_table() {
+        let cfg = SimConfig::xseries445().dvfs(crate::DvfsSpec::default());
+        let m = PhysicalMachine::new(&cfg, &topo(true));
+        for p in 0..8 {
+            assert_eq!(m.freq_domain(PackageId(p)).table().len(), 6);
+            // Domains start at the nominal state.
+            assert_eq!(m.package_frequency(PackageId(p)), Hertz::from_ghz(2.2));
+        }
     }
 
     #[test]

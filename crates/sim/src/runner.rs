@@ -120,7 +120,10 @@ mod tests {
         let mut sim = Simulation::new(cfg);
         sim.spawn_program(&catalog::pushpop());
         sim.run_for(SimDuration::from_secs(1));
-        assert_eq!(report.instructions_retired, sim.report().instructions_retired);
+        assert_eq!(
+            report.instructions_retired,
+            sim.report().instructions_retired
+        );
     }
 
     #[test]

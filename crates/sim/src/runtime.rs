@@ -103,7 +103,9 @@ mod tests {
             1,
             vec![Phase::new(
                 "p",
-                ebs_counters::EventRates::builder().uops_retired(1.0).build(),
+                ebs_counters::EventRates::builder()
+                    .uops_retired(1.0)
+                    .build(),
                 1.0,
                 SimDuration::from_secs(1),
             )],

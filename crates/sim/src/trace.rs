@@ -1,8 +1,10 @@
 //! Traces and run reports.
 
+use ebs_dvfs::PStateResidency;
 use ebs_sched::TaskId;
+use ebs_thermal::ThrottleStats;
 use ebs_topology::CpuId;
-use ebs_units::{Celsius, Joules, SimDuration, SimTime, Watts};
+use ebs_units::{Celsius, Hertz, Joules, SimDuration, SimTime, Watts};
 
 /// Sampled per-CPU thermal power over time — the data behind the
 /// paper's Figures 6 and 7.
@@ -48,7 +50,10 @@ impl ThermalTrace {
             .filter(|(t, _)| *t >= from)
             .map(|(_, row)| {
                 let lo = row.iter().cloned().fold(Watts(f64::INFINITY), Watts::min);
-                let hi = row.iter().cloned().fold(Watts(f64::NEG_INFINITY), Watts::max);
+                let hi = row
+                    .iter()
+                    .cloned()
+                    .fold(Watts(f64::NEG_INFINITY), Watts::max);
                 hi - lo
             })
             .max_by(|a, b| a.partial_cmp(b).expect("finite spreads"))
@@ -148,6 +153,21 @@ pub struct SimReport {
     pub throttled_fraction: Vec<f64>,
     /// Average throttled fraction over all CPUs.
     pub avg_throttled_fraction: f64,
+    /// Per-package throttle statistics (engagements, throttled and
+    /// observed time) straight from the controllers.
+    pub throttle_stats: Vec<ThrottleStats>,
+    /// P-state residency aggregated over all packages, fastest state
+    /// first (one entry per table state; a single entry means DVFS was
+    /// off and the clock pinned at nominal).
+    pub pstate_residency: Vec<PStateResidency>,
+    /// Average fraction of time the packages ran below the nominal
+    /// clock — DVFS's analogue of the throttled fraction.
+    pub avg_scaled_fraction: f64,
+    /// Time-weighted mean core clock over the run, averaged over
+    /// packages.
+    pub mean_frequency: Hertz,
+    /// Total P-state transitions performed by the governors.
+    pub dvfs_transitions: u64,
     /// Hottest package temperature seen during the run.
     pub max_package_temp: Celsius,
     /// Ground-truth energy the machine physically dissipated.
@@ -175,6 +195,22 @@ impl SimReport {
             0.0
         } else {
             self.throughput_ips / baseline.throughput_ips - 1.0
+        }
+    }
+
+    /// Relative throughput *loss* versus a (faster) baseline, clamped
+    /// at zero — the penalty metric of the DVFS-vs-`hlt` comparison.
+    pub fn throughput_loss_vs(&self, baseline: &SimReport) -> f64 {
+        (-self.throughput_gain_over(baseline)).max(0.0)
+    }
+
+    /// True energy spent per retired instruction, in nanojoules — the
+    /// efficiency metric frequency scaling moves and `hlt` cannot.
+    pub fn nj_per_instruction(&self) -> f64 {
+        if self.instructions_retired == 0 {
+            0.0
+        } else {
+            self.true_energy.0 * 1e9 / self.instructions_retired as f64
         }
     }
 }
@@ -251,6 +287,11 @@ mod tests {
             throughput_ips: ips,
             throttled_fraction: vec![],
             avg_throttled_fraction: 0.0,
+            throttle_stats: vec![],
+            pstate_residency: vec![],
+            avg_scaled_fraction: 0.0,
+            mean_frequency: Hertz::from_ghz(2.2),
+            dvfs_transitions: 0,
             max_package_temp: Celsius(22.0),
             true_energy: Joules(100.0),
             estimated_energy: Joules(95.0),
@@ -259,5 +300,13 @@ mod tests {
         let better = mk(105.0);
         assert!((better.throughput_gain_over(&base) - 0.05).abs() < 1e-12);
         assert_eq!(better.throughput_gain_over(&mk(0.0)), 0.0);
+        // Loss is the clamped negative gain.
+        assert!((base.throughput_loss_vs(&better) - 5.0 / 105.0).abs() < 1e-12);
+        assert_eq!(better.throughput_loss_vs(&base), 0.0);
+        // No instructions -> no per-instruction energy.
+        assert_eq!(base.nj_per_instruction(), 0.0);
+        let mut r = mk(1.0);
+        r.instructions_retired = 50_000_000_000;
+        assert!((r.nj_per_instruction() - 2.0).abs() < 1e-12);
     }
 }

@@ -208,8 +208,7 @@ mod tests {
     fn recovers_heterogeneous_cooling() {
         for factor in [0.7, 0.9, 1.1, 1.3] {
             let truth = reference().with_cooling_factor(factor);
-            let trace =
-                record_trace(&truth, Watts(60.0), SimDuration::from_millis(500), 150, &[]);
+            let trace = record_trace(&truth, Watts(60.0), SimDuration::from_millis(500), 150, &[]);
             let fit = fit_heating_curve(&trace).unwrap();
             let err = (fit.model.resistance_k_per_w - truth.resistance_k_per_w).abs()
                 / truth.resistance_k_per_w;
@@ -273,19 +272,28 @@ mod tests {
             power: Watts(60.0),
             ambient: Celsius(22.0),
         };
-        assert!(matches!(fit_heating_curve(&trace), Err(FitError::NoHeating)));
+        assert!(matches!(
+            fit_heating_curve(&trace),
+            Err(FitError::NoHeating)
+        ));
     }
 
     #[test]
     fn zero_power_rejected() {
         let truth = reference();
         let trace = record_trace(&truth, Watts::ZERO, SimDuration::from_millis(500), 50, &[]);
-        assert!(matches!(fit_heating_curve(&trace), Err(FitError::NoHeating)));
+        assert!(matches!(
+            fit_heating_curve(&trace),
+            Err(FitError::NoHeating)
+        ));
     }
 
     #[test]
     fn error_display() {
-        assert_eq!(FitError::TooShort.to_string(), "heating trace has too few samples");
+        assert_eq!(
+            FitError::TooShort.to_string(),
+            "heating trace has too few samples"
+        );
         assert_eq!(
             FitError::NoHeating.to_string(),
             "heating trace shows no exponential rise"

@@ -208,7 +208,10 @@ mod tests {
         // within a few core time constants while the sink barely moves.
         let model = CmpThermalModel::reference();
         let mut node = CmpThermalNode::new(model, 4);
-        run_to_steady(&mut node, &[Watts(45.0), Watts(5.0), Watts(5.0), Watts(5.0)]);
+        run_to_steady(
+            &mut node,
+            &[Watts(45.0), Watts(5.0), Watts(5.0), Watts(5.0)],
+        );
         let sink_before = node.sink_temp();
         let migrated = vec![Watts(5.0), Watts(5.0), Watts(45.0), Watts(5.0)];
         for _ in 0..50 {

@@ -41,7 +41,10 @@ impl ExpAverage {
             standard_weight > 0.0 && standard_weight <= 1.0,
             "standard weight {standard_weight} outside (0, 1]"
         );
-        assert!(!standard_period.is_zero(), "standard period must be positive");
+        assert!(
+            !standard_period.is_zero(),
+            "standard period must be positive"
+        );
         ExpAverage {
             value: initial,
             standard_period,

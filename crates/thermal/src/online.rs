@@ -173,10 +173,14 @@ mod tests {
         let mut cal = OnlineCalibrator::new(PERIOD, &RcThermalModel::reference(), 1.0);
         feed(&mut cal, &truth, rich_schedule(2_000));
         let model = cal.model().expect("identified");
-        let r_err = (model.resistance_k_per_w - truth.resistance_k_per_w).abs()
-            / truth.resistance_k_per_w;
+        let r_err =
+            (model.resistance_k_per_w - truth.resistance_k_per_w).abs() / truth.resistance_k_per_w;
         assert!(r_err < 0.02, "resistance error {r_err}");
-        assert!((model.ambient.0 - truth.ambient.0).abs() < 0.5, "{:?}", model.ambient);
+        assert!(
+            (model.ambient.0 - truth.ambient.0).abs() < 0.5,
+            "{:?}",
+            model.ambient
+        );
         let tau_true = truth.resistance_k_per_w * truth.capacitance_j_per_k;
         let tau_est = model.resistance_k_per_w * model.capacitance_j_per_k;
         assert!(((tau_est - tau_true) / tau_true).abs() < 0.05);

@@ -228,9 +228,7 @@ mod tests {
         assert!((poor.resistance_k_per_w - base.resistance_k_per_w * 1.25).abs() < 1e-12);
         assert_eq!(poor.time_constant(), base.time_constant());
         // Poorer cooling -> lower power budget at the same limit.
-        assert!(
-            poor.max_power_for_limit(Celsius(38.0)) < base.max_power_for_limit(Celsius(38.0))
-        );
+        assert!(poor.max_power_for_limit(Celsius(38.0)) < base.max_power_for_limit(Celsius(38.0)));
     }
 
     #[test]

@@ -126,9 +126,7 @@ impl ThrottleController {
                 self.state = ThrottleState::Halted;
                 self.stats.engagements += 1;
             }
-            ThrottleState::Halted
-                if thermal_power < self.limit * (1.0 - self.release_margin) =>
-            {
+            ThrottleState::Halted if thermal_power < self.limit * (1.0 - self.release_margin) => {
                 self.state = ThrottleState::Running;
             }
             _ => {}

@@ -184,10 +184,7 @@ mod tests {
         let d = SchedDomain::new(
             DomainLevel::Node,
             DomainFlags::default(),
-            vec![
-                CpuGroup::new(cpus(&[0, 8])),
-                CpuGroup::new(cpus(&[1, 9])),
-            ],
+            vec![CpuGroup::new(cpus(&[0, 8])), CpuGroup::new(cpus(&[1, 9]))],
         );
         assert_eq!(d.span().collect::<Vec<_>>(), cpus(&[0, 8, 1, 9]));
         assert_eq!(d.local_group_index(CpuId(9)), Some(1));
@@ -216,7 +213,9 @@ mod tests {
             )
         };
         assert!(mk(DomainLevel::Smt).balance_interval() < mk(DomainLevel::Core).balance_interval());
-        assert!(mk(DomainLevel::Core).balance_interval() < mk(DomainLevel::Node).balance_interval());
+        assert!(
+            mk(DomainLevel::Core).balance_interval() < mk(DomainLevel::Node).balance_interval()
+        );
         assert!(mk(DomainLevel::Node).balance_interval() < mk(DomainLevel::Top).balance_interval());
     }
 

@@ -382,7 +382,10 @@ mod tests {
         );
         // The SMT domain spans exactly the two siblings and carries the
         // share-cpu-power flag the energy balancer checks.
-        assert_eq!(stack[0].span().collect::<Vec<_>>(), vec![CpuId(0), CpuId(8)]);
+        assert_eq!(
+            stack[0].span().collect::<Vec<_>>(),
+            vec![CpuId(0), CpuId(8)]
+        );
         assert!(stack[0].flags().share_cpu_power);
         assert!(!stack[1].flags().share_cpu_power);
         assert!(stack[2].flags().crosses_node);

@@ -1,0 +1,207 @@
+//! Clock frequency and supply voltage quantities.
+//!
+//! Dynamic voltage/frequency scaling adds two more physical dimensions
+//! to the scheduler's vocabulary: the core clock (`Hertz`) and the
+//! supply voltage (`Volts`). CMOS dynamic power scales roughly with
+//! `V² · f`, and instruction throughput with `f`, so keeping both as
+//! distinct types documents every P-state computation the same way
+//! [`crate::Watts`] documents the balancing metrics.
+
+use core::fmt;
+use core::ops::{Add, Div, Mul, Sub};
+
+/// Clock frequency in hertz.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Hertz(pub f64);
+
+/// Supply voltage in volts.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Volts(pub f64);
+
+impl Hertz {
+    /// Zero hertz.
+    pub const ZERO: Hertz = Hertz(0.0);
+
+    /// Creates a frequency from gigahertz.
+    pub const fn from_ghz(ghz: f64) -> Hertz {
+        Hertz(ghz * 1e9)
+    }
+
+    /// Creates a frequency from megahertz.
+    pub const fn from_mhz(mhz: f64) -> Hertz {
+        Hertz(mhz * 1e6)
+    }
+
+    /// The frequency in gigahertz.
+    pub fn as_ghz(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// The dimensionless ratio `self / other`, e.g. a scaled clock over
+    /// the nominal clock. Returns zero when `other` is zero.
+    pub fn ratio(self, other: Hertz) -> f64 {
+        if other.0 == 0.0 {
+            0.0
+        } else {
+            self.0 / other.0
+        }
+    }
+
+    /// The larger of two frequencies.
+    pub fn max(self, other: Hertz) -> Hertz {
+        Hertz(self.0.max(other.0))
+    }
+
+    /// The smaller of two frequencies.
+    pub fn min(self, other: Hertz) -> Hertz {
+        Hertz(self.0.min(other.0))
+    }
+
+    /// Whether the value is finite and non-negative.
+    pub fn is_sane(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Volts {
+    /// Zero volts.
+    pub const ZERO: Volts = Volts(0.0);
+
+    /// The dimensionless ratio `self / other`, e.g. a P-state voltage
+    /// over the nominal voltage. Returns zero when `other` is zero.
+    pub fn ratio(self, other: Volts) -> f64 {
+        if other.0 == 0.0 {
+            0.0
+        } else {
+            self.0 / other.0
+        }
+    }
+
+    /// The squared ratio `(self / other)²` — the factor by which CMOS
+    /// dynamic energy per switching event scales with supply voltage.
+    pub fn ratio_squared(self, other: Volts) -> f64 {
+        let r = self.ratio(other);
+        r * r
+    }
+
+    /// Whether the value is finite and non-negative.
+    pub fn is_sane(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Add for Hertz {
+    type Output = Hertz;
+    fn add(self, rhs: Hertz) -> Hertz {
+        Hertz(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Hertz {
+    type Output = Hertz;
+    fn sub(self, rhs: Hertz) -> Hertz {
+        Hertz(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Hertz {
+    type Output = Hertz;
+    fn mul(self, rhs: f64) -> Hertz {
+        Hertz(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Hertz {
+    type Output = Hertz;
+    fn div(self, rhs: f64) -> Hertz {
+        Hertz(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}GHz", self.as_ghz())
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}GHz", self.as_ghz())
+    }
+}
+
+impl fmt::Debug for Volts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}V", self.0)
+    }
+}
+
+impl fmt::Display for Volts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}V", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Hertz::from_ghz(2.2), Hertz(2.2e9));
+        assert_eq!(Hertz::from_mhz(2200.0), Hertz::from_ghz(2.2));
+        assert!((Hertz(1.8e9).as_ghz() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_handle_zero() {
+        assert!((Hertz::from_ghz(1.1).ratio(Hertz::from_ghz(2.2)) - 0.5).abs() < 1e-12);
+        assert_eq!(Hertz::from_ghz(1.0).ratio(Hertz::ZERO), 0.0);
+        assert!((Volts(1.2).ratio(Volts(1.5)) - 0.8).abs() < 1e-12);
+        assert_eq!(Volts(1.0).ratio(Volts::ZERO), 0.0);
+    }
+
+    #[test]
+    fn voltage_ratio_squared_is_the_energy_factor() {
+        let f = Volts(1.2).ratio_squared(Volts(1.5));
+        assert!((f - 0.64).abs() < 1e-12);
+        assert_eq!(Volts(1.5).ratio_squared(Volts(1.5)), 1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let f = Hertz::from_ghz(2.0) + Hertz::from_ghz(0.2) - Hertz::from_ghz(0.4);
+        assert!((f.as_ghz() - 1.8).abs() < 1e-12);
+        assert_eq!(Hertz::from_ghz(1.0) * 2.0, Hertz::from_ghz(2.0));
+        assert_eq!(Hertz::from_ghz(2.0) / 2.0, Hertz::from_ghz(1.0));
+    }
+
+    #[test]
+    fn ordering_and_clamping() {
+        assert!(Hertz::from_ghz(1.2) < Hertz::from_ghz(2.2));
+        assert_eq!(
+            Hertz::from_ghz(1.2).max(Hertz::from_ghz(2.2)),
+            Hertz::from_ghz(2.2)
+        );
+        assert_eq!(
+            Hertz::from_ghz(1.2).min(Hertz::from_ghz(2.2)),
+            Hertz::from_ghz(1.2)
+        );
+    }
+
+    #[test]
+    fn sanity_predicates() {
+        assert!(Hertz::from_ghz(2.2).is_sane());
+        assert!(!Hertz(-1.0).is_sane());
+        assert!(!Hertz(f64::NAN).is_sane());
+        assert!(Volts(1.5).is_sane());
+        assert!(!Volts(f64::INFINITY).is_sane());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Hertz::from_ghz(2.2)), "2.20GHz");
+        assert_eq!(format!("{:?}", Hertz::from_ghz(1.867)), "1.867GHz");
+        assert_eq!(format!("{}", Volts(1.475)), "1.48V");
+    }
+}

@@ -19,10 +19,12 @@
 //! assert_eq!(energy / timeslice, Watts(55.0));
 //! ```
 
+mod freq;
 mod power;
 mod temp;
 mod time;
 
+pub use freq::{Hertz, Volts};
 pub use power::{Joules, Watts};
 pub use temp::Celsius;
 pub use time::{SimDuration, SimTime};

@@ -189,6 +189,12 @@ impl Rem for SimDuration {
     }
 }
 
+impl core::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
 impl fmt::Debug for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t+{:.6}s", self.as_secs_f64())
@@ -228,7 +234,10 @@ mod tests {
         assert_eq!(SimTime::from_millis(5), SimTime::from_micros(5_000));
         assert_eq!(SimTime::from_secs(2), SimTime::from_micros(2_000_000));
         assert_eq!(SimDuration::from_millis(5), SimDuration::from_micros(5_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_micros(2_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_micros(2_000_000)
+        );
     }
 
     #[test]

@@ -394,7 +394,11 @@ mod tests {
         ];
         for (i, a) in programs.iter().enumerate() {
             for b in &programs[i + 1..] {
-                assert_ne!(a.binary, b.binary, "{} and {} share a binary", a.name, b.name);
+                assert_ne!(
+                    a.binary, b.binary,
+                    "{} and {} share a binary",
+                    a.name, b.name
+                );
             }
         }
     }

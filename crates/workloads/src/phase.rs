@@ -30,7 +30,10 @@ impl Phase {
     ///
     /// Panics if `ipc` is not positive and finite.
     pub fn new(name: &'static str, rates: EventRates, ipc: f64, dwell: SimDuration) -> Self {
-        assert!(ipc.is_finite() && ipc > 0.0, "IPC must be positive, got {ipc}");
+        assert!(
+            ipc.is_finite() && ipc > 0.0,
+            "IPC must be positive, got {ipc}"
+        );
         Phase {
             name,
             rates,

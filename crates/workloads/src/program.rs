@@ -259,10 +259,7 @@ mod tests {
 
     #[test]
     fn spiky_program_spikes_for_one_slice() {
-        let mut s = ProgramState::new(
-            two_phase_program(Behavior::Spiky { spike_prob: 1.0 }),
-            7,
-        );
+        let mut s = ProgramState::new(two_phase_program(Behavior::Spiky { spike_prob: 1.0 }), 7);
         s.begin_slice();
         assert_eq!(s.phase_index(), 1, "guaranteed spike did not occur");
         // The spike ends with the slice.
@@ -272,10 +269,7 @@ mod tests {
 
     #[test]
     fn spike_probability_zero_never_spikes() {
-        let mut s = ProgramState::new(
-            two_phase_program(Behavior::Spiky { spike_prob: 0.0 }),
-            7,
-        );
+        let mut s = ProgramState::new(two_phase_program(Behavior::Spiky { spike_prob: 0.0 }), 7);
         for _ in 0..200 {
             s.begin_slice();
             assert_eq!(s.phase_index(), 0);
@@ -351,10 +345,8 @@ mod tests {
     #[test]
     fn determinism_per_seed() {
         let mk = || {
-            let mut s = ProgramState::new(
-                two_phase_program(Behavior::Spiky { spike_prob: 0.3 }),
-                99,
-            );
+            let mut s =
+                ProgramState::new(two_phase_program(Behavior::Spiky { spike_prob: 0.3 }), 99);
             let mut trace = Vec::new();
             for _ in 0..50 {
                 s.begin_slice();

@@ -42,7 +42,12 @@ fn greedy_pass(sys: &mut System, power: &PowerState) -> usize {
     let candidate = sys
         .rq(hottest_cpu)
         .iter_migration_candidates()
-        .max_by(|&a, &b| sys.task(a).profile().partial_cmp(&sys.task(b).profile()).unwrap());
+        .max_by(|&a, &b| {
+            sys.task(a)
+                .profile()
+                .partial_cmp(&sys.task(b).profile())
+                .unwrap()
+        });
     if let Some(task) = candidate {
         if sys
             .migrate_queued(task, coolest_cpu, MigrationReason::EnergyBalance)

@@ -1,0 +1,68 @@
+//! Swapping frequency governors on the same workload mix.
+//!
+//! Runs the paper's Section 6.1 mix under a tight 40 W package budget
+//! four times — no DVFS, a pinned low clock, the utilization-driven
+//! OnDemand governor, and the ThermalAware governor — and prints what
+//! each policy traded: throughput, energy per instruction, time spent
+//! below the nominal clock, and the mean effective clock.
+//!
+//! ```sh
+//! cargo run --release --example dvfs_governors
+//! ```
+
+use ebs::dvfs::GovernorKind;
+use ebs::sim::{MaxPowerSpec, SimConfig, Simulation};
+use ebs::units::{SimDuration, Watts};
+use ebs::workloads::section61_mix;
+
+fn main() {
+    let base = || {
+        SimConfig::xseries445()
+            .smt(false)
+            .energy_aware(false)
+            .throttling(false)
+            .max_power(MaxPowerSpec::PerPackage(Watts(40.0)))
+            .seed(42)
+    };
+    let variants: Vec<(&str, SimConfig)> = vec![
+        ("pinned nominal (no dvfs)", base().throttling(true)),
+        (
+            "fixed slowest",
+            base().dvfs_governor(GovernorKind::Fixed(5)),
+        ),
+        ("ondemand", base().dvfs_governor(GovernorKind::OnDemand)),
+        (
+            "thermal-aware",
+            base().dvfs_governor(GovernorKind::ThermalAware),
+        ),
+    ];
+
+    println!("18 tasks, 60 simulated seconds, 40 W package budget:\n");
+    println!(
+        "{:>26} {:>10} {:>10} {:>10} {:>10} {:>11}",
+        "governor", "Ginstr/s", "nJ/instr", "throttled", "scaled", "mean clock"
+    );
+    for (name, cfg) in variants {
+        let mut sim = Simulation::new(cfg);
+        sim.spawn_mix(&section61_mix(), 3);
+        sim.run_for(SimDuration::from_secs(60));
+        let report = sim.report();
+        println!(
+            "{:>26} {:>10.2} {:>10.2} {:>9.1}% {:>9.1}% {:>8.2}GHz",
+            name,
+            report.throughput_ips / 1e9,
+            report.nj_per_instruction(),
+            report.avg_throttled_fraction * 100.0,
+            report.avg_scaled_fraction * 100.0,
+            report.mean_frequency.as_ghz(),
+        );
+        // Per-P-state residency, the new SimReport signal.
+        let residency: Vec<String> = report
+            .pstate_residency
+            .iter()
+            .filter(|r| r.fraction > 0.001)
+            .map(|r| format!("{} {:.0}%", r.frequency, r.fraction * 100.0))
+            .collect();
+        println!("{:>26}   residency: {}", "", residency.join(", "));
+    }
+}

@@ -43,6 +43,9 @@ fn main() {
     }
     let hops = visits.len().saturating_sub(1);
     let report = sim.report();
-    println!("\n{hops} migrations in 150 s, throttled {:.1}% of the time", report.avg_throttled_fraction * 100.0);
+    println!(
+        "\n{hops} migrations in 150 s, throttled {:.1}% of the time",
+        report.avg_throttled_fraction * 100.0
+    );
     println!("(without hot task migration the package would throttle ~50% of the time)");
 }

@@ -27,7 +27,10 @@ fn main() {
 
     let report = sim.report();
     println!("\nper-CPU state after 300 s:");
-    println!("{:>5} {:>10} {:>14} {:>12}", "cpu", "tasks", "thermal power", "rq power");
+    println!(
+        "{:>5} {:>10} {:>14} {:>12}",
+        "cpu", "tasks", "thermal power", "rq power"
+    );
     for c in 0..8 {
         let cpu = CpuId(c);
         println!(

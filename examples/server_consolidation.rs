@@ -36,7 +36,10 @@ fn main() {
     let off = run(false);
     let on = run(true);
 
-    println!("{:>12} {:>14} {:>14}", "logical CPU", "throttled(off)", "throttled(on)");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "logical CPU", "throttled(off)", "throttled(on)"
+    );
     for c in 0..16 {
         if off.throttled_fraction[c] > 0.005 || on.throttled_fraction[c] > 0.005 {
             println!(

@@ -114,7 +114,10 @@ fn profiles_match_ground_truth_within_ten_percent() {
 /// migrations, blocking, completions, and respawns.
 #[test]
 fn scheduler_invariants_hold_under_churn() {
-    let cfg = SimConfig::xseries445().smt(true).energy_aware(true).seed(21);
+    let cfg = SimConfig::xseries445()
+        .smt(true)
+        .energy_aware(true)
+        .seed(21);
     let mut sim = Simulation::new(cfg);
     // A churny workload: interactive + short tasks + hot hogs.
     sim.spawn_mix(&[catalog::bash(), catalog::sshd()], 4);
@@ -162,7 +165,9 @@ fn facade_exposes_all_layers() {
     let topo = ebs::topology::Topology::xseries445(false);
     assert_eq!(topo.n_cpus(), 8);
     let model = ebs::counters::EnergyModel::ground_truth_weights();
-    let rates = ebs::counters::EventRates::builder().uops_retired(1.0).build();
+    let rates = ebs::counters::EventRates::builder()
+        .uops_retired(1.0)
+        .build();
     assert!(model.power_for_rates(&rates, 2.2e9).0 > 0.0);
     let rc = ebs::thermal::RcThermalModel::reference();
     assert!(rc.max_power_for_limit(ebs::units::Celsius(38.0)).0 > 0.0);
