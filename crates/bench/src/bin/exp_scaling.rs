@@ -1,0 +1,11 @@
+//! Runs the scenario-engine scaling sweep: the policy matrix across
+//! generated topologies and open-workload load curves, sharded through
+//! the capped parallel runner. `--smoke` (or `--quick`) runs the
+//! reduced 24-cell matrix CI exercises on every push.
+
+fn main() {
+    let smoke = ebs_bench::smoke_requested() || ebs_bench::quick_requested();
+    let sweep = ebs_bench::experiments::scaling::run(smoke);
+    ebs_bench::write_artifact("scaling.csv", &sweep.to_csv()).expect("scaling.csv");
+    println!("{sweep}");
+}

@@ -8,6 +8,7 @@ pub mod fig67;
 pub mod fig8;
 pub mod fig9;
 pub mod migrations;
+pub mod scaling;
 pub mod table1;
 pub mod table2;
 pub mod table3;

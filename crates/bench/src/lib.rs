@@ -15,10 +15,20 @@ pub mod fmt;
 /// Standard multi-seed set for averaged experiments.
 pub const SEEDS: [u64; 5] = [11, 23, 37, 51, 73];
 
+fn flag_requested(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
 /// Returns `true` when the binary was invoked with `--quick`
 /// (shortened runs for smoke testing; full runs match paper scale).
 pub fn quick_requested() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    flag_requested("--quick")
+}
+
+/// Returns `true` when the binary was invoked with `--smoke` (the
+/// reduced sweep matrix CI runs on every push).
+pub fn smoke_requested() -> bool {
+    flag_requested("--smoke")
 }
 
 /// Writes a results artefact (CSV or text) under `results/`.

@@ -155,7 +155,7 @@ fn energy_step(
     // Search the CPU group with the highest average power ratio.
     let Some((hot_idx, hot_rq_ratio)) = (0..domain.groups().len())
         .map(|i| (i, group_runqueue_ratio(sys, &domain.groups()[i], power)))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("ratios are finite"))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
     else {
         return 0;
     };
@@ -177,9 +177,7 @@ fn energy_step(
     }
     // Search the queue with the highest power ratio within the group.
     let Some(src) = hot_group.cpus().iter().copied().max_by(|&a, &b| {
-        runqueue_power_ratio(sys, a, power)
-            .partial_cmp(&runqueue_power_ratio(sys, b, power))
-            .expect("ratios are finite")
+        runqueue_power_ratio(sys, a, power).total_cmp(&runqueue_power_ratio(sys, b, power))
     }) else {
         return 0;
     };
@@ -275,12 +273,7 @@ where
     sys.rq(src)
         .iter_migration_candidates()
         .filter(|&id| pred(sys.task(id).profile()))
-        .max_by(|&a, &b| {
-            sys.task(a)
-                .profile()
-                .partial_cmp(&sys.task(b).profile())
-                .expect("profiles are finite")
-        })
+        .max_by(|&a, &b| sys.task(a).profile().0.total_cmp(&sys.task(b).profile().0))
 }
 
 /// The coolest waiting task on `src` satisfying `pred`.
@@ -291,12 +284,7 @@ where
     sys.rq(src)
         .iter_migration_candidates()
         .filter(|&id| pred(id, sys.task(id).profile()))
-        .min_by(|&a, &b| {
-            sys.task(a)
-                .profile()
-                .partial_cmp(&sys.task(b).profile())
-                .expect("profiles are finite")
-        })
+        .min_by(|&a, &b| sys.task(a).profile().0.total_cmp(&sys.task(b).profile().0))
 }
 
 /// Pulls up to `n` waiting tasks from `src` to `dst`, hottest or
@@ -316,7 +304,7 @@ fn pull_sorted(
     candidates.sort_by(|&a, &b| {
         let pa = sys.task(a).profile();
         let pb = sys.task(b).profile();
-        let ord = pa.partial_cmp(&pb).expect("profiles are finite");
+        let ord = pa.0.total_cmp(&pb.0);
         if hottest_first {
             ord.reverse()
         } else {

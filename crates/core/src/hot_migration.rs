@@ -134,7 +134,9 @@ impl HotTaskMigrator {
                 .min_by(|&a, &b| {
                     let ka = candidate_key(&topo, sys, power, a);
                     let kb = candidate_key(&topo, sys, power, b);
-                    ka.partial_cmp(&kb).expect("thermal powers are finite")
+                    // Total order so a NaN thermal power on a
+                    // degenerate machine skews instead of panics.
+                    ka.0.total_cmp(&kb.0).then((ka.1, ka.2).cmp(&(kb.1, kb.2)))
                 });
             let Some(dest) = candidate else {
                 continue;

@@ -88,14 +88,14 @@ impl PlacementTable {
 /// Chooses the CPU for a newly started task with the given seeded
 /// profile (Section 4.6): among the CPUs with the fewest running tasks,
 /// the one whose runqueue power ratio *including the new task* comes
-/// closest to the current average ratio of all CPUs.
-pub fn place_new_task(sys: &System, power: &PowerState, profile: Watts) -> CpuId {
+/// closest to the current average ratio of all CPUs. `None` only for a
+/// degenerate CPU-less system, so callers fall back instead of
+/// panicking; ratio comparisons use a total order, so a NaN ratio
+/// (e.g. a zero power budget on a generated machine) cannot panic
+/// either.
+pub fn place_new_task(sys: &System, power: &PowerState, profile: Watts) -> Option<CpuId> {
     let topo = sys.topology();
-    let min_load = topo
-        .cpu_ids()
-        .map(|c| sys.nr_running(c))
-        .min()
-        .expect("at least one CPU");
+    let min_load = topo.cpu_ids().map(|c| sys.nr_running(c)).min()?;
     // The average runqueue power ratio over all CPUs, before placement.
     let avg_ratio = topo
         .cpu_ids()
@@ -107,11 +107,8 @@ pub fn place_new_task(sys: &System, power: &PowerState, profile: Watts) -> CpuId
         .min_by(|&a, &b| {
             let da = (ratio_with_task(sys, power, a, profile) - avg_ratio).abs();
             let db = (ratio_with_task(sys, power, b, profile) - avg_ratio).abs();
-            da.partial_cmp(&db)
-                .expect("ratios are finite")
-                .then(a.0.cmp(&b.0))
+            da.total_cmp(&db).then(a.0.cmp(&b.0))
         })
-        .expect("at least one eligible CPU")
 }
 
 /// The runqueue power ratio `cpu` would have if `profile` joined its
@@ -174,7 +171,7 @@ mod tests {
         for c in 0..4 {
             spawn(&mut sys, CpuId(c), 50.0);
         }
-        let dest = place_new_task(&sys, &power, Watts(61.0));
+        let dest = place_new_task(&sys, &power, Watts(61.0)).unwrap();
         assert!(dest.0 >= 4, "picked a loaded CPU {dest} over an idle one");
     }
 
@@ -185,7 +182,7 @@ mod tests {
         for c in 0..8 {
             spawn(&mut sys, CpuId(c), if c == 5 { 20.0 } else { 45.0 });
         }
-        let dest = place_new_task(&sys, &power, Watts(61.0));
+        let dest = place_new_task(&sys, &power, Watts(61.0)).unwrap();
         assert_eq!(dest, CpuId(5));
     }
 
@@ -195,7 +192,7 @@ mod tests {
         for c in 0..8 {
             spawn(&mut sys, CpuId(c), if c == 2 { 61.0 } else { 40.0 });
         }
-        let dest = place_new_task(&sys, &power, Watts(15.0));
+        let dest = place_new_task(&sys, &power, Watts(15.0)).unwrap();
         assert_eq!(dest, CpuId(2));
     }
 
@@ -209,13 +206,13 @@ mod tests {
         for c in 0..8 {
             spawn(&mut sys, CpuId(c), 40.0);
         }
-        let dest = place_new_task(&sys, &power, Watts(61.0));
+        let dest = place_new_task(&sys, &power, Watts(61.0)).unwrap();
         assert_ne!(dest, CpuId(3), "hot task placed on the poorly cooled CPU");
     }
 
     #[test]
     fn empty_system_places_deterministically() {
         let (sys, power) = setup();
-        assert_eq!(place_new_task(&sys, &power, Watts(45.0)), CpuId(0));
+        assert_eq!(place_new_task(&sys, &power, Watts(45.0)), Some(CpuId(0)));
     }
 }

@@ -84,7 +84,7 @@ proptest! {
             }
         }
         let power = heated(8, 60.0, &temps);
-        let dest = place_new_task(&sys, &power, Watts(profile));
+        let dest = place_new_task(&sys, &power, Watts(profile)).expect("8-CPU system");
         let min_load = (0..8).map(|c| sys.nr_running(CpuId(c))).min().unwrap();
         prop_assert_eq!(sys.nr_running(dest), min_load);
     }

@@ -168,8 +168,12 @@ pub fn find_busiest_group(
     best
 }
 
-/// Average `nr_running` per CPU over a group.
+/// Average `nr_running` per CPU over a group (0 for a degenerate
+/// empty group, rather than a NaN that would poison comparisons).
 pub fn group_avg_load(sys: &System, group: &CpuGroup) -> f64 {
+    if group.is_empty() {
+        return 0.0;
+    }
     let total: usize = group.cpus().iter().map(|&c| sys.nr_running(c)).sum();
     total as f64 / group.len() as f64
 }
@@ -222,12 +226,12 @@ where
 }
 
 /// The CPU with the fewest runnable tasks (ties broken by lowest id) —
-/// the baseline placement for newly spawned tasks.
-pub fn idlest_cpu(sys: &System) -> CpuId {
+/// the baseline placement for newly spawned tasks. `None` only for a
+/// degenerate CPU-less system, so callers skip instead of panicking.
+pub fn idlest_cpu(sys: &System) -> Option<CpuId> {
     sys.topology()
         .cpu_ids()
         .min_by_key(|&c| (sys.nr_running(c), c.0))
-        .expect("topology has at least one CPU")
 }
 
 #[cfg(test)]
@@ -399,12 +403,12 @@ mod tests {
     #[test]
     fn idlest_cpu_prefers_low_load_then_low_id() {
         let mut sys = system();
-        assert_eq!(idlest_cpu(&sys), CpuId(0));
+        assert_eq!(idlest_cpu(&sys), Some(CpuId(0)));
         spawn_n(&mut sys, CpuId(0), 1);
-        assert_eq!(idlest_cpu(&sys), CpuId(1));
+        assert_eq!(idlest_cpu(&sys), Some(CpuId(1)));
         for c in 1..8 {
             spawn_n(&mut sys, CpuId(c), 1);
         }
-        assert_eq!(idlest_cpu(&sys), CpuId(0));
+        assert_eq!(idlest_cpu(&sys), Some(CpuId(0)));
     }
 }

@@ -2,7 +2,9 @@
 
 use ebs_core::EnergyBalanceConfig;
 use ebs_dvfs::{GovernorKind, PStateTable};
+use ebs_topology::{TopologyBuilder, TopologyPreset};
 use ebs_units::{Celsius, SimDuration, Watts};
+use ebs_workloads::OpenWorkload;
 
 /// How the per-CPU maximum power (the thermal budget) is determined.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,9 +58,11 @@ pub struct SimConfig {
     pub n_nodes: usize,
     /// Physical packages per node.
     pub packages_per_node: usize,
-    /// Whether simultaneous multithreading is enabled (2 threads per
-    /// package) or not (1 thread).
-    pub smt: bool,
+    /// Cores per package (1 = the paper's machine; more adds the
+    /// Section 7 CMP layer to the domain hierarchy).
+    pub cores_per_package: usize,
+    /// Hardware threads per core (1 = SMT off, 2 = two-way SMT).
+    pub threads_per_core: usize,
     /// RNG seed; every random choice in the run derives from it.
     pub seed: u64,
     /// Simulation tick (scheduler granularity).
@@ -100,6 +104,10 @@ pub struct SimConfig {
     /// Record which CPU every task runs on, whenever it changes
     /// (fig. 9); cheap, but unneeded for most runs.
     pub task_cpu_trace: bool,
+    /// An open workload driven by the engine: Poisson task arrivals
+    /// under a load curve. `None` keeps the paper's closed model
+    /// (tasks are spawned explicitly and optionally respawned).
+    pub open_workload: Option<OpenWorkload>,
     /// Combined throughput factor of two busy SMT siblings relative to
     /// one solo thread (the literature's ~1.25 for the Pentium 4).
     pub smt_speedup: f64,
@@ -120,10 +128,16 @@ impl SimConfig {
     /// The paper's testbed shape with the paper's defaults: SMT on,
     /// energy-aware scheduling on, throttling on, 60 W logical budgets.
     pub fn xseries445() -> Self {
+        SimConfig::with_topology(TopologyPreset::XSeries445 { smt: true }.builder())
+    }
+
+    /// The paper's defaults on an arbitrary machine shape.
+    pub fn with_topology(topo: TopologyBuilder) -> Self {
         SimConfig {
-            n_nodes: 2,
-            packages_per_node: 4,
-            smt: true,
+            n_nodes: topo.n_nodes(),
+            packages_per_node: topo.n_packages_per_node(),
+            cores_per_package: topo.n_cores_per_package(),
+            threads_per_core: topo.n_threads_per_core(),
             seed: 1,
             tick: SimDuration::from_millis(1),
             freq_hz: 2.2e9,
@@ -139,6 +153,7 @@ impl SimConfig {
             respawn: true,
             thermal_trace_interval: None,
             task_cpu_trace: false,
+            open_workload: None,
             smt_speedup: 1.25,
             warmup_ipc_floor: 0.55,
             warmup_instructions: 40_000_000,
@@ -147,9 +162,44 @@ impl SimConfig {
         }
     }
 
-    /// Sets SMT on or off.
+    /// The paper's defaults on a named preset shape.
+    pub fn preset(preset: TopologyPreset) -> Self {
+        SimConfig::with_topology(preset.builder())
+    }
+
+    /// Sets two-way SMT on or off.
     pub fn smt(mut self, smt: bool) -> Self {
-        self.smt = smt;
+        self.threads_per_core = if smt { 2 } else { 1 };
+        self
+    }
+
+    /// Whether SMT is enabled.
+    pub fn smt_enabled(&self) -> bool {
+        self.threads_per_core > 1
+    }
+
+    /// Replaces the machine shape.
+    pub fn topology(mut self, topo: TopologyBuilder) -> Self {
+        self.n_nodes = topo.n_nodes();
+        self.packages_per_node = topo.n_packages_per_node();
+        self.cores_per_package = topo.n_cores_per_package();
+        self.threads_per_core = topo.n_threads_per_core();
+        self
+    }
+
+    /// The machine shape as a [`TopologyBuilder`].
+    pub fn topology_builder(&self) -> TopologyBuilder {
+        TopologyBuilder::new()
+            .nodes(self.n_nodes)
+            .packages_per_node(self.packages_per_node)
+            .cores_per_package(self.cores_per_package)
+            .threads_per_core(self.threads_per_core)
+    }
+
+    /// Drives the simulation with an open workload (Poisson arrivals
+    /// under a load curve) instead of a fixed task population.
+    pub fn open_workload(mut self, workload: OpenWorkload) -> Self {
+        self.open_workload = Some(workload);
         self
     }
 
@@ -270,16 +320,12 @@ impl SimConfig {
 
     /// Number of logical CPUs.
     pub fn n_cpus(&self) -> usize {
-        self.n_packages() * if self.smt { 2 } else { 1 }
+        self.n_packages() * self.threads_per_package()
     }
 
     /// Hardware threads per package.
     pub fn threads_per_package(&self) -> usize {
-        if self.smt {
-            2
-        } else {
-            1
-        }
+        self.cores_per_package * self.threads_per_core
     }
 }
 
@@ -296,6 +342,36 @@ mod tests {
         let cfg = cfg.smt(false);
         assert_eq!(cfg.n_cpus(), 8);
         assert_eq!(cfg.threads_per_package(), 1);
+    }
+
+    #[test]
+    fn topology_builders_round_trip() {
+        let cfg = SimConfig::preset(TopologyPreset::Numa16);
+        assert_eq!(cfg.n_packages(), 16);
+        assert_eq!(cfg.n_cpus(), 32);
+        assert_eq!(cfg.threads_per_package(), 2);
+        assert!(!cfg.smt_enabled());
+        let builder = cfg.topology_builder();
+        assert_eq!(builder, TopologyPreset::Numa16.builder());
+        // Replacing the shape keeps the rest of the config.
+        let cfg = cfg.seed(5).topology(TopologyPreset::Dual.builder());
+        assert_eq!(cfg.n_packages(), 2);
+        assert_eq!(cfg.n_cpus(), 8);
+        assert_eq!(cfg.seed, 5);
+        assert!(cfg.smt_enabled());
+    }
+
+    #[test]
+    fn open_workload_builder() {
+        use ebs_workloads::{catalog, LoadCurve, OpenWorkload};
+        let cfg = SimConfig::xseries445();
+        assert!(cfg.open_workload.is_none());
+        let cfg = cfg.open_workload(
+            OpenWorkload::new(vec![catalog::aluadd()], 4.0).curve(LoadCurve::Constant),
+        );
+        let w = cfg.open_workload.as_ref().unwrap();
+        assert_eq!(w.base_rate_hz, 4.0);
+        assert_eq!(w.curve, LoadCurve::Constant);
     }
 
     #[test]

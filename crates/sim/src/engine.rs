@@ -5,7 +5,7 @@
 use crate::config::SimConfig;
 use crate::machine::PhysicalMachine;
 use crate::runtime::{TaskRuntime, WarmthModel};
-use crate::trace::{SimReport, TaskCpuTrace, ThermalTrace};
+use crate::trace::{LatencyStats, SimReport, TaskCpuTrace, ThermalTrace};
 use ebs_core::{
     place_new_task, EnergyAwareBalancer, EnergyEstimator, HotTaskConfig, HotTaskMigrator,
     PlacementTable, PowerState, PowerStateConfig,
@@ -18,11 +18,33 @@ use ebs_sched::{
 use ebs_thermal::ThrottleState;
 use ebs_topology::{CpuId, Topology};
 use ebs_units::{Celsius, Joules, SimDuration, SimTime, Watts};
-use ebs_workloads::{Program, ProgramState};
+use ebs_workloads::{OpenWorkload, Program, ProgramState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+
+/// Salt separating the arrival RNG stream from the engine's main one,
+/// so enabling an open workload never perturbs a closed run's draws.
+const ARRIVAL_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// State of the Poisson arrival process driving an open workload.
+#[derive(Clone, Debug)]
+struct OpenState {
+    spec: OpenWorkload,
+    /// Dedicated RNG: arrivals, palette picks, and service demands.
+    rng: StdRng,
+    /// Next candidate arrival of the peak-rate (pre-thinning) process.
+    next_arrival: SimTime,
+    arrivals: u64,
+}
+
+/// One exponential inter-arrival gap at `rate_hz`, at least 1 µs.
+fn exp_gap(rng: &mut StdRng, rate_hz: f64) -> SimDuration {
+    let u: f64 = rng.gen();
+    let secs = -(1.0 - u).ln() / rate_hz;
+    SimDuration::from_micros(((secs * 1e6).round() as u64).max(1))
+}
 
 /// Which balancing policy drives periodic migration decisions.
 #[derive(Clone, Debug)]
@@ -72,6 +94,13 @@ pub struct Simulation {
     programs: HashMap<u64, Program>,
     /// Blocked tasks and their wake times (microseconds).
     sleepers: BinaryHeap<Reverse<(u64, TaskId)>>,
+    /// Open-workload arrival process (None for closed runs).
+    open: Option<OpenState>,
+    /// Sojourn times of completed open tasks: (arrival phase, secs).
+    latencies: Vec<(&'static str, f64)>,
+    /// Per-package scratch for the executing flags of the physics
+    /// tick, reused so the hot loop allocates nothing.
+    exec_scratch: Vec<bool>,
     rng: StdRng,
     acc: Vec<IntervalAcc>,
     /// Whether a new-idle balance attempt is pending for the CPU.
@@ -96,10 +125,11 @@ impl Simulation {
     /// calibrated (least squares over synthetic multimeter runs) as
     /// part of bring-up, unless `perfect_estimation` is set.
     pub fn new(cfg: SimConfig) -> Self {
-        let topo = Topology::build(
+        let topo = Topology::build_cmp(
             cfg.n_nodes,
             cfg.packages_per_node,
-            cfg.threads_per_package(),
+            cfg.cores_per_package,
+            cfg.threads_per_core,
         );
         let machine = PhysicalMachine::new(&cfg, &topo);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -138,6 +168,21 @@ impl Simulation {
         let pkg_cpus: Vec<Vec<CpuId>> = (0..sys.topology().n_packages())
             .map(|p| sys.topology().cpus_of_package(ebs_topology::PackageId(p)))
             .collect();
+        let open = cfg.open_workload.clone().map(|spec| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ ARRIVAL_SEED_SALT);
+            let peak = spec.peak_rate();
+            let next_arrival = if peak > 0.0 {
+                SimTime::ZERO + exp_gap(&mut rng, peak)
+            } else {
+                SimTime::from_micros(u64::MAX)
+            };
+            OpenState {
+                spec,
+                rng,
+                next_arrival,
+                arrivals: 0,
+            }
+        });
         Simulation {
             sys,
             power,
@@ -154,6 +199,9 @@ impl Simulation {
             runtimes: Vec::new(),
             programs: HashMap::new(),
             sleepers: BinaryHeap::new(),
+            open,
+            latencies: Vec::new(),
+            exec_scratch: Vec::new(),
             rng,
             acc: vec![IntervalAcc::default(); n_cpus],
             newidle_pending: vec![false; n_cpus],
@@ -257,7 +305,8 @@ impl Simulation {
             place_new_task(&self.sys, &self.power, profile)
         } else {
             idlest_cpu(&self.sys)
-        };
+        }
+        .unwrap_or(CpuId(0));
         let id = self.sys.spawn(
             TaskConfig {
                 nice: 0,
@@ -293,6 +342,7 @@ impl Simulation {
         self.sys.set_now(self.now);
 
         self.wake_sleepers();
+        self.arrival_tick();
         self.dispatch_idle_cpus();
         let completed = self.physics_tick(dt);
         if self.cfg.throttling {
@@ -301,6 +351,48 @@ impl Simulation {
         self.dvfs_tick(dt);
         self.scheduler_tick(dt, &completed);
         self.sample_traces();
+    }
+
+    /// Spawns open-workload arrivals due this tick. The arrival
+    /// process is a thinned homogeneous Poisson process at the curve's
+    /// peak rate: candidate instants arrive with exponential gaps and
+    /// are accepted with probability `rate(t) / peak` — exact for any
+    /// time-varying rate, and deterministic per seed.
+    fn arrival_tick(&mut self) {
+        let Some(open) = self.open.as_mut() else {
+            return;
+        };
+        let peak = open.spec.peak_rate();
+        if peak <= 0.0 {
+            return;
+        }
+        let mut pending: Vec<(usize, u64, u64, &'static str)> = Vec::new();
+        while open.next_arrival <= self.now {
+            let t = open.next_arrival;
+            open.next_arrival = t + exp_gap(&mut open.rng, peak);
+            let accept = (open.spec.rate_at(t) / peak).clamp(0.0, 1.0);
+            if open.rng.gen_bool(accept) {
+                open.arrivals += 1;
+                let idx = open.rng.gen_range(0..open.spec.programs.len());
+                let work = open.rng.gen_range(open.spec.min_work..=open.spec.max_work);
+                let seed = open.rng.gen();
+                pending.push((idx, work, seed, open.spec.curve.phase_at(t)));
+            }
+        }
+        for (idx, work, seed, phase) in pending {
+            let program = self
+                .open
+                .as_ref()
+                .expect("open workload active")
+                .spec
+                .programs[idx]
+                .clone()
+                .with_total_work(work);
+            let id = self.spawn_internal(program, seed);
+            if let Some(rt) = self.runtimes[id.0 as usize].as_mut() {
+                rt.arrival = Some((self.now, phase));
+            }
+        }
     }
 
     /// Wakes blocked tasks whose sleep expired.
@@ -332,11 +424,12 @@ impl Simulation {
     /// CPUs whose running task completed its work this tick.
     fn physics_tick(&mut self, dt: SimDuration) -> Vec<CpuId> {
         let mut completed = Vec::new();
-        for pkg in 0..self.pkg_cpus.len() {
-            // Cloning the (1-2 entry) CPU list frees `self` for the
-            // mutations below; far cheaper than the whole-`Topology`
-            // clone this loop used to take per tick.
-            let cpus = self.pkg_cpus[pkg].clone();
+        // The per-package CPU lists are only read here; taking the
+        // vector out frees `self` for the mutations below without the
+        // per-tick clone this loop used to pay (restored at the end).
+        let pkg_cpus = std::mem::take(&mut self.pkg_cpus);
+        let threads_per_core = self.sys.topology().threads_per_core().max(1);
+        for (pkg, cpus) in pkg_cpus.iter().enumerate() {
             // The package's frequency domain scales execution speed
             // (cycles ~ f) and dynamic energy per event (~ V²); the
             // event counts themselves already shrink with the cycle
@@ -349,19 +442,29 @@ impl Simulation {
             // A CPU executes this tick if it has a running task and is
             // not halted by the throttle controller.
             let pkg_running = self.machine.throttles[pkg].state() == ThrottleState::Running;
-            let executing: Vec<bool> = cpus
-                .iter()
-                .map(|&c| self.sys.current(c).is_some() && pkg_running)
-                .collect();
-            let n_active = executing.iter().filter(|&&e| e).count();
-            let share = if n_active <= 1 {
-                1.0
-            } else {
-                self.cfg.smt_speedup / n_active as f64
-            };
+            self.exec_scratch.clear();
+            for &c in cpus.iter() {
+                self.exec_scratch
+                    .push(self.sys.current(c).is_some() && pkg_running);
+            }
             let mut pkg_energy = Joules::ZERO;
             for (i, &cpu) in cpus.iter().enumerate() {
-                if executing[i] {
+                if self.exec_scratch[i] {
+                    // SMT contention is per *core*: only the hardware
+                    // threads sharing this CPU's pipeline split its
+                    // issue width (`cpus` is core-major, so siblings
+                    // are adjacent).
+                    let core_base = i - i % threads_per_core;
+                    let core_end = (core_base + threads_per_core).min(cpus.len());
+                    let n_active = self.exec_scratch[core_base..core_end]
+                        .iter()
+                        .filter(|&&e| e)
+                        .count();
+                    let share = if n_active <= 1 {
+                        1.0
+                    } else {
+                        self.cfg.smt_speedup / n_active as f64
+                    };
                     let task = self.sys.current(cpu).expect("executing CPU has a task");
                     let cycles = (freq * dt.as_secs_f64() * share) as u64;
                     let rt = self.runtimes[task.0 as usize]
@@ -411,6 +514,7 @@ impl Simulation {
             let t = self.machine.thermals[pkg].step(pkg_energy.average_power(dt), dt);
             self.max_temp = self.max_temp.max(t);
         }
+        self.pkg_cpus = pkg_cpus;
         completed
     }
 
@@ -485,8 +589,16 @@ impl Simulation {
                 self.sys.exit_current(cpu);
                 let binary = self.sys.task(task).binary().0;
                 *self.completions.entry(binary).or_insert(0) += 1;
-                self.runtimes[task.0 as usize] = None;
-                if self.cfg.respawn {
+                let arrived = self.runtimes[task.0 as usize]
+                    .take()
+                    .and_then(|rt| rt.arrival);
+                if let Some((t0, phase)) = arrived {
+                    self.latencies
+                        .push((phase, self.now.saturating_since(t0).as_secs_f64()));
+                }
+                // Only closed-workload tasks respawn; open arrivals
+                // complete and leave the system.
+                if arrived.is_none() && self.cfg.respawn {
                     if let Some(program) = self.programs.get(&binary).cloned() {
                         let seed = self.rng.gen();
                         self.spawn_internal(program, seed);
@@ -724,12 +836,35 @@ impl Simulation {
                 domains.iter().map(|d| d.mean_frequency().0).sum::<f64>() / domains.len() as f64,
             )
         };
+        // Open-workload statistics: overall and per-curve-phase
+        // sojourn times of every completed arrival.
+        let latency = LatencyStats::from_samples(self.latencies.iter().map(|&(_, s)| s).collect());
+        let phase_latencies: Vec<(String, LatencyStats)> = match &self.cfg.open_workload {
+            Some(w) => w
+                .curve
+                .phases()
+                .iter()
+                .filter_map(|&ph| {
+                    let xs: Vec<f64> = self
+                        .latencies
+                        .iter()
+                        .filter(|&&(p, _)| p == ph)
+                        .map(|&(_, s)| s)
+                        .collect();
+                    (!xs.is_empty()).then(|| (ph.to_string(), LatencyStats::from_samples(xs)))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         SimReport {
             duration: self.now - SimTime::ZERO,
             migrations: stats.migrations(),
             migrations_by_reason: stats.migrations_by_reason,
             context_switches: stats.context_switches,
             completions: completions_by_binary.iter().map(|&(_, n)| n).sum(),
+            arrivals: self.open.as_ref().map_or(0, |o| o.arrivals),
+            latency,
+            phase_latencies,
             completions_by_binary,
             instructions_retired: self.instructions,
             throughput_ips: if self.now == SimTime::ZERO {

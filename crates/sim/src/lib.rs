@@ -46,6 +46,8 @@ mod trace;
 pub use config::{DvfsSpec, MaxPowerSpec, SimConfig};
 pub use engine::Simulation;
 pub use machine::PhysicalMachine;
-pub use runner::{mean, run_configs, run_one, run_seeds};
+pub use runner::{
+    default_workers, mean, run_configs, run_configs_with_workers, run_one, run_seeds,
+};
 pub use runtime::TaskRuntime;
-pub use trace::{SimReport, TaskCpuTrace, ThermalTrace};
+pub use trace::{LatencyStats, SimReport, TaskCpuTrace, ThermalTrace};

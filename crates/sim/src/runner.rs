@@ -10,6 +10,8 @@ use crate::config::SimConfig;
 use crate::engine::Simulation;
 use crate::trace::SimReport;
 use ebs_units::SimDuration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs one simulation to completion: build, populate via `setup`,
 /// run, report.
@@ -40,44 +42,89 @@ where
             .map(|&s| base.clone().seed(s))
             .collect::<Vec<_>>(),
         duration,
+        default_workers(),
         &setup,
     )
 }
 
 /// Runs several configurations in parallel and returns the reports in
-/// input order.
+/// input order. Work is chunked across [`default_workers`] OS threads
+/// — one thread per *worker*, not per config, so arbitrarily large
+/// sweeps neither oversubscribe the host nor exhaust thread limits.
 pub fn run_configs<F>(configs: Vec<SimConfig>, duration: SimDuration, setup: F) -> Vec<SimReport>
 where
     F: Fn(&mut Simulation) + Sync,
 {
-    run_parallel(configs, duration, &setup)
+    run_parallel(configs, duration, default_workers(), &setup)
 }
 
-fn run_parallel<F>(configs: Vec<SimConfig>, duration: SimDuration, setup: &F) -> Vec<SimReport>
+/// Like [`run_configs`] with an explicit worker count (1 = serial).
+/// Results are identical for every worker count: each simulation is
+/// self-contained and deterministic given its config, and reports are
+/// returned in input order regardless of which worker ran them.
+pub fn run_configs_with_workers<F>(
+    configs: Vec<SimConfig>,
+    duration: SimDuration,
+    workers: usize,
+    setup: F,
+) -> Vec<SimReport>
 where
     F: Fn(&mut Simulation) + Sync,
 {
-    let mut out: Vec<Option<SimReport>> = configs.iter().map(|_| None).collect();
+    run_parallel(configs, duration, workers, &setup)
+}
+
+/// The default worker count: the host's available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn run_parallel<F>(
+    configs: Vec<SimConfig>,
+    duration: SimDuration,
+    workers: usize,
+    setup: &F,
+) -> Vec<SimReport>
+where
+    F: Fn(&mut Simulation) + Sync,
+{
+    let n = configs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    // Work-stealing over a shared index: configs differ wildly in cost
+    // (a 64-package machine simulates far slower than a 2-package
+    // one), so static chunking would leave workers idle.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SimReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let configs = &configs;
     crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, cfg) in configs.into_iter().enumerate() {
-            handles.push((
-                i,
-                scope.spawn(move |_| {
-                    let mut sim = Simulation::new(cfg);
-                    setup(&mut sim);
-                    sim.run_for(duration);
-                    sim.report()
-                }),
-            ));
-        }
-        for (i, handle) in handles {
-            out[i] = Some(handle.join().expect("simulation thread panicked"));
+        for _ in 0..workers {
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let mut sim = Simulation::new(configs[i].clone());
+                setup(&mut sim);
+                sim.run_for(duration);
+                *slots[i].lock().expect("result slot poisoned") = Some(sim.report());
+            });
         }
     })
     .expect("crossbeam scope");
-    out.into_iter()
-        .map(|r| r.expect("every slot filled"))
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
@@ -124,6 +171,34 @@ mod tests {
             report.instructions_retired,
             sim.report().instructions_retired
         );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let configs: Vec<SimConfig> = (0..6)
+            .map(|s| SimConfig::xseries445().smt(false).seed(s))
+            .collect();
+        let setup = |sim: &mut Simulation| {
+            sim.spawn_program(&catalog::aluadd());
+        };
+        let serial =
+            run_configs_with_workers(configs.clone(), SimDuration::from_millis(300), 1, setup);
+        let pooled =
+            run_configs_with_workers(configs.clone(), SimDuration::from_millis(300), 3, setup);
+        let oversubscribed =
+            run_configs_with_workers(configs, SimDuration::from_millis(300), 64, setup);
+        assert_eq!(serial.len(), 6);
+        for ((a, b), c) in serial.iter().zip(&pooled).zip(&oversubscribed) {
+            assert_eq!(a.instructions_retired, b.instructions_retired);
+            assert_eq!(a.instructions_retired, c.instructions_retired);
+            assert_eq!(a.migrations, b.migrations);
+        }
+    }
+
+    #[test]
+    fn empty_and_default_worker_paths() {
+        assert!(run_configs(Vec::new(), SimDuration::from_millis(10), |_| {}).is_empty());
+        assert!(default_workers() >= 1);
     }
 
     #[test]

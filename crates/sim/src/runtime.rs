@@ -10,7 +10,7 @@
 //! why the paper calls the penalty negligible. The model makes that
 //! argument measurable rather than assumed.
 
-use ebs_units::Instructions;
+use ebs_units::{Instructions, SimTime};
 use ebs_workloads::ProgramState;
 
 /// Cache-warmth parameters (from the simulation config).
@@ -39,6 +39,10 @@ pub struct TaskRuntime {
     last_move_cross_node: bool,
     /// Whether the first timeslice has completed (placement table).
     pub first_slice_recorded: bool,
+    /// When (and in which load-curve phase) the task arrived, for
+    /// open-workload tasks; `None` marks closed-workload tasks, which
+    /// respawn instead of reporting a sojourn time.
+    pub arrival: Option<(SimTime, &'static str)>,
 }
 
 impl TaskRuntime {
@@ -51,6 +55,7 @@ impl TaskRuntime {
             instr_since_migration: 0,
             last_move_cross_node: false,
             first_slice_recorded: false,
+            arrival: None,
         }
     }
 

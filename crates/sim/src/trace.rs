@@ -128,6 +128,45 @@ impl TaskCpuTrace {
     }
 }
 
+/// Sojourn-time (arrival to completion) statistics of an open
+/// workload's tasks, in seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Completed tasks the statistics cover.
+    pub count: u64,
+    /// Mean sojourn time.
+    pub mean_s: f64,
+    /// Median sojourn time.
+    pub p50_s: f64,
+    /// 95th-percentile sojourn time.
+    pub p95_s: f64,
+    /// 99th-percentile sojourn time.
+    pub p99_s: f64,
+    /// Worst sojourn time.
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// Computes the statistics from raw samples (empty input yields
+    /// the all-zero default). Percentiles use the nearest-rank method.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        let n = samples.len();
+        let rank = |q: f64| samples[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        LatencyStats {
+            count: n as u64,
+            mean_s: samples.iter().sum::<f64>() / n as f64,
+            p50_s: rank(0.50),
+            p95_s: rank(0.95),
+            p99_s: rank(0.99),
+            max_s: samples[n - 1],
+        }
+    }
+}
+
 /// Summary of a finished simulation run.
 #[derive(Clone, Debug)]
 pub struct SimReport {
@@ -142,6 +181,16 @@ pub struct SimReport {
     pub context_switches: u64,
     /// Tasks that ran to completion.
     pub completions: u64,
+    /// Open-workload tasks that arrived during the run (0 for closed
+    /// workloads).
+    pub arrivals: u64,
+    /// Sojourn-time statistics over every completed open-workload
+    /// task (all-zero for closed workloads).
+    pub latency: LatencyStats,
+    /// Sojourn-time statistics split by the load-curve phase the task
+    /// *arrived* in, in the curve's canonical phase order (empty for
+    /// closed workloads and for phases without completions).
+    pub phase_latencies: Vec<(String, LatencyStats)>,
     /// Completions per binary id.
     pub completions_by_binary: Vec<(u64, u64)>,
     /// Total instructions retired — the throughput measure for
@@ -275,6 +324,23 @@ mod tests {
     }
 
     #[test]
+    fn latency_stats_percentiles() {
+        // 1..=100 seconds: nearest-rank percentiles are exact.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencyStats::from_samples(samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_s, 50.0);
+        assert_eq!(s.p95_s, 95.0);
+        assert_eq!(s.p99_s, 99.0);
+        assert_eq!(s.max_s, 100.0);
+        assert!((s.mean_s - 50.5).abs() < 1e-12);
+        // Unsorted input is handled; tiny inputs clamp sanely.
+        let s = LatencyStats::from_samples(vec![3.0, 1.0]);
+        assert_eq!((s.p50_s, s.p99_s, s.max_s), (1.0, 3.0, 3.0));
+        assert_eq!(LatencyStats::from_samples(vec![]), LatencyStats::default());
+    }
+
+    #[test]
     fn throughput_gain() {
         let mk = |ips: f64| SimReport {
             duration: SimDuration::from_secs(1),
@@ -282,6 +348,9 @@ mod tests {
             migrations_by_reason: [0; 4],
             context_switches: 0,
             completions: 0,
+            arrivals: 0,
+            latency: LatencyStats::default(),
+            phase_latencies: vec![],
             completions_by_binary: vec![],
             instructions_retired: 0,
             throughput_ips: ips,

@@ -1,0 +1,153 @@
+//! Integration tests of the scenario engine: open-workload arrivals
+//! on generated topologies, determinism per seed, and runner
+//! invariance across worker counts.
+
+use ebs_sim::{run_configs_with_workers, MaxPowerSpec, SimConfig, SimReport, Simulation};
+use ebs_topology::TopologyPreset;
+use ebs_units::{SimDuration, Watts};
+use ebs_workloads::{catalog, LoadCurve, OpenWorkload};
+
+fn diurnal_workload(n_cpus: usize) -> OpenWorkload {
+    OpenWorkload::new(
+        vec![catalog::aluadd(), catalog::memrw()],
+        1.5 * n_cpus as f64,
+    )
+    .curve(LoadCurve::Diurnal {
+        period: SimDuration::from_secs(6),
+        floor: 0.3,
+    })
+    .service_work(200_000_000, 600_000_000)
+}
+
+fn open_cfg(preset: TopologyPreset, seed: u64) -> SimConfig {
+    let shape = preset.builder();
+    SimConfig::with_topology(shape)
+        .seed(seed)
+        .respawn(false)
+        .max_power(MaxPowerSpec::PerPackage(Watts(40.0)))
+        .open_workload(diurnal_workload(shape.n_cpus()))
+}
+
+fn signature(r: &SimReport) -> (u64, u64, u64, u64, u64) {
+    (
+        r.instructions_retired,
+        r.arrivals,
+        r.completions,
+        r.migrations,
+        r.context_switches,
+    )
+}
+
+#[test]
+fn open_run_is_deterministic_per_seed() {
+    let run = |seed| {
+        let mut sim = Simulation::new(open_cfg(TopologyPreset::Dual, seed));
+        sim.run_for(SimDuration::from_secs(8));
+        let r = sim.report();
+        (signature(&r), r.latency)
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7).0, run(8).0, "seeds must differ");
+}
+
+#[test]
+fn arrivals_complete_and_report_latencies() {
+    let mut sim = Simulation::new(open_cfg(TopologyPreset::XSeries445 { smt: false }, 3));
+    sim.run_for(SimDuration::from_secs(10));
+    let r = sim.report();
+    // ~12 arrivals/s over 10 s.
+    assert!(r.arrivals > 60, "only {} arrivals", r.arrivals);
+    assert!(r.completions > 0);
+    assert!(r.completions <= r.arrivals, "completed more than arrived");
+    assert_eq!(r.latency.count, r.completions);
+    assert!(r.latency.p50_s > 0.0);
+    assert!(r.latency.p95_s >= r.latency.p50_s);
+    assert!(r.latency.max_s >= r.latency.p99_s);
+    // The diurnal curve has two phases; both see completions over
+    // 10 s (period 6 s), and their counts sum to the total.
+    assert_eq!(r.phase_latencies.len(), 2);
+    let phases: Vec<&str> = r.phase_latencies.iter().map(|(p, _)| p.as_str()).collect();
+    assert_eq!(phases, vec!["trough", "peak"]);
+    let total: u64 = r.phase_latencies.iter().map(|(_, s)| s.count).sum();
+    assert_eq!(total, r.latency.count);
+}
+
+#[test]
+fn closed_runs_report_no_arrivals() {
+    let mut sim = Simulation::new(SimConfig::xseries445().smt(false).seed(1));
+    sim.spawn_program(&catalog::aluadd());
+    sim.run_for(SimDuration::from_secs(2));
+    let r = sim.report();
+    assert_eq!(r.arrivals, 0);
+    assert_eq!(r.latency, ebs_sim::LatencyStats::default());
+    assert!(r.phase_latencies.is_empty());
+}
+
+#[test]
+fn open_runs_are_identical_across_worker_counts() {
+    let configs: Vec<SimConfig> = (0..5)
+        .map(|s| open_cfg(TopologyPreset::Dual, 100 + s))
+        .collect();
+    let duration = SimDuration::from_secs(3);
+    let serial = run_configs_with_workers(configs.clone(), duration, 1, |_| {});
+    let pooled = run_configs_with_workers(configs.clone(), duration, 4, |_| {});
+    let wide = run_configs_with_workers(configs, duration, 999, |_| {});
+    for ((a, b), c) in serial.iter().zip(&pooled).zip(&wide) {
+        assert_eq!(signature(a), signature(b));
+        assert_eq!(signature(a), signature(c));
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.latency, c.latency);
+    }
+}
+
+#[test]
+fn step_curve_shifts_load_between_phases() {
+    let shape = TopologyPreset::XSeries445 { smt: false }.builder();
+    let workload = OpenWorkload::new(vec![catalog::aluadd()], 10.0)
+        .curve(LoadCurve::Step {
+            at: SimDuration::from_secs(5),
+            before: 0.2,
+            after: 1.0,
+        })
+        .service_work(100_000_000, 200_000_000);
+    let mut sim = Simulation::new(
+        SimConfig::with_topology(shape)
+            .seed(11)
+            .respawn(false)
+            .open_workload(workload),
+    );
+    sim.run_for(SimDuration::from_secs(10));
+    let r = sim.report();
+    let count = |phase: &str| {
+        r.phase_latencies
+            .iter()
+            .find(|(p, _)| p == phase)
+            .map_or(0, |(_, s)| s.count)
+    };
+    // 5 s at 2/s before the step, 5 s at 10/s after: the "after"
+    // phase must dominate completions.
+    assert!(
+        count("after") > count("before"),
+        "before {} vs after {}",
+        count("before"),
+        count("after")
+    );
+    assert!(r.arrivals > 20);
+}
+
+#[test]
+fn open_workload_runs_on_a_large_generated_topology() {
+    // A shape the paper never had: 16 packages across 4 NUMA nodes
+    // with dual cores. The whole stack — placement, balancing, DVFS,
+    // throttling — must run on it without panics.
+    let mut sim = Simulation::new(
+        open_cfg(TopologyPreset::Numa16, 5)
+            .dvfs_governor(ebs_dvfs::GovernorKind::ThermalAware)
+            .throttling(false),
+    );
+    sim.run_for(SimDuration::from_secs(4));
+    let r = sim.report();
+    assert!(r.arrivals > 0);
+    assert!(r.instructions_retired > 0);
+    assert!(r.completions > 0);
+}

@@ -1,0 +1,313 @@
+//! Construction of arbitrary machine shapes.
+//!
+//! The paper evaluates on exactly one machine — the 8-way xSeries 445.
+//! Scenario sweeps need machines of many shapes, so [`TopologyBuilder`]
+//! assembles any `nodes × packages × cores × SMT` box (the domain
+//! hierarchy is generated, not tabled), and [`TopologyPreset`] names a
+//! ladder of reference shapes from a 2-package workstation to a
+//! 64-package rack, with the paper's testbed as one rung.
+
+use crate::machine::Topology;
+
+/// Fluent constructor for arbitrary machine shapes.
+///
+/// # Examples
+///
+/// ```
+/// use ebs_topology::TopologyBuilder;
+///
+/// // 4 NUMA nodes of 4 dual-core packages, SMT off: 32 CPUs.
+/// let topo = TopologyBuilder::new()
+///     .nodes(4)
+///     .packages_per_node(4)
+///     .cores_per_package(2)
+///     .threads_per_core(1)
+///     .build();
+/// assert_eq!(topo.n_cpus(), 32);
+/// assert_eq!(topo.n_packages(), 16);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopologyBuilder {
+    nodes: usize,
+    packages_per_node: usize,
+    cores_per_package: usize,
+    threads_per_core: usize,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> Self {
+        TopologyBuilder::new()
+    }
+}
+
+impl TopologyBuilder {
+    /// Starts from the smallest machine: 1 node × 1 package × 1 core
+    /// × 1 thread.
+    pub const fn new() -> Self {
+        TopologyBuilder {
+            nodes: 1,
+            packages_per_node: 1,
+            cores_per_package: 1,
+            threads_per_core: 1,
+        }
+    }
+
+    /// Sets the NUMA node count.
+    pub const fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Sets the physical packages per node.
+    pub const fn packages_per_node(mut self, n: usize) -> Self {
+        self.packages_per_node = n;
+        self
+    }
+
+    /// Sets the cores per package (1 = the paper's machine).
+    pub const fn cores_per_package(mut self, n: usize) -> Self {
+        self.cores_per_package = n;
+        self
+    }
+
+    /// Sets the hardware threads per core (1 = SMT off).
+    pub const fn threads_per_core(mut self, n: usize) -> Self {
+        self.threads_per_core = n;
+        self
+    }
+
+    /// Convenience toggle for two-way SMT.
+    pub const fn smt(self, on: bool) -> Self {
+        self.threads_per_core(if on { 2 } else { 1 })
+    }
+
+    /// NUMA nodes of the shape.
+    pub const fn n_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Packages per node of the shape.
+    pub const fn n_packages_per_node(&self) -> usize {
+        self.packages_per_node
+    }
+
+    /// Cores per package of the shape.
+    pub const fn n_cores_per_package(&self) -> usize {
+        self.cores_per_package
+    }
+
+    /// Threads per core of the shape.
+    pub const fn n_threads_per_core(&self) -> usize {
+        self.threads_per_core
+    }
+
+    /// Total physical packages.
+    pub const fn n_packages(&self) -> usize {
+        self.nodes * self.packages_per_node
+    }
+
+    /// Total cores.
+    pub const fn n_cores(&self) -> usize {
+        self.n_packages() * self.cores_per_package
+    }
+
+    /// Total logical CPUs.
+    pub const fn n_cpus(&self) -> usize {
+        self.n_packages() * self.cores_per_package * self.threads_per_core
+    }
+
+    /// Builds the topology (domain hierarchy included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn build(&self) -> Topology {
+        Topology::build_cmp(
+            self.nodes,
+            self.packages_per_node,
+            self.cores_per_package,
+            self.threads_per_core,
+        )
+    }
+}
+
+/// Named reference shapes for scenario sweeps, ordered by package
+/// count. The paper's xSeries 445 testbed is one preset among peers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyPreset {
+    /// A 2-package dual-core SMT workstation (8 CPUs).
+    Dual,
+    /// The paper's testbed: 2 NUMA nodes × 4 single-core packages
+    /// (8 packages; 8 or 16 CPUs depending on SMT).
+    XSeries445 {
+        /// Whether the hyperthreads are enabled.
+        smt: bool,
+    },
+    /// 4 NUMA nodes × 4 dual-core packages, SMT off (16 packages,
+    /// 32 CPUs).
+    Numa16,
+    /// 4 NUMA nodes × 8 dual-core packages, SMT off (32 packages,
+    /// 64 CPUs).
+    Numa32,
+    /// 8 NUMA nodes × 8 dual-core SMT packages (64 packages,
+    /// 256 CPUs).
+    Numa64,
+}
+
+impl TopologyPreset {
+    /// Every preset, smallest first (xSeries with SMT off, matching
+    /// the paper's main evaluation).
+    pub fn all() -> Vec<TopologyPreset> {
+        vec![
+            TopologyPreset::Dual,
+            TopologyPreset::XSeries445 { smt: false },
+            TopologyPreset::Numa16,
+            TopologyPreset::Numa32,
+            TopologyPreset::Numa64,
+        ]
+    }
+
+    /// A short name for tables and CSV rows.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TopologyPreset::Dual => "dual2",
+            TopologyPreset::XSeries445 { smt: false } => "xseries445",
+            TopologyPreset::XSeries445 { smt: true } => "xseries445-smt",
+            TopologyPreset::Numa16 => "numa16",
+            TopologyPreset::Numa32 => "numa32",
+            TopologyPreset::Numa64 => "numa64",
+        }
+    }
+
+    /// The preset's shape as a builder (tweak further if needed).
+    pub const fn builder(self) -> TopologyBuilder {
+        let b = TopologyBuilder::new();
+        match self {
+            TopologyPreset::Dual => b
+                .nodes(1)
+                .packages_per_node(2)
+                .cores_per_package(2)
+                .threads_per_core(2),
+            TopologyPreset::XSeries445 { smt } => b
+                .nodes(2)
+                .packages_per_node(4)
+                .cores_per_package(1)
+                .smt(smt),
+            TopologyPreset::Numa16 => b
+                .nodes(4)
+                .packages_per_node(4)
+                .cores_per_package(2)
+                .threads_per_core(1),
+            TopologyPreset::Numa32 => b
+                .nodes(4)
+                .packages_per_node(8)
+                .cores_per_package(2)
+                .threads_per_core(1),
+            TopologyPreset::Numa64 => b
+                .nodes(8)
+                .packages_per_node(8)
+                .cores_per_package(2)
+                .threads_per_core(2),
+        }
+    }
+
+    /// Builds the preset's topology.
+    pub fn build(self) -> Topology {
+        self.builder().build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CpuId;
+
+    #[test]
+    fn builder_defaults_to_single_cpu() {
+        let b = TopologyBuilder::new();
+        assert_eq!(b.n_cpus(), 1);
+        assert_eq!(b.build().n_cpus(), 1);
+    }
+
+    #[test]
+    fn builder_dimensions_round_trip() {
+        let b = TopologyBuilder::new()
+            .nodes(3)
+            .packages_per_node(2)
+            .cores_per_package(4)
+            .threads_per_core(2);
+        assert_eq!(b.n_nodes(), 3);
+        assert_eq!(b.n_packages_per_node(), 2);
+        assert_eq!(b.n_cores_per_package(), 4);
+        assert_eq!(b.n_threads_per_core(), 2);
+        assert_eq!(b.n_packages(), 6);
+        assert_eq!(b.n_cpus(), 48);
+        let t = b.build();
+        assert_eq!(t.n_nodes(), 3);
+        assert_eq!(t.n_packages(), 6);
+        assert_eq!(t.n_cores(), 24);
+        assert_eq!(t.n_cpus(), 48);
+    }
+
+    #[test]
+    fn smt_toggle_sets_thread_count() {
+        assert_eq!(TopologyBuilder::new().smt(true).n_threads_per_core(), 2);
+        assert_eq!(TopologyBuilder::new().smt(false).n_threads_per_core(), 1);
+    }
+
+    #[test]
+    fn xseries_preset_matches_legacy_constructor() {
+        for smt in [false, true] {
+            let preset = TopologyPreset::XSeries445 { smt }.build();
+            let legacy = Topology::xseries445(smt);
+            assert_eq!(preset.n_cpus(), legacy.n_cpus());
+            assert_eq!(preset.n_packages(), legacy.n_packages());
+            assert_eq!(preset.n_nodes(), legacy.n_nodes());
+            for cpu in preset.cpu_ids() {
+                assert_eq!(preset.domains(cpu), legacy.domains(cpu));
+            }
+        }
+    }
+
+    #[test]
+    fn preset_package_ladder() {
+        let counts: Vec<usize> = TopologyPreset::all()
+            .into_iter()
+            .map(|p| p.build().n_packages())
+            .collect();
+        assert_eq!(counts, vec![2, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn preset_cpu_counts() {
+        assert_eq!(TopologyPreset::Dual.build().n_cpus(), 8);
+        assert_eq!(TopologyPreset::Numa16.build().n_cpus(), 32);
+        assert_eq!(TopologyPreset::Numa32.build().n_cpus(), 64);
+        assert_eq!(TopologyPreset::Numa64.build().n_cpus(), 256);
+    }
+
+    #[test]
+    fn preset_names_are_distinct() {
+        let names: Vec<&str> = TopologyPreset::all()
+            .into_iter()
+            .map(|p| p.name())
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn generated_hierarchies_are_complete() {
+        for preset in TopologyPreset::all() {
+            let t = preset.build();
+            for cpu in t.cpu_ids() {
+                let stack = t.domains(cpu);
+                assert!(!stack.is_empty(), "{}: empty stack", preset.name());
+                let top: Vec<CpuId> = stack.last().unwrap().span().collect();
+                assert_eq!(top.len(), t.n_cpus(), "{}: top span", preset.name());
+            }
+        }
+    }
+}

@@ -28,10 +28,12 @@
 //! assert_eq!(topo.domains(ebs_topology::CpuId(0)).len(), 3);
 //! ```
 
+mod builder;
 mod domain;
 mod ids;
 mod machine;
 
+pub use builder::{TopologyBuilder, TopologyPreset};
 pub use domain::{CpuGroup, DomainFlags, DomainLevel, SchedDomain};
 pub use ids::{CoreId, CpuId, NodeId, PackageId};
 pub use machine::Topology;

@@ -104,8 +104,14 @@ impl Topology {
     /// The paper's testbed: an IBM xSeries 445 with two NUMA nodes of
     /// four two-way multithreaded Pentium 4 Xeon processors. With
     /// `smt == false` the hyperthreads are disabled, leaving 8 CPUs.
+    /// Equivalent to [`crate::TopologyPreset::XSeries445`].
     pub fn xseries445(smt: bool) -> Self {
         Topology::build(2, 4, if smt { 2 } else { 1 })
+    }
+
+    /// Starts a [`crate::TopologyBuilder`] for an arbitrary shape.
+    pub fn builder() -> crate::TopologyBuilder {
+        crate::TopologyBuilder::new()
     }
 
     /// Number of logical CPUs.

@@ -1,10 +1,69 @@
 //! Property-based tests: structural invariants of arbitrary machine
 //! shapes.
 
-use ebs_topology::{CpuId, Topology};
+use ebs_topology::{CpuId, Topology, TopologyBuilder, TopologyPreset};
 use proptest::prelude::*;
 
 proptest! {
+    /// Builder-generated machines are well-formed: the dimensions
+    /// round-trip, and at every domain level of every CPU's stack the
+    /// groups partition the span with the CPU in *exactly one* group.
+    #[test]
+    fn builder_domains_are_well_formed(
+        nodes in 1usize..4,
+        packages in 1usize..5,
+        cores in 1usize..4,
+        threads in 1usize..4,
+    ) {
+        let builder = TopologyBuilder::new()
+            .nodes(nodes)
+            .packages_per_node(packages)
+            .cores_per_package(cores)
+            .threads_per_core(threads);
+        prop_assert_eq!(builder.n_cpus(), nodes * packages * cores * threads);
+        let topo = builder.build();
+        prop_assert_eq!(topo.n_cpus(), builder.n_cpus());
+        prop_assert_eq!(topo.n_packages(), builder.n_packages());
+        for cpu in topo.cpu_ids() {
+            for d in topo.domains(cpu) {
+                // Exactly one group holds the CPU...
+                let holding = d.groups().iter().filter(|g| g.contains(cpu)).count();
+                prop_assert_eq!(holding, 1, "cpu in {} groups", holding);
+                prop_assert!(d.local_group_index(cpu).is_some());
+                // ...no group is empty, and the groups partition the
+                // span (sizes sum up and no CPU repeats).
+                let mut span: Vec<CpuId> = Vec::new();
+                for g in d.groups() {
+                    prop_assert!(!g.is_empty());
+                    span.extend_from_slice(g.cpus());
+                }
+                let len = span.len();
+                span.sort_unstable();
+                span.dedup();
+                prop_assert_eq!(span.len(), len, "a CPU repeats across groups");
+                prop_assert_eq!(len, d.span().count());
+            }
+        }
+    }
+
+    /// Every preset builds a well-formed machine whose top level spans
+    /// every CPU (sampled alongside random shapes so the ladder stays
+    /// covered as presets change).
+    #[test]
+    fn presets_are_well_formed(idx in 0usize..5) {
+        let preset = TopologyPreset::all()[idx];
+        let topo = preset.build();
+        prop_assert_eq!(topo.n_cpus(), preset.builder().n_cpus());
+        for cpu in topo.cpu_ids() {
+            let stack = topo.domains(cpu);
+            prop_assert!(!stack.is_empty());
+            prop_assert!(stack.iter().all(|d| d.local_group_index(cpu).is_some()));
+            if topo.n_cpus() > 1 {
+                prop_assert_eq!(stack.last().unwrap().span().count(), topo.n_cpus());
+            }
+        }
+    }
+
     /// For any machine shape: groups partition spans, spans nest
     /// strictly upward, and the top level spans the whole machine.
     #[test]

@@ -26,6 +26,7 @@
 //! ```
 
 mod mix;
+mod open;
 mod phase;
 mod program;
 
@@ -34,5 +35,6 @@ pub mod catalog;
 pub use mix::{
     fig8_scenario, fig8_scenarios, mix_size, section61_mix, table1_programs, Mix, MixEntry,
 };
+pub use open::{LoadCurve, OpenWorkload};
 pub use phase::{Behavior, BlockProfile, Phase};
 pub use program::{Program, ProgramState};

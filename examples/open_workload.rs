@@ -1,0 +1,73 @@
+//! Scenario-engine demo: a machine the paper never had (16 dual-core
+//! packages across 4 NUMA nodes) serving an *open* workload — Poisson
+//! task arrivals under a diurnal load curve — with energy-aware
+//! scheduling and thermal-aware DVFS enforcing a package budget.
+//!
+//! ```sh
+//! cargo run --release --example open_workload
+//! ```
+
+use ebs::dvfs::GovernorKind;
+use ebs::sim::{MaxPowerSpec, SimConfig, Simulation};
+use ebs::topology::TopologyPreset;
+use ebs::units::{SimDuration, Watts};
+use ebs::workloads::{catalog, LoadCurve, OpenWorkload};
+
+fn main() {
+    let shape = TopologyPreset::Numa16.builder();
+    let workload = OpenWorkload::new(
+        vec![catalog::bitcnts(), catalog::memrw(), catalog::aluadd()],
+        0.8 * shape.n_cpus() as f64, // Arrivals per second at factor 1.
+    )
+    .curve(LoadCurve::Diurnal {
+        period: SimDuration::from_secs(20),
+        floor: 0.25,
+    })
+    .service_work(600_000_000, 1_800_000_000);
+
+    let cfg = SimConfig::with_topology(shape)
+        .seed(42)
+        .respawn(false)
+        .energy_aware(true)
+        .throttling(false)
+        .dvfs_governor(GovernorKind::ThermalAware)
+        .max_power(MaxPowerSpec::PerPackage(Watts(40.0)))
+        .open_workload(workload);
+
+    let mut sim = Simulation::new(cfg);
+    sim.run_for(SimDuration::from_secs(40));
+    let r = sim.report();
+
+    println!(
+        "machine: {} packages / {} CPUs across {} nodes",
+        shape.n_packages(),
+        shape.n_cpus(),
+        shape.n_nodes()
+    );
+    println!(
+        "traffic: {} arrived, {} completed over {:.0} s (two diurnal cycles)",
+        r.arrivals,
+        r.completions,
+        r.duration.as_secs_f64()
+    );
+    println!(
+        "throughput {:.1} Ginstr/s, {:.1} nJ/instr, {} migrations, mean clock {:.2} GHz",
+        r.throughput_ips / 1e9,
+        r.nj_per_instruction(),
+        r.migrations,
+        r.mean_frequency.as_ghz()
+    );
+    println!(
+        "latency: p50 {:.0} ms, p95 {:.0} ms, p99 {:.0} ms",
+        r.latency.p50_s * 1e3,
+        r.latency.p95_s * 1e3,
+        r.latency.p99_s * 1e3
+    );
+    for (phase, stats) in &r.phase_latencies {
+        println!(
+            "  {phase:>7}: {} done, p95 {:.0} ms",
+            stats.count,
+            stats.p95_s * 1e3
+        );
+    }
+}
