@@ -1,0 +1,201 @@
+//! Engine micro-benchmark: simulated seconds per wall second, for the
+//! fixed-tick and variable-stride cores.
+//!
+//! The ROADMAP's scaling sweeps are wall-clock bound on the engine's
+//! main loop; this benchmark quantifies exactly what the strided core
+//! buys, per machine shape, on the sweep's own workload (open
+//! arrivals under a diurnal curve, per-core-scaled rate). The realised
+//! mean stride (`sim_time / engine_steps`) shows how far the core gets
+//! from its one-tick floor on each shape.
+
+use crate::fmt::Table;
+use ebs_sim::{MaxPowerSpec, SimConfig, Simulation};
+use ebs_topology::TopologyPreset;
+use ebs_units::{SimDuration, Watts};
+use ebs_workloads::{catalog, LoadCurve, OpenWorkload};
+use std::time::Instant;
+
+/// One (topology, engine mode) measurement.
+#[derive(Clone, Debug)]
+pub struct EngineBenchRow {
+    /// Topology preset name.
+    pub topology: &'static str,
+    /// Logical CPUs of the shape.
+    pub cpus: usize,
+    /// Engine mode: "fixed" or "strided".
+    pub mode: &'static str,
+    /// Simulated duration.
+    pub sim_s: f64,
+    /// Wall-clock the run took.
+    pub wall_s: f64,
+    /// Simulated seconds per wall second — the headline rate.
+    pub sim_per_wall: f64,
+    /// Engine steps taken.
+    pub steps: u64,
+    /// Realised mean stride in microseconds (tick = 1000).
+    pub mean_stride_us: f64,
+    /// Instructions retired (sanity: both modes must agree closely).
+    pub instructions: u64,
+}
+
+/// The benchmark result.
+#[derive(Clone, Debug)]
+pub struct EngineBench {
+    /// Rows in (topology, mode) order, fixed before strided.
+    pub rows: Vec<EngineBenchRow>,
+}
+
+fn cell(preset: TopologyPreset, strided: bool) -> SimConfig {
+    let shape = preset.builder();
+    let workload = OpenWorkload::new(
+        vec![
+            catalog::bitcnts(),
+            catalog::memrw(),
+            catalog::aluadd(),
+            catalog::pushpop(),
+        ],
+        1.5 * shape.n_cores() as f64,
+    )
+    .curve(LoadCurve::Diurnal {
+        period: SimDuration::from_secs(8),
+        floor: 0.25,
+    });
+    let cfg = SimConfig::with_topology(shape)
+        .seed(42)
+        .respawn(false)
+        .max_power(MaxPowerSpec::PerLogical(Watts(40.0)))
+        .open_workload(workload);
+    if strided {
+        cfg.strided()
+    } else {
+        cfg
+    }
+}
+
+/// Runs the benchmark. `quick` shortens the simulated horizon and the
+/// topology ladder for CI.
+pub fn run(quick: bool) -> EngineBench {
+    let duration = SimDuration::from_secs(if quick { 4 } else { 20 });
+    let presets = if quick {
+        vec![
+            TopologyPreset::XSeries445 { smt: false },
+            TopologyPreset::Numa16,
+        ]
+    } else {
+        TopologyPreset::all()
+    };
+    let mut rows = Vec::new();
+    for preset in presets {
+        for (mode, strided) in [("fixed", false), ("strided", true)] {
+            let cfg = cell(preset, strided);
+            let cpus = cfg.n_cpus();
+            let start = Instant::now();
+            let mut sim = Simulation::new(cfg);
+            sim.run_for(duration);
+            let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+            let report = sim.report();
+            let sim_s = report.duration.as_secs_f64();
+            rows.push(EngineBenchRow {
+                topology: preset.name(),
+                cpus,
+                mode,
+                sim_s,
+                wall_s,
+                sim_per_wall: sim_s / wall_s,
+                steps: report.engine_steps,
+                mean_stride_us: sim_s * 1e6 / report.engine_steps.max(1) as f64,
+                instructions: report.instructions_retired,
+            });
+        }
+    }
+    EngineBench { rows }
+}
+
+impl EngineBench {
+    /// Wall-clock speedup of strided over fixed for one topology.
+    pub fn speedup(&self, topology: &str) -> Option<f64> {
+        let find = |mode: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.topology == topology && r.mode == mode)
+        };
+        Some(find("fixed")?.wall_s / find("strided")?.wall_s)
+    }
+
+    /// Renders the benchmark as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "topology,cpus,mode,sim_s,wall_s,sim_per_wall,steps,mean_stride_us,instructions\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{:.1},{:.3},{:.1},{},{:.1},{}\n",
+                r.topology,
+                r.cpus,
+                r.mode,
+                r.sim_s,
+                r.wall_s,
+                r.sim_per_wall,
+                r.steps,
+                r.mean_stride_us,
+                r.instructions
+            ));
+        }
+        out
+    }
+}
+
+impl core::fmt::Display for EngineBench {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "Engine cores: simulated seconds per wall second (open diurnal workload)"
+        )?;
+        let mut t = Table::new(vec![
+            "topology", "cpus", "mode", "sim/wall", "steps", "stride", "Ginstr",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.topology.to_string(),
+                r.cpus.to_string(),
+                r.mode.to_string(),
+                format!("{:.1}", r.sim_per_wall),
+                r.steps.to_string(),
+                format!("{:.1}us", r.mean_stride_us),
+                format!("{:.1}", r.instructions as f64 / 1e9),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_modes_agree_on_work() {
+        let bench = run(true);
+        assert_eq!(bench.rows.len(), 4);
+        for pair in bench.rows.chunks(2) {
+            let (fixed, strided) = (&pair[0], &pair[1]);
+            assert_eq!(fixed.mode, "fixed");
+            assert_eq!(strided.mode, "strided");
+            assert_eq!(fixed.topology, strided.topology);
+            // The strided core takes meaningfully fewer steps...
+            assert!(
+                strided.steps * 2 < fixed.steps,
+                "{}: {} vs {} steps",
+                fixed.topology,
+                strided.steps,
+                fixed.steps
+            );
+            // ...and retires the same work within tolerance.
+            let rel = (fixed.instructions as f64 - strided.instructions as f64).abs()
+                / fixed.instructions as f64;
+            assert!(rel < 0.03, "{}: work drifted {rel}", fixed.topology);
+        }
+        let csv = bench.to_csv();
+        assert_eq!(csv.lines().count(), 5);
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod dvfs;
+pub mod engine_bench;
 pub mod fig10;
 pub mod fig3;
 pub mod fig67;

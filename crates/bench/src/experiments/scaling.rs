@@ -184,9 +184,14 @@ pub fn sweep_configs(smoke: bool) -> Vec<(ScalingRow, SimConfig)> {
         let shape = preset.builder();
         for curve in curves(smoke) {
             for policy in Policy::ALL {
+                // The sweep runs on the variable-stride engine core:
+                // headline metrics match fixed-tick within tolerance
+                // (see the sim crate's equivalence suite) at a
+                // fraction of the wall-clock.
                 let cfg = SimConfig::with_topology(shape)
                     .seed(42)
                     .respawn(false)
+                    .strided()
                     .max_power(MaxPowerSpec::PerLogical(BUDGET))
                     .open_workload(workload(shape.n_cores(), curve));
                 let cfg = policy.apply(cfg);

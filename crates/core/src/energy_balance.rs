@@ -87,6 +87,21 @@ impl EnergyAwareBalancer {
         &self.cfg
     }
 
+    /// The earliest instant any CPU's domain level is due for a
+    /// periodic balancing pass (see
+    /// [`ebs_sched::LoadBalancer::next_due`]).
+    pub fn next_due(&self) -> SimTime {
+        self.next_balance
+            .iter()
+            .flatten()
+            .copied()
+            .min()
+            // No domain levels at all (degenerate one-CPU machines):
+            // never due, not "due now" — ZERO here would floor a
+            // variable-stride engine to tick steps forever.
+            .unwrap_or(SimTime::from_micros(u64::MAX))
+    }
+
     /// Runs the merged algorithm for `cpu` on every domain level whose
     /// balancing interval elapsed.
     pub fn run(&mut self, cpu: CpuId, sys: &mut System, power: &PowerState) -> BalanceOutcome {

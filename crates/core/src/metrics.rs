@@ -150,14 +150,21 @@ impl PowerState {
 /// Runqueue power of `cpu` (Section 4.3): the average of the energy
 /// profiles of every task associated with the queue, including the
 /// running one. An empty queue reports the idle power.
+///
+/// O(1): the waiting tasks' profile sum is cached on the runqueue
+/// (profiles only change while a task runs), so the balancer's
+/// machine-wide group scans no longer walk every queue's tasks.
 pub fn runqueue_power(sys: &System, cpu: CpuId, idle_power: Watts) -> Watts {
     let rq = sys.rq(cpu);
     let n = rq.nr_running();
     if n == 0 {
         return idle_power;
     }
-    let total: Watts = rq.iter_all().map(|id| sys.task(id).profile()).sum();
-    total / n as f64
+    let mut total = rq.queued_profile();
+    if let Some(current) = rq.current() {
+        total += sys.task(current).profile().0;
+    }
+    Watts(total / n as f64)
 }
 
 /// Runqueue power ratio of `cpu`: runqueue power over maximum power.

@@ -65,6 +65,21 @@ impl LoadBalancer {
         &self.cfg
     }
 
+    /// The earliest instant any CPU's domain level is due for a
+    /// periodic balancing pass. The variable-stride engine bounds its
+    /// steps by this so balancing runs on schedule.
+    pub fn next_due(&self) -> SimTime {
+        self.next_balance
+            .iter()
+            .flatten()
+            .copied()
+            .min()
+            // No domain levels at all (degenerate one-CPU machines):
+            // never due, not "due now" — ZERO here would floor a
+            // variable-stride engine to tick steps forever.
+            .unwrap_or(SimTime::from_micros(u64::MAX))
+    }
+
     /// Runs periodic balancing for `cpu`: every domain level whose
     /// interval elapsed gets one balancing attempt.
     pub fn run(&mut self, cpu: CpuId, sys: &mut System) -> BalanceOutcome {
@@ -304,6 +319,22 @@ mod tests {
         assert!(max - min <= 1, "loads {loads:?} not balanced");
         assert!(sys.stats().migrations() >= 6);
         sys.validate();
+    }
+
+    #[test]
+    fn next_due_advances_with_balancing() {
+        let mut sys = system();
+        let mut lb = LoadBalancer::new(&sys, LoadBalancerConfig::default());
+        // Fresh balancer: everything due immediately.
+        assert_eq!(lb.next_due(), ebs_units::SimTime::ZERO);
+        sys.set_now(ebs_units::SimTime::from_millis(10));
+        for c in 0..8 {
+            lb.run(CpuId(c), &mut sys);
+        }
+        // Every level re-armed: the earliest due is one node-level
+        // interval (the shortest without SMT) past now.
+        let due = lb.next_due();
+        assert!(due > ebs_units::SimTime::from_millis(10), "due {due:?}");
     }
 
     #[test]

@@ -11,6 +11,33 @@ use std::collections::VecDeque;
 /// Number of priority levels (nice −20..19).
 pub const N_PRIOS: usize = 40;
 
+/// Ascending positions of the set bits of a word (descending from the
+/// back); the occupancy walk behind the array iterators.
+struct BitIndices(u64);
+
+impl Iterator for BitIndices {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let p = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(p)
+    }
+}
+
+impl DoubleEndedIterator for BitIndices {
+    fn next_back(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let p = 63 - self.0.leading_zeros() as usize;
+        self.0 &= !(1 << p);
+        Some(p)
+    }
+}
+
 /// An O(1) priority array.
 #[derive(Clone, Debug, Default)]
 pub struct PrioArray {
@@ -98,19 +125,21 @@ impl PrioArray {
     }
 
     /// Iterates over all queued tasks, highest priority first, FIFO
-    /// within a priority.
+    /// within a priority. Walks only the bitmap's occupied levels —
+    /// the balancers scan every runqueue of a domain, so probing all
+    /// 40 levels of (mostly empty) queues dominated large-machine
+    /// balancing passes.
     pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.queues.iter().flat_map(|q| q.iter().copied())
+        BitIndices(self.bitmap).flat_map(move |p| self.queues[p].iter().copied())
     }
 
     /// Iterates in *reverse* queue order (lowest priority first, LIFO
     /// within a priority) — the order Linux scans when picking tasks to
     /// migrate away, preferring those that will not run soon anyway.
     pub fn iter_migration_order(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.queues
-            .iter()
+        BitIndices(self.bitmap)
             .rev()
-            .flat_map(|q| q.iter().rev().copied())
+            .flat_map(move |p| self.queues[p].iter().rev().copied())
     }
 }
 

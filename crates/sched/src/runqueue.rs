@@ -18,6 +18,13 @@ pub struct RunQueue {
     expired: PrioArray,
     /// The task currently executing on this CPU (not in either array).
     current: Option<TaskId>,
+    /// Sum of the energy profiles (watts) of the *queued* tasks,
+    /// maintained incrementally by [`crate::System`]. A task's profile
+    /// only changes while it runs — never while it waits in an array —
+    /// so the cache is exact; it turns the runqueue-power metric the
+    /// energy balancer reads O(CPUs · queue depth) times per pass into
+    /// an O(1) lookup.
+    queued_profile: f64,
 }
 
 impl RunQueue {
@@ -28,6 +35,7 @@ impl RunQueue {
             active: PrioArray::new(),
             expired: PrioArray::new(),
             current: None,
+            queued_profile: 0.0,
         }
     }
 
@@ -85,6 +93,26 @@ impl RunQueue {
             core::mem::swap(&mut self.active, &mut self.expired);
         }
         self.active.pop()
+    }
+
+    /// Sum of the queued (waiting) tasks' energy profiles, in watts.
+    pub fn queued_profile(&self) -> f64 {
+        self.queued_profile
+    }
+
+    /// Credits a newly queued task's profile to the cached sum.
+    pub(crate) fn credit_profile(&mut self, watts: f64) {
+        self.queued_profile += watts;
+    }
+
+    /// Debits a dequeued task's profile from the cached sum. An empty
+    /// queue snaps the sum back to exactly zero, so floating-point
+    /// residue cannot accumulate across millions of operations.
+    pub(crate) fn debit_profile(&mut self, watts: f64) {
+        self.queued_profile -= watts;
+        if self.nr_queued() == 0 {
+            self.queued_profile = 0.0;
+        }
     }
 
     /// Iterates over queued (waiting) tasks in migration-preference

@@ -173,8 +173,10 @@ impl System {
         let id = TaskId(self.tasks.len() as u64);
         let task = Task::new(id, config, cpu);
         let prio = task.prio_index();
+        let profile = task.profile().0;
         self.tasks.push(task);
         self.rqs[cpu.0].enqueue_active(prio, id);
+        self.rqs[cpu.0].credit_profile(profile);
         self.stats.spawns += 1;
         id
     }
@@ -221,6 +223,16 @@ impl System {
         self.rqs[cpu.0].nr_running()
     }
 
+    /// Time until the running task of `cpu` exhausts its timeslice if
+    /// it keeps executing, i.e. its remaining slice. `None` for an
+    /// idle CPU. The variable-stride engine uses this to bound a step
+    /// so that expiries land exactly on step boundaries.
+    pub fn time_to_timeslice_expiry(&self, cpu: CpuId) -> Option<SimDuration> {
+        self.rqs[cpu.0]
+            .current()
+            .map(|id| self.tasks[id.0 as usize].timeslice())
+    }
+
     /// Charges `dt` of CPU time to the running task of `cpu`.
     pub fn tick(&mut self, cpu: CpuId, dt: SimDuration) -> TickResult {
         match self.rqs[cpu.0].current() {
@@ -245,22 +257,27 @@ impl System {
     pub fn context_switch(&mut self, cpu: CpuId) -> SwitchResult {
         let prev = self.rqs[cpu.0].current();
         if let Some(id) = prev {
-            let (prio, expired) = {
+            let (prio, expired, profile) = {
                 let task = &mut self.tasks[id.0 as usize];
                 task.set_state(TaskState::Runnable);
                 let expired = task.timeslice().is_zero();
                 if expired {
                     task.refresh_timeslice();
                 }
-                (task.prio_index(), expired)
+                (task.prio_index(), expired, task.profile().0)
             };
             if expired {
                 self.rqs[cpu.0].enqueue_expired(prio, id);
             } else {
                 self.rqs[cpu.0].enqueue_active(prio, id);
             }
+            self.rqs[cpu.0].credit_profile(profile);
         }
         let next = self.rqs[cpu.0].pick_next();
+        if let Some(id) = next {
+            let profile = self.tasks[id.0 as usize].profile().0;
+            self.rqs[cpu.0].debit_profile(profile);
+        }
         self.rqs[cpu.0].set_current(next);
         if let Some(id) = next {
             let now = self.now;
@@ -303,7 +320,9 @@ impl System {
             task.set_cpu(target);
         }
         let prio = self.tasks[id.0 as usize].prio_index();
+        let profile = self.tasks[id.0 as usize].profile().0;
         self.rqs[target.0].enqueue_active(prio, id);
+        self.rqs[target.0].credit_profile(profile);
     }
 
     /// Terminates the running task of `cpu` and returns it.
@@ -345,7 +364,12 @@ impl System {
         }
         let removed = self.rqs[from.0].remove(prio, id);
         debug_assert!(removed, "runnable task {id} missing from its runqueue");
+        let profile = self.tasks[id.0 as usize].profile().0;
+        if removed {
+            self.rqs[from.0].debit_profile(profile);
+        }
         self.rqs[to.0].enqueue_active(prio, id);
+        self.rqs[to.0].credit_profile(profile);
         self.finish_migration(id, from, to, reason);
         Ok(())
     }
@@ -369,12 +393,13 @@ impl System {
         }
         let id = self.rqs[from.0].current().ok_or(MigrateError::NoCurrent)?;
         self.rqs[from.0].set_current(None);
-        let prio = {
+        let (prio, profile) = {
             let task = &mut self.tasks[id.0 as usize];
             task.set_state(TaskState::Runnable);
-            task.prio_index()
+            (task.prio_index(), task.profile().0)
         };
         self.rqs[to.0].enqueue_active(prio, id);
+        self.rqs[to.0].credit_profile(profile);
         self.finish_migration(id, from, to, reason);
         Ok(id)
     }
@@ -397,6 +422,19 @@ impl System {
     pub fn validate(&self) {
         let mut seen = vec![0usize; self.tasks.len()];
         for rq in &self.rqs {
+            // The cached queued-profile sum matches a fresh recompute.
+            let fresh: f64 = rq
+                .iter_all()
+                .filter(|&id| rq.current() != Some(id))
+                .map(|id| self.tasks[id.0 as usize].profile().0)
+                .sum();
+            assert!(
+                (fresh - rq.queued_profile()).abs() < 1e-6 * fresh.abs().max(1.0),
+                "queued-profile cache drifted on {}: {} vs {}",
+                rq.cpu(),
+                rq.queued_profile(),
+                fresh
+            );
             for id in rq.iter_all() {
                 seen[id.0 as usize] += 1;
                 let task = &self.tasks[id.0 as usize];
@@ -501,6 +539,23 @@ mod tests {
         // a got a fresh slice for its next turn.
         assert_eq!(sys.task(a).timeslice(), crate::task::DEFAULT_TIMESLICE);
         sys.validate();
+    }
+
+    #[test]
+    fn time_to_expiry_tracks_remaining_slice() {
+        let mut sys = system();
+        assert_eq!(sys.time_to_timeslice_expiry(CpuId(0)), None);
+        sys.spawn(TaskConfig::default(), CpuId(0));
+        sys.context_switch(CpuId(0));
+        assert_eq!(
+            sys.time_to_timeslice_expiry(CpuId(0)),
+            Some(crate::task::DEFAULT_TIMESLICE)
+        );
+        sys.tick(CpuId(0), SimDuration::from_millis(30));
+        assert_eq!(
+            sys.time_to_timeslice_expiry(CpuId(0)),
+            Some(SimDuration::from_millis(70))
+        );
     }
 
     #[test]

@@ -65,8 +65,18 @@ pub struct SimConfig {
     pub threads_per_core: usize,
     /// RNG seed; every random choice in the run derives from it.
     pub seed: u64,
-    /// Simulation tick (scheduler granularity).
+    /// Simulation tick (scheduler granularity). In the fixed-tick
+    /// engine mode every step is exactly one tick; in strided mode the
+    /// tick is the engine's *finest* step and the granularity at which
+    /// throttle flips are resolved.
     pub tick: SimDuration,
+    /// Upper bound on one variable-stride engine step. `None` (the
+    /// default) selects the classic fixed-tick core; `Some(cap)`
+    /// enables the event-driven core, which advances in one exact step
+    /// to the next scheduling-relevant event (capped at `cap`, floored
+    /// at one tick). With `cap == tick` the strided core is
+    /// bit-identical to the fixed-tick one.
+    pub max_stride: Option<SimDuration>,
     /// Core clock in hertz.
     pub freq_hz: f64,
     /// Use the energy-aware balancer (Fig. 4) instead of the stock
@@ -125,6 +135,11 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
+    /// Default stride cap of the variable-stride engine core: long
+    /// enough to skip most idle ticks, short enough that the thermal
+    /// averages (τ ≈ 15 s) move by well under a watt per step.
+    pub const DEFAULT_MAX_STRIDE: SimDuration = SimDuration::from_millis(25);
+
     /// The paper's testbed shape with the paper's defaults: SMT on,
     /// energy-aware scheduling on, throttling on, 60 W logical budgets.
     pub fn xseries445() -> Self {
@@ -140,6 +155,7 @@ impl SimConfig {
             threads_per_core: topo.n_threads_per_core(),
             seed: 1,
             tick: SimDuration::from_millis(1),
+            max_stride: None,
             freq_hz: 2.2e9,
             energy_balancing: true,
             balance: EnergyBalanceConfig::default(),
@@ -207,6 +223,31 @@ impl SimConfig {
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Selects the variable-stride (event-driven) engine core with the
+    /// default stride cap, [`SimConfig::DEFAULT_MAX_STRIDE`].
+    pub fn strided(self) -> Self {
+        self.max_stride(Self::DEFAULT_MAX_STRIDE)
+    }
+
+    /// Selects the variable-stride core with an explicit stride cap.
+    /// Caps below one tick are treated as one tick (which makes the
+    /// strided core bit-identical to the fixed-tick one).
+    pub fn max_stride(mut self, cap: SimDuration) -> Self {
+        self.max_stride = Some(cap);
+        self
+    }
+
+    /// Selects the classic fixed-tick engine core (the default).
+    pub fn fixed_tick(mut self) -> Self {
+        self.max_stride = None;
+        self
+    }
+
+    /// Whether the variable-stride core is selected.
+    pub fn strided_enabled(&self) -> bool {
+        self.max_stride.is_some()
     }
 
     /// Enables or disables *all* energy-aware mechanisms at once — the
@@ -403,6 +444,19 @@ mod tests {
         let cfg = cfg.dvfs(custom.clone());
         assert_eq!(cfg.dvfs, Some(custom));
         assert!(!cfg.dvfs_off().dvfs_enabled());
+    }
+
+    #[test]
+    fn engine_mode_builders() {
+        let cfg = SimConfig::xseries445();
+        assert!(!cfg.strided_enabled());
+        assert_eq!(cfg.max_stride, None);
+        let cfg = cfg.strided();
+        assert!(cfg.strided_enabled());
+        assert_eq!(cfg.max_stride, Some(SimConfig::DEFAULT_MAX_STRIDE));
+        let cfg = cfg.max_stride(SimDuration::from_millis(5));
+        assert_eq!(cfg.max_stride, Some(SimDuration::from_millis(5)));
+        assert!(!cfg.fixed_tick().strided_enabled());
     }
 
     #[test]

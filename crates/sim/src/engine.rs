@@ -1,6 +1,24 @@
-//! The simulation engine: ticks the machine, drives the scheduler, and
-//! wires the energy-aware policies into it exactly where the paper
+//! The simulation engine: advances the machine, drives the scheduler,
+//! and wires the energy-aware policies into it exactly where the paper
 //! patched Linux (Section 5).
+//!
+//! Two interchangeable cores drive the same step logic:
+//!
+//! - **Fixed tick** (the default): every step spans exactly
+//!   [`SimConfig::tick`], the classic discrete-time loop.
+//! - **Variable stride** ([`SimConfig::strided`]): each step spans the
+//!   exact time to the next scheduling-relevant event — open-workload
+//!   arrival, sleeper wake, timeslice expiry, DVFS decision, balancer
+//!   interval, thermal-trace sample, run end — capped at
+//!   [`SimConfig::max_stride`] and floored at one tick. Physics,
+//!   thermal state, and the Eq. 2 estimators integrate exactly over
+//!   any span (the variable-period averages compose), so longer steps
+//!   trade no modelling fidelity where conditions are constant; where
+//!   a `hlt` throttle flip could occur inside a span the stride
+//!   collapses to the tick, preserving the bang-bang duty cycle.
+//!
+//! With the stride cap set to one tick the two cores are bit-identical
+//! (they execute the same `step_span` with the same `dt`).
 
 use crate::config::SimConfig;
 use crate::machine::PhysicalMachine;
@@ -18,32 +36,22 @@ use ebs_sched::{
 use ebs_thermal::ThrottleState;
 use ebs_topology::{CpuId, Topology};
 use ebs_units::{Celsius, Joules, SimDuration, SimTime, Watts};
-use ebs_workloads::{OpenWorkload, Program, ProgramState};
+use ebs_workloads::{ArrivalProcess, Program, ProgramState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-/// Salt separating the arrival RNG stream from the engine's main one,
-/// so enabling an open workload never perturbs a closed run's draws.
-const ARRIVAL_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
-
-/// State of the Poisson arrival process driving an open workload.
-#[derive(Clone, Debug)]
-struct OpenState {
-    spec: OpenWorkload,
-    /// Dedicated RNG: arrivals, palette picks, and service demands.
-    rng: StdRng,
-    /// Next candidate arrival of the peak-rate (pre-thinning) process.
-    next_arrival: SimTime,
-    arrivals: u64,
-}
-
-/// One exponential inter-arrival gap at `rate_hz`, at least 1 µs.
-fn exp_gap(rng: &mut StdRng, rate_hz: f64) -> SimDuration {
-    let u: f64 = rng.gen();
-    let secs = -(1.0 - u).ln() / rate_hz;
-    SimDuration::from_micros(((secs * 1e6).round() as u64).max(1))
+/// Time for a first-order exponential average at `avg`, driven by a
+/// constant sample, to reach `target`; `None` when it never does
+/// (`target` not strictly between `avg` and `sample`).
+fn crossing_time_s(avg: f64, sample: f64, target: f64, tau_s: f64) -> Option<f64> {
+    let num = sample - avg;
+    let den = sample - target;
+    if den == 0.0 || num == 0.0 || (num > 0.0) != (den > 0.0) || num.abs() <= den.abs() {
+        return None;
+    }
+    Some(tau_s * (num / den).ln())
 }
 
 /// Which balancing policy drives periodic migration decisions.
@@ -95,18 +103,34 @@ pub struct Simulation {
     /// Blocked tasks and their wake times (microseconds).
     sleepers: BinaryHeap<Reverse<(u64, TaskId)>>,
     /// Open-workload arrival process (None for closed runs).
-    open: Option<OpenState>,
+    open: Option<ArrivalProcess>,
     /// Sojourn times of completed open tasks: (arrival phase, secs).
     latencies: Vec<(&'static str, f64)>,
     /// Per-package scratch for the executing flags of the physics
     /// tick, reused so the hot loop allocates nothing.
     exec_scratch: Vec<bool>,
+    /// Per-package scratch: whether the package passed the hot-task
+    /// thermal pre-screen this step (computed once per step instead of
+    /// per CPU — the full trigger test walks the package CPU list).
+    hot_scratch: Vec<bool>,
+    /// Per-CPU fractional cycles not yet emitted to the counter banks.
+    /// `(freq * dt * share)` is rarely integral; truncating it every
+    /// step would make retired work depend on the step size, so the
+    /// remainder carries over (tick-size-invariant accounting).
+    cycle_carry: Vec<f64>,
+    /// Per-CPU fractional instructions not yet retired (same carry
+    /// scheme, applied to the instruction stream).
+    instr_carry: Vec<f64>,
+    /// Time constant of the per-CPU thermal-power averages, for the
+    /// stride bound that predicts throttle flips.
+    thermal_tau: SimDuration,
     rng: StdRng,
     acc: Vec<IntervalAcc>,
     /// Whether a new-idle balance attempt is pending for the CPU.
     newidle_pending: Vec<bool>,
     now: SimTime,
     // Statistics.
+    steps: u64,
     completions: HashMap<u64, u64>,
     instructions: u64,
     max_temp: Celsius,
@@ -168,21 +192,11 @@ impl Simulation {
         let pkg_cpus: Vec<Vec<CpuId>> = (0..sys.topology().n_packages())
             .map(|p| sys.topology().cpus_of_package(ebs_topology::PackageId(p)))
             .collect();
-        let open = cfg.open_workload.clone().map(|spec| {
-            let mut rng = StdRng::seed_from_u64(cfg.seed ^ ARRIVAL_SEED_SALT);
-            let peak = spec.peak_rate();
-            let next_arrival = if peak > 0.0 {
-                SimTime::ZERO + exp_gap(&mut rng, peak)
-            } else {
-                SimTime::from_micros(u64::MAX)
-            };
-            OpenState {
-                spec,
-                rng,
-                next_arrival,
-                arrivals: 0,
-            }
-        });
+        let open = cfg
+            .open_workload
+            .clone()
+            .map(|spec| ArrivalProcess::new(spec, cfg.seed));
+        let n_packages = pkg_cpus.len();
         Simulation {
             sys,
             power,
@@ -202,10 +216,15 @@ impl Simulation {
             open,
             latencies: Vec::new(),
             exec_scratch: Vec::new(),
+            hot_scratch: vec![false; n_packages],
+            cycle_carry: vec![0.0; n_cpus],
+            instr_carry: vec![0.0; n_cpus],
+            thermal_tau: power_cfg.time_constant,
             rng,
             acc: vec![IntervalAcc::default(); n_cpus],
             newidle_pending: vec![false; n_cpus],
             now: SimTime::ZERO,
+            steps: 0,
             completions: HashMap::new(),
             instructions: 0,
             max_temp: Celsius::AMBIENT,
@@ -327,23 +346,49 @@ impl Simulation {
         id
     }
 
-    /// Runs the simulation for a span of simulated time.
+    /// Runs the simulation for a span of simulated time. The final
+    /// step is clamped so the run covers *exactly* `duration` —
+    /// [`SimReport::duration`] equals the time requested even when it
+    /// is not a tick multiple.
     pub fn run_for(&mut self, duration: SimDuration) {
         let end = self.now + duration;
         while self.now < end {
-            self.step();
+            let dt = match self.cfg.max_stride {
+                None => self.cfg.tick.min(end - self.now),
+                Some(cap) => self.next_stride(end, cap),
+            };
+            self.step_span(dt);
         }
+        // Drain arrivals due exactly by the horizon: the next step
+        // would spawn them at this same instant, so doing it here
+        // makes the arrival count over `[0, duration]` a pure
+        // function of the clock — independent of engine mode and of
+        // any stride slack near the run end.
+        self.arrival_tick();
     }
 
-    /// Advances the simulation by one tick.
+    /// Advances the simulation by one tick (the fixed-tick step; the
+    /// strided core uses [`Simulation::run_for`]).
     pub fn step(&mut self) {
-        let dt = self.cfg.tick;
-        self.now += dt;
-        self.sys.set_now(self.now);
+        self.step_span(self.cfg.tick);
+    }
 
+    /// One engine step spanning `dt`: releases every event due *now*
+    /// (wakes, arrivals, dispatches), then advances machine, policies,
+    /// and scheduler state over the span in one pass. Both engine
+    /// cores execute exactly this function — the fixed-tick core with
+    /// `dt == tick`, the strided core with `dt` bounded so that no
+    /// scheduling-relevant event falls strictly inside the span.
+    fn step_span(&mut self, dt: SimDuration) {
+        debug_assert!(!dt.is_zero(), "empty engine step");
+        self.steps += 1;
         self.wake_sleepers();
         self.arrival_tick();
         self.dispatch_idle_cpus();
+
+        self.now += dt;
+        self.sys.set_now(self.now);
+
         let completed = self.physics_tick(dt);
         if self.cfg.throttling {
             self.throttle_tick(dt);
@@ -353,44 +398,205 @@ impl Simulation {
         self.sample_traces();
     }
 
-    /// Spawns open-workload arrivals due this tick. The arrival
-    /// process is a thinned homogeneous Poisson process at the curve's
-    /// peak rate: candidate instants arrive with exponential gaps and
-    /// are accepted with probability `rate(t) / peak` — exact for any
-    /// time-varying rate, and deterministic per seed.
-    fn arrival_tick(&mut self) {
-        let Some(open) = self.open.as_mut() else {
-            return;
-        };
-        let peak = open.spec.peak_rate();
-        if peak <= 0.0 {
-            return;
+    /// The span of the next strided step, from `self.now`: the time to
+    /// the nearest scheduling-relevant event, capped at `cap` and the
+    /// run end, floored at one tick (events inside a tick resolve at
+    /// tick granularity, exactly as in the fixed-tick core).
+    fn next_stride(&self, end: SimTime, cap: SimDuration) -> SimDuration {
+        let tick = self.cfg.tick;
+        // Events that merely *add or finish work* — arrivals,
+        // completions, clustered timeslice expiries — may resolve a
+        // few ticks late: the fixed-tick core already quantises them
+        // to a tick, and a handful of extra milliseconds is noise
+        // against service times while letting a saturated machine's
+        // event hail merge into fewer spans.
+        let slack = tick * 4;
+        let mut dt = cap.max(tick);
+
+        // Sleeper wakes and open-workload arrivals.
+        if let Some(&Reverse((when, _))) = self.sleepers.peek() {
+            dt = dt.min(SimTime::from_micros(when).saturating_since(self.now));
         }
-        let mut pending: Vec<(usize, u64, u64, &'static str)> = Vec::new();
-        while open.next_arrival <= self.now {
-            let t = open.next_arrival;
-            open.next_arrival = t + exp_gap(&mut open.rng, peak);
-            let accept = (open.spec.rate_at(t) / peak).clamp(0.0, 1.0);
-            if open.rng.gen_bool(accept) {
-                open.arrivals += 1;
-                let idx = open.rng.gen_range(0..open.spec.programs.len());
-                let work = open.rng.gen_range(open.spec.min_work..=open.spec.max_work);
-                let seed = open.rng.gen();
-                pending.push((idx, work, seed, open.spec.curve.phase_at(t)));
+        if let Some(open) = &self.open {
+            dt = dt.min(open.next_arrival().saturating_since(self.now).max(slack));
+        }
+        // Governor decisions and trace samples.
+        if self.cfg.dvfs.is_some() {
+            dt = dt.min(self.next_dvfs_decision.saturating_since(self.now));
+        }
+        if let Some(due) = self.next_thermal_sample {
+            dt = dt.min(due.saturating_since(self.now));
+        }
+        // Periodic balancing passes.
+        let due = match &self.balancer {
+            Balancer::Baseline(lb) => lb.next_due(),
+            Balancer::EnergyAware(eb) => eb.next_due(),
+        };
+        dt = dt.min(due.saturating_since(self.now));
+
+        let tau_s = self.thermal_tau.as_secs_f64();
+        let threads_per_core = self.sys.topology().threads_per_core().max(1);
+        for (pkg, cpus) in self.pkg_cpus.iter().enumerate() {
+            let pkg_running = self.machine.throttles[pkg].state() == ThrottleState::Running;
+            if pkg_running {
+                let freq = self.machine.freq_domains[pkg].frequency().0;
+                for (i, &cpu) in cpus.iter().enumerate() {
+                    let Some(task) = self.sys.current(cpu) else {
+                        continue;
+                    };
+                    let Some(rt) = self.runtimes[task.0 as usize].as_ref() else {
+                        continue;
+                    };
+                    // Timeslice expiry — but only where the expiry can
+                    // change *what runs*: round-robin with queued
+                    // tasks, or a program that may block at slice end.
+                    // A solo non-blocking task just gets a fresh slice
+                    // and keeps running, and the Eq. 2 variable-period
+                    // profile average absorbs a stretched slice
+                    // exactly, so those expiries resolve at span ends.
+                    // Expiries that do matter get a few ticks of slack
+                    // (a slice stretching 100 → 104 ms shifts nothing
+                    // measurable) so a saturated machine's clustered
+                    // expiries merge into one span instead of forcing
+                    // per-tick steps.
+                    let expiry_matters =
+                        self.sys.nr_running(cpu) > 1 || rt.program.program().blocking.is_some();
+                    if expiry_matters {
+                        if let Some(left) = self.sys.time_to_timeslice_expiry(cpu) {
+                            dt = dt.min(left.max(slack));
+                        }
+                    }
+                    // Earliest completion and dwell-driven phase
+                    // rotations: these change the task set or the
+                    // execution rates, so the span ends near them. The
+                    // completion estimate uses the task's *current*
+                    // rate (clock, SMT share, warmth): past warmup the
+                    // rate is constant within a span, so the estimate
+                    // is exact and the completion lands right on the
+                    // span boundary. A warming task speeds up and
+                    // completes slightly inside its span instead —
+                    // detected at the span end, like in a fixed tick.
+                    if let Some(total) = rt.program.program().total_work {
+                        let core_base = i - i % threads_per_core;
+                        let core_end = (core_base + threads_per_core).min(cpus.len());
+                        let n_active = cpus[core_base..core_end]
+                            .iter()
+                            .filter(|&&c| self.sys.current(c).is_some())
+                            .count();
+                        let share = if n_active <= 1 {
+                            1.0
+                        } else {
+                            self.cfg.smt_speedup / n_active as f64
+                        };
+                        let rate = freq * share * rt.program.ipc() * rt.warmth_factor(&self.warmth);
+                        if rate > 0.0 {
+                            let left = total.saturating_sub(rt.program.work_done());
+                            let eta = SimDuration::from_micros(
+                                ((left as f64 / rate) * 1e6).ceil() as u64
+                            );
+                            dt = dt.min(eta.max(slack));
+                        }
+                    }
+                    if let Some(dwell) = rt.program.time_to_phase_change() {
+                        dt = dt.min(dwell);
+                    }
+                }
+            }
+            // Throttle flips change what executes, so they may not
+            // fall inside a span: if the package's thermal power could
+            // cross the controller's flip threshold, bound the span by
+            // the predicted crossing time (exact for the first-order
+            // average under constant samples); once past the
+            // threshold, fall back to tick-sized steps.
+            if self.cfg.throttling {
+                let avg = self.power.thermal_power_sum(cpus).0;
+                let thr = self.machine.throttles[pkg].flip_threshold().0;
+                let crossed = if pkg_running { avg >= thr } else { avg < thr };
+                if crossed {
+                    dt = dt.min(tick);
+                } else if dt > tick {
+                    // Cheap screen before the per-CPU prediction: over
+                    // one capped span the average moves by at most
+                    // `w(cap) · |sample - avg|`; with samples bounded
+                    // by ~120 W per hardware thread, a package more
+                    // than `margin` away cannot reach the threshold
+                    // this span.
+                    let w_cap = 1.0 - (-dt.as_secs_f64() / tau_s).exp();
+                    let margin = w_cap * 120.0 * cpus.len() as f64;
+                    if (avg - thr).abs() <= margin {
+                        let sample = self.predicted_package_sample(pkg, cpus, threads_per_core);
+                        if let Some(t) = crossing_time_s(avg, sample, thr, tau_s) {
+                            dt = dt.min(SimDuration::from_micros((t * 1e6) as u64));
+                        }
+                    }
+                }
             }
         }
-        for (idx, work, seed, phase) in pending {
+        dt.max(tick).min(end - self.now)
+    }
+
+    /// Predicts the thermal-power *sample* sum the package's CPUs will
+    /// feed their averages this span: the model power of each running
+    /// task at the current clock and SMT share, halt power elsewhere.
+    /// Used only to bound strides; physics recomputes the real thing.
+    fn predicted_package_sample(&self, pkg: usize, cpus: &[CpuId], threads_per_core: usize) -> f64 {
+        let halt = self.machine.halt_power_share().0;
+        if self.machine.throttles[pkg].state() != ThrottleState::Running {
+            return halt * cpus.len() as f64;
+        }
+        let freq = self.machine.freq_domains[pkg].frequency().0;
+        let vsq = self.machine.freq_domains[pkg].voltage_scale_sq();
+        let mut sum = 0.0;
+        for (i, &cpu) in cpus.iter().enumerate() {
+            let Some(task) = self.sys.current(cpu) else {
+                sum += halt;
+                continue;
+            };
+            let core_base = i - i % threads_per_core;
+            let core_end = (core_base + threads_per_core).min(cpus.len());
+            let n_active = cpus[core_base..core_end]
+                .iter()
+                .filter(|&&c| self.sys.current(c).is_some())
+                .count();
+            let share = if n_active <= 1 {
+                1.0
+            } else {
+                self.cfg.smt_speedup / n_active as f64
+            };
+            let rt = self.runtimes[task.0 as usize]
+                .as_ref()
+                .expect("running task has runtime state");
+            let rates = rt.program.current_rates();
+            sum += self
+                .estimator
+                .model()
+                .power_for_rates(&rates, freq * share)
+                .0
+                * vsq;
+        }
+        sum
+    }
+
+    /// Spawns open-workload arrivals due now. The arrival process
+    /// ([`ArrivalProcess`]) thins a peak-rate Poisson stream — exact
+    /// for any time-varying rate, and deterministic per seed.
+    fn arrival_tick(&mut self) {
+        let due = match self.open.as_mut() {
+            Some(open) => open.pop_due(self.now),
+            None => return,
+        };
+        for arrival in due {
             let program = self
                 .open
                 .as_ref()
                 .expect("open workload active")
-                .spec
-                .programs[idx]
+                .spec()
+                .programs[arrival.program_index]
                 .clone()
-                .with_total_work(work);
-            let id = self.spawn_internal(program, seed);
+                .with_total_work(arrival.work);
+            let id = self.spawn_internal(program, arrival.seed);
             if let Some(rt) = self.runtimes[id.0 as usize].as_mut() {
-                rt.arrival = Some((self.now, phase));
+                rt.arrival = Some((self.now, arrival.phase));
             }
         }
     }
@@ -466,7 +672,14 @@ impl Simulation {
                         self.cfg.smt_speedup / n_active as f64
                     };
                     let task = self.sys.current(cpu).expect("executing CPU has a task");
-                    let cycles = (freq * dt.as_secs_f64() * share) as u64;
+                    // Emit whole cycles, carrying the fractional part
+                    // so retired work is step-size-invariant: chopping
+                    // the same wall time into different spans yields
+                    // the same cumulative cycle count (±1).
+                    let raw_cycles = freq * dt.as_secs_f64() * share;
+                    let cycles_f = raw_cycles + self.cycle_carry[cpu.0];
+                    let cycles = cycles_f as u64;
+                    self.cycle_carry[cpu.0] = (cycles_f - cycles as f64).max(0.0);
                     let rt = self.runtimes[task.0 as usize]
                         .as_mut()
                         .expect("running task has runtime state");
@@ -474,8 +687,13 @@ impl Simulation {
                     self.machine.banks[cpu.0].record(&counts);
                     pkg_energy += self.machine.truth().model.estimate(&counts) * vscale_sq;
                     // Instruction progress, damped by cache warmth.
+                    // The instruction stream carries its own remainder
+                    // off the *unrounded* cycle flow, so its total is
+                    // independent of how cycles happened to round.
                     let wf = rt.warmth_factor(&self.warmth);
-                    let instr = (cycles as f64 * rt.program.ipc() * wf) as u64;
+                    let instr_f = raw_cycles * rt.program.ipc() * wf + self.instr_carry[cpu.0];
+                    let instr = instr_f as u64;
+                    self.instr_carry[cpu.0] = (instr_f - instr as f64).max(0.0);
                     rt.add_warmth(instr);
                     let done = rt.program.add_work(instr);
                     rt.program.advance_time(dt);
@@ -582,6 +800,21 @@ impl Simulation {
     /// Scheduler work for one tick: timeslices, completions, blocking,
     /// the balancing policies, and hot task migration.
     fn scheduler_tick(&mut self, dt: SimDuration, completed: &[CpuId]) {
+        // Hot-task pre-screen, once per package: the full trigger test
+        // re-sums the package thermal power for every CPU; packages
+        // below the trigger fraction can skip it wholesale. The
+        // comparison is exactly the one `HotTaskMigrator::triggered`
+        // performs (same CPU list, same float sum), so the screen
+        // never changes a decision.
+        if self.cfg.hot_task_migration {
+            let trigger = self.hot.config().trigger_fraction;
+            for pkg in 0..self.pkg_cpus.len() {
+                let cpus = &self.pkg_cpus[pkg];
+                let thermal = self.power.thermal_power_sum(cpus);
+                let budget = self.power.max_power_sum(cpus);
+                self.hot_scratch[pkg] = thermal.0 >= budget.0 * trigger;
+            }
+        }
         // Task completions first: they free CPUs and may respawn.
         for &cpu in completed {
             if let Some(task) = self.sys.current(cpu) {
@@ -625,8 +858,9 @@ impl Simulation {
             }
 
             // Hot task migration: checked whenever thermal power was
-            // updated, i.e. every tick (cheap trigger test).
-            if self.cfg.hot_task_migration {
+            // updated, i.e. every step (cheap trigger test behind the
+            // per-package pre-screen).
+            if self.cfg.hot_task_migration && self.hot_scratch[pkg] {
                 self.hot_check(cpu);
             }
 
@@ -858,11 +1092,12 @@ impl Simulation {
         };
         SimReport {
             duration: self.now - SimTime::ZERO,
+            engine_steps: self.steps,
             migrations: stats.migrations(),
             migrations_by_reason: stats.migrations_by_reason,
             context_switches: stats.context_switches,
             completions: completions_by_binary.iter().map(|&(_, n)| n).sum(),
-            arrivals: self.open.as_ref().map_or(0, |o| o.arrivals),
+            arrivals: self.open.as_ref().map_or(0, |o| o.accepted()),
             latency,
             phase_latencies,
             completions_by_binary,
@@ -956,6 +1191,69 @@ mod tests {
             .filter(|&c| sim.system().current(CpuId(c)).is_some())
             .count();
         assert_eq!(running, 6);
+    }
+
+    #[test]
+    fn retired_work_is_tick_size_invariant() {
+        // The carry fix: chopping the same wall time into 1 ms or
+        // 0.5 ms steps must retire the same instructions (±1 per CPU)
+        // — fractional cycles/instructions are carried, not dropped.
+        // Warmup is disabled so the IPC factor is step-independent.
+        let run = |tick_us: u64| {
+            let mut cfg = quick_cfg().throttling(false).energy_aware(false);
+            cfg.tick = SimDuration::from_micros(tick_us);
+            cfg.warmup_ipc_floor = 1.0;
+            cfg.warmup_ipc_floor_cross_node = 1.0;
+            let mut sim = Simulation::new(cfg);
+            sim.spawn_program(&catalog::aluadd());
+            sim.run_for(SimDuration::from_secs(2));
+            sim.report().instructions_retired
+        };
+        let coarse = run(1_000);
+        let fine = run(500);
+        assert!(
+            coarse.abs_diff(fine) <= 1,
+            "tick size changed retired work: {coarse} vs {fine}"
+        );
+    }
+
+    #[test]
+    fn truncation_would_lose_work_without_carry() {
+        // Quantifies the bug the carry fixes: at 2.2 GHz and 1 ms the
+        // per-step instruction flow is fractional almost always, so a
+        // truncating engine under-retires by up to 1 instruction per
+        // step. With the carry the total matches the closed form.
+        let mut cfg = quick_cfg().throttling(false).energy_aware(false);
+        cfg.warmup_ipc_floor = 1.0;
+        cfg.warmup_ipc_floor_cross_node = 1.0;
+        let mut sim = Simulation::new(cfg);
+        let program = catalog::aluadd();
+        let ipc = program.main_phase().ipc;
+        let jitter = program.jitter;
+        sim.spawn_program(&program);
+        sim.run_for(SimDuration::from_secs(2));
+        let got = sim.report().instructions_retired as f64;
+        let nominal = 2.2e9 * 2.0 * ipc;
+        assert!(
+            (got - nominal).abs() <= nominal * (jitter + 1e-9),
+            "retired {got} not within jitter of the closed form {nominal}"
+        );
+    }
+
+    #[test]
+    fn run_for_covers_exactly_the_requested_duration() {
+        // A duration that is not a tick multiple must not overshoot.
+        let mut sim = Simulation::new(quick_cfg());
+        sim.run_for(SimDuration::from_micros(1_500));
+        assert_eq!(sim.now(), SimTime::from_micros(1_500));
+        assert_eq!(sim.report().duration, SimDuration::from_micros(1_500));
+        // Sub-tick requests clamp too, and repeated runs accumulate.
+        sim.run_for(SimDuration::from_micros(700));
+        assert_eq!(sim.report().duration, SimDuration::from_micros(2_200));
+        // The strided core clamps identically.
+        let mut sim = Simulation::new(quick_cfg().strided());
+        sim.run_for(SimDuration::from_micros(123_456));
+        assert_eq!(sim.report().duration, SimDuration::from_micros(123_456));
     }
 
     #[test]

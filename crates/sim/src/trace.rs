@@ -172,6 +172,10 @@ impl LatencyStats {
 pub struct SimReport {
     /// Simulated wall time.
     pub duration: SimDuration,
+    /// Engine steps taken. The fixed-tick core takes
+    /// `duration / tick`; the variable-stride core takes fewer —
+    /// `duration / engine_steps` is the realised mean stride.
+    pub engine_steps: u64,
     /// Total task migrations.
     pub migrations: u64,
     /// Migrations by reason, in [`ebs_sched::MigrationReason::ALL`]
@@ -341,9 +345,62 @@ mod tests {
     }
 
     #[test]
+    fn ratio_metrics_guard_degenerate_runs() {
+        // A zero-length / fully-throttled run retires nothing and may
+        // dissipate nothing; every ratio metric must report 0 rather
+        // than NaN or infinity.
+        let empty = SimReport {
+            duration: SimDuration::ZERO,
+            engine_steps: 0,
+            migrations: 0,
+            migrations_by_reason: [0; 4],
+            context_switches: 0,
+            completions: 0,
+            arrivals: 0,
+            latency: LatencyStats::default(),
+            phase_latencies: vec![],
+            completions_by_binary: vec![],
+            instructions_retired: 0,
+            throughput_ips: 0.0,
+            throttled_fraction: vec![],
+            avg_throttled_fraction: 0.0,
+            throttle_stats: vec![],
+            pstate_residency: vec![],
+            avg_scaled_fraction: 0.0,
+            mean_frequency: Hertz::from_ghz(2.2),
+            dvfs_transitions: 0,
+            max_package_temp: Celsius(22.0),
+            true_energy: Joules::ZERO,
+            estimated_energy: Joules::ZERO,
+        };
+        assert_eq!(empty.nj_per_instruction(), 0.0);
+        assert_eq!(empty.estimation_error(), 0.0);
+        // Gain/loss against a zero-throughput baseline (and of a
+        // zero-throughput run against a real one) stay finite.
+        assert_eq!(empty.throughput_gain_over(&empty), 0.0);
+        assert_eq!(empty.throughput_loss_vs(&empty), 0.0);
+        let mut real = empty.clone();
+        real.throughput_ips = 100.0;
+        real.instructions_retired = 1;
+        real.true_energy = Joules(5.0);
+        assert_eq!(real.throughput_gain_over(&empty), 0.0);
+        assert_eq!(real.throughput_loss_vs(&empty), 0.0);
+        assert_eq!(empty.throughput_loss_vs(&real), 1.0);
+        for v in [
+            empty.nj_per_instruction(),
+            empty.estimation_error(),
+            real.throughput_gain_over(&empty),
+            empty.throughput_gain_over(&real),
+        ] {
+            assert!(v.is_finite(), "metric not finite: {v}");
+        }
+    }
+
+    #[test]
     fn throughput_gain() {
         let mk = |ips: f64| SimReport {
             duration: SimDuration::from_secs(1),
+            engine_steps: 1000,
             migrations: 0,
             migrations_by_reason: [0; 4],
             context_switches: 0,

@@ -104,6 +104,28 @@ impl ThrottleController {
         self.limit = limit;
     }
 
+    /// The thermal power at which a running CPU engages the throttle.
+    pub fn engage_threshold(&self) -> Watts {
+        self.limit
+    }
+
+    /// The thermal power below which a halted CPU resumes execution.
+    pub fn release_threshold(&self) -> Watts {
+        self.limit * (1.0 - self.release_margin)
+    }
+
+    /// The thermal power at which the *next* observation flips the
+    /// state: the engage threshold while running, the release
+    /// threshold while halted. Variable-stride engines bound their
+    /// step length by the time the thermal average needs to reach this
+    /// value.
+    pub fn flip_threshold(&self) -> Watts {
+        match self.state {
+            ThrottleState::Running => self.engage_threshold(),
+            ThrottleState::Halted => self.release_threshold(),
+        }
+    }
+
     /// Current state.
     pub fn state(&self) -> ThrottleState {
         self.state
@@ -193,6 +215,39 @@ mod tests {
         let frac = c.stats().throttled_fraction();
         assert!(frac > 0.4 && frac < 0.9, "duty cycle {frac}");
         assert!(c.stats().engagements > 1);
+    }
+
+    #[test]
+    fn variable_dt_observation_accumulates_like_split_ticks() {
+        // The controller's time accounting is linear in `dt`: one 5 ms
+        // observation carries the same statistics as five 1 ms ones
+        // under a constant thermal power (the state machine only
+        // decides at observation ends, which is what a variable-stride
+        // engine's step boundaries are).
+        let mut coarse = ThrottleController::new(Watts(50.0));
+        let mut fine = ThrottleController::new(Watts(50.0));
+        coarse.observe(Watts(55.0), SimDuration::from_millis(5));
+        for _ in 0..5 {
+            fine.observe(Watts(55.0), TICK);
+        }
+        assert_eq!(coarse.stats().observed, fine.stats().observed);
+        assert_eq!(coarse.state(), fine.state());
+        // Both engaged exactly once.
+        assert_eq!(coarse.stats().engagements, 1);
+        // Halted time then accrues with whatever dt is offered.
+        coarse.observe(Watts(55.0), SimDuration::from_millis(7));
+        assert_eq!(coarse.stats().throttled, SimDuration::from_millis(7));
+    }
+
+    #[test]
+    fn flip_threshold_follows_state() {
+        let mut c = ThrottleController::with_release_margin(Watts(50.0), 0.02);
+        assert_eq!(c.engage_threshold(), Watts(50.0));
+        assert_eq!(c.release_threshold(), Watts(49.0));
+        assert_eq!(c.flip_threshold(), Watts(50.0));
+        c.observe(Watts(55.0), TICK);
+        assert_eq!(c.state(), ThrottleState::Halted);
+        assert_eq!(c.flip_threshold(), Watts(49.0));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! assert!(!state.add_work(instructions)); // Plenty of work left.
 //! ```
 
+mod arrivals;
 mod mix;
 mod open;
 mod phase;
@@ -32,6 +33,7 @@ mod program;
 
 pub mod catalog;
 
+pub use arrivals::{Arrival, ArrivalProcess, ARRIVAL_SEED_SALT};
 pub use mix::{
     fig8_scenario, fig8_scenarios, mix_size, section61_mix, table1_programs, Mix, MixEntry,
 };

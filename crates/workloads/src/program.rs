@@ -171,6 +171,18 @@ impl ProgramState {
         // Spiky programs stay in phase 0 between spikes.
     }
 
+    /// Execution time until the next dwell-driven phase rotation, or
+    /// `None` when the activity cannot change mid-slice (steady and
+    /// spiky programs only switch at slice boundaries). A
+    /// variable-stride engine bounds its step by this so a cyclic
+    /// program's rates stay constant within one step.
+    pub fn time_to_phase_change(&self) -> Option<SimDuration> {
+        match self.program.behavior {
+            Behavior::Cyclic if self.program.phases.len() >= 2 => Some(self.dwell_left),
+            _ => None,
+        }
+    }
+
     /// The effective event rates right now: the active phase's rates
     /// with the per-slice jitter applied to the activity events.
     pub fn current_rates(&self) -> EventRates {
@@ -255,6 +267,22 @@ mod tests {
         // Multiple dwells in one call wrap correctly.
         s.advance_time(SimDuration::from_millis(3_000));
         assert_eq!(s.phase_index(), 0);
+    }
+
+    #[test]
+    fn time_to_phase_change_tracks_dwell() {
+        let mut s = ProgramState::new(two_phase_program(Behavior::Cyclic), 1);
+        assert_eq!(s.time_to_phase_change(), Some(SimDuration::from_secs(1)));
+        s.advance_time(SimDuration::from_millis(400));
+        assert_eq!(
+            s.time_to_phase_change(),
+            Some(SimDuration::from_millis(600))
+        );
+        // Steady programs never change mid-slice.
+        let s = ProgramState::new(two_phase_program(Behavior::Steady), 1);
+        assert_eq!(s.time_to_phase_change(), None);
+        let s = ProgramState::new(two_phase_program(Behavior::Spiky { spike_prob: 0.5 }), 1);
+        assert_eq!(s.time_to_phase_change(), None);
     }
 
     #[test]
