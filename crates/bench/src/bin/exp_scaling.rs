@@ -1,11 +1,20 @@
 //! Runs the scenario-engine scaling sweep: the policy matrix across
 //! generated topologies and open-workload load curves, sharded through
 //! the capped parallel runner. `--smoke` (or `--quick`) runs the
-//! reduced 24-cell matrix CI exercises on every push.
+//! reduced 24-cell matrix CI exercises on every push; `--fixed` runs
+//! the sweep on the fixed-tick engine core and writes
+//! `results/scaling_fixed.csv` — the baseline leg of the CI
+//! fixed-vs-strided regression gate (`exp_scaling_gate`).
 
 fn main() {
     let smoke = ebs_bench::smoke_requested() || ebs_bench::quick_requested();
-    let sweep = ebs_bench::experiments::scaling::run(smoke);
-    ebs_bench::write_artifact("scaling.csv", &sweep.to_csv()).expect("scaling.csv");
+    let fixed = std::env::args().any(|a| a == "--fixed");
+    let sweep = ebs_bench::experiments::scaling::run_with_engine(smoke, !fixed);
+    let artifact = if fixed {
+        "scaling_fixed.csv"
+    } else {
+        "scaling.csv"
+    };
+    ebs_bench::write_artifact(artifact, &sweep.to_csv()).expect("scaling csv");
     println!("{sweep}");
 }

@@ -1,0 +1,33 @@
+//! CI regression gate over the scaling sweep: compares the strided
+//! (`results/scaling.csv`) and fixed-tick (`results/scaling_fixed.csv`)
+//! legs of `exp_scaling --smoke` cell by cell and exits non-zero when
+//! any headline metric drifts past the equivalence-suite tolerances.
+//! Optional arguments override the two artifact paths, strided first.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strided = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("results/scaling.csv");
+    let fixed = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("results/scaling_fixed.csv");
+    match ebs_bench::experiments::scaling_gate::run(strided, fixed) {
+        Ok(result) => {
+            print!("{result}");
+            if result.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("scaling gate error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per reproduced table or figure.
 
 pub mod ablation;
+pub mod balance_bench;
 pub mod dvfs;
 pub mod engine_bench;
 pub mod fig10;
@@ -10,6 +11,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod migrations;
 pub mod scaling;
+pub mod scaling_gate;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -177,23 +177,28 @@ fn workload(n_cores: usize, curve: LoadCurve) -> OpenWorkload {
 }
 
 /// Builds the full config list of the sweep (public so tests can
-/// check the matrix without running it).
+/// check the matrix without running it). By default the sweep runs on
+/// the variable-stride engine core: headline metrics match fixed-tick
+/// within tolerance (see the sim crate's equivalence suite) at a
+/// fraction of the wall-clock. `sweep_configs_with_engine` builds the
+/// fixed-tick variant the CI regression gate compares against.
 pub fn sweep_configs(smoke: bool) -> Vec<(ScalingRow, SimConfig)> {
+    sweep_configs_with_engine(smoke, true)
+}
+
+/// The sweep's config list on an explicit engine core.
+pub fn sweep_configs_with_engine(smoke: bool, strided: bool) -> Vec<(ScalingRow, SimConfig)> {
     let mut out = Vec::new();
     for preset in topologies(smoke) {
         let shape = preset.builder();
         for curve in curves(smoke) {
             for policy in Policy::ALL {
-                // The sweep runs on the variable-stride engine core:
-                // headline metrics match fixed-tick within tolerance
-                // (see the sim crate's equivalence suite) at a
-                // fraction of the wall-clock.
                 let cfg = SimConfig::with_topology(shape)
                     .seed(42)
                     .respawn(false)
-                    .strided()
                     .max_power(MaxPowerSpec::PerLogical(BUDGET))
                     .open_workload(workload(shape.n_cores(), curve));
+                let cfg = if strided { cfg.strided() } else { cfg };
                 let cfg = policy.apply(cfg);
                 let row = ScalingRow {
                     topology: preset.name(),
@@ -229,9 +234,17 @@ fn fill(row: &mut ScalingRow, report: &SimReport) {
 /// Runs the sweep: every cell through the capped parallel runner, in
 /// one sharded batch.
 pub fn run(smoke: bool) -> ScalingSweep {
+    run_with_engine(smoke, true)
+}
+
+/// Runs the sweep on an explicit engine core (`strided == false` is
+/// the fixed-tick leg of the CI fixed-vs-strided regression gate).
+pub fn run_with_engine(smoke: bool, strided: bool) -> ScalingSweep {
     let duration = SimDuration::from_secs(if smoke { 6 } else { 45 });
     let (mut rows, configs): (Vec<ScalingRow>, Vec<SimConfig>) =
-        sweep_configs(smoke).into_iter().unzip();
+        sweep_configs_with_engine(smoke, strided)
+            .into_iter()
+            .unzip();
     let reports = run_configs(configs, duration, |_| {});
     for (row, report) in rows.iter_mut().zip(&reports) {
         fill(row, report);
@@ -326,6 +339,22 @@ mod tests {
             assert_eq!(w.base_rate_hz, 1.5 * n_cores as f64);
             assert!(!cfg.respawn);
             assert_eq!(cfg.n_packages(), row.packages);
+        }
+    }
+
+    #[test]
+    fn fixed_engine_leg_differs_only_in_stride() {
+        let strided = sweep_configs(true);
+        let fixed = sweep_configs_with_engine(true, false);
+        assert_eq!(strided.len(), fixed.len());
+        for ((srow, scfg), (frow, fcfg)) in strided.iter().zip(&fixed) {
+            assert_eq!(srow.topology, frow.topology);
+            assert_eq!(srow.policy, frow.policy);
+            assert!(scfg.strided_enabled());
+            assert!(!fcfg.strided_enabled());
+            assert_eq!(scfg.seed, fcfg.seed);
+            let rate = |cfg: &SimConfig| cfg.open_workload.as_ref().map(|w| w.base_rate_hz);
+            assert_eq!(rate(scfg), rate(fcfg));
         }
     }
 

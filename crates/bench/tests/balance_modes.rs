@@ -1,0 +1,90 @@
+//! Decision-identity suite for aggregate-tree balancing.
+//!
+//! The aggregate tree must not change *any* balancing decision: group
+//! loads are exact integer sums, and the memoised ratio sums are
+//! rebuilt by the same member-order scans as the code they replace. So
+//! a whole simulation run — scheduler, physics, energy accounting —
+//! must produce byte-for-byte the same report with `scan_balancing`
+//! forced on as with the aggregate paths (the default), on the
+//! experiment shapes the acceptance criteria name: the exp_table2
+//! solo-program runs and the exp_scaling smoke matrix.
+
+use ebs_bench::experiments::scaling;
+use ebs_sim::{SimConfig, SimReport, Simulation};
+use ebs_units::SimDuration;
+use ebs_workloads::section61_mix;
+
+/// Byte-level fingerprint of a report (float Debug is the shortest
+/// round-trip representation, so string equality is bit equality).
+fn fingerprint(r: &SimReport) -> String {
+    format!("{r:?}")
+}
+
+fn run(cfg: SimConfig, mix: usize, duration: SimDuration) -> String {
+    let mut sim = Simulation::new(cfg);
+    if mix > 0 {
+        sim.spawn_mix(&section61_mix(), mix);
+    }
+    sim.run_for(duration);
+    sim.system().validate();
+    fingerprint(&sim.report())
+}
+
+#[test]
+fn table2_shape_identical_across_balancing_modes() {
+    // The exp_table2 setup: each program solo, stock balancing.
+    for program in section61_mix() {
+        let cfg = SimConfig::xseries445()
+            .smt(false)
+            .energy_aware(false)
+            .throttling(false)
+            .respawn(false)
+            .seed(7);
+        let duration = SimDuration::from_secs(5);
+        let run_mode = |cfg: SimConfig| {
+            let mut sim = Simulation::new(cfg);
+            sim.spawn_program(&program);
+            sim.run_for(duration);
+            fingerprint(&sim.report())
+        };
+        assert_eq!(
+            run_mode(cfg.clone()),
+            run_mode(cfg.scan_balancing(true)),
+            "{}: balancing modes diverged",
+            program.name
+        );
+    }
+}
+
+#[test]
+fn loaded_energy_aware_runs_identical_across_balancing_modes() {
+    // Three copies of the section 6.1 mix keep both balancer steps and
+    // hot migration busy — real migration traffic, not a quiet run.
+    let cfg = SimConfig::xseries445().smt(false).seed(11);
+    let duration = SimDuration::from_secs(8);
+    let a = run(cfg.clone(), 3, duration);
+    let b = run(cfg.scan_balancing(true), 3, duration);
+    assert_eq!(a, b, "energy-aware run diverged between balancing modes");
+    // The run actually migrated (otherwise this test proves nothing).
+    assert!(
+        a.contains("migrations_by_reason"),
+        "report shape changed under test"
+    );
+}
+
+#[test]
+fn scaling_smoke_cells_identical_across_balancing_modes() {
+    // Every cell of the exp_scaling smoke matrix (3 topologies ×
+    // 2 curves × 4 policies), shortened: identical migration decisions
+    // means identical reports, open arrivals and all.
+    let duration = SimDuration::from_secs(3);
+    for (row, cfg) in scaling::sweep_configs(true) {
+        let agg = run(cfg.clone(), 0, duration);
+        let scan = run(cfg.scan_balancing(true), 0, duration);
+        assert_eq!(
+            agg, scan,
+            "{}/{}/{}: balancing modes diverged",
+            row.topology, row.curve, row.policy
+        );
+    }
+}

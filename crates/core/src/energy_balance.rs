@@ -21,8 +21,10 @@
 //!    tasks if the remote group is hotter and *cool* tasks if it is
 //!    cooler, so load balancing does not create energy imbalances.
 
-use crate::metrics::{group_runqueue_ratio, runqueue_power, runqueue_power_ratio, PowerState};
-use ebs_sched::{BalanceOutcome, MigrationReason, System, TaskId};
+use crate::metrics::{
+    group_runqueue_ratio, runqueue_power, runqueue_power_ratio, GroupRatioCache, PowerState,
+};
+use ebs_sched::{busiest_queued_cpu, BalanceOutcome, MigrationReason, System, TaskId};
 use ebs_topology::{CpuId, SchedDomain};
 use ebs_units::{SimTime, Watts};
 
@@ -45,6 +47,12 @@ pub struct EnergyBalanceConfig {
     /// balancer to energy-*aware task selection* in the load step only
     /// (used by ablation experiments).
     pub energy_step_enabled: bool,
+    /// Read group loads and power ratios from the incremental
+    /// aggregate tree (amortised O(1) per group) instead of scanning
+    /// every runqueue in the domain. Both paths make bitwise-identical
+    /// decisions; the scan path exists to measure the pre-aggregate
+    /// cost (`exp_balance_bench`) and to regression-test equivalence.
+    pub use_aggregates: bool,
 }
 
 impl Default for EnergyBalanceConfig {
@@ -60,6 +68,7 @@ impl Default for EnergyBalanceConfig {
             thermal_ratio_margin: 0.10,
             runqueue_ratio_margin: 0.12,
             energy_step_enabled: true,
+            use_aggregates: true,
         }
     }
 }
@@ -69,6 +78,8 @@ impl Default for EnergyBalanceConfig {
 pub struct EnergyAwareBalancer {
     cfg: EnergyBalanceConfig,
     next_balance: Vec<Vec<SimTime>>,
+    /// Memoised group runqueue-power ratios (see [`GroupRatioCache`]).
+    ratios: GroupRatioCache,
 }
 
 impl EnergyAwareBalancer {
@@ -79,7 +90,12 @@ impl EnergyAwareBalancer {
             .cpu_ids()
             .map(|c| vec![SimTime::ZERO; sys.topology().domains(c).len()])
             .collect();
-        EnergyAwareBalancer { cfg, next_balance }
+        let ratios = GroupRatioCache::new(sys.topology());
+        EnergyAwareBalancer {
+            cfg,
+            next_balance,
+            ratios,
+        }
     }
 
     /// The configuration.
@@ -107,17 +123,19 @@ impl EnergyAwareBalancer {
     pub fn run(&mut self, cpu: CpuId, sys: &mut System, power: &PowerState) -> BalanceOutcome {
         let now = sys.now();
         let mut outcome = BalanceOutcome::default();
-        let n_levels = sys.topology().domains(cpu).len();
-        for level in 0..n_levels {
+        // Shared topology handle: iterating the domain stack while
+        // mutating the system, without cloning a domain (whose group
+        // lists span O(CPUs) at the top level) every pass.
+        let topo = sys.topology_shared();
+        for (level, domain) in topo.domains(cpu).iter().enumerate() {
             if now < self.next_balance[cpu.0][level] {
                 continue;
             }
-            let domain = sys.topology().domains(cpu)[level].clone();
             self.next_balance[cpu.0][level] = now + domain.balance_interval();
             if self.cfg.energy_step_enabled && !domain.flags().share_cpu_power {
-                outcome.pulled += energy_step(sys, cpu, &domain, power, &self.cfg);
+                outcome.pulled += energy_step(sys, cpu, domain, power, &self.cfg, &mut self.ratios);
             }
-            outcome.pulled += load_step(sys, cpu, &domain, power, &self.cfg);
+            outcome.pulled += load_step(sys, cpu, domain, power, &self.cfg);
         }
         outcome
     }
@@ -126,13 +144,9 @@ impl EnergyAwareBalancer {
     /// tasks energy-aware: when `cpu` just went idle, pull the task
     /// whose profile best matches what this CPU can afford.
     pub fn newidle(&mut self, cpu: CpuId, sys: &mut System, power: &PowerState) -> BalanceOutcome {
-        let n_levels = sys.topology().domains(cpu).len();
-        for level in 0..n_levels {
-            let domain = sys.topology().domains(cpu)[level].clone();
-            let busiest = domain
-                .span()
-                .filter(|&c| c != cpu)
-                .max_by_key(|&c| sys.rq(c).nr_queued());
+        let topo = sys.topology_shared();
+        for domain in topo.domains(cpu) {
+            let busiest = busiest_queued_cpu(sys, domain, cpu);
             if let Some(src) = busiest {
                 if sys.rq(src).nr_queued() >= 1 && sys.nr_running(src) >= 2 {
                     // Pull hot tasks onto cool CPUs and vice versa.
@@ -163,13 +177,25 @@ fn energy_step(
     domain: &SchedDomain,
     power: &PowerState,
     cfg: &EnergyBalanceConfig,
+    ratios: &mut GroupRatioCache,
 ) -> usize {
     let Some(local_idx) = domain.local_group_index(cpu) else {
         return 0;
     };
+    // The group ratio reader: memoised against the aggregate tree's
+    // generations (amortised O(1) per group) or the pre-aggregate
+    // full scan — both produce identical bits.
+    let mut group_ratio = |sys: &System, i: usize| {
+        let group = &domain.groups()[i];
+        if cfg.use_aggregates {
+            ratios.group_ratio(sys, group, power)
+        } else {
+            group_runqueue_ratio(sys, group, power)
+        }
+    };
     // Search the CPU group with the highest average power ratio.
     let Some((hot_idx, hot_rq_ratio)) = (0..domain.groups().len())
-        .map(|i| (i, group_runqueue_ratio(sys, &domain.groups()[i], power)))
+        .map(|i| (i, group_ratio(sys, i)))
         .max_by(|a, b| a.1.total_cmp(&b.1))
     else {
         return 0;
@@ -178,10 +204,10 @@ fn energy_step(
     if hot_idx == local_idx {
         return 0;
     }
+    // Hysteresis: the remote group must be hotter in *both* metrics.
+    let local_rq_ratio = group_ratio(sys, local_idx);
     let local_group = &domain.groups()[local_idx];
     let hot_group = &domain.groups()[hot_idx];
-    // Hysteresis: the remote group must be hotter in *both* metrics.
-    let local_rq_ratio = group_runqueue_ratio(sys, local_group, power);
     if hot_rq_ratio <= local_rq_ratio + cfg.runqueue_ratio_margin {
         return 0;
     }
@@ -246,7 +272,12 @@ fn load_step(
     let Some(local_idx) = domain.local_group_index(cpu) else {
         return 0;
     };
-    let Some((busiest_idx, _)) = ebs_sched::find_busiest_group(sys, domain, local_idx) else {
+    let busiest = if cfg.use_aggregates {
+        ebs_sched::find_busiest_group(sys, domain, local_idx)
+    } else {
+        ebs_sched::find_busiest_group_scan(sys, domain, local_idx)
+    };
+    let Some((busiest_idx, _)) = busiest else {
         return 0;
     };
     let busiest_group = &domain.groups()[busiest_idx];

@@ -118,7 +118,10 @@ impl HotTaskMigrator {
         let src_thermal = core_avg_thermal(sys.topology(), cpu, power);
         let min_gap = power.max_power(cpu) * self.cfg.min_gap_fraction;
 
-        let topo = sys.topology().clone();
+        // Shared handle instead of a deep clone (the clone copied
+        // every domain stack on each triggered check).
+        let topo_arc = sys.topology_shared();
+        let topo = &*topo_arc;
         for domain in topo.domains(cpu) {
             // Migrating to an SMT sibling does not cool anything: skip
             // shared-power domains.
@@ -132,8 +135,8 @@ impl HotTaskMigrator {
                 .span()
                 .filter(|&c| !topo.same_core(c, cpu))
                 .min_by(|&a, &b| {
-                    let ka = candidate_key(&topo, sys, power, a);
-                    let kb = candidate_key(&topo, sys, power, b);
+                    let ka = candidate_key(topo, sys, power, a);
+                    let kb = candidate_key(topo, sys, power, b);
                     // Total order so a NaN thermal power on a
                     // degenerate machine skews instead of panics.
                     ka.0.total_cmp(&kb.0).then((ka.1, ka.2).cmp(&(kb.1, kb.2)))
@@ -142,7 +145,7 @@ impl HotTaskMigrator {
                 continue;
             };
             // CPU cool enough?
-            let dest_thermal = core_avg_thermal(&topo, dest, power);
+            let dest_thermal = core_avg_thermal(topo, dest, power);
             if src_thermal - dest_thermal < min_gap {
                 continue; // Ascend one level.
             }

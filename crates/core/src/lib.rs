@@ -34,5 +34,8 @@ mod placement;
 pub use energy_balance::{EnergyAwareBalancer, EnergyBalanceConfig};
 pub use estimator::EnergyEstimator;
 pub use hot_migration::{HotMigration, HotTaskConfig, HotTaskMigrator};
-pub use metrics::{runqueue_power, runqueue_power_ratio, PowerState, PowerStateConfig};
+pub use metrics::{
+    group_runqueue_ratio, runqueue_power, runqueue_power_ratio, GroupRatioCache, PowerState,
+    PowerStateConfig,
+};
 pub use placement::{place_new_task, PlacementTable};

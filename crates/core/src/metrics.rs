@@ -17,7 +17,7 @@
 
 use ebs_sched::System;
 use ebs_thermal::PowerAverage;
-use ebs_topology::{CpuGroup, CpuId};
+use ebs_topology::{CpuGroup, CpuId, GroupUnit, Topology};
 use ebs_units::{SimDuration, Watts};
 
 /// Configuration of the per-CPU power metrics.
@@ -53,6 +53,9 @@ pub struct PowerState {
     thermal: Vec<PowerAverage>,
     max_power: Vec<Watts>,
     idle_power: Watts,
+    /// Bumped when a budget changes; caches of budget-derived values
+    /// (the group ratio cache) key on it.
+    budget_gen: u64,
 }
 
 impl PowerState {
@@ -76,6 +79,7 @@ impl PowerState {
                 .collect(),
             max_power: max_powers.to_vec(),
             idle_power: cfg.idle_power,
+            budget_gen: 0,
         }
     }
 
@@ -112,6 +116,13 @@ impl PowerState {
     pub fn set_max_power(&mut self, cpu: CpuId, max: Watts) {
         assert!(max.is_sane(), "max power not sane");
         self.max_power[cpu.0] = max;
+        self.budget_gen += 1;
+    }
+
+    /// Change counter of the per-CPU budgets; see
+    /// [`GroupRatioCache`].
+    pub fn budget_gen(&self) -> u64 {
+        self.budget_gen
     }
 
     /// The power attributed to an idle CPU.
@@ -172,7 +183,10 @@ pub fn runqueue_power_ratio(sys: &System, cpu: CpuId, power: &PowerState) -> f64
     runqueue_power(sys, cpu, power.idle_power()).ratio(power.max_power(cpu))
 }
 
-/// Average runqueue power ratio over a CPU group.
+/// Average runqueue power ratio over a CPU group, by scanning its
+/// CPUs (each read is O(1) via the queued-profile cache, but the scan
+/// is O(group)). The energy balancer reads this through
+/// [`GroupRatioCache`] instead, which amortises the scan away.
 pub fn group_runqueue_ratio(sys: &System, group: &CpuGroup, power: &PowerState) -> f64 {
     group
         .cpus()
@@ -180,6 +194,93 @@ pub fn group_runqueue_ratio(sys: &System, group: &CpuGroup, power: &PowerState) 
         .map(|&c| runqueue_power_ratio(sys, c, power))
         .sum::<f64>()
         / group.len() as f64
+}
+
+/// Memoised group runqueue-power ratios, keyed by the aggregate
+/// tree's per-unit generation counters.
+///
+/// The per-CPU ratio is a nonlinear function (a ratio of sums divided
+/// by a per-CPU budget), so group ratios cannot be folded into linear
+/// running sums without changing their float rounding — and balancing
+/// decisions must stay *bitwise identical* to the scan-based
+/// implementation. Instead each unit's ratio sum is recomputed lazily,
+/// by exactly the member-order scan [`group_runqueue_ratio`] performs,
+/// and reused until the unit's generation (bumped by `ebs_sched` on
+/// any membership or profile change, in O(depth)) moves. A balancing
+/// pass over a quiescent domain therefore costs O(groups) instead of
+/// O(CPUs), while yielding the same bits as a full rescan.
+///
+/// Budget changes ([`PowerState::set_max_power`]) shift every ratio,
+/// so the whole cache also keys on [`PowerState::budget_gen`].
+#[derive(Clone, Debug)]
+pub struct GroupRatioCache {
+    /// Cached `(unit_gen, ratio_sum)` per core / package / node.
+    core: Vec<(u64, f64)>,
+    package: Vec<(u64, f64)>,
+    node: Vec<(u64, f64)>,
+    budget_gen_seen: u64,
+}
+
+/// Sentinel forcing the first read of a slot to recompute (unit
+/// generations start at 0 and only grow).
+const STALE: u64 = u64::MAX;
+
+impl GroupRatioCache {
+    /// Creates an all-stale cache shaped like `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        GroupRatioCache {
+            core: vec![(STALE, 0.0); topo.n_cores()],
+            package: vec![(STALE, 0.0); topo.n_packages()],
+            node: vec![(STALE, 0.0); topo.n_nodes()],
+            budget_gen_seen: 0,
+        }
+    }
+
+    /// Average runqueue power ratio over a group — bitwise identical
+    /// to [`group_runqueue_ratio`], amortised O(1) for unit-tagged
+    /// groups.
+    pub fn group_ratio(&mut self, sys: &System, group: &CpuGroup, power: &PowerState) -> f64 {
+        if power.budget_gen() != self.budget_gen_seen {
+            self.budget_gen_seen = power.budget_gen();
+            for slot in self
+                .core
+                .iter_mut()
+                .chain(self.package.iter_mut())
+                .chain(self.node.iter_mut())
+            {
+                slot.0 = STALE;
+            }
+        }
+        // Singleton groups (SMT siblings, one-CPU packages) skip the
+        // cache: the direct read is already O(1), and `r / 1.0 == r`
+        // keeps the bits identical to the scan.
+        if let [only] = group.cpus() {
+            return runqueue_power_ratio(sys, *only, power);
+        }
+        let slot = match group.unit() {
+            Some(GroupUnit::Core(c)) => &mut self.core[c.0],
+            Some(GroupUnit::Package(p)) => &mut self.package[p.0],
+            Some(GroupUnit::Node(n)) => &mut self.node[n.0],
+            // Untagged groups — and `Cpu`-tagged ones, singletons by
+            // construction and so already handled above — take the
+            // plain scan.
+            Some(GroupUnit::Cpu(_)) | None => return group_runqueue_ratio(sys, group, power),
+        };
+        let gen = sys
+            .group_gen(group)
+            .expect("unit-tagged multi-CPU group has a generation");
+        if slot.0 != gen {
+            *slot = (
+                gen,
+                group
+                    .cpus()
+                    .iter()
+                    .map(|&c| runqueue_power_ratio(sys, c, power))
+                    .sum::<f64>(),
+            );
+        }
+        slot.1 / group.len() as f64
+    }
 }
 
 #[cfg(test)]
@@ -288,8 +389,41 @@ mod tests {
     #[test]
     fn set_max_power_takes_effect() {
         let mut ps = PowerState::uniform(1, Watts(60.0), cfg());
+        let gen = ps.budget_gen();
         ps.set_max_power(CpuId(0), Watts(40.0));
         assert_eq!(ps.max_power(CpuId(0)), Watts(40.0));
+        assert!(ps.budget_gen() > gen, "budget change must bump the gen");
+    }
+
+    #[test]
+    fn ratio_cache_matches_scans_and_tracks_changes() {
+        let topo = Topology::build_cmp(2, 2, 2, 1); // 8 CPUs, 3 levels.
+        let mut sys = System::new(topo.clone());
+        let mut ps = PowerState::uniform(8, Watts(60.0), cfg());
+        let mut cache = GroupRatioCache::new(&topo);
+        for c in 0..8 {
+            spawn_with_profile(&mut sys, CpuId(c), 20.0 + 5.0 * c as f64);
+        }
+        let check = |cache: &mut GroupRatioCache, sys: &System, ps: &PowerState| {
+            for cpu in sys.topology().cpu_ids() {
+                for domain in sys.topology().domains(cpu) {
+                    for group in domain.groups() {
+                        let fresh = group_runqueue_ratio(sys, group, ps);
+                        let cached = cache.group_ratio(sys, group, ps);
+                        assert_eq!(cached.to_bits(), fresh.to_bits(), "cache diverged");
+                    }
+                }
+            }
+        };
+        check(&mut cache, &sys, &ps);
+        // A migration invalidates exactly the touched units.
+        let moved = sys.rq(CpuId(0)).iter_migration_candidates().next().unwrap();
+        sys.migrate_queued(moved, CpuId(7), ebs_sched::MigrationReason::LoadBalance)
+            .unwrap();
+        check(&mut cache, &sys, &ps);
+        // A budget change invalidates everything.
+        ps.set_max_power(CpuId(3), Watts(45.0));
+        check(&mut cache, &sys, &ps);
     }
 
     #[test]

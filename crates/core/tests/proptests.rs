@@ -1,8 +1,8 @@
 //! Property-based tests for the energy-aware policies.
 
 use ebs_core::{
-    place_new_task, runqueue_power, EnergyAwareBalancer, EnergyBalanceConfig, HotTaskConfig,
-    HotTaskMigrator, PowerState, PowerStateConfig,
+    group_runqueue_ratio, place_new_task, runqueue_power, EnergyAwareBalancer, EnergyBalanceConfig,
+    GroupRatioCache, HotTaskConfig, HotTaskMigrator, PowerState, PowerStateConfig,
 };
 use ebs_sched::{System, TaskConfig};
 use ebs_topology::{CpuId, Topology};
@@ -132,6 +132,62 @@ proptest! {
             }
         }
         sys.validate();
+    }
+
+    /// The memoised group ratio cache returns *bitwise* the same
+    /// values as the scan-based reader after any interleaving of
+    /// migrations, blocks/wakes, profile updates, and cache reads —
+    /// the property the balancers' decision-identity rests on. Runs on
+    /// a CMP shape so core, package, and node units all get cached.
+    #[test]
+    fn ratio_cache_is_bitwise_equal_to_scans(
+        script in prop::collection::vec(
+            (0usize..16, 0usize..16, 10.0f64..70.0, any::<bool>()), 1..60,
+        ),
+        budget in 30.0f64..70.0,
+    ) {
+        let topo = Topology::build_cmp(2, 2, 2, 2); // 16 CPUs, 4 levels.
+        let mut sys = System::new(topo.clone());
+        let power = PowerState::uniform(16, Watts(budget), PowerStateConfig::default());
+        let mut cache = GroupRatioCache::new(&topo);
+        for c in 0..16 {
+            spawn(&mut sys, c, 20.0 + c as f64);
+            spawn(&mut sys, c, 50.0 - c as f64);
+        }
+        let check_all = |cache: &mut GroupRatioCache, sys: &System| {
+            for cpu in sys.topology().cpu_ids() {
+                for domain in sys.topology().domains(cpu) {
+                    for group in domain.groups() {
+                        let fresh = group_runqueue_ratio(sys, group, &power);
+                        let cached = cache.group_ratio(sys, group, &power);
+                        if cached.to_bits() != fresh.to_bits() {
+                            return Err((cached, fresh));
+                        }
+                        // Twice: the second read takes the memoised
+                        // path and must not change the bits.
+                        let again = cache.group_ratio(sys, group, &power);
+                        if again.to_bits() != fresh.to_bits() {
+                            return Err((again, fresh));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        };
+        for (a, b, watts, switch) in script {
+            if switch {
+                sys.context_switch(CpuId(a));
+            }
+            if let Some(id) = sys.current(CpuId(a)) {
+                sys.update_profile(id, Watts(watts), SimDuration::from_millis(100));
+            }
+            let candidate = sys.rq(CpuId(a)).iter_migration_candidates().next();
+            if let Some(id) = candidate {
+                let _ = sys.migrate_queued(id, CpuId(b), ebs_sched::MigrationReason::LoadBalance);
+            }
+            let result = check_all(&mut cache, &sys);
+            prop_assert!(result.is_ok(), "cache diverged from scan: {result:?}");
+        }
     }
 
     /// Runqueue power of a queue after pulling a task equals the mean

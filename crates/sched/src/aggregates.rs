@@ -1,0 +1,186 @@
+//! The incremental aggregate tree over the topology's unit hierarchy.
+//!
+//! Balancing has to compare load and power across *CPU groups* — and
+//! every group of a generated domain hierarchy is exactly one hardware
+//! unit (a CPU, core, package, or node; see
+//! [`ebs_topology::GroupUnit`]). Instead of re-summing a group's
+//! runqueues on every balancing pass (O(span) per pass, O(CPUs²) per
+//! due interval at the top level of a big machine), [`System`] keeps
+//! per-unit running sums here and updates them on every operation that
+//! changes a runqueue — enqueue, dequeue, migration, profile change —
+//! in O(depth), i.e. O(1) hops up the fixed core → package → node
+//! chain.
+//!
+//! Three kinds of state per unit:
+//!
+//! - **`nr_running` / `nr_queued` sums** (integers, exact): the load
+//!   metrics. Reading a group's load becomes one table lookup, and the
+//!   value is *bitwise identical* to a fresh scan because integer
+//!   sums carry no rounding.
+//! - **`profile_sum`** (f64): the summed energy profiles of every task
+//!   associated with the unit's runqueues (queued and running) — the
+//!   machine-wide power picture at a glance. Like the runqueue's
+//!   queued-profile cache it snaps back to zero when the unit empties,
+//!   so float residue cannot accumulate.
+//! - **`gen`** (a change counter): bumped whenever any state a
+//!   *runqueue-power* read depends on changes — membership, a
+//!   profile, or a context switch whose credit/debit round-trip
+//!   perturbed the queued-profile bits (switches preserve the queue's
+//!   task set, so most leave the power reads bit-unchanged and skip
+//!   the bump).
+//!   Consumers that cache derived per-group floats (the energy
+//!   balancer's group ratio cache) key their entries on this counter,
+//!   so their lazily recomputed sums are always built by the same
+//!   member-order scan as the code they replace — bitwise-identical
+//!   balancing decisions, at amortised O(1) reads.
+//!
+//! [`System`]: crate::System
+
+use ebs_topology::{CpuId, GroupUnit, Topology};
+
+/// One unit's running sums.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AggCell {
+    /// Sum of `nr_running` over the unit's CPUs.
+    pub nr_running: usize,
+    /// Sum of `nr_queued` (waiting tasks) over the unit's CPUs.
+    pub nr_queued: usize,
+    /// Sum of the energy profiles (watts) of every task associated
+    /// with the unit's runqueues, including running ones.
+    pub profile_sum: f64,
+    /// Change counter for runqueue-power-relevant state.
+    pub gen: u64,
+}
+
+/// Per-unit aggregate tables for one machine, maintained by
+/// [`crate::System`].
+#[derive(Clone, Debug)]
+pub struct LoadAggregates {
+    core: Vec<AggCell>,
+    package: Vec<AggCell>,
+    node: Vec<AggCell>,
+    /// `(core, package, node)` table indices per CPU — the O(depth)
+    /// update path.
+    paths: Vec<(usize, usize, usize)>,
+}
+
+impl LoadAggregates {
+    /// Creates zeroed aggregates shaped like `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        LoadAggregates {
+            core: vec![AggCell::default(); topo.n_cores()],
+            package: vec![AggCell::default(); topo.n_packages()],
+            node: vec![AggCell::default(); topo.n_nodes()],
+            paths: topo
+                .cpu_ids()
+                .map(|c| (topo.core_of(c).0, topo.package_of(c).0, topo.node_of(c).0))
+                .collect(),
+        }
+    }
+
+    /// Applies one runqueue change on `cpu` to every ancestor unit:
+    /// task-count deltas, a profile delta, and (for membership or
+    /// profile changes, `bump_gen`) the generation bump consumers key
+    /// their caches on.
+    pub(crate) fn apply(
+        &mut self,
+        cpu: CpuId,
+        d_running: isize,
+        d_queued: isize,
+        d_profile: f64,
+        bump_gen: bool,
+    ) {
+        let (core, package, node) = self.paths[cpu.0];
+        for cell in [
+            &mut self.core[core],
+            &mut self.package[package],
+            &mut self.node[node],
+        ] {
+            cell.nr_running = cell
+                .nr_running
+                .checked_add_signed(d_running)
+                .expect("aggregate nr_running underflow: runqueue hooks out of sync");
+            cell.nr_queued = cell
+                .nr_queued
+                .checked_add_signed(d_queued)
+                .expect("aggregate nr_queued underflow: runqueue hooks out of sync");
+            cell.profile_sum += d_profile;
+            // Empty units snap to exactly zero so float residue cannot
+            // accumulate over millions of operations (the same guard
+            // the runqueue's queued-profile cache uses).
+            if cell.nr_running == 0 {
+                cell.profile_sum = 0.0;
+            }
+            if bump_gen {
+                cell.gen += 1;
+            }
+        }
+    }
+
+    /// The aggregate cell of one unit. `Cpu` units have no cell — the
+    /// runqueue itself is the source of truth for a single CPU.
+    pub fn cell(&self, unit: GroupUnit) -> Option<&AggCell> {
+        match unit {
+            GroupUnit::Cpu(_) => None,
+            GroupUnit::Core(c) => self.core.get(c.0),
+            GroupUnit::Package(p) => self.package.get(p.0),
+            GroupUnit::Node(n) => self.node.get(n.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_topology::{CoreId, NodeId, PackageId};
+
+    #[test]
+    fn apply_walks_the_unit_path() {
+        let topo = Topology::build_cmp(2, 2, 2, 2); // 16 CPUs.
+        let mut agg = LoadAggregates::new(&topo);
+        // CPU 9 = thread 1 of core 1 (package 0, node 0).
+        agg.apply(CpuId(9), 1, 1, 30.0, true);
+        let core = agg.cell(GroupUnit::Core(topo.core_of(CpuId(9)))).unwrap();
+        assert_eq!((core.nr_running, core.nr_queued), (1, 1));
+        assert_eq!(core.profile_sum, 30.0);
+        assert_eq!(core.gen, 1);
+        let pkg = agg
+            .cell(GroupUnit::Package(topo.package_of(CpuId(9))))
+            .unwrap();
+        assert_eq!(pkg.nr_running, 1);
+        let node = agg.cell(GroupUnit::Node(topo.node_of(CpuId(9)))).unwrap();
+        assert_eq!(node.nr_running, 1);
+        // Unrelated units untouched.
+        assert_eq!(agg.cell(GroupUnit::Node(NodeId(1))).unwrap().nr_running, 0);
+        assert_eq!(agg.cell(GroupUnit::Package(PackageId(3))).unwrap().gen, 0);
+    }
+
+    #[test]
+    fn emptying_a_unit_snaps_profile_to_zero() {
+        let topo = Topology::build(1, 2, 1);
+        let mut agg = LoadAggregates::new(&topo);
+        agg.apply(CpuId(0), 1, 1, 0.1 + 0.2, true);
+        agg.apply(CpuId(0), -1, -1, -0.3, true);
+        let cell = agg.cell(GroupUnit::Core(CoreId(0))).unwrap();
+        assert_eq!(cell.profile_sum, 0.0);
+        assert_eq!(cell.nr_running, 0);
+        assert_eq!(cell.gen, 2);
+    }
+
+    #[test]
+    fn cpu_units_have_no_cell() {
+        let topo = Topology::build(1, 1, 1);
+        let agg = LoadAggregates::new(&topo);
+        assert!(agg.cell(GroupUnit::Cpu(CpuId(0))).is_none());
+    }
+
+    #[test]
+    fn gen_only_bumps_when_asked() {
+        let topo = Topology::build(1, 2, 1);
+        let mut agg = LoadAggregates::new(&topo);
+        agg.apply(CpuId(0), 0, 1, 0.0, false); // A context-switch-style change.
+        assert_eq!(agg.cell(GroupUnit::Core(CoreId(0))).unwrap().gen, 0);
+        agg.apply(CpuId(0), 1, 0, 5.0, true);
+        assert_eq!(agg.cell(GroupUnit::Core(CoreId(0))).unwrap().gen, 1);
+    }
+}

@@ -31,6 +31,7 @@
 //! assert_eq!(next, Some(t));
 //! ```
 
+mod aggregates;
 mod load_balance;
 mod prio_array;
 mod runqueue;
@@ -38,8 +39,9 @@ mod system;
 mod task;
 
 pub use load_balance::{
-    balance_domain, busiest_queue_in_group, find_busiest_group, group_avg_load, idlest_cpu,
-    pull_tasks, BalanceOutcome, LoadBalancer, LoadBalancerConfig,
+    balance_domain, busiest_queue_in_group, busiest_queued_cpu, find_busiest_group,
+    find_busiest_group_scan, group_avg_load, group_avg_load_scan, idlest_cpu, pull_tasks,
+    BalanceOutcome, LoadBalancer, LoadBalancerConfig,
 };
 pub use prio_array::PrioArray;
 pub use runqueue::RunQueue;

@@ -26,11 +26,20 @@ pub struct LoadBalancerConfig {
     /// two; the same default keeps the baseline as quiet as the paper's
     /// (3.3 migrations in 15 minutes).
     pub min_imbalance: usize,
+    /// Read group loads from the incremental aggregate tree (O(1) per
+    /// group) instead of scanning every runqueue in the domain. The
+    /// two paths select identically — the aggregates are exact integer
+    /// sums — so this exists only to measure the pre-aggregate cost
+    /// (`exp_balance_bench`) and to regression-test the equivalence.
+    pub use_aggregates: bool,
 }
 
 impl Default for LoadBalancerConfig {
     fn default() -> Self {
-        LoadBalancerConfig { min_imbalance: 2 }
+        LoadBalancerConfig {
+            min_imbalance: 2,
+            use_aggregates: true,
+        }
     }
 }
 
@@ -85,14 +94,16 @@ impl LoadBalancer {
     pub fn run(&mut self, cpu: CpuId, sys: &mut System) -> BalanceOutcome {
         let now = sys.now();
         let mut outcome = BalanceOutcome::default();
-        let n_levels = sys.topology().domains(cpu).len();
-        for level in 0..n_levels {
+        // Shared topology handle: iterating the domain stack while
+        // mutating the system, without cloning a domain (whose group
+        // lists span O(CPUs) at the top level) every pass.
+        let topo = sys.topology_shared();
+        for (level, domain) in topo.domains(cpu).iter().enumerate() {
             if now < self.next_balance[cpu.0][level] {
                 continue;
             }
-            let domain = sys.topology().domains(cpu)[level].clone();
             self.next_balance[cpu.0][level] = now + domain.balance_interval();
-            outcome.pulled += balance_domain(sys, cpu, &domain, &self.cfg);
+            outcome.pulled += balance_domain(sys, cpu, domain, &self.cfg);
         }
         outcome
     }
@@ -102,15 +113,11 @@ impl LoadBalancer {
     /// idle while others queue (work conservation).
     pub fn newidle(&mut self, cpu: CpuId, sys: &mut System) -> BalanceOutcome {
         debug_assert!(sys.rq(cpu).is_idle(), "newidle on a busy CPU");
-        let n_levels = sys.topology().domains(cpu).len();
-        for level in 0..n_levels {
-            let domain = sys.topology().domains(cpu)[level].clone();
+        let topo = sys.topology_shared();
+        for domain in topo.domains(cpu) {
             // Pull from the busiest queue in the whole domain span that
             // has waiting tasks.
-            let busiest = domain
-                .span()
-                .filter(|&c| c != cpu)
-                .max_by_key(|&c| sys.rq(c).nr_queued());
+            let busiest = busiest_queued_cpu(sys, domain, cpu);
             if let Some(src) = busiest {
                 if sys.rq(src).nr_queued() >= 1 && sys.nr_running(src) >= 2 {
                     let pulled =
@@ -136,7 +143,12 @@ pub fn balance_domain(
     let Some(local_idx) = domain.local_group_index(cpu) else {
         return 0;
     };
-    let Some((busiest_idx, _)) = find_busiest_group(sys, domain, local_idx) else {
+    let busiest = if cfg.use_aggregates {
+        find_busiest_group(sys, domain, local_idx)
+    } else {
+        find_busiest_group_scan(sys, domain, local_idx)
+    };
+    let Some((busiest_idx, _)) = busiest else {
         return 0;
     };
     let Some(src) = busiest_queue_in_group(sys, &domain.groups()[busiest_idx]) else {
@@ -164,18 +176,43 @@ pub fn balance_domain(
 /// Finds the group with the highest average load (`nr_running` per
 /// CPU), excluding the local group. Returns `None` when no remote group
 /// is busier than the local one.
+///
+/// Group loads come from the incremental aggregate tree: O(1) per
+/// group instead of a scan of its runqueues, which turns a balancing
+/// pass over a domain of `g` groups spanning `n` CPUs from O(n) into
+/// O(g). The integer sums make the result bitwise identical to
+/// [`find_busiest_group_scan`].
 pub fn find_busiest_group(
     sys: &System,
     domain: &SchedDomain,
     local_idx: usize,
 ) -> Option<(usize, f64)> {
-    let local_load = group_avg_load(sys, &domain.groups()[local_idx]);
+    find_busiest_by(domain, local_idx, |g| group_avg_load(sys, g))
+}
+
+/// The pre-aggregate implementation of [`find_busiest_group`], walking
+/// every runqueue in the domain. Kept as the baseline the balance
+/// benchmark and the equivalence tests compare against.
+pub fn find_busiest_group_scan(
+    sys: &System,
+    domain: &SchedDomain,
+    local_idx: usize,
+) -> Option<(usize, f64)> {
+    find_busiest_by(domain, local_idx, |g| group_avg_load_scan(sys, g))
+}
+
+fn find_busiest_by<F: Fn(&CpuGroup) -> f64>(
+    domain: &SchedDomain,
+    local_idx: usize,
+    load_of: F,
+) -> Option<(usize, f64)> {
+    let local_load = load_of(&domain.groups()[local_idx]);
     let mut best: Option<(usize, f64)> = None;
     for (i, group) in domain.groups().iter().enumerate() {
         if i == local_idx {
             continue;
         }
-        let load = group_avg_load(sys, group);
+        let load = load_of(group);
         if load > local_load && best.is_none_or(|(_, b)| load > b) {
             best = Some((i, load));
         }
@@ -185,12 +222,48 @@ pub fn find_busiest_group(
 
 /// Average `nr_running` per CPU over a group (0 for a degenerate
 /// empty group, rather than a NaN that would poison comparisons).
+/// Reads the aggregate tree: O(1) for unit-tagged groups.
 pub fn group_avg_load(sys: &System, group: &CpuGroup) -> f64 {
+    if group.is_empty() {
+        return 0.0;
+    }
+    sys.group_nr_running(group) as f64 / group.len() as f64
+}
+
+/// Scan-based [`group_avg_load`] (the pre-aggregate baseline).
+pub fn group_avg_load_scan(sys: &System, group: &CpuGroup) -> f64 {
     if group.is_empty() {
         return 0.0;
     }
     let total: usize = group.cpus().iter().map(|&c| sys.nr_running(c)).sum();
     total as f64 / group.len() as f64
+}
+
+/// The CPU with the most *queued* (waiting) tasks in the domain's
+/// span, `exclude` excluded; `None` when every queue is empty. Whole
+/// groups whose aggregate queued count is zero are skipped, so a
+/// new-idle pass on a mostly-idle big machine touches O(groups)
+/// entries instead of every runqueue. Ties resolve to the last CPU in
+/// span order, exactly as the full `max_by_key` scan it replaces
+/// (skipped groups hold only zero-queued CPUs, which cannot tie a
+/// positive maximum).
+pub fn busiest_queued_cpu(sys: &System, domain: &SchedDomain, exclude: CpuId) -> Option<CpuId> {
+    let mut best: Option<(usize, CpuId)> = None;
+    for group in domain.groups() {
+        if sys.group_nr_queued(group) == 0 {
+            continue;
+        }
+        for &c in group.cpus() {
+            if c == exclude {
+                continue;
+            }
+            let queued = sys.rq(c).nr_queued();
+            if queued > 0 && best.is_none_or(|(b, _)| queued >= b) {
+                best = Some((queued, c));
+            }
+        }
+    }
+    best.map(|(_, c)| c)
 }
 
 /// The queue with the most runnable tasks in a group; `None` if every

@@ -8,10 +8,11 @@
 //! mutate the system exclusively through its migration and scheduling
 //! methods, so the invariants hold no matter what a policy does.
 
+use crate::aggregates::LoadAggregates;
 use crate::runqueue::RunQueue;
 use crate::task::{Task, TaskConfig, TaskId, TaskState};
-use ebs_topology::{CpuId, Topology};
-use ebs_units::{SimDuration, SimTime};
+use ebs_topology::{CpuGroup, CpuId, GroupUnit, Topology};
+use ebs_units::{SimDuration, SimTime, Watts};
 
 /// Why a migration happened, for the statistics the paper reports
 /// (migration counts with and without energy balancing, Section 6.1).
@@ -120,9 +121,17 @@ impl std::error::Error for MigrateError {}
 /// The multiprocessor scheduler state.
 #[derive(Clone, Debug)]
 pub struct System {
-    topology: Topology,
+    /// Shared because it is immutable after construction: policies
+    /// hold a cheap handle ([`System::topology_shared`]) and walk
+    /// domain stacks while mutating the system, instead of cloning a
+    /// domain (O(span) per balancing pass) to satisfy the borrow
+    /// checker.
+    topology: std::sync::Arc<Topology>,
     tasks: Vec<Task>,
     rqs: Vec<RunQueue>,
+    /// Per-unit (core/package/node) incremental load and profile sums,
+    /// updated in O(depth) by every runqueue-changing operation below.
+    agg: LoadAggregates,
     now: SimTime,
     stats: SystemStats,
 }
@@ -131,10 +140,12 @@ impl System {
     /// Creates a system with empty runqueues.
     pub fn new(topology: Topology) -> Self {
         let rqs = topology.cpu_ids().map(RunQueue::new).collect();
+        let agg = LoadAggregates::new(&topology);
         System {
-            topology,
+            topology: std::sync::Arc::new(topology),
             tasks: Vec::new(),
             rqs,
+            agg,
             now: SimTime::ZERO,
             stats: SystemStats::default(),
         }
@@ -143,6 +154,12 @@ impl System {
     /// The machine topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// A shared handle to the (immutable) topology, for callers that
+    /// need to iterate domain stacks while mutating the system.
+    pub fn topology_shared(&self) -> std::sync::Arc<Topology> {
+        std::sync::Arc::clone(&self.topology)
     }
 
     /// Current simulated time.
@@ -177,6 +194,7 @@ impl System {
         self.tasks.push(task);
         self.rqs[cpu.0].enqueue_active(prio, id);
         self.rqs[cpu.0].credit_profile(profile);
+        self.agg.apply(cpu, 1, 1, profile, true);
         self.stats.spawns += 1;
         id
     }
@@ -256,6 +274,8 @@ impl System {
     /// is picked.
     pub fn context_switch(&mut self, cpu: CpuId) -> SwitchResult {
         let prev = self.rqs[cpu.0].current();
+        let queued_before = self.rqs[cpu.0].nr_queued();
+        let total_before = self.rq_profile_total(cpu);
         if let Some(id) = prev {
             let (prio, expired, profile) = {
                 let task = &mut self.tasks[id.0 as usize];
@@ -289,6 +309,19 @@ impl System {
         if prev != next {
             self.stats.context_switches += 1;
         }
+        // A context switch shuffles tasks between "queued" and
+        // "running" without changing the queue's task set, so usually
+        // only the queued-count delta needs tracking. But the cached
+        // `queued_profile` does not always round-trip *bitwise*
+        // through credit(prev)/debit(next) — `(Q + p) - p` can differ
+        // from `Q` by an ulp — and cached group ratios must stay
+        // bit-identical to fresh scans. So the generation is bumped
+        // exactly when the queue's profile total changed bits.
+        let d_queued = self.rqs[cpu.0].nr_queued() as isize - queued_before as isize;
+        let perturbed = self.rq_profile_total(cpu).to_bits() != total_before.to_bits();
+        if d_queued != 0 || perturbed {
+            self.agg.apply(cpu, 0, d_queued, 0.0, perturbed);
+        }
         SwitchResult { prev, next }
     }
 
@@ -298,6 +331,8 @@ impl System {
         let id = self.rqs[cpu.0].current()?;
         self.rqs[cpu.0].set_current(None);
         self.tasks[id.0 as usize].set_state(TaskState::Blocked);
+        self.agg
+            .apply(cpu, -1, 0, -self.tasks[id.0 as usize].profile().0, true);
         Some(id)
     }
 
@@ -323,6 +358,7 @@ impl System {
         let profile = self.tasks[id.0 as usize].profile().0;
         self.rqs[target.0].enqueue_active(prio, id);
         self.rqs[target.0].credit_profile(profile);
+        self.agg.apply(target, 1, 1, profile, true);
     }
 
     /// Terminates the running task of `cpu` and returns it.
@@ -330,6 +366,8 @@ impl System {
         let id = self.rqs[cpu.0].current()?;
         self.rqs[cpu.0].set_current(None);
         self.tasks[id.0 as usize].set_state(TaskState::Exited);
+        self.agg
+            .apply(cpu, -1, 0, -self.tasks[id.0 as usize].profile().0, true);
         self.stats.exits += 1;
         Some(id)
     }
@@ -367,9 +405,11 @@ impl System {
         let profile = self.tasks[id.0 as usize].profile().0;
         if removed {
             self.rqs[from.0].debit_profile(profile);
+            self.agg.apply(from, -1, -1, -profile, true);
         }
         self.rqs[to.0].enqueue_active(prio, id);
         self.rqs[to.0].credit_profile(profile);
+        self.agg.apply(to, 1, 1, profile, true);
         self.finish_migration(id, from, to, reason);
         Ok(())
     }
@@ -398,10 +438,106 @@ impl System {
             task.set_state(TaskState::Runnable);
             (task.prio_index(), task.profile().0)
         };
+        self.agg.apply(from, -1, 0, -profile, true);
         self.rqs[to.0].enqueue_active(prio, id);
         self.rqs[to.0].credit_profile(profile);
+        self.agg.apply(to, 1, 1, profile, true);
         self.finish_migration(id, from, to, reason);
         Ok(id)
+    }
+
+    /// Folds an observed power sample into a task's energy profile
+    /// (Eq. 2) and keeps the aggregate tree's profile sums coherent.
+    /// Engines must use this instead of mutating the task directly: a
+    /// profile change while the task is on a runqueue shifts that
+    /// queue's runqueue power, which the per-unit sums and generation
+    /// counters track.
+    pub fn update_profile(&mut self, id: TaskId, power: Watts, period: SimDuration) -> Watts {
+        let old = self.tasks[id.0 as usize].profile().0;
+        let new = self.tasks[id.0 as usize].update_profile(power, period);
+        let cpu = self.tasks[id.0 as usize].cpu();
+        match self.tasks[id.0 as usize].state() {
+            TaskState::Running => self.agg.apply(cpu, 0, 0, new.0 - old, true),
+            // Engines only update running tasks, but a queued task's
+            // profile feeds the runqueue-level cache as well.
+            TaskState::Runnable => {
+                self.rqs[cpu.0].credit_profile(new.0 - old);
+                self.agg.apply(cpu, 0, 0, new.0 - old, true);
+            }
+            // Off-queue tasks contribute to no cache.
+            TaskState::Blocked | TaskState::Exited => {}
+        }
+        new
+    }
+
+    /// Sum of `nr_running` over a group's CPUs — one table lookup when
+    /// the group is tagged with its hardware unit (all generated
+    /// hierarchies are), a scan otherwise. Identical to the scan in
+    /// either case: integer sums carry no rounding.
+    pub fn group_nr_running(&self, group: &CpuGroup) -> usize {
+        match group.unit() {
+            Some(GroupUnit::Cpu(c)) => self.nr_running(c),
+            Some(unit) => {
+                self.agg
+                    .cell(unit)
+                    .expect("non-CPU unit has a cell")
+                    .nr_running
+            }
+            None => group.cpus().iter().map(|&c| self.nr_running(c)).sum(),
+        }
+    }
+
+    /// Sum of `nr_queued` (waiting tasks) over a group's CPUs; see
+    /// [`System::group_nr_running`].
+    pub fn group_nr_queued(&self, group: &CpuGroup) -> usize {
+        match group.unit() {
+            Some(GroupUnit::Cpu(c)) => self.rq(c).nr_queued(),
+            Some(unit) => {
+                self.agg
+                    .cell(unit)
+                    .expect("non-CPU unit has a cell")
+                    .nr_queued
+            }
+            None => group.cpus().iter().map(|&c| self.rq(c).nr_queued()).sum(),
+        }
+    }
+
+    /// Summed energy profiles (watts) of every task associated with a
+    /// group's runqueues — the O(1) power-at-a-glance read backing
+    /// balancing-cost diagnostics. Maintained incrementally; may carry
+    /// float residue of the order validated by [`System::validate`].
+    pub fn group_profile_sum(&self, group: &CpuGroup) -> f64 {
+        match group.unit() {
+            Some(unit) if !matches!(unit, GroupUnit::Cpu(_)) => {
+                self.agg
+                    .cell(unit)
+                    .expect("non-CPU unit has a cell")
+                    .profile_sum
+            }
+            _ => group.cpus().iter().map(|&c| self.rq_profile_total(c)).sum(),
+        }
+    }
+
+    /// The generation counter of a group's unit: it changes whenever
+    /// any member queue's *runqueue-power-relevant* state (task set or
+    /// a member profile) changes. `None` for single-CPU or untagged
+    /// groups, whose consumers read the queue directly. Caches of
+    /// derived per-group values key on this.
+    pub fn group_gen(&self, group: &CpuGroup) -> Option<u64> {
+        match group.unit() {
+            Some(GroupUnit::Cpu(_)) | None => None,
+            Some(unit) => self.agg.cell(unit).map(|cell| cell.gen),
+        }
+    }
+
+    /// Queued-plus-running profile total of one CPU's runqueue.
+    fn rq_profile_total(&self, cpu: CpuId) -> f64 {
+        let rq = &self.rqs[cpu.0];
+        let mut total = rq.queued_profile();
+        if let Some(id) = rq.current() {
+            total += self.tasks[id.0 as usize].profile().0;
+        }
+        total
     }
 
     fn finish_migration(&mut self, id: TaskId, from: CpuId, to: CpuId, reason: MigrationReason) {
@@ -473,6 +609,49 @@ impl System {
                 task.state(),
                 seen[i]
             );
+        }
+        self.validate_aggregates();
+    }
+
+    /// Checks every unit of the aggregate tree against a from-scratch
+    /// recomputation: integer sums exactly, profile sums within float
+    /// tolerance (they are maintained incrementally).
+    fn validate_aggregates(&self) {
+        let check = |unit: GroupUnit, cpus: &[CpuId]| {
+            let cell = self.agg.cell(unit).expect("unit has a cell");
+            let fresh_running: usize = cpus.iter().map(|&c| self.nr_running(c)).sum();
+            let fresh_queued: usize = cpus.iter().map(|&c| self.rq(c).nr_queued()).sum();
+            let fresh_profile: f64 = cpus
+                .iter()
+                .flat_map(|&c| self.rq(c).iter_all())
+                .map(|id| self.tasks[id.0 as usize].profile().0)
+                .sum();
+            assert_eq!(
+                cell.nr_running, fresh_running,
+                "{unit:?}: aggregate nr_running drifted"
+            );
+            assert_eq!(
+                cell.nr_queued, fresh_queued,
+                "{unit:?}: aggregate nr_queued drifted"
+            );
+            assert!(
+                (cell.profile_sum - fresh_profile).abs() < 1e-6 * fresh_profile.abs().max(1.0),
+                "{unit:?}: aggregate profile sum drifted: {} vs {}",
+                cell.profile_sum,
+                fresh_profile
+            );
+        };
+        for core in 0..self.topology.n_cores() {
+            let core = ebs_topology::CoreId(core);
+            check(GroupUnit::Core(core), &self.topology.cpus_of_core(core));
+        }
+        for pkg in 0..self.topology.n_packages() {
+            let pkg = ebs_topology::PackageId(pkg);
+            check(GroupUnit::Package(pkg), &self.topology.cpus_of_package(pkg));
+        }
+        for node in 0..self.topology.n_nodes() {
+            let node = ebs_topology::NodeId(node);
+            check(GroupUnit::Node(node), &self.topology.cpus_of_node(node));
         }
     }
 }

@@ -17,6 +17,9 @@ enum Op {
     MigrateQueued(usize, usize),
     MigrateRunning(usize, usize),
     Exit(usize),
+    /// Fold a power sample into the running task's profile (the
+    /// runqueue-power-relevant mutation the aggregate tree must track).
+    ProfileUpdate(usize, u64),
 }
 
 fn op_strategy(n_cpus: usize) -> impl Strategy<Value = Op> {
@@ -29,7 +32,51 @@ fn op_strategy(n_cpus: usize) -> impl Strategy<Value = Op> {
         ((0..n_cpus), (0..n_cpus)).prop_map(|(a, b)| Op::MigrateQueued(a, b)),
         ((0..n_cpus), (0..n_cpus)).prop_map(|(a, b)| Op::MigrateRunning(a, b)),
         (0..n_cpus).prop_map(Op::Exit),
+        ((0..n_cpus), 10u64..90).prop_map(|(c, w)| Op::ProfileUpdate(c, w)),
     ]
+}
+
+/// Applies one op to the system, mirroring how engines drive it.
+fn apply_op(sys: &mut System, blocked: &mut Vec<ebs_sched::TaskId>, op: Op) {
+    match op {
+        Op::Spawn(c) => {
+            sys.spawn(TaskConfig::default(), CpuId(c));
+        }
+        Op::Tick(c, ms) => {
+            sys.tick(CpuId(c), SimDuration::from_millis(ms));
+        }
+        Op::Switch(c) => {
+            sys.context_switch(CpuId(c));
+        }
+        Op::Block(c) => {
+            if let Some(id) = sys.block_current(CpuId(c)) {
+                blocked.push(id);
+            }
+        }
+        Op::WakeOldest => {
+            if !blocked.is_empty() {
+                let id = blocked.remove(0);
+                sys.wake(id, None);
+            }
+        }
+        Op::MigrateQueued(a, b) => {
+            let candidate = sys.rq(CpuId(a)).iter_migration_candidates().next();
+            if let Some(id) = candidate {
+                let _ = sys.migrate_queued(id, CpuId(b), MigrationReason::LoadBalance);
+            }
+        }
+        Op::MigrateRunning(a, b) => {
+            let _ = sys.migrate_running(CpuId(a), CpuId(b), MigrationReason::HotTask);
+        }
+        Op::Exit(c) => {
+            sys.exit_current(CpuId(c));
+        }
+        Op::ProfileUpdate(c, w) => {
+            if let Some(id) = sys.current(CpuId(c)) {
+                sys.update_profile(id, Watts(w as f64), SimDuration::from_millis(100));
+            }
+        }
+    }
 }
 
 proptest! {
@@ -48,40 +95,7 @@ proptest! {
         for op in ops {
             clock += 1;
             sys.set_now(SimTime::from_millis(clock));
-            match op {
-                Op::Spawn(c) => {
-                    sys.spawn(TaskConfig::default(), CpuId(c));
-                }
-                Op::Tick(c, ms) => {
-                    sys.tick(CpuId(c), SimDuration::from_millis(ms));
-                }
-                Op::Switch(c) => {
-                    sys.context_switch(CpuId(c));
-                }
-                Op::Block(c) => {
-                    if let Some(id) = sys.block_current(CpuId(c)) {
-                        blocked.push(id);
-                    }
-                }
-                Op::WakeOldest => {
-                    if !blocked.is_empty() {
-                        let id = blocked.remove(0);
-                        sys.wake(id, None);
-                    }
-                }
-                Op::MigrateQueued(a, b) => {
-                    let candidate = sys.rq(CpuId(a)).iter_migration_candidates().next();
-                    if let Some(id) = candidate {
-                        let _ = sys.migrate_queued(id, CpuId(b), MigrationReason::LoadBalance);
-                    }
-                }
-                Op::MigrateRunning(a, b) => {
-                    let _ = sys.migrate_running(CpuId(a), CpuId(b), MigrationReason::HotTask);
-                }
-                Op::Exit(c) => {
-                    sys.exit_current(CpuId(c));
-                }
-            }
+            apply_op(&mut sys, &mut blocked, op);
             sys.validate();
         }
         // Final consistency: every task is in exactly the state the
@@ -136,6 +150,57 @@ proptest! {
         sys.validate();
     }
 
+    /// After any random sequence of enqueue/dequeue/migrate/
+    /// profile-change operations, every domain group's incremental
+    /// sums equal a from-scratch recomputation — the aggregate-tree
+    /// mirror of the queued-profile cache's `validate()` guarantee.
+    /// Runs on a CMP shape so core-, package-, and node-level units
+    /// are all exercised.
+    #[test]
+    fn aggregates_match_recompute_after_random_ops(
+        ops in prop::collection::vec(op_strategy(16), 1..160),
+    ) {
+        let topo = Topology::build_cmp(2, 2, 2, 2); // 16 CPUs, 4 levels.
+        let mut sys = System::new(topo);
+        let mut blocked: Vec<ebs_sched::TaskId> = Vec::new();
+        let mut clock = 0u64;
+        for op in ops {
+            clock += 1;
+            sys.set_now(SimTime::from_millis(clock));
+            apply_op(&mut sys, &mut blocked, op);
+        }
+        // `validate()` checks every unit cell against a fresh
+        // recomputation (counts exactly, profile sums within float
+        // tolerance)...
+        sys.validate();
+        // ...and the group-level reads the balancers use must agree
+        // with explicit scans of the group members, for every group of
+        // every CPU's domain stack.
+        for cpu in sys.topology().cpu_ids() {
+            for domain in sys.topology().domains(cpu) {
+                for group in domain.groups() {
+                    let running: usize =
+                        group.cpus().iter().map(|&c| sys.nr_running(c)).sum();
+                    let queued: usize =
+                        group.cpus().iter().map(|&c| sys.rq(c).nr_queued()).sum();
+                    prop_assert_eq!(sys.group_nr_running(group), running);
+                    prop_assert_eq!(sys.group_nr_queued(group), queued);
+                    let profile: f64 = group
+                        .cpus()
+                        .iter()
+                        .flat_map(|&c| sys.rq(c).iter_all())
+                        .map(|id| sys.task(id).profile().0)
+                        .sum();
+                    let cached = sys.group_profile_sum(group);
+                    prop_assert!(
+                        (cached - profile).abs() < 1e-6 * profile.abs().max(1.0),
+                        "group profile sum drifted: {} vs {}", cached, profile
+                    );
+                }
+            }
+        }
+    }
+
     /// Profile updates keep the profile within the observed sample
     /// range — no overshoot for any update sequence.
     #[test]
@@ -152,9 +217,10 @@ proptest! {
         for (watts, ms) in updates {
             lo = lo.min(watts);
             hi = hi.max(watts);
-            sys.task_mut(id).update_profile(Watts(watts), SimDuration::from_millis(ms));
+            sys.update_profile(id, Watts(watts), SimDuration::from_millis(ms));
             let p = sys.task(id).profile().0;
             prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+            sys.validate();
         }
     }
 }

@@ -88,6 +88,12 @@ pub struct SimConfig {
     pub balance: EnergyBalanceConfig,
     /// Enable hot task migration (Fig. 5).
     pub hot_task_migration: bool,
+    /// Force both balancers onto the pre-aggregate scan paths (walk
+    /// every runqueue per group selection) instead of the incremental
+    /// aggregate tree. Decisions are bitwise identical either way;
+    /// this exists for the balance benchmark's baseline and the
+    /// equivalence tests.
+    pub scan_balancing: bool,
     /// Enable energy-aware initial placement (Section 4.6).
     pub energy_placement: bool,
     /// Enable `hlt` throttling at the maximum power.
@@ -160,6 +166,7 @@ impl SimConfig {
             energy_balancing: true,
             balance: EnergyBalanceConfig::default(),
             hot_task_migration: true,
+            scan_balancing: false,
             energy_placement: true,
             throttling: true,
             dvfs: None,
@@ -275,6 +282,13 @@ impl SimConfig {
     /// Enables or disables only hot task migration.
     pub fn hot_task_migration(mut self, on: bool) -> Self {
         self.hot_task_migration = on;
+        self
+    }
+
+    /// Forces the pre-aggregate scan-based balancing paths (see
+    /// [`SimConfig::scan_balancing`]).
+    pub fn scan_balancing(mut self, on: bool) -> Self {
+        self.scan_balancing = on;
         self
     }
 

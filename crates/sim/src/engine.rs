@@ -170,10 +170,20 @@ impl Simulation {
         let power = PowerState::new(n_cpus, machine.max_powers(), power_cfg);
         let estimator = EnergyEstimator::new(model, n_cpus, machine.halt_power_share());
         let sys = System::new(topo);
+        // `scan_balancing` forces the scan paths; it never turns the
+        // aggregates back on for a balance config that disabled them.
         let balancer = if cfg.energy_balancing {
-            Balancer::EnergyAware(EnergyAwareBalancer::new(&sys, cfg.balance))
+            let bcfg = ebs_core::EnergyBalanceConfig {
+                use_aggregates: cfg.balance.use_aggregates && !cfg.scan_balancing,
+                ..cfg.balance
+            };
+            Balancer::EnergyAware(EnergyAwareBalancer::new(&sys, bcfg))
         } else {
-            Balancer::Baseline(LoadBalancer::new(&sys, LoadBalancerConfig::default()))
+            let lcfg = LoadBalancerConfig {
+                use_aggregates: !cfg.scan_balancing,
+                ..LoadBalancerConfig::default()
+            };
+            Balancer::Baseline(LoadBalancer::new(&sys, lcfg))
         };
         let warmth = WarmthModel {
             floor: cfg.warmup_ipc_floor,
@@ -980,7 +990,10 @@ impl Simulation {
             return;
         }
         let p = a.energy.average_power(a.time);
-        self.sys.task_mut(task).update_profile(p, a.time);
+        // Through the system, not the task: the profile of a running
+        // task feeds its queue's runqueue power, which the aggregate
+        // tree tracks incrementally.
+        self.sys.update_profile(task, p, a.time);
         let binary = self.sys.task(task).binary();
         if let Some(rt) = self.runtimes[task.0 as usize].as_mut() {
             if !rt.first_slice_recorded {

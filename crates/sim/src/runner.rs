@@ -51,6 +51,9 @@ where
 /// input order. Work is chunked across [`default_workers`] OS threads
 /// — one thread per *worker*, not per config, so arbitrarily large
 /// sweeps neither oversubscribe the host nor exhaust thread limits.
+/// The available parallelism is probed per call (per shard), and a
+/// one-worker shard — a single-core container, or a one-config cell —
+/// runs inline with no threading machinery at all.
 pub fn run_configs<F>(configs: Vec<SimConfig>, duration: SimDuration, setup: F) -> Vec<SimReport>
 where
     F: Fn(&mut Simulation) + Sync,
@@ -95,6 +98,22 @@ where
         return Vec::new();
     }
     let workers = workers.clamp(1, n);
+    // One effective worker — a single-core container, or a cell too
+    // small to share — folds to a plain serial loop: no spawned
+    // thread, no shared index, no per-slot mutexes. Single-core hosts
+    // previously paid the whole work-stealing apparatus for zero
+    // parallelism.
+    if workers == 1 {
+        return configs
+            .into_iter()
+            .map(|cfg| {
+                let mut sim = Simulation::new(cfg);
+                setup(&mut sim);
+                sim.run_for(duration);
+                sim.report()
+            })
+            .collect();
+    }
     // Work-stealing over a shared index: configs differ wildly in cost
     // (a 64-package machine simulates far slower than a 2-package
     // one), so static chunking would leave workers idle.
@@ -181,6 +200,8 @@ mod tests {
         let setup = |sim: &mut Simulation| {
             sim.spawn_program(&catalog::aluadd());
         };
+        // workers == 1 exercises the serial fold (no threads spawned);
+        // its reports must be byte-equal to the pooled paths'.
         let serial =
             run_configs_with_workers(configs.clone(), SimDuration::from_millis(300), 1, setup);
         let pooled =

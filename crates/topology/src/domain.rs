@@ -1,6 +1,6 @@
 //! Scheduler domains and CPU groups.
 
-use crate::ids::CpuId;
+use crate::ids::{CoreId, CpuId, NodeId, PackageId};
 use ebs_units::SimDuration;
 
 /// The level of a domain in the hierarchy, bottom-up.
@@ -43,21 +43,57 @@ pub struct DomainFlags {
     pub crosses_node: bool,
 }
 
+/// The topological unit a [`CpuGroup`] coincides with. Every group the
+/// generated hierarchies produce *is* exactly one hardware unit — a
+/// single logical CPU (SMT level), a core (core level), a package
+/// (node level), or a NUMA node (top level) — so consumers maintaining
+/// per-unit aggregate tables (the scheduler's incremental load/power
+/// sums) can map a group to its table slot in O(1) instead of scanning
+/// the group's CPUs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GroupUnit {
+    /// The group is a single logical CPU.
+    Cpu(CpuId),
+    /// The group spans one core's hardware threads.
+    Core(CoreId),
+    /// The group spans one physical package.
+    Package(PackageId),
+    /// The group spans one NUMA node.
+    Node(NodeId),
+}
+
 /// A set of CPUs forming one balancing unit inside a domain.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CpuGroup {
     cpus: Vec<CpuId>,
+    unit: Option<GroupUnit>,
 }
 
 impl CpuGroup {
-    /// Creates a group over the given CPUs.
+    /// Creates a group over the given CPUs, with no unit tag (aggregate
+    /// consumers fall back to scanning such groups).
     ///
     /// # Panics
     ///
     /// Panics if the group is empty.
     pub fn new(cpus: Vec<CpuId>) -> Self {
         assert!(!cpus.is_empty(), "CPU group must not be empty");
-        CpuGroup { cpus }
+        CpuGroup { cpus, unit: None }
+    }
+
+    /// Creates a group tagged with the hardware unit it spans. The
+    /// caller guarantees the CPU list is exactly that unit's CPUs (the
+    /// generated hierarchies construct groups from the unit listings,
+    /// so this holds by construction).
+    pub fn with_unit(cpus: Vec<CpuId>, unit: GroupUnit) -> Self {
+        let mut g = CpuGroup::new(cpus);
+        g.unit = Some(unit);
+        g
+    }
+
+    /// The hardware unit this group coincides with, if tagged.
+    pub fn unit(&self) -> Option<GroupUnit> {
+        self.unit
     }
 
     /// The group's CPUs.
@@ -177,6 +213,15 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_group_rejected() {
         let _ = CpuGroup::new(vec![]);
+    }
+
+    #[test]
+    fn unit_tags_round_trip() {
+        use crate::ids::PackageId;
+        assert_eq!(CpuGroup::new(cpus(&[0, 1])).unit(), None);
+        let g = CpuGroup::with_unit(cpus(&[0, 1]), GroupUnit::Package(PackageId(3)));
+        assert_eq!(g.unit(), Some(GroupUnit::Package(PackageId(3))));
+        assert_eq!(g.cpus(), cpus(&[0, 1]).as_slice());
     }
 
     #[test]

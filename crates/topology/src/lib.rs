@@ -34,6 +34,6 @@ mod ids;
 mod machine;
 
 pub use builder::{TopologyBuilder, TopologyPreset};
-pub use domain::{CpuGroup, DomainFlags, DomainLevel, SchedDomain};
+pub use domain::{CpuGroup, DomainFlags, DomainLevel, GroupUnit, SchedDomain};
 pub use ids::{CoreId, CpuId, NodeId, PackageId};
 pub use machine::Topology;

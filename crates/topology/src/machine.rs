@@ -1,7 +1,7 @@
 //! Machine topology: nodes, packages, cores, logical CPUs, and the
 //! per-CPU domain hierarchy built from them.
 
-use crate::domain::{CpuGroup, DomainFlags, DomainLevel, SchedDomain};
+use crate::domain::{CpuGroup, DomainFlags, DomainLevel, GroupUnit, SchedDomain};
 use crate::ids::{CoreId, CpuId, NodeId, PackageId};
 
 /// Static description of one logical CPU.
@@ -248,13 +248,16 @@ impl Topology {
     }
 
     fn build_domains(&self, cpu: CpuId) -> Vec<SchedDomain> {
+        // Every group is tagged with the hardware unit it spans, so the
+        // incremental aggregate tree can map groups to per-unit sums in
+        // O(1) (see `GroupUnit`).
         let mut out = Vec::new();
         // SMT level: groups are the hardware threads of this core.
         if self.threads_per_core > 1 {
             let groups = self
                 .cpus_of_core(self.core_of(cpu))
                 .into_iter()
-                .map(|c| CpuGroup::new(vec![c]))
+                .map(|c| CpuGroup::with_unit(vec![c], GroupUnit::Cpu(c)))
                 .collect();
             out.push(SchedDomain::new(
                 DomainLevel::Smt,
@@ -272,7 +275,7 @@ impl Topology {
             let groups = self
                 .cores_of_package(self.package_of(cpu))
                 .into_iter()
-                .map(|c| CpuGroup::new(self.cpus_of_core(c)))
+                .map(|c| CpuGroup::with_unit(self.cpus_of_core(c), GroupUnit::Core(c)))
                 .collect();
             out.push(SchedDomain::new(
                 DomainLevel::Core,
@@ -286,7 +289,7 @@ impl Topology {
             let groups = (0..self.packages_per_node)
                 .map(|i| {
                     let pkg = PackageId(node.0 * self.packages_per_node + i);
-                    CpuGroup::new(self.cpus_of_package(pkg))
+                    CpuGroup::with_unit(self.cpus_of_package(pkg), GroupUnit::Package(pkg))
                 })
                 .collect();
             out.push(SchedDomain::new(
@@ -298,7 +301,9 @@ impl Topology {
         // Top level: groups are the nodes.
         if self.n_nodes > 1 {
             let groups = (0..self.n_nodes)
-                .map(|n| CpuGroup::new(self.cpus_of_node(NodeId(n))))
+                .map(|n| {
+                    CpuGroup::with_unit(self.cpus_of_node(NodeId(n)), GroupUnit::Node(NodeId(n)))
+                })
                 .collect();
             out.push(SchedDomain::new(
                 DomainLevel::Top,
@@ -315,7 +320,7 @@ impl Topology {
             out.push(SchedDomain::new(
                 DomainLevel::Top,
                 DomainFlags::default(),
-                vec![CpuGroup::new(vec![cpu])],
+                vec![CpuGroup::with_unit(vec![cpu], GroupUnit::Cpu(cpu))],
             ));
         }
         out
@@ -517,6 +522,33 @@ mod tests {
                 CpuId(15)
             ]
         );
+    }
+
+    #[test]
+    fn generated_groups_are_unit_tagged() {
+        // Every group of a generated hierarchy names the hardware unit
+        // it spans, and the tag's CPU listing is exactly the group's.
+        for topo in [
+            Topology::xseries445(true),
+            Topology::xseries445(false),
+            Topology::build_cmp(2, 2, 2, 2),
+            Topology::build(1, 1, 1),
+        ] {
+            for cpu in topo.cpu_ids() {
+                for d in topo.domains(cpu) {
+                    for g in d.groups() {
+                        let unit = g.unit().expect("generated groups are tagged");
+                        let cpus = match unit {
+                            GroupUnit::Cpu(c) => vec![c],
+                            GroupUnit::Core(c) => topo.cpus_of_core(c),
+                            GroupUnit::Package(p) => topo.cpus_of_package(p),
+                            GroupUnit::Node(n) => topo.cpus_of_node(n),
+                        };
+                        assert_eq!(g.cpus(), cpus.as_slice(), "{:?} mistagged", d.level());
+                    }
+                }
+            }
+        }
     }
 
     #[test]
