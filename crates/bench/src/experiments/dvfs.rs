@@ -21,9 +21,10 @@
 
 use crate::fmt::{pct, Table};
 use ebs_dvfs::GovernorKind;
-use ebs_sim::{run_seeds, MaxPowerSpec, SimConfig, SimReport};
+use ebs_sim::{run_seeds, DvfsSpec, MaxPowerSpec, SimConfig, SimReport};
 use ebs_units::{SimDuration, Watts};
 use ebs_workloads::section61_mix;
+use std::time::Instant;
 
 /// One enforcement variant's averaged outcome.
 #[derive(Clone, Debug)]
@@ -47,6 +48,11 @@ pub struct DvfsRow {
     pub scaled: f64,
     /// Mean effective core clock in gigahertz.
     pub mean_ghz: f64,
+    /// Mean governor decisions per run (0 without DVFS) — what the
+    /// event-driven trigger path exists to shrink.
+    pub dvfs_decisions: f64,
+    /// Simulated seconds per wall second over the variant's runs.
+    pub sim_per_wall: f64,
 }
 
 /// The study result.
@@ -80,6 +86,16 @@ fn variants() -> Vec<(&'static str, SimConfig)> {
             base_config().dvfs_governor(GovernorKind::ThermalAware),
         ),
         (
+            // The 10 ms-cadence baseline of the event-driven governor
+            // path: same policy, decision points on the fixed timer.
+            "dvfs (cadence)",
+            base_config().dvfs(DvfsSpec {
+                governor: GovernorKind::ThermalAware,
+                event_driven: false,
+                ..DvfsSpec::default()
+            }),
+        ),
+        (
             "dvfs + energy-aware",
             base_config()
                 .dvfs_governor(GovernorKind::ThermalAware)
@@ -94,7 +110,12 @@ fn variants() -> Vec<(&'static str, SimConfig)> {
     ]
 }
 
-fn averaged(name: &'static str, reports: &[SimReport], reference_ips: f64) -> DvfsRow {
+fn averaged(
+    name: &'static str,
+    reports: &[SimReport],
+    reference_ips: f64,
+    sim_per_wall: f64,
+) -> DvfsRow {
     let n = reports.len() as f64;
     let mean = |f: &dyn Fn(&SimReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
     let ips = mean(&|r| r.throughput_ips);
@@ -114,6 +135,8 @@ fn averaged(name: &'static str, reports: &[SimReport], reference_ips: f64) -> Dv
         }),
         scaled: mean(&|r| r.avg_scaled_fraction),
         mean_ghz: mean(&|r| r.mean_frequency.as_ghz()),
+        dvfs_decisions: mean(&|r| r.dvfs_decisions as f64),
+        sim_per_wall,
     }
 }
 
@@ -129,8 +152,11 @@ pub fn run(quick: bool) -> DvfsStudy {
     let mut rows = Vec::new();
     let mut reference_ips = 0.0;
     for (name, cfg) in variants() {
+        let start = Instant::now();
         let reports = run_seeds(&cfg, seeds, duration, |sim| sim.spawn_mix(&mix, 3));
-        let row = averaged(name, &reports, reference_ips);
+        let wall = start.elapsed().as_secs_f64().max(1e-9);
+        let sim_per_wall = duration.as_secs_f64() * seeds.len() as f64 / wall;
+        let row = averaged(name, &reports, reference_ips, sim_per_wall);
         if rows.is_empty() {
             reference_ips = row.throughput_ips;
         }
@@ -151,11 +177,12 @@ impl DvfsStudy {
     /// Renders the study as CSV.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "variant,gips,loss,energy_kj,nj_per_instr,throttled,hlt_engagements,scaled,mean_ghz\n",
+            "variant,gips,loss,energy_kj,nj_per_instr,throttled,hlt_engagements,scaled,\
+             mean_ghz,dvfs_decisions,sim_per_wall\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{:.4},{:.4},{:.2},{:.3},{:.4},{:.1},{:.4},{:.3}\n",
+                "{},{:.4},{:.4},{:.2},{:.3},{:.4},{:.1},{:.4},{:.3},{:.1},{:.1}\n",
                 r.name,
                 r.throughput_ips / 1e9,
                 r.loss,
@@ -164,7 +191,9 @@ impl DvfsStudy {
                 r.throttled,
                 r.hlt_engagements,
                 r.scaled,
-                r.mean_ghz
+                r.mean_ghz,
+                r.dvfs_decisions,
+                r.sim_per_wall
             ));
         }
         out
@@ -187,6 +216,8 @@ impl core::fmt::Display for DvfsStudy {
             "hlt engages",
             "scaled",
             "mean clock",
+            "decisions",
+            "sim/wall",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -199,6 +230,8 @@ impl core::fmt::Display for DvfsStudy {
                 format!("{:.0}", r.hlt_engagements),
                 pct(r.scaled),
                 format!("{:.2}GHz", r.mean_ghz),
+                format!("{:.0}", r.dvfs_decisions),
+                format!("{:.0}", r.sim_per_wall),
             ]);
         }
         write!(f, "{t}")?;
@@ -217,7 +250,7 @@ mod tests {
     #[test]
     fn dvfs_loses_less_than_hlt_at_the_same_budget() {
         let study = run(true);
-        assert_eq!(study.rows.len(), 6);
+        assert_eq!(study.rows.len(), 7);
         let hlt = study.row("hlt");
         let dvfs = study.row("dvfs (thermal-aware)");
         // Both mechanisms actually engaged.
@@ -252,6 +285,29 @@ mod tests {
         // package is over budget, but it must not hurt either.
         let ea = study.row("hlt + energy-aware");
         assert!(ea.loss < hlt.loss + 0.02);
+        // The cadence baseline enforces the same policy with the same
+        // headline outcome (the event-driven path is an optimisation,
+        // not a policy change) at far more governor wake-ups.
+        let cadence = study.row("dvfs (cadence)");
+        assert!(cadence.scaled > 0.05);
+        assert!(
+            (cadence.loss - dvfs.loss).abs() < 0.05,
+            "cadence and event-driven losses diverged: {} vs {}",
+            cadence.loss,
+            dvfs.loss
+        );
+        assert!(
+            (cadence.mean_ghz - dvfs.mean_ghz).abs() < 0.15,
+            "mean clocks diverged: {} vs {}",
+            cadence.mean_ghz,
+            dvfs.mean_ghz
+        );
+        assert!(
+            dvfs.dvfs_decisions * 2.0 < cadence.dvfs_decisions,
+            "event-driven path saved no wake-ups: {} vs {}",
+            dvfs.dvfs_decisions,
+            cadence.dvfs_decisions
+        );
     }
 
     #[test]
@@ -267,14 +323,17 @@ mod tests {
                 hlt_engagements: 0.0,
                 scaled: 0.5,
                 mean_ghz: 1.8,
+                dvfs_decisions: 12.0,
+                sim_per_wall: 250.0,
             }],
         };
         let csv = study.to_csv();
         assert_eq!(csv.lines().count(), 2);
         assert!(csv.lines().next().unwrap().contains("hlt_engagements"));
+        assert!(csv.lines().next().unwrap().contains("dvfs_decisions"));
         assert_eq!(
             csv.lines().nth(1).unwrap(),
-            "x,1.0000,0.1000,2.00,3.000,0.0000,0.0,0.5000,1.800"
+            "x,1.0000,0.1000,2.00,3.000,0.0000,0.0,0.5000,1.800,12.0,250.0"
         );
     }
 }

@@ -490,6 +490,7 @@ mod tests {
                 p95_ms: 567.8,
             }],
             duration: ebs_units::SimDuration::from_secs(6),
+            wall_s: 1.0,
         };
         let rows = parse_csv(&sweep.to_csv()).unwrap();
         assert_eq!(rows.len(), 1);

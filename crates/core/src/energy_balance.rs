@@ -50,9 +50,13 @@ pub struct EnergyBalanceConfig {
     /// Read group loads and power ratios from the incremental
     /// aggregate tree (amortised O(1) per group) instead of scanning
     /// every runqueue in the domain. Both paths make bitwise-identical
-    /// decisions; the scan path exists to measure the pre-aggregate
-    /// cost (`exp_balance_bench`) and to regression-test equivalence.
-    pub use_aggregates: bool,
+    /// decisions; forcing one only matters for measuring the
+    /// pre-aggregate cost (`exp_balance_bench`) and regression-testing
+    /// equivalence. `None` (the default) picks adaptively by machine
+    /// size — scans below [`ebs_sched::AGGREGATE_CPU_THRESHOLD`]
+    /// logical CPUs, aggregates at or above — which also skips the
+    /// ratio-cache allocation on tiny machines.
+    pub use_aggregates: Option<bool>,
 }
 
 impl Default for EnergyBalanceConfig {
@@ -68,8 +72,18 @@ impl Default for EnergyBalanceConfig {
             thermal_ratio_margin: 0.10,
             runqueue_ratio_margin: 0.12,
             energy_step_enabled: true,
-            use_aggregates: true,
+            use_aggregates: None,
         }
+    }
+}
+
+impl EnergyBalanceConfig {
+    /// Resolves the aggregate-vs-scan choice for a machine with
+    /// `n_cpus` logical CPUs (see
+    /// [`ebs_sched::AGGREGATE_CPU_THRESHOLD`]).
+    pub fn resolve_aggregates(&self, n_cpus: usize) -> bool {
+        self.use_aggregates
+            .unwrap_or(n_cpus >= ebs_sched::AGGREGATE_CPU_THRESHOLD)
     }
 }
 
@@ -78,19 +92,25 @@ impl Default for EnergyBalanceConfig {
 pub struct EnergyAwareBalancer {
     cfg: EnergyBalanceConfig,
     next_balance: Vec<Vec<SimTime>>,
-    /// Memoised group runqueue-power ratios (see [`GroupRatioCache`]).
-    ratios: GroupRatioCache,
+    /// Memoised group runqueue-power ratios (see [`GroupRatioCache`]);
+    /// only allocated when the aggregate paths are in use, so small
+    /// machines on the adaptive default stay allocation-lean.
+    ratios: Option<GroupRatioCache>,
 }
 
 impl EnergyAwareBalancer {
-    /// Creates a balancer for systems shaped like `sys`.
-    pub fn new(sys: &System, cfg: EnergyBalanceConfig) -> Self {
+    /// Creates a balancer for systems shaped like `sys`. An
+    /// unspecified `use_aggregates` resolves here, against the
+    /// machine's size (see [`ebs_sched::AGGREGATE_CPU_THRESHOLD`]).
+    pub fn new(sys: &System, mut cfg: EnergyBalanceConfig) -> Self {
+        let aggregates = cfg.resolve_aggregates(sys.topology().n_cpus());
+        cfg.use_aggregates = Some(aggregates);
         let next_balance = sys
             .topology()
             .cpu_ids()
             .map(|c| vec![SimTime::ZERO; sys.topology().domains(c).len()])
             .collect();
-        let ratios = GroupRatioCache::new(sys.topology());
+        let ratios = aggregates.then(|| GroupRatioCache::new(sys.topology()));
         EnergyAwareBalancer {
             cfg,
             next_balance,
@@ -98,9 +118,15 @@ impl EnergyAwareBalancer {
         }
     }
 
-    /// The configuration.
+    /// The configuration (with `use_aggregates` resolved).
     pub fn config(&self) -> &EnergyBalanceConfig {
         &self.cfg
+    }
+
+    /// Whether group selection reads the aggregate tree (resolved from
+    /// the config and the machine size at construction).
+    pub fn uses_aggregates(&self) -> bool {
+        self.ratios.is_some()
     }
 
     /// The earliest instant any CPU's domain level is due for a
@@ -177,20 +203,19 @@ fn energy_step(
     domain: &SchedDomain,
     power: &PowerState,
     cfg: &EnergyBalanceConfig,
-    ratios: &mut GroupRatioCache,
+    ratios: &mut Option<GroupRatioCache>,
 ) -> usize {
     let Some(local_idx) = domain.local_group_index(cpu) else {
         return 0;
     };
     // The group ratio reader: memoised against the aggregate tree's
-    // generations (amortised O(1) per group) or the pre-aggregate
-    // full scan — both produce identical bits.
+    // generations (amortised O(1) per group) when the cache exists, or
+    // the pre-aggregate full scan — both produce identical bits.
     let mut group_ratio = |sys: &System, i: usize| {
         let group = &domain.groups()[i];
-        if cfg.use_aggregates {
-            ratios.group_ratio(sys, group, power)
-        } else {
-            group_runqueue_ratio(sys, group, power)
+        match ratios.as_mut() {
+            Some(cache) => cache.group_ratio(sys, group, power),
+            None => group_runqueue_ratio(sys, group, power),
         }
     };
     // Search the CPU group with the highest average power ratio.
@@ -272,7 +297,7 @@ fn load_step(
     let Some(local_idx) = domain.local_group_index(cpu) else {
         return 0;
     };
-    let busiest = if cfg.use_aggregates {
+    let busiest = if cfg.resolve_aggregates(sys.topology().n_cpus()) {
         ebs_sched::find_busiest_group(sys, domain, local_idx)
     } else {
         ebs_sched::find_busiest_group_scan(sys, domain, local_idx)
@@ -550,6 +575,30 @@ mod tests {
         let mut bal = EnergyAwareBalancer::new(&sys, cfg);
         assert_eq!(bal.run(CpuId(0), &mut sys, &power).pulled, 0);
         assert_eq!(sys.stats().migrations(), 0);
+    }
+
+    #[test]
+    fn aggregate_default_flips_at_the_documented_threshold() {
+        // Same adaptive default as the stock balancer: scans (and no
+        // ratio-cache allocation) below 16 logical CPUs, aggregates at
+        // and above; explicit settings win.
+        let small = System::new(Topology::xseries445(false)); // 8 CPUs
+        let at_threshold = System::new(Topology::xseries445(true)); // 16 CPUs
+        let bal = EnergyAwareBalancer::new(&small, EnergyBalanceConfig::default());
+        assert!(!bal.uses_aggregates(), "8 CPUs must default to scans");
+        assert_eq!(bal.config().use_aggregates, Some(false));
+        let bal = EnergyAwareBalancer::new(&at_threshold, EnergyBalanceConfig::default());
+        assert!(bal.uses_aggregates(), "16 CPUs must default to aggregates");
+        for (sys, forced) in [(&small, true), (&at_threshold, false)] {
+            let bal = EnergyAwareBalancer::new(
+                sys,
+                EnergyBalanceConfig {
+                    use_aggregates: Some(forced),
+                    ..EnergyBalanceConfig::default()
+                },
+            );
+            assert_eq!(bal.uses_aggregates(), forced);
+        }
     }
 
     #[test]

@@ -21,11 +21,78 @@ pub struct GovernorInput {
     pub utilization: f64,
 }
 
+/// The re-decision triggers a governor reports alongside a decision:
+/// the bands of the observed signals within which its latest answer is
+/// guaranteed to stand. An event-driven engine re-runs [`Governor::
+/// decide`] only when a signal leaves its band (or a configured hold
+/// horizon expires) instead of on a fixed cadence — a package whose
+/// utilization and thermal power sit comfortably inside their bands
+/// needs no governor wake-ups at all.
+///
+/// Band semantics: the answer is unchanged while each reported signal
+/// stays *strictly inside* its closed band. Exactly on an edge the
+/// engine may re-decide spuriously (harmless: the answer is recomputed
+/// and the state only changes if it differs) or hold one extra
+/// evaluation; both resolve as soon as the signal moves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecisionHold {
+    /// The answer holds while the windowed package utilization stays in
+    /// `[lo, hi]`; `None` means utilization cannot change it.
+    pub utilization: Option<(f64, f64)>,
+    /// The answer holds while the package thermal power stays in
+    /// `[lo, hi]`; `None` means thermal power cannot change it.
+    pub thermal_power: Option<(Watts, Watts)>,
+}
+
+impl DecisionHold {
+    /// A hold that never expires: no observable signal changes the
+    /// governor's answer (e.g. [`Fixed`], or a single-state table).
+    pub const fn never() -> Self {
+        DecisionHold {
+            utilization: None,
+            thermal_power: None,
+        }
+    }
+
+    /// Whether any drift in `utilization` or `thermal_power` away from
+    /// the given values escapes this hold.
+    pub fn is_escaped(&self, utilization: f64, thermal_power: Watts) -> bool {
+        if let Some((lo, hi)) = self.utilization {
+            if utilization < lo || utilization > hi {
+                return true;
+            }
+        }
+        if let Some((lo, hi)) = self.thermal_power {
+            if thermal_power < lo || thermal_power > hi {
+                return true;
+            }
+        }
+        false
+    }
+}
+
 /// A frequency-selection policy for one [`FrequencyDomain`].
 pub trait Governor {
     /// Chooses the P-state index for the next interval. Must return an
     /// index within the domain's table.
     fn decide(&mut self, input: &GovernorInput, domain: &FrequencyDomain) -> usize;
+
+    /// Reports the conditions under which the answer `chosen`, just
+    /// returned by [`Governor::decide`] for `input`, could change.
+    /// Called *before* the engine switches the domain to `chosen`;
+    /// thermal-power bands must be expressed for the post-switch state
+    /// (its power factor is `domain.table().power_factor(chosen)`).
+    ///
+    /// The default is maximally conservative — zero-width bands around
+    /// the observed signals, so any drift re-decides — which is always
+    /// correct, merely event-free in name only.
+    fn hold(&self, input: &GovernorInput, domain: &FrequencyDomain, chosen: usize) -> DecisionHold {
+        let _ = (domain, chosen);
+        DecisionHold {
+            utilization: Some((input.utilization, input.utilization)),
+            thermal_power: Some((input.thermal_power, input.thermal_power)),
+        }
+    }
 
     /// Short policy name for reports.
     fn name(&self) -> &'static str;
@@ -39,6 +106,16 @@ pub struct Fixed(pub usize);
 impl Governor for Fixed {
     fn decide(&mut self, _input: &GovernorInput, domain: &FrequencyDomain) -> usize {
         self.0.min(domain.table().slowest_index())
+    }
+
+    /// A pinned clock never re-decides: the answer ignores every input.
+    fn hold(
+        &self,
+        _input: &GovernorInput,
+        _domain: &FrequencyDomain,
+        _chosen: usize,
+    ) -> DecisionHold {
+        DecisionHold::never()
     }
 
     fn name(&self) -> &'static str {
@@ -81,6 +158,37 @@ impl Governor for OnDemand {
             .rev()
             .find(|&i| table.speed_factor(i) >= required)
             .unwrap_or(0)
+    }
+
+    /// The answer is a pure function of utilization: state `i` is
+    /// chosen exactly while `u / up_threshold` lies in
+    /// `(speed_factor(i+1), speed_factor(i)]` (with `u ≥ up_threshold`
+    /// collapsing to P0), so the hold band is that interval scaled by
+    /// the threshold. Thermal power never enters the decision.
+    fn hold(
+        &self,
+        _input: &GovernorInput,
+        domain: &FrequencyDomain,
+        chosen: usize,
+    ) -> DecisionHold {
+        let table = domain.table();
+        if table.len() == 1 {
+            return DecisionHold::never();
+        }
+        let hi = if chosen == 0 {
+            f64::INFINITY
+        } else {
+            self.up_threshold * table.speed_factor(chosen)
+        };
+        let lo = if chosen == table.slowest_index() {
+            f64::NEG_INFINITY
+        } else {
+            self.up_threshold * table.speed_factor(chosen + 1)
+        };
+        DecisionHold {
+            utilization: Some((lo, hi)),
+            thermal_power: None,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -129,6 +237,41 @@ impl Governor for ThermalAware {
         }
         // Fastest state whose projected power fits the target.
         domain.table().highest_within(target.0 / nominal_power)
+    }
+
+    /// The answer depends on the thermal power alone (budget and idle
+    /// floor are run constants). State `i` is chosen exactly while the
+    /// *nominal-normalised* power `np = tp / pf(current)` lies in
+    /// `(target/pf(i-1), target/pf(i)]` — with the slowest state also
+    /// owning the whole overload region above `target/pf(last-1)`.
+    /// After the engine switches to `chosen`, the observed power
+    /// corresponds to `np · pf(chosen)`, so the band scales by
+    /// `pf(chosen)`; its upper edge for any non-slowest state is then
+    /// exactly the engagement target.
+    fn hold(&self, input: &GovernorInput, domain: &FrequencyDomain, chosen: usize) -> DecisionHold {
+        let table = domain.table();
+        let target = input.budget * self.engage;
+        if (target - input.idle_floor).0 <= 0.0 || table.len() == 1 {
+            // Hopeless budgets pin the slowest state for the whole run;
+            // single-state tables have nothing to re-decide.
+            return DecisionHold::never();
+        }
+        let pf_new = table.power_factor(chosen);
+        let hi = if chosen == table.slowest_index() {
+            Watts(f64::INFINITY)
+        } else {
+            // target / pf(chosen) · pf(chosen) — the engagement target.
+            target
+        };
+        let lo = if chosen == 0 {
+            Watts(f64::NEG_INFINITY)
+        } else {
+            target * (pf_new / table.power_factor(chosen - 1))
+        };
+        DecisionHold {
+            utilization: None,
+            thermal_power: Some((lo, hi)),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -297,6 +440,166 @@ mod tests {
             ..input(30.0)
         };
         assert_eq!(g.decide(&hopeless, &d), d.table().slowest_index());
+    }
+
+    #[test]
+    fn fixed_hold_never_expires() {
+        let d = domain();
+        let g = Fixed(2);
+        let hold = g.hold(&input(50.0), &d, 2);
+        assert_eq!(hold, DecisionHold::never());
+        assert!(!hold.is_escaped(0.0, Watts(1e6)));
+        assert!(!hold.is_escaped(1.0, Watts(0.0)));
+    }
+
+    #[test]
+    fn ondemand_hold_band_is_consistent_with_decide() {
+        // Safety property of the trigger API: any utilization strictly
+        // inside the reported band yields the same decision, and the
+        // nearest values outside it yield a different one.
+        let d = domain();
+        let mut g = OnDemand::default();
+        let at = |u: f64| GovernorInput {
+            utilization: u,
+            ..input(30.0)
+        };
+        for tenmils in 0..=1000 {
+            let u = tenmils as f64 / 1000.0;
+            let chosen = g.decide(&at(u), &d);
+            let hold = g.hold(&at(u), &d, chosen);
+            let (lo, hi) = hold.utilization.expect("utilization drives ondemand");
+            assert!(hold.thermal_power.is_none());
+            assert!(u >= lo && u <= hi, "u={u} outside its own band [{lo},{hi}]");
+            let eps = 1e-9;
+            for probe in [
+                (lo + eps).min(hi),
+                (hi - eps).max(lo),
+                (u + eps).min(hi),
+                (u - eps).max(lo),
+            ] {
+                assert_eq!(
+                    g.decide(&at(probe), &d),
+                    chosen,
+                    "decision changed inside the band: u={u} probe={probe}"
+                );
+            }
+            if lo.is_finite() {
+                assert_ne!(
+                    g.decide(&at(lo - eps), &d),
+                    chosen,
+                    "band too wide at lo={lo}"
+                );
+            }
+            if hi.is_finite() && hi + eps <= 1.0 {
+                assert_ne!(
+                    g.decide(&at(hi + eps), &d),
+                    chosen,
+                    "band too wide at hi={hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thermal_aware_hold_band_is_consistent_with_decide() {
+        // As above, sweeping thermal power: after the engine switches
+        // the domain to the chosen state, any thermal power strictly
+        // inside the band re-yields the chosen state, and values
+        // outside it change the answer.
+        let mut g = ThermalAware::default();
+        for tenths in 137..900 {
+            let tp = tenths as f64 / 10.0;
+            let mut d = domain();
+            d.set_state(2); // Decisions normalise via the current state.
+            let chosen = g.decide(&input(tp), &d);
+            let hold = g.hold(&input(tp), &d, chosen);
+            let (lo, hi) = hold
+                .thermal_power
+                .expect("thermal power drives the governor");
+            assert!(hold.utilization.is_none());
+            // Move the domain to the chosen state, as the engine does.
+            d.set_state(chosen);
+            let eps = 1e-6;
+            for probe in [lo.0 + eps, hi.0 - eps] {
+                if !probe.is_finite() {
+                    continue;
+                }
+                assert_eq!(
+                    g.decide(&input(probe), &d),
+                    chosen,
+                    "decision changed inside the band: tp={tp} probe={probe}"
+                );
+            }
+            if lo.0.is_finite() {
+                assert_ne!(
+                    g.decide(&input(lo.0 - eps), &d),
+                    chosen,
+                    "band too wide at lo={lo:?} (tp={tp})"
+                );
+            }
+            if hi.0.is_finite() {
+                assert_ne!(
+                    g.decide(&input(hi.0 + eps), &d),
+                    chosen,
+                    "band too wide at hi={hi:?} (tp={tp})"
+                );
+            }
+            // Any non-slowest state re-decides exactly at the
+            // engagement target, so enforcement never lags the budget.
+            if chosen != d.table().slowest_index() {
+                assert_eq!(hi, Watts(40.0) * 0.95);
+            }
+        }
+    }
+
+    #[test]
+    fn thermal_aware_hold_never_expires_when_hopeless() {
+        let d = domain();
+        let g = ThermalAware::default();
+        let hopeless = GovernorInput {
+            budget: Watts(10.0),
+            ..input(30.0)
+        };
+        assert_eq!(
+            g.hold(&hopeless, &d, d.table().slowest_index()),
+            DecisionHold::never()
+        );
+    }
+
+    #[test]
+    fn single_state_tables_hold_forever() {
+        let d = FrequencyDomain::new(PStateTable::nominal_only(
+            ebs_units::Hertz::from_ghz(2.2),
+            ebs_units::Volts(1.5),
+        ));
+        assert_eq!(
+            OnDemand::default().hold(&input(30.0), &d, 0),
+            DecisionHold::never()
+        );
+        assert_eq!(
+            ThermalAware::default().hold(&input(30.0), &d, 0),
+            DecisionHold::never()
+        );
+    }
+
+    #[test]
+    fn default_hold_is_zero_width() {
+        // A governor that does not implement `hold` re-decides on any
+        // signal drift: correct, never stale.
+        struct Custom;
+        impl Governor for Custom {
+            fn decide(&mut self, _: &GovernorInput, _: &FrequencyDomain) -> usize {
+                0
+            }
+            fn name(&self) -> &'static str {
+                "custom"
+            }
+        }
+        let d = domain();
+        let hold = Custom.hold(&input(30.0), &d, 0);
+        assert!(!hold.is_escaped(1.0, Watts(30.0)));
+        assert!(hold.is_escaped(1.0 - 1e-12, Watts(30.0)));
+        assert!(hold.is_escaped(1.0, Watts(30.0 + 1e-9)));
     }
 
     #[test]

@@ -16,11 +16,14 @@
 //!   siblings of a package share one clock and one voltage plane, just
 //!   as they share one thermal budget. Tracks per-state residency for
 //!   reporting.
-//! - [`Governor`]s deciding the next P-state each policy interval:
-//!   [`Fixed`] (pin a state), [`OnDemand`] (classic utilization-driven
-//!   stepping), and [`ThermalAware`] (drives frequency from the same
-//!   thermal-power exponential average the `hlt` throttle watches, but
-//!   engages *before* the limit so the budget is never reached).
+//! - [`Governor`]s deciding the next P-state: [`Fixed`] (pin a state),
+//!   [`OnDemand`] (classic utilization-driven stepping), and
+//!   [`ThermalAware`] (drives frequency from the same thermal-power
+//!   exponential average the `hlt` throttle watches, but engages
+//!   *before* the limit so the budget is never reached). Each decision
+//!   also reports a [`DecisionHold`] — the signal bands within which
+//!   the answer stands — so an event-driven engine re-decides on
+//!   utilization/thermal *deltas* instead of a fixed cadence.
 //!
 //! # Examples
 //!
@@ -48,5 +51,7 @@ mod governor;
 mod pstate;
 
 pub use domain::{FrequencyDomain, PStateResidency};
-pub use governor::{Fixed, Governor, GovernorInput, GovernorKind, OnDemand, ThermalAware};
+pub use governor::{
+    DecisionHold, Fixed, Governor, GovernorInput, GovernorKind, OnDemand, ThermalAware,
+};
 pub use pstate::{PState, PStateTable};

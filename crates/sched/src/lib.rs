@@ -41,7 +41,7 @@ mod task;
 pub use load_balance::{
     balance_domain, busiest_queue_in_group, busiest_queued_cpu, find_busiest_group,
     find_busiest_group_scan, group_avg_load, group_avg_load_scan, idlest_cpu, pull_tasks,
-    BalanceOutcome, LoadBalancer, LoadBalancerConfig,
+    BalanceOutcome, LoadBalancer, LoadBalancerConfig, AGGREGATE_CPU_THRESHOLD,
 };
 pub use prio_array::PrioArray;
 pub use runqueue::RunQueue;

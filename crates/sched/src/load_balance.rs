@@ -17,6 +17,15 @@ use crate::task::TaskId;
 use ebs_topology::{CpuGroup, CpuId, SchedDomain};
 use ebs_units::SimTime;
 
+/// Logical-CPU count from which the aggregate-tree balancing paths pay
+/// for themselves. `exp_balance_bench` shows the 8-CPU shapes break
+/// even (the scans are tiny and the caches cost bookkeeping) while
+/// every 16-CPU-and-up rung wins, growing to 2–3.7× at 256 CPUs — so
+/// the adaptive default scans below this threshold and reads the
+/// aggregates at or above it. Decisions are bitwise identical either
+/// way; only the cost of making them changes.
+pub const AGGREGATE_CPU_THRESHOLD: usize = 16;
+
 /// Tunables of the baseline balancer.
 #[derive(Clone, Copy, Debug)]
 pub struct LoadBalancerConfig {
@@ -29,17 +38,30 @@ pub struct LoadBalancerConfig {
     /// Read group loads from the incremental aggregate tree (O(1) per
     /// group) instead of scanning every runqueue in the domain. The
     /// two paths select identically — the aggregates are exact integer
-    /// sums — so this exists only to measure the pre-aggregate cost
-    /// (`exp_balance_bench`) and to regression-test the equivalence.
-    pub use_aggregates: bool,
+    /// sums — so forcing one path only matters for measuring the
+    /// pre-aggregate cost (`exp_balance_bench`) and regression-testing
+    /// the equivalence. `None` (the default) picks adaptively by
+    /// machine size: scans below [`AGGREGATE_CPU_THRESHOLD`] logical
+    /// CPUs (keeping tiny scenarios allocation-lean), aggregates at or
+    /// above it.
+    pub use_aggregates: Option<bool>,
 }
 
 impl Default for LoadBalancerConfig {
     fn default() -> Self {
         LoadBalancerConfig {
             min_imbalance: 2,
-            use_aggregates: true,
+            use_aggregates: None,
         }
+    }
+}
+
+impl LoadBalancerConfig {
+    /// Resolves the aggregate-vs-scan choice for a machine with
+    /// `n_cpus` logical CPUs (see [`AGGREGATE_CPU_THRESHOLD`]).
+    pub fn resolve_aggregates(&self, n_cpus: usize) -> bool {
+        self.use_aggregates
+            .unwrap_or(n_cpus >= AGGREGATE_CPU_THRESHOLD)
     }
 }
 
@@ -59,8 +81,11 @@ pub struct LoadBalancer {
 }
 
 impl LoadBalancer {
-    /// Creates a balancer for systems shaped like `sys`.
-    pub fn new(sys: &System, cfg: LoadBalancerConfig) -> Self {
+    /// Creates a balancer for systems shaped like `sys`. An
+    /// unspecified `use_aggregates` resolves here, against the
+    /// machine's size (see [`AGGREGATE_CPU_THRESHOLD`]).
+    pub fn new(sys: &System, mut cfg: LoadBalancerConfig) -> Self {
+        cfg.use_aggregates = Some(cfg.resolve_aggregates(sys.topology().n_cpus()));
         let next_balance = sys
             .topology()
             .cpu_ids()
@@ -69,9 +94,17 @@ impl LoadBalancer {
         LoadBalancer { cfg, next_balance }
     }
 
-    /// The configuration.
+    /// The configuration (with `use_aggregates` resolved).
     pub fn config(&self) -> &LoadBalancerConfig {
         &self.cfg
+    }
+
+    /// Whether group selection reads the aggregate tree (resolved from
+    /// the config and the machine size at construction).
+    pub fn uses_aggregates(&self) -> bool {
+        self.cfg
+            .use_aggregates
+            .expect("resolved at balancer construction")
     }
 
     /// The earliest instant any CPU's domain level is due for a
@@ -143,7 +176,7 @@ pub fn balance_domain(
     let Some(local_idx) = domain.local_group_index(cpu) else {
         return 0;
     };
-    let busiest = if cfg.use_aggregates {
+    let busiest = if cfg.resolve_aggregates(sys.topology().n_cpus()) {
         find_busiest_group(sys, domain, local_idx)
     } else {
         find_busiest_group_scan(sys, domain, local_idx)
@@ -502,6 +535,32 @@ mod tests {
             ),
             0
         );
+    }
+
+    #[test]
+    fn aggregate_default_flips_at_the_documented_threshold() {
+        // Adaptive default: scan balancing below 16 logical CPUs
+        // (where exp_balance_bench shows the aggregate paths break
+        // even), aggregates at and above. Explicit settings always
+        // win.
+        let small = System::new(Topology::xseries445(false)); // 8 CPUs
+        let at_threshold = System::new(Topology::xseries445(true)); // 16 CPUs
+        assert_eq!(AGGREGATE_CPU_THRESHOLD, 16);
+        let lb = LoadBalancer::new(&small, LoadBalancerConfig::default());
+        assert!(!lb.uses_aggregates(), "8 CPUs must default to scans");
+        assert_eq!(lb.config().use_aggregates, Some(false));
+        let lb = LoadBalancer::new(&at_threshold, LoadBalancerConfig::default());
+        assert!(lb.uses_aggregates(), "16 CPUs must default to aggregates");
+        for (sys, forced) in [(&small, true), (&at_threshold, false)] {
+            let lb = LoadBalancer::new(
+                sys,
+                LoadBalancerConfig {
+                    use_aggregates: Some(forced),
+                    ..LoadBalancerConfig::default()
+                },
+            );
+            assert_eq!(lb.uses_aggregates(), forced);
+        }
     }
 
     #[test]

@@ -35,10 +35,29 @@ pub struct DvfsSpec {
     pub table: PStateTable,
     /// The governor policy driving each package's frequency domain.
     pub governor: GovernorKind,
-    /// How often the governor re-decides the P-state. Real cpufreq
-    /// governors run every few scheduler ticks; 10 ms keeps decisions
-    /// well inside the thermal time constant.
+    /// In the cadence baseline (`event_driven == false`): how often the
+    /// governor re-decides the P-state (real cpufreq governors run
+    /// every few scheduler ticks; 10 ms keeps decisions well inside the
+    /// thermal time constant). In event-driven mode the same duration
+    /// caps the utilization averaging window, so windowed utilization
+    /// stays exactly as responsive as the cadence baseline's.
     pub interval: SimDuration,
+    /// Event-driven decision points (the default): governors re-decide
+    /// when a signal leaves the [`ebs_dvfs::DecisionHold`] band of the
+    /// last decision, instead of on the fixed `interval` cadence. A
+    /// steady package then needs no governor wake-ups at all, so the
+    /// variable-stride engine's steps stretch past the old 10 ms floor.
+    /// `false` selects the measured cadence baseline (mirroring
+    /// [`SimConfig::scan_balancing`]).
+    pub event_driven: bool,
+    /// Optional periodic fallback for event-driven mode: re-decide at
+    /// least this often even inside the hold bands. `None` (the
+    /// default) trusts the triggers alone. With a [`GovernorKind::
+    /// Fixed`] governor (whose hold never expires) and `max_hold ==
+    /// Some(interval)`, event-driven decisions degenerate to exactly
+    /// the cadence instants — the bit-identity anchor of the
+    /// equivalence suite. Ignored in cadence mode.
+    pub max_hold: Option<SimDuration>,
 }
 
 impl Default for DvfsSpec {
@@ -47,6 +66,8 @@ impl Default for DvfsSpec {
             table: PStateTable::p4_xeon(),
             governor: GovernorKind::ThermalAware,
             interval: SimDuration::from_millis(10),
+            event_driven: true,
+            max_hold: None,
         }
     }
 }
@@ -320,6 +341,18 @@ impl SimConfig {
         self
     }
 
+    /// Forces the fixed-cadence governor baseline (or re-enables the
+    /// event-driven default) on the configured DVFS spec. No-op when
+    /// DVFS is disabled; like [`SimConfig::scan_balancing`], the
+    /// baseline exists so experiments can measure exactly what the
+    /// event-driven path buys.
+    pub fn dvfs_event_driven(mut self, on: bool) -> Self {
+        if let Some(spec) = self.dvfs.as_mut() {
+            spec.event_driven = on;
+        }
+        self
+    }
+
     /// Disables DVFS (the default).
     pub fn dvfs_off(mut self) -> Self {
         self.dvfs = None;
@@ -450,6 +483,13 @@ mod tests {
         assert_eq!(spec.governor, GovernorKind::ThermalAware);
         assert_eq!(spec.table, PStateTable::p4_xeon());
         assert_eq!(spec.interval, SimDuration::from_millis(10));
+        // Event-driven decision points are the default; the cadence
+        // baseline stays reachable behind the flag.
+        assert!(spec.event_driven);
+        assert_eq!(spec.max_hold, None);
+        let cadence = cfg.clone().dvfs_event_driven(false);
+        assert!(!cadence.dvfs.as_ref().unwrap().event_driven);
+        assert!(cadence.dvfs_event_driven(true).dvfs.unwrap().event_driven);
         let custom = DvfsSpec {
             governor: GovernorKind::Fixed(2),
             interval: SimDuration::from_millis(50),

@@ -29,7 +29,7 @@ use ebs_core::{
     PlacementTable, PowerState, PowerStateConfig,
 };
 use ebs_counters::{calibration, EnergyModel};
-use ebs_dvfs::{Governor, GovernorInput, PStateResidency};
+use ebs_dvfs::{DecisionHold, Governor, GovernorInput, PStateResidency};
 use ebs_sched::{
     idlest_cpu, BinaryId, LoadBalancer, LoadBalancerConfig, System, TaskConfig, TaskId,
 };
@@ -52,6 +52,65 @@ fn crossing_time_s(avg: f64, sample: f64, target: f64, tau_s: f64) -> Option<f64
         return None;
     }
     Some(tau_s * (num / den).ln())
+}
+
+/// Utilization over a governor decision window: busy thread-seconds
+/// over the window length, clamped to `[0, 1]`.
+///
+/// A zero-width window — possible once decisions are event-triggered
+/// (a forced decision can coincide with the step that just reset the
+/// window) — carries no signal at all, so the *previous* utilization is
+/// carried forward instead: dividing would yield `0/0 = NaN`, and
+/// `f64::clamp` propagates NaN straight into `GovernorInput`, where it
+/// poisons every utilization comparison a governor makes.
+fn windowed_utilization(busy_s: f64, window: SimDuration, previous: f64) -> f64 {
+    if window.is_zero() {
+        return previous;
+    }
+    (busy_s / window.as_secs_f64()).clamp(0.0, 1.0)
+}
+
+/// Time for the windowed utilization (`busy_s` busy thread-seconds
+/// accumulated over a `window_s`-second window, the window capped at
+/// `cap_s`) to reach `target` while the instantaneous busy fraction
+/// holds at `b`; `None` when it never does.
+///
+/// While the window still grows the average drifts hyperbolically
+/// toward `b` — `u(x) = (B + b·x) / (W + x)` — which inverts in closed
+/// form. Once capped, the engine's per-step renormalisation is the
+/// discretisation of a first-order lag with time constant `cap_s`, so
+/// the tail reuses [`crossing_time_s`]. Exact in phase one and a close
+/// bound in phase two; the engine re-checks the real signal at every
+/// step end, so an estimate that lands short merely costs one more
+/// step.
+fn utilization_crossing_s(
+    busy_s: f64,
+    window_s: f64,
+    b: f64,
+    target: f64,
+    cap_s: f64,
+) -> Option<f64> {
+    if !target.is_finite() || cap_s <= 0.0 {
+        return None;
+    }
+    let u0 = if window_s > 0.0 { busy_s / window_s } else { b };
+    if target == u0 {
+        return Some(0.0);
+    }
+    // Monotone drift from u0 toward the asymptote b: a crossing needs
+    // the target on that path, strictly before the asymptote.
+    if ((b - u0) > 0.0) != ((target - u0) > 0.0) || (target - u0).abs() >= (b - u0).abs() {
+        return None;
+    }
+    if window_s < cap_s {
+        let x = ((target * window_s - busy_s) / (b - target)).max(0.0);
+        if window_s + x <= cap_s {
+            return Some(x);
+        }
+    }
+    let grow = (cap_s - window_s).max(0.0);
+    let at_cap = (busy_s + b * grow) / (window_s + grow);
+    crossing_time_s(at_cap, b, target, cap_s).map(|t| grow + t)
 }
 
 /// Which balancing policy drives periodic migration decisions.
@@ -85,8 +144,15 @@ pub struct Simulation {
     warmth: WarmthModel,
     /// Per-package frequency governors (empty when DVFS is disabled).
     governors: Vec<Box<dyn Governor + Send>>,
-    /// Next instant the governors re-decide their P-states.
-    next_dvfs_decision: SimTime,
+    /// Per-package instant of the next *forced* governor decision: the
+    /// cadence deadline in cadence mode, the optional `max_hold`
+    /// fallback in event-driven mode (`None` = triggers only).
+    dvfs_next: Vec<Option<SimTime>>,
+    /// Per-package hold from the last decision (event-driven mode):
+    /// the signal bands within which the governor's answer stands.
+    /// `None` before the first decision, which therefore fires at the
+    /// first step.
+    dvfs_hold: Vec<Option<DecisionHold>>,
     /// Per-package CPU lists, precomputed once — the topology is
     /// immutable and the DVFS accounting below runs every tick.
     pkg_cpus: Vec<Vec<CpuId>>,
@@ -94,8 +160,17 @@ pub struct Simulation {
     /// since the last governor decision, so utilization covers the
     /// whole window rather than sampling the decision instant.
     dvfs_busy: Vec<f64>,
-    /// Wall time accumulated since the last governor decision.
-    dvfs_window: SimDuration,
+    /// Per-package wall time accumulated since that package's last
+    /// governor decision (event-driven packages decide independently;
+    /// in cadence mode all windows advance in lockstep).
+    dvfs_window: Vec<SimDuration>,
+    /// Per-package utilization reported at the last decision, carried
+    /// into any decision whose window is zero-width (see
+    /// [`windowed_utilization`]).
+    dvfs_util: Vec<f64>,
+    /// Governor decisions taken over the run (statistics: the
+    /// event-driven path exists to shrink this).
+    dvfs_decisions: u64,
     /// Runtime state, indexed by `TaskId` (dense).
     runtimes: Vec<Option<TaskRuntime>>,
     /// Program catalog by binary id, for respawning.
@@ -170,17 +245,26 @@ impl Simulation {
         let power = PowerState::new(n_cpus, machine.max_powers(), power_cfg);
         let estimator = EnergyEstimator::new(model, n_cpus, machine.halt_power_share());
         let sys = System::new(topo);
-        // `scan_balancing` forces the scan paths; it never turns the
-        // aggregates back on for a balance config that disabled them.
+        // `scan_balancing` forces the scan paths; otherwise the
+        // balance config's own setting (adaptive by machine size when
+        // unspecified) decides at balancer construction.
         let balancer = if cfg.energy_balancing {
             let bcfg = ebs_core::EnergyBalanceConfig {
-                use_aggregates: cfg.balance.use_aggregates && !cfg.scan_balancing,
+                use_aggregates: if cfg.scan_balancing {
+                    Some(false)
+                } else {
+                    cfg.balance.use_aggregates
+                },
                 ..cfg.balance
             };
             Balancer::EnergyAware(EnergyAwareBalancer::new(&sys, bcfg))
         } else {
             let lcfg = LoadBalancerConfig {
-                use_aggregates: !cfg.scan_balancing,
+                use_aggregates: if cfg.scan_balancing {
+                    Some(false)
+                } else {
+                    None
+                },
                 ..LoadBalancerConfig::default()
             };
             Balancer::Baseline(LoadBalancer::new(&sys, lcfg))
@@ -216,10 +300,13 @@ impl Simulation {
             placement: PlacementTable::new(Watts(30.0)),
             warmth,
             governors,
-            next_dvfs_decision: SimTime::ZERO,
+            dvfs_next: vec![Some(SimTime::ZERO); n_packages],
+            dvfs_hold: vec![None; n_packages],
             pkg_cpus,
             dvfs_busy,
-            dvfs_window: SimDuration::ZERO,
+            dvfs_window: vec![SimDuration::ZERO; n_packages],
+            dvfs_util: vec![0.0; n_packages],
+            dvfs_decisions: 0,
             runtimes: Vec::new(),
             programs: HashMap::new(),
             sleepers: BinaryHeap::new(),
@@ -430,9 +517,19 @@ impl Simulation {
         if let Some(open) = &self.open {
             dt = dt.min(open.next_arrival().saturating_since(self.now).max(slack));
         }
-        // Governor decisions and trace samples.
+        // Forced governor decisions (cadence deadlines, or the
+        // event-driven `max_hold` fallback) and trace samples. Event
+        // *triggers* are predicted per package in the loop below.
+        let dvfs_event = self.cfg.dvfs.as_ref().is_some_and(|s| s.event_driven);
+        let util_cap_s = self
+            .cfg
+            .dvfs
+            .as_ref()
+            .map_or(0.0, |s| s.interval.as_secs_f64());
         if self.cfg.dvfs.is_some() {
-            dt = dt.min(self.next_dvfs_decision.saturating_since(self.now));
+            for next in self.dvfs_next.iter().flatten() {
+                dt = dt.min(next.saturating_since(self.now));
+            }
         }
         if let Some(due) = self.next_thermal_sample {
             dt = dt.min(due.saturating_since(self.now));
@@ -509,6 +606,74 @@ impl Simulation {
                     }
                     if let Some(dwell) = rt.program.time_to_phase_change() {
                         dt = dt.min(dwell);
+                    }
+                }
+            }
+            // Event-driven governor triggers: bound the span by the
+            // predicted escape time of the last decision's hold bands,
+            // so a trigger lands on a step end instead of drifting up
+            // to a whole stride late. Steady packages (signals parked
+            // inside their bands) impose no bound at all — exactly the
+            // strides the fixed 10 ms cadence used to floor.
+            if dvfs_event {
+                match &self.dvfs_hold[pkg] {
+                    // First decision still pending: it fires next step.
+                    None => dt = dt.min(tick),
+                    Some(hold) => {
+                        if let Some((lo, hi)) = hold.utilization {
+                            // The instantaneous busy fraction is
+                            // constant within a span (dispatches,
+                            // blocks, wakes, and throttle flips all end
+                            // spans), so the windowed drift and its
+                            // band crossings are in closed form.
+                            let b = if pkg_running {
+                                cpus.iter()
+                                    .filter(|&&c| self.sys.current(c).is_some())
+                                    .count() as f64
+                                    / cpus.len() as f64
+                            } else {
+                                0.0
+                            };
+                            let busy = self.dvfs_busy[pkg];
+                            let window = self.dvfs_window[pkg].as_secs_f64();
+                            // Where the windowed utilization will sit
+                            // at the next step end: already at the
+                            // asymptote for a just-reset window.
+                            let u0 = if window > 0.0 { busy / window } else { b };
+                            if u0 < lo || u0 > hi {
+                                // Already escaped (e.g. the busy
+                                // fraction jumped right after a
+                                // decision): the trigger fires at the
+                                // next step, at tick granularity.
+                                dt = dt.min(tick);
+                            } else {
+                                for edge in [lo, hi] {
+                                    if let Some(s) =
+                                        utilization_crossing_s(busy, window, b, edge, util_cap_s)
+                                    {
+                                        dt = dt.min(SimDuration::from_micros((s * 1e6) as u64));
+                                    }
+                                }
+                            }
+                        }
+                        if let Some((lo, hi)) = hold.thermal_power {
+                            let avg = self.power.thermal_power_sum(cpus).0;
+                            if avg < lo.0 || avg > hi.0 {
+                                // Already escaped: the trigger fires at
+                                // the next step, at tick granularity.
+                                dt = dt.min(tick);
+                            } else if dt > tick {
+                                // Same closed-form first-order crossing
+                                // the throttle-flip bound uses.
+                                let sample =
+                                    self.predicted_package_sample(pkg, cpus, threads_per_core);
+                                for edge in [lo.0, hi.0] {
+                                    if let Some(t) = crossing_time_s(avg, sample, edge, tau_s) {
+                                        dt = dt.min(SimDuration::from_micros((t * 1e6) as u64));
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -755,21 +920,28 @@ impl Simulation {
         }
     }
 
-    /// Advances P-state residency and, at every governor interval,
-    /// lets each package's governor pick its next P-state from the
-    /// same thermal-power signal the throttle controllers watch.
+    /// Advances P-state residency and re-runs each package's governor
+    /// at its decision points: event triggers (the default — the
+    /// windowed utilization or the thermal power left the
+    /// [`DecisionHold`] band of the last decision, both fed from the
+    /// same signals the throttle controllers watch) or the fixed
+    /// cadence of the measured baseline.
     fn dvfs_tick(&mut self, dt: SimDuration) {
         for dom in &mut self.machine.freq_domains {
             dom.advance(dt);
         }
         let Some(spec) = &self.cfg.dvfs else { return };
-        // Accumulate busy time every tick so a task blocking and
+        let event_driven = spec.event_driven;
+        let interval = spec.interval;
+        let max_hold = spec.max_hold;
+        // Accumulate busy time every step so a task blocking and
         // waking between decisions still shows up as load. A package
         // halted by the throttle executes nothing, whatever its
         // runqueues hold — mirroring `physics_tick`'s notion of
         // executing, so a throttled package reads as idle and the
         // governor downclocks to relieve the pressure.
         for pkg in 0..self.pkg_cpus.len() {
+            self.dvfs_window[pkg] += dt;
             if self.machine.throttles[pkg].state() != ThrottleState::Running {
                 continue;
             }
@@ -781,30 +953,74 @@ impl Simulation {
             let share = busy as f64 / cpus.len() as f64 * dt.as_secs_f64();
             self.dvfs_busy[pkg] += share;
         }
-        self.dvfs_window += dt;
-        if self.now < self.next_dvfs_decision {
-            return;
-        }
-        self.next_dvfs_decision = self.now + spec.interval;
-        let window = self.dvfs_window.as_secs_f64();
-        self.dvfs_window = SimDuration::ZERO;
         for pkg in 0..self.pkg_cpus.len() {
-            let cpus = &self.pkg_cpus[pkg];
-            let utilization = if window > 0.0 {
-                (self.dvfs_busy[pkg] / window).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
-            let input = GovernorInput {
-                thermal_power: self.power.thermal_power_sum(cpus),
-                budget: self.power.max_power_sum(cpus),
-                idle_floor: self.machine.truth().halt_power,
-                utilization,
-            };
-            self.dvfs_busy[pkg] = 0.0;
-            let next = self.governors[pkg].decide(&input, &self.machine.freq_domains[pkg]);
-            self.machine.freq_domains[pkg].set_state(next);
+            if event_driven && self.dvfs_window[pkg] > interval {
+                // Cap the utilization window at the cadence interval:
+                // without decisions to reset it, an unbounded window
+                // would make utilization arbitrarily sluggish. The
+                // renormalisation keeps it exactly as responsive as
+                // the baseline's between-decision windows.
+                let scale = interval.ratio(self.dvfs_window[pkg]);
+                self.dvfs_busy[pkg] *= scale;
+                self.dvfs_window[pkg] = interval;
+            }
+            let due_by_deadline = self.dvfs_next[pkg].is_some_and(|t| self.now >= t);
+            let due = due_by_deadline
+                || (event_driven
+                    && match &self.dvfs_hold[pkg] {
+                        None => true,
+                        Some(hold) => hold.is_escaped(
+                            windowed_utilization(
+                                self.dvfs_busy[pkg],
+                                self.dvfs_window[pkg],
+                                self.dvfs_util[pkg],
+                            ),
+                            self.power.thermal_power_sum(&self.pkg_cpus[pkg]),
+                        ),
+                    });
+            if due {
+                self.dvfs_decide(pkg, interval, event_driven, max_hold);
+            }
         }
+    }
+
+    /// One governor decision for `pkg`: assembles the input from the
+    /// accumulated utilization window and the thermal-power signal,
+    /// lets the governor pick the P-state, and re-arms the package's
+    /// next decision point (hold bands and optional fallback deadline
+    /// when event-driven, the fixed cadence otherwise).
+    fn dvfs_decide(
+        &mut self,
+        pkg: usize,
+        interval: SimDuration,
+        event_driven: bool,
+        max_hold: Option<SimDuration>,
+    ) {
+        let utilization = windowed_utilization(
+            self.dvfs_busy[pkg],
+            self.dvfs_window[pkg],
+            self.dvfs_util[pkg],
+        );
+        let cpus = &self.pkg_cpus[pkg];
+        let input = GovernorInput {
+            thermal_power: self.power.thermal_power_sum(cpus),
+            budget: self.power.max_power_sum(cpus),
+            idle_floor: self.machine.truth().halt_power,
+            utilization,
+        };
+        self.dvfs_busy[pkg] = 0.0;
+        self.dvfs_window[pkg] = SimDuration::ZERO;
+        self.dvfs_util[pkg] = utilization;
+        self.dvfs_decisions += 1;
+        let next = self.governors[pkg].decide(&input, &self.machine.freq_domains[pkg]);
+        if event_driven {
+            self.dvfs_hold[pkg] =
+                Some(self.governors[pkg].hold(&input, &self.machine.freq_domains[pkg], next));
+            self.dvfs_next[pkg] = max_hold.map(|h| self.now + h);
+        } else {
+            self.dvfs_next[pkg] = Some(self.now + interval);
+        }
+        self.machine.freq_domains[pkg].set_state(next);
     }
 
     /// Scheduler work for one tick: timeslices, completions, blocking,
@@ -1127,6 +1343,7 @@ impl Simulation {
             avg_scaled_fraction,
             mean_frequency,
             dvfs_transitions: domains.iter().map(|d| d.transitions()).sum(),
+            dvfs_decisions: self.dvfs_decisions,
             max_package_temp: self.max_temp,
             true_energy: self.true_energy,
             estimated_energy: self.estimated_energy,
@@ -1480,6 +1697,203 @@ mod tests {
         // Idle packages burn halt power regardless of their clock, so
         // the report's mean frequency reflects the idle downclocking.
         assert!(sim.report().mean_frequency.as_ghz() < 2.2);
+    }
+
+    #[test]
+    #[allow(clippy::zero_divided_by_zero)]
+    fn windowed_utilization_guards_zero_windows() {
+        // The bug the guard fixes: the old expression was
+        // `(busy / window).clamp(0.0, 1.0)`, and `f64::clamp`
+        // propagates the 0/0 NaN straight into `GovernorInput`.
+        assert!((0.0_f64 / 0.0).clamp(0.0, 1.0).is_nan());
+        let carried = windowed_utilization(0.0, SimDuration::ZERO, 0.42);
+        assert_eq!(carried, 0.42);
+        // Non-degenerate windows behave exactly as before.
+        assert_eq!(
+            windowed_utilization(0.005, SimDuration::from_millis(10), 0.42),
+            0.5
+        );
+        assert_eq!(
+            windowed_utilization(99.0, SimDuration::from_millis(10), 0.0),
+            1.0
+        );
+    }
+
+    #[test]
+    fn zero_width_decision_window_carries_utilization() {
+        // A decision forced on a zero-width window (an event trigger
+        // coinciding with the step that reset the window) must carry
+        // the previous utilization — never a NaN — and leave the
+        // governors on sane frequencies.
+        let cfg = quick_cfg()
+            .energy_aware(false)
+            .dvfs_governor(ebs_dvfs::GovernorKind::OnDemand);
+        let mut sim = Simulation::new(cfg);
+        sim.spawn_program(&catalog::aluadd());
+        sim.run_for(SimDuration::from_millis(50));
+        let before = sim.dvfs_util.clone();
+        assert!(before.iter().any(|&u| u > 0.0), "no package ever busy");
+        for pkg in 0..sim.pkg_cpus.len() {
+            sim.dvfs_busy[pkg] = 0.0;
+            sim.dvfs_window[pkg] = SimDuration::ZERO;
+            sim.dvfs_decide(pkg, SimDuration::from_millis(10), true, None);
+        }
+        for (pkg, &u) in sim.dvfs_util.iter().enumerate() {
+            assert!(u.is_finite(), "package {pkg} utilization became {u}");
+            assert_eq!(u, before[pkg], "package {pkg} lost its utilization");
+        }
+        // The governors decided from the carried signal, so the busy
+        // package holds nominal while the idle ones stay downclocked.
+        sim.run_for(SimDuration::from_secs(1));
+        let report = sim.report();
+        assert!(report.mean_frequency.0.is_finite());
+        assert!(report.instructions_retired > 0);
+    }
+
+    #[test]
+    fn utilization_crossing_matches_discrete_accumulation() {
+        // The closed form the stride bound uses, against a brute-force
+        // replay of dvfs_tick's accumulate-and-cap loop.
+        let brute = |mut busy: f64, mut window: f64, b: f64, target: f64, cap: f64| -> f64 {
+            let dt = 1e-4;
+            let mut t = 0.0;
+            let start = if window > 0.0 { busy / window } else { b };
+            for _ in 0..2_000_000 {
+                busy += b * dt;
+                window += dt;
+                if window > cap {
+                    busy *= cap / window;
+                    window = cap;
+                }
+                t += dt;
+                let u = busy / window;
+                if (start < target && u >= target) || (start > target && u <= target) {
+                    return t;
+                }
+            }
+            f64::INFINITY
+        };
+        for (busy, window, b, target) in [
+            (0.002, 0.01, 1.0, 0.5),    // rising within the window
+            (0.009, 0.01, 0.0, 0.3),    // falling, crosses after the cap
+            (0.0045, 0.005, 0.25, 0.6), // growing window, rising
+        ] {
+            let cap = 0.01;
+            let predicted =
+                utilization_crossing_s(busy, window, b, target, cap).expect("crossing exists");
+            let simulated = brute(busy, window, b, target, cap);
+            assert!(
+                (predicted - simulated).abs() <= 0.1 * simulated + 2e-4,
+                "crossing mismatch for ({busy},{window},{b},{target}): \
+                 predicted {predicted}, simulated {simulated}"
+            );
+        }
+        // No crossing when the asymptote never reaches the target.
+        assert_eq!(utilization_crossing_s(0.002, 0.01, 0.4, 0.5, 0.01), None);
+        assert_eq!(
+            utilization_crossing_s(0.002, 0.01, 0.2, f64::INFINITY, 0.01),
+            None
+        );
+        // Zero-width window: utilization is already at the asymptote.
+        assert_eq!(utilization_crossing_s(0.0, 0.0, 0.5, 0.7, 0.01), None);
+    }
+
+    #[test]
+    fn event_driven_governors_decide_rarely_when_steady() {
+        // A steady machine — one always-busy task, everything else
+        // idle — gives the cadence baseline nothing to do, yet it still
+        // pays one decision per package per 10 ms. The event-driven
+        // path answers once and holds.
+        let run = |event: bool| {
+            let cfg = quick_cfg()
+                .energy_aware(false)
+                .throttling(false)
+                .dvfs_governor(ebs_dvfs::GovernorKind::OnDemand)
+                .dvfs_event_driven(event);
+            let mut sim = Simulation::new(cfg);
+            sim.spawn_program(&catalog::aluadd());
+            sim.run_for(SimDuration::from_secs(5));
+            sim.report()
+        };
+        let cadence = run(false);
+        let event = run(true);
+        // 8 packages × 500 intervals for the baseline.
+        assert!(
+            cadence.dvfs_decisions >= 4_000,
+            "{}",
+            cadence.dvfs_decisions
+        );
+        assert!(
+            event.dvfs_decisions * 20 < cadence.dvfs_decisions,
+            "event-driven path still decides constantly: {} vs {}",
+            event.dvfs_decisions,
+            cadence.dvfs_decisions
+        );
+        // Same enforcement outcome within tolerance.
+        let rel = (cadence.instructions_retired as f64 - event.instructions_retired as f64).abs()
+            / cadence.instructions_retired as f64;
+        assert!(rel < 0.03, "work drifted {rel}");
+        assert_eq!(cadence.pstate_residency.len(), event.pstate_residency.len());
+    }
+
+    #[test]
+    fn event_driven_dvfs_lifts_the_stride_floor() {
+        // The ROADMAP item this PR closes: in strided DVFS cells the
+        // 10 ms cadence floored every span. Event-driven governors let
+        // steady spans stretch toward the 25 ms cap, so the engine
+        // takes measurably fewer steps for the same simulated time —
+        // a counter-based claim, immune to wall-clock noise.
+        let run = |event: bool| {
+            let cfg = quick_cfg()
+                .strided()
+                .energy_aware(false)
+                .throttling(false)
+                .dvfs_governor(ebs_dvfs::GovernorKind::OnDemand)
+                .dvfs_event_driven(event);
+            let mut sim = Simulation::new(cfg);
+            sim.spawn_program(&catalog::aluadd());
+            sim.run_for(SimDuration::from_secs(5));
+            sim.report()
+        };
+        let cadence = run(false);
+        let event = run(true);
+        assert!(
+            event.engine_steps * 2 < cadence.engine_steps,
+            "strides did not stretch: {} vs {} steps",
+            event.engine_steps,
+            cadence.engine_steps
+        );
+        let rel = (cadence.instructions_retired as f64 - event.instructions_retired as f64).abs()
+            / cadence.instructions_retired as f64;
+        assert!(rel < 0.03, "work drifted {rel}");
+    }
+
+    #[test]
+    fn event_driven_thermal_governor_still_enforces_budget() {
+        // ThermalAware's hold band tops out exactly at the engagement
+        // target, so event-driven enforcement reacts no later than the
+        // cadence baseline did.
+        let cfg = quick_cfg()
+            .max_power(crate::MaxPowerSpec::PerLogical(Watts(40.0)))
+            .energy_aware(false)
+            .throttling(false)
+            .dvfs_governor(ebs_dvfs::GovernorKind::ThermalAware);
+        let mut sim = Simulation::new(cfg);
+        sim.spawn_program(&catalog::bitcnts());
+        sim.run_for(SimDuration::from_secs(90));
+        let report = sim.report();
+        assert!(report.avg_scaled_fraction > 0.05);
+        let hottest = (0..8)
+            .map(|c| sim.power_state().thermal_power(CpuId(c)).0)
+            .fold(0.0_f64, f64::max);
+        assert!(hottest < 40.0, "budget exceeded: {hottest}");
+        // And it needed far fewer decisions than the 10 ms cadence
+        // would have paid (8 packages × 9000 intervals).
+        assert!(
+            report.dvfs_decisions < 72_000 / 10,
+            "too many decisions: {}",
+            report.dvfs_decisions
+        );
     }
 
     #[test]

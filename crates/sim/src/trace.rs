@@ -221,6 +221,11 @@ pub struct SimReport {
     pub mean_frequency: Hertz,
     /// Total P-state transitions performed by the governors.
     pub dvfs_transitions: u64,
+    /// Governor decisions taken (a decision may keep the state). The
+    /// fixed cadence pays one per package per interval; event-driven
+    /// governors only decide when a hold band is escaped, so this is
+    /// the direct measure of the wake-ups the trigger API removes.
+    pub dvfs_decisions: u64,
     /// Hottest package temperature seen during the run.
     pub max_package_temp: Celsius,
     /// Ground-truth energy the machine physically dissipated.
@@ -369,6 +374,7 @@ mod tests {
             avg_scaled_fraction: 0.0,
             mean_frequency: Hertz::from_ghz(2.2),
             dvfs_transitions: 0,
+            dvfs_decisions: 0,
             max_package_temp: Celsius(22.0),
             true_energy: Joules::ZERO,
             estimated_energy: Joules::ZERO,
@@ -418,6 +424,7 @@ mod tests {
             avg_scaled_fraction: 0.0,
             mean_frequency: Hertz::from_ghz(2.2),
             dvfs_transitions: 0,
+            dvfs_decisions: 0,
             max_package_temp: Celsius(22.0),
             true_energy: Joules(100.0),
             estimated_energy: Joules(95.0),

@@ -1,0 +1,191 @@
+//! Equivalence suite for event-driven DVFS governors.
+//!
+//! Mirrors the engine-core equivalence suite's two layers:
+//!
+//! 1. **Bit-identity for degenerate triggers**: with a [`Fixed`]
+//!    governor (whose [`DecisionHold`] never expires) and
+//!    `max_hold == interval`, the event-driven path decides at exactly
+//!    the cadence instants — so it must produce byte-for-byte the same
+//!    reports as the cadence baseline, on both engine cores.
+//! 2. **Tolerance for real triggers**: across topology presets ×
+//!    governors × seeds, event-driven runs must agree with cadence
+//!    runs within the engine-core suite's tolerances — arrivals
+//!    exactly (pure function of the clock), instructions/energy within
+//!    3 %, temperature within 1.5 K, latency percentiles within
+//!    15 %/25 % — while taking strictly fewer governor decisions.
+
+use ebs_dvfs::GovernorKind;
+use ebs_sim::{DvfsSpec, MaxPowerSpec, SimConfig, SimReport, Simulation};
+use ebs_topology::TopologyPreset;
+use ebs_units::{SimDuration, Watts};
+use ebs_workloads::{catalog, section61_mix, LoadCurve, OpenWorkload};
+use proptest::prelude::*;
+
+fn fingerprint(r: &SimReport) -> String {
+    format!("{r:?}")
+}
+
+fn run(cfg: SimConfig, mix: usize, duration: SimDuration) -> SimReport {
+    let mut sim = Simulation::new(cfg);
+    if mix > 0 {
+        sim.spawn_mix(&section61_mix(), mix);
+    }
+    sim.run_for(duration);
+    sim.report()
+}
+
+#[test]
+fn degenerate_triggers_are_bit_identical_to_the_cadence() {
+    // Fixed(2) pins the clock below nominal so the DVFS subsystem is
+    // actually exercised (scaled execution, residency accounting), and
+    // its hold never expires — the only decision points left in
+    // event-driven mode are the max_hold fallbacks, configured to the
+    // cadence interval.
+    let spec = |event: bool| DvfsSpec {
+        governor: GovernorKind::Fixed(2),
+        event_driven: event,
+        max_hold: event.then(|| DvfsSpec::default().interval),
+        ..DvfsSpec::default()
+    };
+    for strided in [false, true] {
+        let base = || {
+            let cfg = SimConfig::xseries445()
+                .smt(false)
+                .max_power(MaxPowerSpec::PerPackage(Watts(40.0)))
+                .seed(3);
+            if strided {
+                cfg.strided()
+            } else {
+                cfg
+            }
+        };
+        let duration = SimDuration::from_secs(3);
+        let cadence = fingerprint(&run(base().dvfs(spec(false)), 3, duration));
+        let event = fingerprint(&run(base().dvfs(spec(true)), 3, duration));
+        assert_eq!(
+            cadence, event,
+            "degenerate event-driven config diverged from the cadence \
+             (strided = {strided})"
+        );
+    }
+}
+
+fn preset(idx: usize) -> TopologyPreset {
+    [
+        TopologyPreset::Dual,
+        TopologyPreset::XSeries445 { smt: false },
+        TopologyPreset::XSeries445 { smt: true },
+        TopologyPreset::Numa16,
+    ][idx]
+}
+
+fn governor(idx: usize) -> GovernorKind {
+    [
+        GovernorKind::OnDemand,
+        GovernorKind::ThermalAware,
+        GovernorKind::Fixed(1),
+    ][idx]
+        .clone()
+}
+
+/// An open-workload cell under budget pressure, so both the
+/// utilization-driven and the thermal governors actually move.
+fn open_cfg(preset_idx: usize, governor_idx: usize, seed: u64, event: bool) -> SimConfig {
+    let shape = preset(preset_idx).builder();
+    let workload = OpenWorkload::new(
+        vec![catalog::bitcnts(), catalog::memrw(), catalog::aluadd()],
+        1.2 * shape.n_cores() as f64,
+    )
+    .curve(LoadCurve::Diurnal {
+        period: SimDuration::from_secs(4),
+        floor: 0.3,
+    })
+    .service_work(200_000_000, 500_000_000);
+    SimConfig::with_topology(shape)
+        .seed(seed)
+        .respawn(false)
+        .throttling(false)
+        .max_power(MaxPowerSpec::PerLogical(Watts(45.0)))
+        .open_workload(workload)
+        .strided()
+        .dvfs_governor(governor(governor_idx))
+        .dvfs_event_driven(event)
+}
+
+fn rel(a: f64, b: f64) -> f64 {
+    if a == 0.0 && b == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / a.abs().max(b.abs())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Event-driven vs cadence across presets × governors: identical
+    /// arrival streams, headline metrics within the engine-core
+    /// equivalence tolerances, fewer governor wake-ups.
+    #[test]
+    fn event_driven_matches_cadence_within_tolerance(
+        preset_idx in 0usize..4,
+        governor_idx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let duration = SimDuration::from_secs(4);
+        let cadence = run(open_cfg(preset_idx, governor_idx, seed, false), 0, duration);
+        let event = run(open_cfg(preset_idx, governor_idx, seed, true), 0, duration);
+
+        prop_assert_eq!(cadence.arrivals, event.arrivals);
+        prop_assert_eq!(cadence.duration, event.duration);
+        prop_assert!(
+            rel(cadence.instructions_retired as f64, event.instructions_retired as f64) < 0.03,
+            "instructions: {} vs {}", cadence.instructions_retired, event.instructions_retired
+        );
+        prop_assert!(
+            rel(cadence.true_energy.0, event.true_energy.0) < 0.03,
+            "energy: {:?} vs {:?}", cadence.true_energy, event.true_energy
+        );
+        prop_assert!(
+            (cadence.max_package_temp.0 - event.max_package_temp.0).abs() < 1.5,
+            "max temp: {:?} vs {:?}", cadence.max_package_temp, event.max_package_temp
+        );
+        prop_assert!(
+            cadence.completions.abs_diff(event.completions) <= 3,
+            "completions: {} vs {}", cadence.completions, event.completions
+        );
+        if cadence.latency.count > 20 && event.latency.count > 20 {
+            prop_assert!(
+                rel(cadence.latency.p50_s, event.latency.p50_s) < 0.15,
+                "p50: {} vs {}", cadence.latency.p50_s, event.latency.p50_s
+            );
+            prop_assert!(
+                rel(cadence.latency.p95_s, event.latency.p95_s) < 0.25,
+                "p95: {} vs {}", cadence.latency.p95_s, event.latency.p95_s
+            );
+        }
+        // The whole point: triggers fire less often than the cadence.
+        prop_assert!(
+            event.dvfs_decisions < cadence.dvfs_decisions,
+            "no decision savings: {} vs {}", event.dvfs_decisions, cadence.dvfs_decisions
+        );
+        // And no NaN ever leaks into the frequency accounting (the
+        // zero-width-window regression, observed end to end).
+        prop_assert!(event.mean_frequency.0.is_finite());
+        let fractions: f64 = event.pstate_residency.iter().map(|r| r.fraction).sum();
+        prop_assert!((fractions - 1.0).abs() < 1e-9, "residency fractions {fractions}");
+    }
+
+    /// Event-driven runs stay deterministic per seed.
+    #[test]
+    fn event_driven_runs_are_deterministic(
+        preset_idx in 0usize..4,
+        governor_idx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let duration = SimDuration::from_secs(3);
+        let a = run(open_cfg(preset_idx, governor_idx, seed, true), 0, duration);
+        let b = run(open_cfg(preset_idx, governor_idx, seed, true), 0, duration);
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}
