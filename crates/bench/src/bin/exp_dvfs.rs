@@ -1,7 +1,19 @@
-//! Runs the DVFS-vs-hlt thermal enforcement study.
+//! Runs the DVFS-vs-hlt thermal enforcement study. With `--trace` it
+//! instead runs one traced cell and exports a Perfetto timeline
+//! (`results/trace_dvfs.json`) plus the metrics-registry CSV
+//! (`results/metrics_dvfs.csv`).
 
 fn main() {
     let quick = ebs_bench::quick_requested();
+    if ebs_bench::trace_requested() {
+        let traced = ebs_bench::experiments::dvfs::traced_run(quick);
+        ebs_bench::write_artifact("trace_dvfs.json", &traced.perfetto_json)
+            .expect("trace_dvfs.json");
+        ebs_bench::write_artifact("metrics_dvfs.csv", &traced.metrics_csv)
+            .expect("metrics_dvfs.csv");
+        print!("{traced}");
+        return;
+    }
     let study = ebs_bench::experiments::dvfs::run(quick);
     ebs_bench::write_artifact("dvfs.csv", &study.to_csv()).expect("dvfs.csv");
     println!("{study}");

@@ -22,6 +22,19 @@ fn main() -> ExitCode {
             if result.passed() {
                 ExitCode::SUCCESS
             } else {
+                // Localise the first violation: replay its cell with
+                // event tracing at a one-tick stride cap and name the
+                // first divergent scheduling event.
+                if let Some(v) = result.violations.first() {
+                    println!(
+                        "replaying {} with event tracing to localise the drift:",
+                        v.key
+                    );
+                    print!(
+                        "{}",
+                        ebs_bench::experiments::scaling_gate::trace_diff_summary(&v.key)
+                    );
+                }
                 ExitCode::FAILURE
             }
         }

@@ -1,0 +1,50 @@
+//! Trace-diff debugging tool: replays one scaling-sweep cell on both
+//! engine cores (stride cap pinned to one tick, event tracing on) and
+//! prints the first divergent event, or that the traced streams
+//! match.
+//!
+//! Usage:
+//!
+//! ```text
+//! exp_trace_diff [topology/curve/policy] [--seed-b N]
+//! ```
+//!
+//! With `--seed-b N` the cell is instead replayed on the strided core
+//! under its sweep seed and seed `N` — a demonstration mode whose
+//! divergence is expected at the first seed-driven arrival.
+
+use ebs_bench::experiments::trace_diff;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut key: Option<String> = None;
+    let mut seed_b: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--seed-b" {
+            seed_b = args.get(i + 1).and_then(|s| s.parse().ok());
+            i += 2;
+        } else {
+            if !args[i].starts_with("--") && key.is_none() {
+                key = Some(args[i].clone());
+            }
+            i += 1;
+        }
+    }
+    let key = key.as_deref().unwrap_or(trace_diff::DEFAULT_KEY);
+    let result = match seed_b {
+        Some(seed) => trace_diff::seeds(key, seed),
+        None => trace_diff::engines(key),
+    };
+    match result {
+        Ok(diff) => {
+            print!("{diff}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("trace-diff error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

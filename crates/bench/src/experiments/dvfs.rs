@@ -21,7 +21,7 @@
 
 use crate::fmt::{pct, Table};
 use ebs_dvfs::GovernorKind;
-use ebs_sim::{run_seeds, DvfsSpec, MaxPowerSpec, SimConfig, SimReport};
+use ebs_sim::{run_seeds, DvfsSpec, MaxPowerSpec, SimConfig, SimReport, Simulation};
 use ebs_units::{SimDuration, Watts};
 use ebs_workloads::section61_mix;
 use std::time::Instant;
@@ -163,6 +163,66 @@ pub fn run(quick: bool) -> DvfsStudy {
         rows.push(row);
     }
     DvfsStudy { rows }
+}
+
+/// One traced run's artefacts (the `--trace` mode of `exp_dvfs`).
+#[derive(Clone, Debug)]
+pub struct TracedDvfs {
+    /// Simulated horizon of the run.
+    pub duration: SimDuration,
+    /// Scheduling events recorded.
+    pub events: usize,
+    /// Metrics snapshots taken (100 ms cadence).
+    pub snapshots: usize,
+    /// The Perfetto/Chrome trace-event document (`trace_dvfs.json`).
+    pub perfetto_json: String,
+    /// The metrics-registry snapshot table (`metrics_dvfs.csv`).
+    pub metrics_csv: String,
+}
+
+impl core::fmt::Display for TracedDvfs {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "traced DVFS run (dvfs + hlt backstop, seed {}, {:.0} s): \
+             {} scheduling events, {} metrics snapshots",
+            crate::SEEDS[0],
+            self.duration.as_secs_f64(),
+            self.events,
+            self.snapshots
+        )?;
+        writeln!(
+            f,
+            "open results/trace_dvfs.json in Perfetto (ui.perfetto.dev) or \
+             chrome://tracing; results/metrics_dvfs.csv holds the counter table"
+        )
+    }
+}
+
+/// Runs the backstop variant once with the full observability stack
+/// on — event tracing, 100 ms metrics snapshots, the 100 ms thermal
+/// trace — and exports the Perfetto document plus the metrics CSV.
+/// One seed, shorter horizon than the study: the artefact is for
+/// humans scrubbing a timeline, not for averaged numbers.
+pub fn traced_run(quick: bool) -> TracedDvfs {
+    let duration = SimDuration::from_secs(if quick { 20 } else { 60 });
+    let cfg = base_config()
+        .dvfs_governor(GovernorKind::ThermalAware)
+        .throttling(true)
+        .seed(crate::SEEDS[0])
+        .trace_events(true)
+        .metrics_every(SimDuration::from_millis(100))
+        .trace_thermal(SimDuration::from_millis(100));
+    let mut sim = Simulation::new(cfg);
+    sim.spawn_mix(&section61_mix(), 3);
+    sim.run_for(duration);
+    TracedDvfs {
+        duration,
+        events: sim.events().map_or(0, |t| t.len()),
+        snapshots: sim.metrics().map_or(0, |m| m.snapshots().len()),
+        perfetto_json: sim.perfetto_json().expect("event tracing is on"),
+        metrics_csv: sim.metrics().expect("metrics are on").to_csv(),
+    }
 }
 
 impl DvfsStudy {
@@ -307,6 +367,54 @@ mod tests {
             "event-driven path saved no wake-ups: {} vs {}",
             dvfs.dvfs_decisions,
             cadence.dvfs_decisions
+        );
+    }
+
+    #[test]
+    fn traced_run_exports_valid_perfetto_and_metrics() {
+        use ebs_trace::{parse_json, Json};
+        let traced = traced_run(true);
+        assert!(traced.events > 0, "no events recorded");
+        // 20 s at a 100 ms cadence: one snapshot per interval.
+        assert!(
+            traced.snapshots >= 190,
+            "only {} snapshots",
+            traced.snapshots
+        );
+        // The Perfetto document parses and carries the acceptance
+        // tracks: task slices, thermal power, and frequency counters.
+        let parsed = parse_json(&traced.perfetto_json).expect("valid JSON");
+        let list = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        let slices = list
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .count();
+        assert!(slices > 10, "expected task slices, saw {slices}");
+        let counter_has = |prefix: &str| {
+            list.iter().any(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("C")
+                    && e.get("name")
+                        .and_then(Json::as_str)
+                        .is_some_and(|n| n.starts_with(prefix))
+            })
+        };
+        assert!(counter_has("thermal.power_w."), "no thermal power track");
+        assert!(counter_has("dvfs.freq_ghz."), "no frequency track");
+        // Slice labels carry catalog program names.
+        assert!(traced.perfetto_json.contains("bitcnts"));
+        // The metrics CSV has the registry header plus one line per
+        // snapshot.
+        let header = traced.metrics_csv.lines().next().expect("header");
+        assert!(header.starts_with("time_s,"));
+        assert!(header.contains("dvfs.decisions"));
+        assert!(header.contains("sched.context_switches"));
+        assert_eq!(
+            traced.metrics_csv.lines().count(),
+            traced.snapshots + 1,
+            "one CSV line per snapshot"
         );
     }
 

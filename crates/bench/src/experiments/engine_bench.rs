@@ -51,11 +51,39 @@ pub struct EngineBenchRow {
     pub instructions: u64,
 }
 
+/// The tracing-parity measurement: one strided event-DVFS cell run
+/// bare and again with the observability stack on (event trace +
+/// phase profiler). The check is counter-based by design — the two
+/// reports must be bit-identical, which subsumes every counter — so
+/// CI wall-clock noise cannot perturb it; the wall times are recorded
+/// for the table but never asserted on.
+#[derive(Clone, Debug)]
+pub struct TraceParity {
+    /// Topology of the parity cell.
+    pub topology: &'static str,
+    /// Whether the bare and instrumented reports are bit-identical.
+    pub identical: bool,
+    /// Engine steps of the instrumented run.
+    pub steps: u64,
+    /// Scheduling events the instrumented run recorded.
+    pub events: usize,
+    /// Events the ring dropped (0: the parity run is uncapped).
+    pub dropped: u64,
+    /// Rendered per-phase wall-time profile of the instrumented run.
+    pub profile: String,
+    /// Wall seconds of the bare run (informational).
+    pub bare_wall_s: f64,
+    /// Wall seconds of the instrumented run (informational).
+    pub traced_wall_s: f64,
+}
+
 /// The benchmark result.
 #[derive(Clone, Debug)]
 pub struct EngineBench {
     /// Rows in (topology, mode) order, fixed before strided.
     pub rows: Vec<EngineBenchRow>,
+    /// The tracing-overhead / self-profiling measurement.
+    pub parity: TraceParity,
 }
 
 fn cell(preset: TopologyPreset, strided: bool, dvfs: &str) -> SimConfig {
@@ -139,7 +167,38 @@ pub fn run(quick: bool) -> EngineBench {
             });
         }
     }
-    EngineBench { rows }
+    let parity = trace_parity(duration);
+    EngineBench { rows, parity }
+}
+
+/// Runs the parity cell: the strided event-DVFS xseries445 shape,
+/// bare vs instrumented (event tracing + engine self-profiling).
+fn trace_parity(duration: SimDuration) -> TraceParity {
+    let preset = TopologyPreset::XSeries445 { smt: false };
+    let cfg = cell(preset, true, "event");
+    let start = Instant::now();
+    let mut bare = Simulation::new(cfg.clone());
+    bare.run_for(duration);
+    let bare_wall_s = start.elapsed().as_secs_f64();
+    let bare_report = bare.report();
+    let start = Instant::now();
+    let mut traced = Simulation::new(cfg.trace_events(true).profile_engine(true));
+    traced.run_for(duration);
+    let traced_wall_s = start.elapsed().as_secs_f64();
+    let traced_report = traced.report();
+    TraceParity {
+        topology: preset.name(),
+        identical: format!("{bare_report:?}") == format!("{traced_report:?}"),
+        steps: traced_report.engine_steps,
+        events: traced.events().map_or(0, |t| t.len()),
+        dropped: traced.events().map_or(0, |t| t.dropped()),
+        profile: traced
+            .engine_profile()
+            .map(|p| p.to_string())
+            .unwrap_or_default(),
+        bare_wall_s,
+        traced_wall_s,
+    }
 }
 
 impl EngineBench {
@@ -243,7 +302,29 @@ impl core::fmt::Display for EngineBench {
                 )?;
             }
         }
-        Ok(())
+        writeln!(
+            f,
+            "\nEngine self-profile ({} strided event-DVFS cell, event tracing + \
+             phase profiler on):",
+            self.parity.topology
+        )?;
+        write!(f, "{}", self.parity.profile)?;
+        writeln!(
+            f,
+            "trace parity: reports {} with tracing on; {} events recorded \
+             ({} dropped), {} engine steps; wall {:.3}s bare vs {:.3}s traced \
+             (informational)",
+            if self.parity.identical {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            },
+            self.parity.events,
+            self.parity.dropped,
+            self.parity.steps,
+            self.parity.bare_wall_s,
+            self.parity.traced_wall_s,
+        )
     }
 }
 
@@ -300,5 +381,29 @@ mod tests {
         }
         let csv = bench.to_csv();
         assert_eq!(csv.lines().count(), 9);
+        // The observability stack must not perturb the simulation:
+        // bit-identical reports subsume every counter comparison, and
+        // the phase profile covers the whole loop. All counter-based —
+        // no wall-clock assertions.
+        let parity = &bench.parity;
+        assert!(parity.identical, "tracing perturbed the report");
+        assert!(parity.events > 0, "no events recorded");
+        assert_eq!(parity.dropped, 0, "uncapped ring dropped events");
+        for phase in [
+            "stride",
+            "arrivals",
+            "physics",
+            "throttle",
+            "dvfs",
+            "scheduler",
+            "sampling",
+        ] {
+            assert!(
+                parity.profile.contains(phase),
+                "phase {phase} missing from profile:\n{}",
+                parity.profile
+            );
+        }
+        assert!(bench.to_string().contains("bit-identical"));
     }
 }

@@ -15,6 +15,7 @@ pub mod scaling_gate;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod trace_diff;
 
 use ebs_units::Watts;
 use ebs_workloads::Program;

@@ -223,6 +223,26 @@ pub fn sweep_configs_with_engine(smoke: bool, strided: bool) -> Vec<(ScalingRow,
     out
 }
 
+/// Looks up one sweep cell by its `topology/curve/policy` key (the
+/// key format of `scaling.csv` and the gate's violation reports),
+/// returning its (strided, fixed-tick) config pair. Both the smoke
+/// and the full matrix are searched, so any key a sweep artifact can
+/// contain resolves; the trace-diff tooling replays these pairs.
+pub fn cell_configs(key: &str) -> Option<(SimConfig, SimConfig)> {
+    for smoke in [true, false] {
+        let fixed = sweep_configs_with_engine(smoke, false);
+        for ((row, scfg), (_, fcfg)) in sweep_configs_with_engine(smoke, true)
+            .into_iter()
+            .zip(fixed)
+        {
+            if format!("{}/{}/{}", row.topology, row.curve, row.policy) == key {
+                return Some((scfg, fcfg));
+            }
+        }
+    }
+    None
+}
+
 fn fill(row: &mut ScalingRow, report: &SimReport) {
     row.arrivals = report.arrivals;
     row.completions = report.completions;
@@ -375,6 +395,17 @@ mod tests {
             let rate = |cfg: &SimConfig| cfg.open_workload.as_ref().map(|w| w.base_rate_hz);
             assert_eq!(rate(scfg), rate(fcfg));
         }
+    }
+
+    #[test]
+    fn cell_configs_resolves_gate_keys() {
+        let (s, f) = cell_configs("dual2/burst/ea+dvfs").expect("smoke cell");
+        assert!(s.strided_enabled() && !f.strided_enabled());
+        assert_eq!(s.seed, f.seed);
+        // Keys only the full matrix holds (the step curve) resolve too.
+        assert!(cell_configs("numa64/step/stock+hlt").is_some());
+        assert!(cell_configs("numa16/step/nope").is_none());
+        assert!(cell_configs("garbage").is_none());
     }
 
     #[test]

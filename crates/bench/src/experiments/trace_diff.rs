@@ -1,0 +1,131 @@
+//! Trace-diff debugging for the gates: replays one scaling-sweep cell
+//! with event tracing on and reports the first divergent event.
+//!
+//! Two modes:
+//!
+//! - [`engines`] (the gate's failure path): fixed-tick vs strided
+//!   with the stride cap pinned to one tick. At cap == tick the two
+//!   cores must be bit-identical, so the first divergent event *is*
+//!   the regression, named as a typed scheduling event with its
+//!   timestamp instead of a whole-report fingerprint mismatch.
+//!   Identical streams mean the gate's drift came from real strides —
+//!   tolerance territory, not broken determinism.
+//! - [`seeds`]: the same strided cell under two seeds, a
+//!   demonstration mode whose divergence is expected at the first
+//!   seed-driven arrival.
+
+use crate::experiments::scaling;
+use ebs_sim::stride_divergence;
+use ebs_units::SimDuration;
+use std::fmt;
+
+/// The cell replayed when the binary gets no key argument: a DVFS
+/// smoke cell, where the stride machinery has the most moving parts.
+pub const DEFAULT_KEY: &str = "xseries445/diurnal/stock+dvfs";
+
+/// The replay horizon: the smoke sweep's own cell duration — long
+/// enough for arrivals, migrations, and governor decisions, short
+/// enough to run inside an already-failing CI job.
+fn horizon() -> SimDuration {
+    SimDuration::from_secs(6)
+}
+
+/// One trace-diff outcome.
+#[derive(Clone, Debug)]
+pub struct TraceDiff {
+    /// The `topology/curve/policy` cell key replayed.
+    pub key: String,
+    /// Human description of what was compared.
+    pub mode: String,
+    /// The verdict line: the first divergent event, or a statement
+    /// that the traced streams match.
+    pub summary: String,
+}
+
+impl fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace-diff: cell {} ({}, {:.0} s replay)",
+            self.key,
+            self.mode,
+            horizon().as_secs_f64()
+        )?;
+        writeln!(f, "  {}", self.summary)
+    }
+}
+
+/// Replays `key` on the fixed-tick core against the strided core at a
+/// one-tick stride cap.
+///
+/// # Errors
+///
+/// Returns a message when `key` names no sweep cell.
+pub fn engines(key: &str) -> Result<TraceDiff, String> {
+    let (strided, fixed) = scaling::cell_configs(key)
+        .ok_or_else(|| format!("no sweep cell named {key} (expected topology/curve/policy)"))?;
+    let summary = stride_divergence(
+        fixed,
+        strided.max_stride(SimDuration::from_millis(1)),
+        horizon(),
+        |_| {},
+    );
+    Ok(TraceDiff {
+        key: key.to_string(),
+        mode: "fixed-tick vs strided at cap = tick".to_string(),
+        summary,
+    })
+}
+
+/// Replays `key` on the strided core under its sweep seed and
+/// `seed_b`.
+///
+/// # Errors
+///
+/// Returns a message when `key` names no sweep cell.
+pub fn seeds(key: &str, seed_b: u64) -> Result<TraceDiff, String> {
+    let (strided, _) = scaling::cell_configs(key)
+        .ok_or_else(|| format!("no sweep cell named {key} (expected topology/curve/policy)"))?;
+    let summary = stride_divergence(strided.clone(), strided.seed(seed_b), horizon(), |_| {});
+    Ok(TraceDiff {
+        key: key.to_string(),
+        mode: format!("strided, sweep seed vs seed {seed_b}"),
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_replay_of_a_smoke_cell_matches_at_cap_tick() {
+        // The equivalence guarantee, observed through the event
+        // streams: at cap == tick the cores emit identical traces.
+        let diff = engines("dual2/burst/ea+dvfs").expect("known cell");
+        assert!(
+            diff.summary.contains("identical"),
+            "cores diverged at cap = tick: {}",
+            diff.summary
+        );
+        assert!(diff.to_string().contains("dual2/burst/ea+dvfs"));
+    }
+
+    #[test]
+    fn seed_replay_names_the_first_divergent_event() {
+        // Different seeds shift the first open arrival, so the diff
+        // must localise a concrete event, not just report a mismatch.
+        let diff = seeds("dual2/diurnal/stock+hlt", 77).expect("known cell");
+        assert!(
+            diff.summary.contains("first divergent event"),
+            "seeds did not diverge: {}",
+            diff.summary
+        );
+    }
+
+    #[test]
+    fn unknown_keys_are_an_error() {
+        assert!(engines("nope/nope/nope").is_err());
+        assert!(seeds("nope/nope/nope", 1).is_err());
+    }
+}

@@ -31,6 +31,12 @@ pub fn smoke_requested() -> bool {
     flag_requested("--smoke")
 }
 
+/// Returns `true` when the binary was invoked with `--trace` (emit a
+/// Perfetto trace and a metrics CSV instead of / alongside the tables).
+pub fn trace_requested() -> bool {
+    flag_requested("--trace")
+}
+
 /// Writes a results artefact (CSV or text) under `results/`.
 pub fn write_artifact(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("results");

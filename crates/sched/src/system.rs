@@ -45,6 +45,16 @@ impl MigrationReason {
             MigrationReason::Exchange => 3,
         }
     }
+
+    /// A stable human-readable label, used by event traces.
+    pub const fn name(self) -> &'static str {
+        match self {
+            MigrationReason::LoadBalance => "load-balance",
+            MigrationReason::EnergyBalance => "energy-balance",
+            MigrationReason::HotTask => "hot-task",
+            MigrationReason::Exchange => "exchange",
+        }
+    }
 }
 
 /// Aggregate scheduler statistics.
@@ -545,7 +555,7 @@ impl System {
         let now = self.now;
         let task = &mut self.tasks[id.0 as usize];
         task.set_cpu(to);
-        task.record_migration(now, cross_node);
+        task.record_migration(now, cross_node, reason);
         self.stats.migrations_by_reason[reason.index()] += 1;
     }
 

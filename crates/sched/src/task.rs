@@ -7,6 +7,7 @@
 //! of the binary it was started from, which keys the initial-placement
 //! table (Section 4.6).
 
+use crate::system::MigrationReason;
 use ebs_thermal::PowerAverage;
 use ebs_topology::CpuId;
 use ebs_units::{SimDuration, SimTime, Watts};
@@ -102,6 +103,8 @@ pub struct Task {
     /// Most recent migration: time and whether it crossed a node
     /// boundary. Consumed by the cache-warmth model.
     last_migration: Option<(SimTime, bool)>,
+    /// Why the most recent migration happened (for event tracing).
+    last_migration_reason: Option<MigrationReason>,
     /// Total number of migrations this task experienced.
     migrations: u64,
     /// Total CPU time consumed.
@@ -123,6 +126,7 @@ impl Task {
             ),
             last_scheduled: SimTime::ZERO,
             last_migration: None,
+            last_migration_reason: None,
             migrations: 0,
             cpu_time: SimDuration::ZERO,
             config,
@@ -222,8 +226,19 @@ impl Task {
         self.last_migration
     }
 
-    pub(crate) fn record_migration(&mut self, at: SimTime, cross_node: bool) {
+    /// Why the most recent migration happened, if any.
+    pub fn last_migration_reason(&self) -> Option<MigrationReason> {
+        self.last_migration_reason
+    }
+
+    pub(crate) fn record_migration(
+        &mut self,
+        at: SimTime,
+        cross_node: bool,
+        reason: MigrationReason,
+    ) {
         self.last_migration = Some((at, cross_node));
+        self.last_migration_reason = Some(reason);
         self.migrations += 1;
     }
 
@@ -305,8 +320,10 @@ mod tests {
     fn migration_bookkeeping() {
         let mut t = task();
         assert!(t.last_migration().is_none());
-        t.record_migration(SimTime::from_secs(3), true);
+        assert!(t.last_migration_reason().is_none());
+        t.record_migration(SimTime::from_secs(3), true, MigrationReason::HotTask);
         assert_eq!(t.last_migration(), Some((SimTime::from_secs(3), true)));
+        assert_eq!(t.last_migration_reason(), Some(MigrationReason::HotTask));
         assert_eq!(t.migrations(), 1);
     }
 

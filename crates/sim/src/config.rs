@@ -141,6 +141,22 @@ pub struct SimConfig {
     /// Record which CPU every task runs on, whenever it changes
     /// (fig. 9); cheap, but unneeded for most runs.
     pub task_cpu_trace: bool,
+    /// Record the structured scheduling-event trace (context switches,
+    /// migrations, governor decisions, ...). Off by default; off means
+    /// the engine allocates nothing and reports are bit-identical.
+    pub event_trace: bool,
+    /// Keep only the newest this-many events (ring buffer); `None`
+    /// keeps everything.
+    pub event_trace_cap: Option<usize>,
+    /// Snapshot the metrics registry (counters and gauges) at this
+    /// interval into a time series; `None` disables metrics entirely.
+    /// Like the thermal trace, an active snapshot cadence bounds the
+    /// variable-stride engine so snapshots land on their exact instants.
+    pub metrics_interval: Option<SimDuration>,
+    /// Measure host wall time per engine phase (stride selection,
+    /// physics, scheduler, ...). Purely an engine-side profile; the
+    /// simulation's behaviour is unaffected.
+    pub profile_engine: bool,
     /// An open workload driven by the engine: Poisson task arrivals
     /// under a load curve. `None` keeps the paper's closed model
     /// (tasks are spawned explicitly and optionally respawned).
@@ -197,6 +213,10 @@ impl SimConfig {
             respawn: true,
             thermal_trace_interval: None,
             task_cpu_trace: false,
+            event_trace: false,
+            event_trace_cap: None,
+            metrics_interval: None,
+            profile_engine: false,
             open_workload: None,
             smt_speedup: 1.25,
             warmup_ipc_floor: 0.55,
@@ -389,6 +409,31 @@ impl SimConfig {
         self
     }
 
+    /// Enables the structured scheduling-event trace.
+    pub fn trace_events(mut self, on: bool) -> Self {
+        self.event_trace = on;
+        self
+    }
+
+    /// Bounds the event trace to the newest `cap` events.
+    pub fn trace_events_cap(mut self, cap: usize) -> Self {
+        self.event_trace = true;
+        self.event_trace_cap = Some(cap);
+        self
+    }
+
+    /// Enables metrics snapshots at the given cadence.
+    pub fn metrics_every(mut self, every: SimDuration) -> Self {
+        self.metrics_interval = Some(every);
+        self
+    }
+
+    /// Enables per-phase engine self-profiling.
+    pub fn profile_engine(mut self, on: bool) -> Self {
+        self.profile_engine = on;
+        self
+    }
+
     /// Enables or disables respawning of finished tasks.
     pub fn respawn(mut self, on: bool) -> Self {
         self.respawn = on;
@@ -523,6 +568,9 @@ mod tests {
             .trace_task_cpu(true)
             .respawn(false)
             .perfect_estimation(true)
+            .trace_events(true)
+            .metrics_every(SimDuration::from_millis(250))
+            .profile_engine(true)
             .cooling_factors(vec![1.0; 8]);
         assert_eq!(cfg.seed, 99);
         assert!(!cfg.throttling);
@@ -531,6 +579,12 @@ mod tests {
         assert!(cfg.task_cpu_trace);
         assert!(!cfg.respawn);
         assert!(cfg.perfect_estimation);
+        assert!(cfg.event_trace);
+        assert_eq!(cfg.event_trace_cap, None);
+        assert_eq!(cfg.metrics_interval, Some(SimDuration::from_millis(250)));
+        assert!(cfg.profile_engine);
         assert_eq!(cfg.cooling_factors.len(), 8);
+        let cfg = cfg.trace_events_cap(1024);
+        assert_eq!(cfg.event_trace_cap, Some(1024));
     }
 }

@@ -1,0 +1,82 @@
+//! Trace-diff debugging for the equivalence gates.
+//!
+//! When two engine configurations that should agree drift apart, an
+//! aggregate-report mismatch says *that* they diverged; the event
+//! trace says *where*. These helpers re-run both cells with event
+//! tracing forced on and name the first divergent event — instant,
+//! CPU, kind — which is usually enough to localise the bug to one
+//! subsystem.
+//!
+//! Tracing never feeds back into scheduling or the RNG, so the traced
+//! re-run reproduces the original runs exactly (per the bit-identity
+//! guarantees tested in `tests/trace.rs`).
+
+use crate::config::SimConfig;
+use crate::engine::Simulation;
+use ebs_trace::{first_divergence, TraceEvent};
+use ebs_units::SimDuration;
+
+/// Runs `cfg` for `duration` with event tracing forced on (`setup`
+/// spawns the workload) and returns the recorded event stream.
+pub fn traced_events(
+    cfg: SimConfig,
+    duration: SimDuration,
+    setup: impl FnOnce(&mut Simulation),
+) -> Vec<TraceEvent> {
+    let mut sim = Simulation::new(cfg.trace_events(true));
+    setup(&mut sim);
+    sim.run_for(duration);
+    sim.events().map(|e| e.to_vec()).unwrap_or_default()
+}
+
+/// Replays two configurations over the same workload and summarises
+/// where their event streams first disagree — the gate-failure
+/// diagnostic. Returns a one-line human-readable verdict.
+///
+/// `setup` must be deterministic (it runs once per cell); spawning the
+/// same mix into both simulations qualifies.
+pub fn stride_divergence(
+    left: SimConfig,
+    right: SimConfig,
+    duration: SimDuration,
+    mut setup: impl FnMut(&mut Simulation),
+) -> String {
+    let a = traced_events(left, duration, &mut setup);
+    let b = traced_events(right, duration, &mut setup);
+    match first_divergence(&a, &b) {
+        None => format!(
+            "event streams identical ({} events) — divergence is outside the traced event set",
+            a.len()
+        ),
+        Some(d) => format!("first divergent event — {d}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_workloads::catalog;
+
+    fn cfg(seed: u64) -> SimConfig {
+        SimConfig::xseries445().smt(false).seed(seed)
+    }
+
+    #[test]
+    fn identical_cells_report_no_divergence() {
+        let text = stride_divergence(cfg(3), cfg(3), SimDuration::from_millis(300), |sim| {
+            sim.spawn_mix(&[catalog::bitcnts()], 2);
+        });
+        assert!(text.contains("identical"), "{text}");
+    }
+
+    #[test]
+    fn different_seeds_name_the_first_divergent_event() {
+        // `bash` blocks with seed-driven sleeps, so different seeds
+        // diverge within the first few slices.
+        let text = stride_divergence(cfg(3), cfg(4), SimDuration::from_secs(1), |sim| {
+            sim.spawn_mix(&[catalog::bash()], 2);
+        });
+        assert!(text.contains("first divergent event"), "{text}");
+        assert!(text.contains("[t+"), "{text}");
+    }
+}

@@ -35,6 +35,9 @@ use ebs_sched::{
 };
 use ebs_thermal::ThrottleState;
 use ebs_topology::{CpuId, Topology};
+use ebs_trace::{
+    CounterId, EventKind, EventTrace, GaugeId, MetricsRegistry, PhaseProfiler, TraceSink,
+};
 use ebs_units::{Celsius, Joules, SimDuration, SimTime, Watts};
 use ebs_workloads::{ArrivalProcess, Program, ProgramState};
 use rand::rngs::StdRng;
@@ -131,6 +134,85 @@ struct IntervalAcc {
     time: SimDuration,
 }
 
+/// Engine-phase indices into the self-profiler (names below, same
+/// order).
+const PHASE_STRIDE: usize = 0;
+const PHASE_ARRIVALS: usize = 1;
+const PHASE_PHYSICS: usize = 2;
+const PHASE_THROTTLE: usize = 3;
+const PHASE_DVFS: usize = 4;
+const PHASE_SCHED: usize = 5;
+const PHASE_SAMPLING: usize = 6;
+const PHASE_NAMES: [&str; 7] = [
+    "stride",
+    "arrivals",
+    "physics",
+    "throttle",
+    "dvfs",
+    "scheduler",
+    "sampling",
+];
+
+/// The metrics registry plus its snapshot cadence and the pre-interned
+/// counter/gauge ids, so the per-step publishing path never hashes a
+/// metric name.
+struct MetricsState {
+    reg: MetricsRegistry,
+    interval: SimDuration,
+    /// The next snapshot instant; bounds variable strides exactly like
+    /// the thermal-trace cadence does.
+    next: SimTime,
+    c_steps: CounterId,
+    c_ctx: CounterId,
+    c_migrations: CounterId,
+    c_completions: CounterId,
+    c_arrivals: CounterId,
+    c_instructions: CounterId,
+    c_dvfs_decisions: CounterId,
+    c_dvfs_transitions: CounterId,
+    c_throttle_engagements: CounterId,
+    /// Per-CPU thermal power, watts.
+    g_power: Vec<GaugeId>,
+    /// Per-CPU runqueue depth (including the running task).
+    g_rq: Vec<GaugeId>,
+    /// Per-package clock, GHz.
+    g_freq: Vec<GaugeId>,
+    /// Per-package windowed utilization, `[0, 1]`.
+    g_util: Vec<GaugeId>,
+}
+
+impl MetricsState {
+    fn new(interval: SimDuration, n_cpus: usize, n_packages: usize) -> Self {
+        let mut reg = MetricsRegistry::new();
+        MetricsState {
+            c_steps: reg.counter("engine.steps"),
+            c_instructions: reg.counter("engine.instructions"),
+            c_ctx: reg.counter("sched.context_switches"),
+            c_migrations: reg.counter("sched.migrations"),
+            c_completions: reg.counter("sched.completions"),
+            c_arrivals: reg.counter("workloads.arrivals"),
+            c_dvfs_decisions: reg.counter("dvfs.decisions"),
+            c_dvfs_transitions: reg.counter("dvfs.transitions"),
+            c_throttle_engagements: reg.counter("thermal.throttle_engagements"),
+            g_power: (0..n_cpus)
+                .map(|c| reg.gauge(&format!("thermal.power_w.cpu{c}")))
+                .collect(),
+            g_rq: (0..n_cpus)
+                .map(|c| reg.gauge(&format!("sched.runqueue.cpu{c}")))
+                .collect(),
+            g_freq: (0..n_packages)
+                .map(|p| reg.gauge(&format!("dvfs.freq_ghz.pkg{p}")))
+                .collect(),
+            g_util: (0..n_packages)
+                .map(|p| reg.gauge(&format!("dvfs.util.pkg{p}")))
+                .collect(),
+            reg,
+            interval,
+            next: SimTime::ZERO,
+        }
+    }
+}
+
 /// A complete simulation: machine, scheduler, policies, and statistics.
 pub struct Simulation {
     cfg: SimConfig,
@@ -214,6 +296,13 @@ pub struct Simulation {
     thermal_trace: ThermalTrace,
     next_thermal_sample: Option<SimTime>,
     task_trace: TaskCpuTrace,
+    /// Structured scheduling-event trace (`None` when disabled: the
+    /// disabled path is a single branch and allocates nothing).
+    tracer: Option<EventTrace>,
+    /// Metrics registry with its snapshot cadence (`None` = disabled).
+    metrics: Option<Box<MetricsState>>,
+    /// Host wall-time self-profile per engine phase.
+    profiler: Option<PhaseProfiler>,
     /// Per-task successive-timeslice power samples (Table 1), recorded
     /// when enabled via [`Simulation::record_slice_powers`].
     slice_powers: Option<HashMap<TaskId, Vec<Watts>>>,
@@ -276,6 +365,11 @@ impl Simulation {
             ramp_cross_node: cfg.warmup_instructions_cross_node,
         };
         let next_thermal_sample = cfg.thermal_trace_interval.map(|_| SimTime::ZERO);
+        let tracer = cfg.event_trace.then(|| match cfg.event_trace_cap {
+            Some(cap) => EventTrace::with_capacity(cap),
+            None => EventTrace::new(),
+        });
+        let profiler = cfg.profile_engine.then(|| PhaseProfiler::new(&PHASE_NAMES));
         let governors: Vec<Box<dyn Governor + Send>> = match &cfg.dvfs {
             Some(spec) => (0..sys.topology().n_packages())
                 .map(|_| spec.governor.build())
@@ -330,6 +424,11 @@ impl Simulation {
             thermal_trace: ThermalTrace::default(),
             next_thermal_sample,
             task_trace: TaskCpuTrace::default(),
+            tracer,
+            metrics: cfg
+                .metrics_interval
+                .map(|every| Box::new(MetricsState::new(every, n_cpus, n_packages))),
+            profiler,
             slice_powers: None,
             machine,
             cfg,
@@ -379,6 +478,80 @@ impl Simulation {
     /// The task-placement trace (empty unless enabled in the config).
     pub fn task_trace(&self) -> &TaskCpuTrace {
         &self.task_trace
+    }
+
+    /// The structured event trace (`None` unless enabled).
+    pub fn events(&self) -> Option<&EventTrace> {
+        self.tracer.as_ref()
+    }
+
+    /// The metrics registry (`None` unless enabled).
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_deref().map(|m| &m.reg)
+    }
+
+    /// The engine self-profile (`None` unless enabled).
+    pub fn engine_profile(&self) -> Option<&PhaseProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// The run so far as a Chrome trace-event JSON document (openable
+    /// in `ui.perfetto.dev`), with counter tracks from the metrics
+    /// registry when it is enabled. `None` unless event tracing is on.
+    pub fn perfetto_json(&self) -> Option<String> {
+        let trace = self.tracer.as_ref()?;
+        let mut names: HashMap<u64, String> = self
+            .programs
+            .iter()
+            .map(|(&binary, p)| (binary, p.name.to_string()))
+            .collect();
+        if let Some(open) = &self.open {
+            for p in &open.spec().programs {
+                names.entry(p.binary).or_insert_with(|| p.name.to_string());
+            }
+        }
+        let events = trace.to_vec();
+        Some(ebs_trace::perfetto::export(
+            &events,
+            self.metrics.as_deref().map(|m| &m.reg),
+            &names,
+        ))
+    }
+
+    /// Records one scheduling event: feeds the event trace when it is
+    /// enabled, and keeps the legacy task-CPU trace (fig. 9) fed from
+    /// the same stream — `Spawn` and `Migration` are exactly the
+    /// placements that trace records. With both sinks disabled this is
+    /// two predictable branches and no allocation.
+    #[inline]
+    fn emit(&mut self, kind: EventKind) {
+        if self.cfg.task_cpu_trace {
+            match kind {
+                EventKind::Spawn { task, cpu, .. } | EventKind::Migration { task, cpu, .. } => {
+                    self.task_trace
+                        .push(self.now, TaskId(task), CpuId(cpu as usize));
+                }
+                _ => {}
+            }
+        }
+        if let Some(trace) = self.tracer.as_mut() {
+            trace.record(self.now, kind);
+        }
+    }
+
+    /// Starts a profiled phase (`None` when profiling is off, so the
+    /// disabled path never reads the host clock).
+    #[inline]
+    fn prof_start(&self) -> Option<std::time::Instant> {
+        self.profiler.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    /// Ends a profiled phase started by [`Simulation::prof_start`].
+    #[inline]
+    fn prof_end(&mut self, phase: usize, t0: Option<std::time::Instant>) {
+        if let (Some(p), Some(t0)) = (self.profiler.as_mut(), t0) {
+            p.record(phase, t0.elapsed());
+        }
     }
 
     /// Spawns one instance of a program; returns its task id.
@@ -437,9 +610,11 @@ impl Simulation {
             self.runtimes.resize(id.0 as usize + 1, None);
         }
         self.runtimes[id.0 as usize] = Some(TaskRuntime::new(state));
-        if self.cfg.task_cpu_trace {
-            self.task_trace.push(self.now, id, cpu);
-        }
+        self.emit(EventKind::Spawn {
+            task: id.0,
+            cpu: cpu.0 as u32,
+            binary: binary.0,
+        });
         id
     }
 
@@ -450,10 +625,12 @@ impl Simulation {
     pub fn run_for(&mut self, duration: SimDuration) {
         let end = self.now + duration;
         while self.now < end {
+            let t0 = self.prof_start();
             let dt = match self.cfg.max_stride {
                 None => self.cfg.tick.min(end - self.now),
                 Some(cap) => self.next_stride(end, cap),
             };
+            self.prof_end(PHASE_STRIDE, t0);
             self.step_span(dt);
         }
         // Drain arrivals due exactly by the horizon: the next step
@@ -479,20 +656,33 @@ impl Simulation {
     fn step_span(&mut self, dt: SimDuration) {
         debug_assert!(!dt.is_zero(), "empty engine step");
         self.steps += 1;
+        let t0 = self.prof_start();
         self.wake_sleepers();
         self.arrival_tick();
         self.dispatch_idle_cpus();
+        self.prof_end(PHASE_ARRIVALS, t0);
 
         self.now += dt;
         self.sys.set_now(self.now);
 
+        let t0 = self.prof_start();
         let completed = self.physics_tick(dt);
+        self.prof_end(PHASE_PHYSICS, t0);
         if self.cfg.throttling {
+            let t0 = self.prof_start();
             self.throttle_tick(dt);
+            self.prof_end(PHASE_THROTTLE, t0);
         }
+        let t0 = self.prof_start();
         self.dvfs_tick(dt);
+        self.prof_end(PHASE_DVFS, t0);
+        let t0 = self.prof_start();
         self.scheduler_tick(dt, &completed);
-        self.sample_traces();
+        self.prof_end(PHASE_SCHED, t0);
+        let t0 = self.prof_start();
+        self.sample_tick();
+        self.prof_end(PHASE_SAMPLING, t0);
+        self.emit(EventKind::EngineStep { stride: dt });
     }
 
     /// The span of the next strided step, from `self.now`: the time to
@@ -533,6 +723,12 @@ impl Simulation {
         }
         if let Some(due) = self.next_thermal_sample {
             dt = dt.min(due.saturating_since(self.now));
+        }
+        // Metrics snapshots are time-weighted samples like the thermal
+        // trace, so an active cadence bounds strides the same way; no
+        // subscription, no bound (satellite of the sampling floor).
+        if let Some(m) = &self.metrics {
+            dt = dt.min(m.next.saturating_since(self.now));
         }
         // Periodic balancing passes.
         let due = match &self.balancer {
@@ -784,6 +980,7 @@ impl Simulation {
             }
             self.sleepers.pop();
             self.sys.wake(task, None);
+            self.emit(EventKind::Wakeup { task: task.0 });
         }
     }
 
@@ -916,7 +1113,18 @@ impl Simulation {
     fn throttle_tick(&mut self, dt: SimDuration) {
         for pkg in 0..self.pkg_cpus.len() {
             let thermal = self.power.thermal_power_sum(&self.pkg_cpus[pkg]);
-            self.machine.throttles[pkg].observe(thermal, dt);
+            let before = self.machine.throttles[pkg].state();
+            let after = self.machine.throttles[pkg].observe(thermal, dt);
+            if before != after {
+                self.emit(match after {
+                    ThrottleState::Halted => EventKind::ThrottleEngage {
+                        package: pkg as u32,
+                    },
+                    ThrottleState::Running => EventKind::ThrottleRelease {
+                        package: pkg as u32,
+                    },
+                });
+            }
         }
     }
 
@@ -1020,7 +1228,19 @@ impl Simulation {
         } else {
             self.dvfs_next[pkg] = Some(self.now + interval);
         }
+        let from = self.machine.freq_domains[pkg].current_index();
         self.machine.freq_domains[pkg].set_state(next);
+        self.emit(EventKind::GovernorDecision {
+            package: pkg as u32,
+            pstate: next as u32,
+        });
+        if from != next {
+            self.emit(EventKind::PStateTransition {
+                package: pkg as u32,
+                from: from as u32,
+                to: next as u32,
+            });
+        }
     }
 
     /// Scheduler work for one tick: timeslices, completions, blocking,
@@ -1048,6 +1268,10 @@ impl Simulation {
                 self.sys.exit_current(cpu);
                 let binary = self.sys.task(task).binary().0;
                 *self.completions.entry(binary).or_insert(0) += 1;
+                self.emit(EventKind::Completion {
+                    task: task.0,
+                    cpu: cpu.0 as u32,
+                });
                 let arrived = self.runtimes[task.0 as usize]
                     .take()
                     .and_then(|rt| rt.arrival);
@@ -1066,7 +1290,13 @@ impl Simulation {
                 let sw = self.sys.context_switch(cpu);
                 match sw.next {
                     Some(next) => self.on_dispatch(cpu, next),
-                    None => self.newidle_pending[cpu.0] = true,
+                    None => {
+                        self.newidle_pending[cpu.0] = true;
+                        self.emit(EventKind::ContextSwitch {
+                            cpu: cpu.0 as u32,
+                            task: None,
+                        });
+                    }
                 }
             }
         }
@@ -1091,25 +1321,29 @@ impl Simulation {
             }
 
             // Periodic balancing (self-gated by domain intervals).
-            match &mut self.balancer {
-                Balancer::Baseline(lb) => {
-                    lb.run(cpu, &mut self.sys);
-                }
-                Balancer::EnergyAware(eb) => {
-                    eb.run(cpu, &mut self.sys, &self.power);
-                }
+            let pulled = match &mut self.balancer {
+                Balancer::Baseline(lb) => lb.run(cpu, &mut self.sys).pulled,
+                Balancer::EnergyAware(eb) => eb.run(cpu, &mut self.sys, &self.power).pulled,
+            };
+            if pulled > 0 {
+                self.emit(EventKind::BalancerRound {
+                    cpu: cpu.0 as u32,
+                    pulled: pulled as u32,
+                });
             }
 
             // New-idle balancing, once per idle transition.
             if self.newidle_pending[c] && self.sys.rq(cpu).is_idle() {
                 self.newidle_pending[c] = false;
-                match &mut self.balancer {
-                    Balancer::Baseline(lb) => {
-                        lb.newidle(cpu, &mut self.sys);
-                    }
-                    Balancer::EnergyAware(eb) => {
-                        eb.newidle(cpu, &mut self.sys, &self.power);
-                    }
+                let pulled = match &mut self.balancer {
+                    Balancer::Baseline(lb) => lb.newidle(cpu, &mut self.sys).pulled,
+                    Balancer::EnergyAware(eb) => eb.newidle(cpu, &mut self.sys, &self.power).pulled,
+                };
+                if pulled > 0 {
+                    self.emit(EventKind::BalancerRound {
+                        cpu: cpu.0 as u32,
+                        pulled: pulled as u32,
+                    });
                 }
             }
         }
@@ -1134,7 +1368,13 @@ impl Simulation {
         let sw = self.sys.context_switch(cpu);
         match sw.next {
             Some(next) => self.on_dispatch(cpu, next),
-            None => self.newidle_pending[cpu.0] = true,
+            None => {
+                self.newidle_pending[cpu.0] = true;
+                self.emit(EventKind::ContextSwitch {
+                    cpu: cpu.0 as u32,
+                    task: None,
+                });
+            }
         }
     }
 
@@ -1156,6 +1396,10 @@ impl Simulation {
                     self.on_dispatch(dest, next);
                 }
                 self.newidle_pending[cpu.0] = true;
+                self.emit(EventKind::ContextSwitch {
+                    cpu: cpu.0 as u32,
+                    task: None,
+                });
             }
             ebs_core::HotMigration::Exchanged { dest, .. } => {
                 self.finalize_interval(dest);
@@ -1174,16 +1418,32 @@ impl Simulation {
     fn on_dispatch(&mut self, cpu: CpuId, task: TaskId) {
         let migrations = self.sys.task(task).migrations();
         let last = self.sys.task(task).last_migration();
+        let mut migrated = false;
         if let Some(rt) = self.runtimes[task.0 as usize].as_mut() {
             if migrations != rt.migrations_seen {
                 let cross = last.map(|(_, c)| c).unwrap_or(false);
                 rt.note_migration(migrations, cross);
-                if self.cfg.task_cpu_trace {
-                    self.task_trace.push(self.now, task, cpu);
-                }
+                migrated = true;
             }
             rt.program.begin_slice();
         }
+        if migrated {
+            let reason = self
+                .sys
+                .task(task)
+                .last_migration_reason()
+                .map(|r| r.name())
+                .unwrap_or("unknown");
+            self.emit(EventKind::Migration {
+                task: task.0,
+                cpu: cpu.0 as u32,
+                reason,
+            });
+        }
+        self.emit(EventKind::ContextSwitch {
+            cpu: cpu.0 as u32,
+            task: Some(task.0),
+        });
         self.acc[cpu.0] = IntervalAcc {
             task: Some(task),
             energy: Joules::ZERO,
@@ -1226,7 +1486,11 @@ impl Simulation {
         }
     }
 
-    fn sample_traces(&mut self) {
+    /// End-of-step sampling: the thermal trace at its cadence, and the
+    /// metrics snapshot at its own. Both cadences also bound variable
+    /// strides (see [`Simulation::next_stride`]), so samples land on
+    /// their exact instants in either engine core.
+    fn sample_tick(&mut self) {
         if let (Some(interval), Some(due)) =
             (self.cfg.thermal_trace_interval, self.next_thermal_sample)
         {
@@ -1237,6 +1501,63 @@ impl Simulation {
                 self.thermal_trace.push(self.now, row);
                 self.next_thermal_sample = Some(due + interval);
             }
+        }
+        // Taking the state out ends the borrow on `self.metrics`, so
+        // publishing can read the rest of `self` freely.
+        if let Some(mut m) = self.metrics.take() {
+            if self.now >= m.next {
+                self.publish_metrics(&mut m);
+                m.reg.snapshot(self.now);
+                m.next += m.interval;
+            }
+            self.metrics = Some(m);
+        }
+    }
+
+    /// Pushes the current totals and signal levels into the metrics
+    /// registry (called at snapshot instants only: counters are read
+    /// from existing statistics, so skipping steps loses nothing).
+    fn publish_metrics(&mut self, m: &mut MetricsState) {
+        let stats = self.sys.stats();
+        let reg = &mut m.reg;
+        reg.set_total(m.c_steps, self.steps);
+        reg.set_total(m.c_instructions, self.instructions);
+        reg.set_total(m.c_ctx, stats.context_switches);
+        reg.set_total(m.c_migrations, stats.migrations());
+        reg.set_total(m.c_completions, self.completions.values().sum());
+        reg.set_total(m.c_arrivals, self.open.as_ref().map_or(0, |o| o.accepted()));
+        reg.set_total(m.c_dvfs_decisions, self.dvfs_decisions);
+        reg.set_total(
+            m.c_dvfs_transitions,
+            self.machine
+                .freq_domains
+                .iter()
+                .map(|d| d.transitions())
+                .sum(),
+        );
+        reg.set_total(
+            m.c_throttle_engagements,
+            self.machine
+                .throttles
+                .iter()
+                .map(|t| t.stats().engagements)
+                .sum(),
+        );
+        for c in 0..self.n_cpus() {
+            let cpu = CpuId(c);
+            reg.set_gauge(m.g_power[c], self.now, self.power.thermal_power(cpu).0);
+            reg.set_gauge(m.g_rq[c], self.now, self.sys.nr_running(cpu) as f64);
+        }
+        for (pkg, dom) in self.machine.freq_domains.iter().enumerate() {
+            reg.set_gauge(m.g_freq[pkg], self.now, dom.frequency().0 / 1e9);
+        }
+        for pkg in 0..self.pkg_cpus.len() {
+            let util = windowed_utilization(
+                self.dvfs_busy[pkg],
+                self.dvfs_window[pkg],
+                self.dvfs_util[pkg],
+            );
+            reg.set_gauge(m.g_util[pkg], self.now, util);
         }
     }
 

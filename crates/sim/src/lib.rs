@@ -40,6 +40,7 @@
 //! ```
 
 mod config;
+mod diag;
 mod engine;
 mod machine;
 mod runner;
@@ -47,6 +48,7 @@ mod runtime;
 mod trace;
 
 pub use config::{DvfsSpec, MaxPowerSpec, SimConfig};
+pub use diag::{stride_divergence, traced_events};
 pub use engine::Simulation;
 pub use machine::PhysicalMachine;
 pub use runner::{

@@ -15,7 +15,7 @@
 //!    15 %/25 % — while taking strictly fewer governor decisions.
 
 use ebs_dvfs::GovernorKind;
-use ebs_sim::{DvfsSpec, MaxPowerSpec, SimConfig, SimReport, Simulation};
+use ebs_sim::{stride_divergence, DvfsSpec, MaxPowerSpec, SimConfig, SimReport, Simulation};
 use ebs_topology::TopologyPreset;
 use ebs_units::{SimDuration, Watts};
 use ebs_workloads::{catalog, section61_mix, LoadCurve, OpenWorkload};
@@ -62,11 +62,19 @@ fn degenerate_triggers_are_bit_identical_to_the_cadence() {
         let duration = SimDuration::from_secs(3);
         let cadence = fingerprint(&run(base().dvfs(spec(false)), 3, duration));
         let event = fingerprint(&run(base().dvfs(spec(true)), 3, duration));
-        assert_eq!(
-            cadence, event,
-            "degenerate event-driven config diverged from the cadence \
-             (strided = {strided})"
-        );
+        if cadence != event {
+            // Replay both cells with event tracing to localise the bug.
+            let diff = stride_divergence(
+                base().dvfs(spec(false)),
+                base().dvfs(spec(true)),
+                duration,
+                |sim| sim.spawn_mix(&section61_mix(), 3),
+            );
+            panic!(
+                "degenerate event-driven config diverged from the cadence \
+                 (strided = {strided}); {diff}"
+            );
+        }
     }
 }
 

@@ -13,7 +13,7 @@
 //!    presets and load curves, and stay deterministic per seed.
 
 use ebs_dvfs::GovernorKind;
-use ebs_sim::{MaxPowerSpec, SimConfig, SimReport, Simulation};
+use ebs_sim::{stride_divergence, MaxPowerSpec, SimConfig, SimReport, Simulation};
 use ebs_topology::TopologyPreset;
 use ebs_units::{SimDuration, Watts};
 use ebs_workloads::{catalog, section61_mix, LoadCurve, OpenWorkload};
@@ -60,8 +60,19 @@ fn table2_shape_is_bit_identical_at_one_tick_cap() {
             (fingerprint(&sim.report()), format!("{slices:?}"))
         };
         let fixed = run_mode(cfg.clone());
-        let strided = run_mode(cfg.max_stride(SimDuration::from_millis(1)));
-        assert_eq!(fixed, strided, "{} diverged at cap = tick", program.name);
+        let strided = run_mode(cfg.clone().max_stride(SimDuration::from_millis(1)));
+        if fixed != strided {
+            // Replay both cells with event tracing to localise the bug.
+            let diff = stride_divergence(
+                cfg.clone(),
+                cfg.max_stride(SimDuration::from_millis(1)),
+                duration,
+                |sim| {
+                    sim.spawn_program(&program);
+                },
+            );
+            panic!("{} diverged at cap = tick; {diff}", program.name);
+        }
     }
 }
 
@@ -92,11 +103,19 @@ fn dvfs_study_is_bit_identical_at_one_tick_cap() {
         let duration = SimDuration::from_secs(3);
         let fixed = fingerprint(&run(cfg.clone(), 3, duration));
         let strided = fingerprint(&run(
-            cfg.max_stride(SimDuration::from_millis(1)),
+            cfg.clone().max_stride(SimDuration::from_millis(1)),
             3,
             duration,
         ));
-        assert_eq!(fixed, strided, "dvfs variant {i} diverged at cap = tick");
+        if fixed != strided {
+            let diff = stride_divergence(
+                cfg.clone(),
+                cfg.max_stride(SimDuration::from_millis(1)),
+                duration,
+                |sim| sim.spawn_mix(&section61_mix(), 3),
+            );
+            panic!("dvfs variant {i} diverged at cap = tick; {diff}");
+        }
     }
 }
 

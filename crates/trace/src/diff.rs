@@ -1,0 +1,100 @@
+//! Trace diffing: pinpointing where two event streams first disagree.
+//!
+//! Used by the equivalence suites and `exp_scaling_gate`: when two
+//! engine configurations that should agree drift apart, the diff names
+//! the first divergent event (instant, CPU, kind) instead of leaving a
+//! pile of aggregate-metric deltas to eyeball.
+
+use crate::event::TraceEvent;
+use core::fmt;
+
+/// The first position at which two event streams disagree.
+#[derive(Clone, Copy, Debug)]
+pub struct Divergence {
+    /// Index into both streams (the first differing position).
+    pub index: usize,
+    /// The left stream's event there, if any.
+    pub left: Option<TraceEvent>,
+    /// The right stream's event there, if any.
+    pub right: Option<TraceEvent>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = |ev: &Option<TraceEvent>| match ev {
+            Some(ev) => format!("{ev}"),
+            None => "stream ended".to_string(),
+        };
+        write!(
+            f,
+            "event #{}: {} vs {}",
+            self.index,
+            side(&self.left),
+            side(&self.right)
+        )
+    }
+}
+
+/// The first divergence between two event streams, or `None` when they
+/// are identical (same events in the same order, same length).
+pub fn first_divergence(left: &[TraceEvent], right: &[TraceEvent]) -> Option<Divergence> {
+    let n = left.len().max(right.len());
+    for i in 0..n {
+        let l = left.get(i).copied();
+        let r = right.get(i).copied();
+        if l != r {
+            return Some(Divergence {
+                index: i,
+                left: l,
+                right: r,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use ebs_units::SimTime;
+
+    fn ev(t_ms: u64, task: u64) -> TraceEvent {
+        TraceEvent {
+            t: SimTime::from_millis(t_ms),
+            kind: EventKind::Wakeup { task },
+        }
+    }
+
+    #[test]
+    fn identical_streams_have_no_divergence() {
+        let a = vec![ev(1, 1), ev(2, 2)];
+        assert!(first_divergence(&a, &a.clone()).is_none());
+        assert!(first_divergence(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn first_difference_is_reported_with_both_sides() {
+        let a = vec![ev(1, 1), ev(2, 2), ev(3, 3)];
+        let b = vec![ev(1, 1), ev(2, 9), ev(3, 3)];
+        let d = first_divergence(&a, &b).expect("diverges");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, Some(ev(2, 2)));
+        assert_eq!(d.right, Some(ev(2, 9)));
+        let text = format!("{d}");
+        assert!(text.contains("event #1"), "{text}");
+        assert!(text.contains("wakeup task2"), "{text}");
+        assert!(text.contains("wakeup task9"), "{text}");
+    }
+
+    #[test]
+    fn length_mismatch_diverges_at_the_short_end() {
+        let a = vec![ev(1, 1)];
+        let b = vec![ev(1, 1), ev(2, 2)];
+        let d = first_divergence(&a, &b).expect("diverges");
+        assert_eq!(d.index, 1);
+        assert!(d.left.is_none());
+        assert_eq!(d.right, Some(ev(2, 2)));
+        assert!(format!("{d}").contains("stream ended"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Typed scheduling events and the trace sinks that collect them.
+
+use core::fmt;
+use ebs_units::{SimDuration, SimTime};
+
+/// One scheduling-relevant event. Identities are raw ids (`u64` tasks
+/// and binaries, `u32` CPUs and packages) so producers anywhere in the
+/// workspace can emit events without depending on scheduler types.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum EventKind {
+    /// One engine step of the given span completed.
+    EngineStep { stride: SimDuration },
+    /// A task entered the system (explicit spawn, respawn, or open
+    /// arrival) and was placed on a CPU.
+    Spawn { task: u64, cpu: u32, binary: u64 },
+    /// A blocked task woke up and re-entered its runqueue.
+    Wakeup { task: u64 },
+    /// A CPU switched to running `Some(task)`, or went idle (`None`).
+    ContextSwitch { cpu: u32, task: Option<u64> },
+    /// A migrated task was dispatched on its new CPU.
+    Migration {
+        task: u64,
+        cpu: u32,
+        reason: &'static str,
+    },
+    /// A task finished its total work.
+    Completion { task: u64, cpu: u32 },
+    /// A governor decided a P-state for a package's frequency domain.
+    GovernorDecision { package: u32, pstate: u32 },
+    /// The decided P-state differed from the previous one.
+    PStateTransition { package: u32, from: u32, to: u32 },
+    /// The throttle controller halted a package.
+    ThrottleEngage { package: u32 },
+    /// The throttle controller released a halted package.
+    ThrottleRelease { package: u32 },
+    /// A balancer round on a CPU pulled tasks.
+    BalancerRound { cpu: u32, pulled: u32 },
+}
+
+impl EventKind {
+    /// Short stable label of the event class (metrics names, diffs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::EngineStep { .. } => "step",
+            EventKind::Spawn { .. } => "spawn",
+            EventKind::Wakeup { .. } => "wakeup",
+            EventKind::ContextSwitch { .. } => "switch",
+            EventKind::Migration { .. } => "migration",
+            EventKind::Completion { .. } => "completion",
+            EventKind::GovernorDecision { .. } => "governor",
+            EventKind::PStateTransition { .. } => "pstate",
+            EventKind::ThrottleEngage { .. } => "throttle-engage",
+            EventKind::ThrottleRelease { .. } => "throttle-release",
+            EventKind::BalancerRound { .. } => "balance",
+        }
+    }
+
+    /// The CPU the event is anchored to, if it has one.
+    pub fn cpu(&self) -> Option<u32> {
+        match *self {
+            EventKind::Spawn { cpu, .. }
+            | EventKind::ContextSwitch { cpu, .. }
+            | EventKind::Migration { cpu, .. }
+            | EventKind::Completion { cpu, .. }
+            | EventKind::BalancerRound { cpu, .. } => Some(cpu),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EventKind::EngineStep { stride } => write!(f, "step {stride}"),
+            EventKind::Spawn { task, cpu, binary } => {
+                write!(f, "spawn task{task} (bin{binary}) on cpu{cpu}")
+            }
+            EventKind::Wakeup { task } => write!(f, "wakeup task{task}"),
+            EventKind::ContextSwitch { cpu, task: Some(t) } => {
+                write!(f, "cpu{cpu} switch -> task{t}")
+            }
+            EventKind::ContextSwitch { cpu, task: None } => write!(f, "cpu{cpu} switch -> idle"),
+            EventKind::Migration { task, cpu, reason } => {
+                write!(f, "task{task} migrated to cpu{cpu} ({reason})")
+            }
+            EventKind::Completion { task, cpu } => write!(f, "task{task} completed on cpu{cpu}"),
+            EventKind::GovernorDecision { package, pstate } => {
+                write!(f, "pkg{package} governor -> P{pstate}")
+            }
+            EventKind::PStateTransition { package, from, to } => {
+                write!(f, "pkg{package} P{from} -> P{to}")
+            }
+            EventKind::ThrottleEngage { package } => write!(f, "pkg{package} throttle engaged"),
+            EventKind::ThrottleRelease { package } => write!(f, "pkg{package} throttle released"),
+            EventKind::BalancerRound { cpu, pulled } => {
+                write!(f, "cpu{cpu} balance pulled {pulled}")
+            }
+        }
+    }
+}
+
+/// An event stamped with the simulated instant it occurred at.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TraceEvent {
+    /// When the event occurred.
+    pub t: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}] {}", self.t, self.kind)
+    }
+}
+
+/// A consumer of trace events. The engine emits into one sink; the
+/// default is the [`EventTrace`] buffer, but tests and tools can plug
+/// in counting or filtering sinks.
+pub trait TraceSink {
+    /// Records one event at instant `t`.
+    fn record(&mut self, t: SimTime, kind: EventKind);
+}
+
+/// The default sink: an in-memory event buffer, unbounded by default
+/// or bounded as a ring (oldest events dropped) via
+/// [`EventTrace::with_capacity`].
+#[derive(Clone, Debug, Default)]
+pub struct EventTrace {
+    buf: Vec<TraceEvent>,
+    /// Start of the logical sequence within `buf` (ring mode only).
+    head: usize,
+    cap: Option<usize>,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// An unbounded event buffer.
+    pub fn new() -> Self {
+        EventTrace::default()
+    }
+
+    /// A ring buffer keeping only the most recent `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventTrace {
+            cap: Some(cap.max(1)),
+            ..EventTrace::default()
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The buffered events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// The buffered events as a contiguous vector, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.iter().copied().collect()
+    }
+}
+
+impl TraceSink for EventTrace {
+    fn record(&mut self, t: SimTime, kind: EventKind) {
+        let ev = TraceEvent { t, kind };
+        match self.cap {
+            Some(cap) if self.buf.len() >= cap => {
+                self.buf[self.head] = ev;
+                self.head = (self.head + 1) % cap;
+                self.dropped += 1;
+            }
+            _ => self.buf.push(ev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_buffer_keeps_everything_in_order() {
+        let mut trace = EventTrace::new();
+        for i in 0..100 {
+            trace.record(SimTime::from_millis(i), EventKind::Wakeup { task: i });
+        }
+        assert_eq!(trace.len(), 100);
+        assert_eq!(trace.dropped(), 0);
+        let v = trace.to_vec();
+        assert_eq!(v[0].kind, EventKind::Wakeup { task: 0 });
+        assert_eq!(v[99].t, SimTime::from_millis(99));
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut trace = EventTrace::with_capacity(10);
+        for i in 0..25 {
+            trace.record(SimTime::from_millis(i), EventKind::Wakeup { task: i });
+        }
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.dropped(), 15);
+        let v = trace.to_vec();
+        assert_eq!(v[0].kind, EventKind::Wakeup { task: 15 });
+        assert_eq!(v[9].kind, EventKind::Wakeup { task: 24 });
+        // Oldest-first even when the ring has wrapped mid-way.
+        assert!(v.windows(2).all(|w| w[0].t < w[1].t));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let ev = TraceEvent {
+            t: SimTime::from_millis(1500),
+            kind: EventKind::Migration {
+                task: 7,
+                cpu: 3,
+                reason: "hot-task",
+            },
+        };
+        assert_eq!(
+            format!("{ev}"),
+            "[t+1.500000s] task7 migrated to cpu3 (hot-task)"
+        );
+        assert_eq!(ev.kind.label(), "migration");
+        assert_eq!(ev.kind.cpu(), Some(3));
+        assert_eq!(EventKind::Wakeup { task: 1 }.cpu(), None);
+    }
+}

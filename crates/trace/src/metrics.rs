@@ -1,0 +1,231 @@
+//! A registry of named metrics: monotonic counters and time-weighted
+//! gauges, snapshotted periodically into a time-series CSV.
+//!
+//! Naming convention: `subsystem.metric[.instance]`, e.g.
+//! `sched.context_switches`, `thermal.power_w.cpu3`,
+//! `dvfs.freq_ghz.pkg0`. Subsystems in use: `engine`, `sched`, `dvfs`,
+//! `thermal`, `workloads`.
+
+use ebs_units::SimTime;
+
+/// Handle of a registered counter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CounterId(usize);
+
+/// Handle of a registered gauge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GaugeId(usize);
+
+#[derive(Clone, Debug)]
+struct Gauge {
+    name: String,
+    value: f64,
+    /// Integral of the gauge over time (value · seconds), maintained
+    /// on every set so means are time-weighted, not sample-weighted.
+    integral: f64,
+    last_set: SimTime,
+}
+
+/// One periodic snapshot of every registered metric.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// The instant the snapshot was taken.
+    pub t: SimTime,
+    /// Counter values, in registration order.
+    pub counters: Vec<u64>,
+    /// Gauge values, in registration order.
+    pub gauges: Vec<f64>,
+}
+
+/// Named monotonic counters and time-weighted gauges.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<Gauge>,
+    snapshots: Vec<Snapshot>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or looks up) a monotonic counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Increments a counter.
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].1 += by;
+    }
+
+    /// Sets a counter to an absolute total. Totals must be monotone;
+    /// producers that already keep a cumulative statistic publish it
+    /// here instead of instrumenting every increment site.
+    pub fn set_total(&mut self, id: CounterId, total: u64) {
+        debug_assert!(
+            total >= self.counters[id.0].1,
+            "counter {} went backwards: {} -> {}",
+            self.counters[id.0].0,
+            self.counters[id.0].1,
+            total
+        );
+        self.counters[id.0].1 = total;
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Registers (or looks up) a time-weighted gauge.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|g| g.name == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push(Gauge {
+            name: name.to_string(),
+            value: 0.0,
+            integral: 0.0,
+            last_set: SimTime::ZERO,
+        });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Sets a gauge at instant `t`, accumulating the previous value
+    /// over the elapsed time into the gauge's integral.
+    pub fn set_gauge(&mut self, id: GaugeId, t: SimTime, value: f64) {
+        let g = &mut self.gauges[id.0];
+        g.integral += g.value * t.saturating_since(g.last_set).as_secs_f64();
+        g.last_set = t;
+        g.value = value;
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].value
+    }
+
+    /// Time-weighted mean of a gauge over `[0, t]`.
+    pub fn gauge_mean(&self, id: GaugeId, t: SimTime) -> f64 {
+        if t == SimTime::ZERO {
+            return self.gauges[id.0].value;
+        }
+        let g = &self.gauges[id.0];
+        let integral = g.integral + g.value * t.saturating_since(g.last_set).as_secs_f64();
+        integral / t.as_secs_f64()
+    }
+
+    /// Records a snapshot of every metric at instant `t`.
+    pub fn snapshot(&mut self, t: SimTime) {
+        self.snapshots.push(Snapshot {
+            t,
+            counters: self.counters.iter().map(|&(_, v)| v).collect(),
+            gauges: self.gauges.iter().map(|g| g.value).collect(),
+        });
+    }
+
+    /// The recorded snapshots, oldest first.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Registered counter names, in registration order.
+    pub fn counter_names(&self) -> Vec<&str> {
+        self.counters.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Registered gauge names, in registration order.
+    pub fn gauge_names(&self) -> Vec<&str> {
+        self.gauges.iter().map(|g| g.name.as_str()).collect()
+    }
+
+    /// The snapshot time series as CSV: one `time_s` column, then one
+    /// column per counter and per gauge, in registration order.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s");
+        for (name, _) in &self.counters {
+            out.push(',');
+            out.push_str(name);
+        }
+        for g in &self.gauges {
+            out.push(',');
+            out.push_str(&g.name);
+        }
+        out.push('\n');
+        for snap in &self.snapshots {
+            out.push_str(&format!("{:.3}", snap.t.as_secs_f64()));
+            for v in &snap.counters {
+                out.push_str(&format!(",{v}"));
+            }
+            for v in &snap.gauges {
+                out.push_str(&format!(",{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_dedup_and_count() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("sched.migrations");
+        let b = reg.counter("sched.migrations");
+        assert_eq!(a, b);
+        reg.inc(a, 3);
+        reg.set_total(a, 10);
+        assert_eq!(reg.counter_value(a), 10);
+        assert_eq!(reg.counter_names(), vec!["sched.migrations"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    #[cfg(debug_assertions)]
+    fn counters_reject_regressions() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("engine.steps");
+        reg.set_total(a, 5);
+        reg.set_total(a, 4);
+    }
+
+    #[test]
+    fn gauge_mean_is_time_weighted() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("thermal.power_w.cpu0");
+        // 10 W for 1 s, then 30 W for 3 s: mean = (10 + 90) / 4 = 25.
+        reg.set_gauge(g, SimTime::ZERO, 10.0);
+        reg.set_gauge(g, SimTime::from_secs(1), 30.0);
+        let mean = reg.gauge_mean(g, SimTime::from_secs(4));
+        assert!((mean - 25.0).abs() < 1e-9, "{mean}");
+        assert_eq!(reg.gauge_value(g), 30.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_snapshot() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("engine.steps");
+        let g = reg.gauge("dvfs.freq_ghz.pkg0");
+        reg.set_total(c, 7);
+        reg.set_gauge(g, SimTime::ZERO, 2.2);
+        reg.snapshot(SimTime::from_millis(100));
+        reg.set_total(c, 14);
+        reg.snapshot(SimTime::from_millis(200));
+        let csv = reg.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "time_s,engine.steps,dvfs.freq_ghz.pkg0");
+        assert_eq!(lines[1], "0.100,7,2.200000");
+        assert_eq!(lines[2], "0.200,14,2.200000");
+    }
+}
