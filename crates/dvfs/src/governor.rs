@@ -1,7 +1,7 @@
 //! Frequency governors: the policies choosing the next P-state.
 
 use crate::domain::FrequencyDomain;
-use ebs_units::Watts;
+use ebs_units::{SimDuration, Watts};
 
 /// The per-package observations a governor decides from, assembled by
 /// the simulation engine once per policy interval.
@@ -42,6 +42,16 @@ pub struct DecisionHold {
     /// The answer holds while the package thermal power stays in
     /// `[lo, hi]`; `None` means thermal power cannot change it.
     pub thermal_power: Option<(Watts, Watts)>,
+    /// Minimum spacing to the *next* band-escape re-decision: the
+    /// engine suppresses escape triggers for this long after the
+    /// decision (deadline-forced decisions are unaffected). Zero — the
+    /// default everywhere except [`ThermalAware`]'s descending steps —
+    /// re-decides as soon as a signal leaves its band. A governor
+    /// whose band edge coincides with the signal's settling point
+    /// (e.g. thermal enforcement steering *to* the band edge) uses
+    /// this to turn per-tick decision bursts into one decision per
+    /// dwell.
+    pub min_dwell: SimDuration,
 }
 
 impl DecisionHold {
@@ -51,6 +61,7 @@ impl DecisionHold {
         DecisionHold {
             utilization: None,
             thermal_power: None,
+            min_dwell: SimDuration::ZERO,
         }
     }
 
@@ -68,6 +79,23 @@ impl DecisionHold {
             }
         }
         false
+    }
+
+    /// Whether an escape observed during the dwell is the
+    /// *stale-average artifact* the dwell exists to suppress: the
+    /// thermal power sits above the band's upper edge but has not
+    /// risen past `armed_power`, the value the decision was made from.
+    /// The decision already accounted for that much power — the reading
+    /// is the lagging average still settling toward the state just
+    /// chosen, not new information. A power that climbs *above* the
+    /// armed level (the workload genuinely grew), or any escape on the
+    /// utilization band or below the thermal band's lower edge
+    /// (recovery), is genuine and must be acted on immediately.
+    pub fn stale_descent(&self, thermal_power: Watts, armed_power: Watts) -> bool {
+        match self.thermal_power {
+            Some((_, hi)) => thermal_power > hi && thermal_power <= armed_power,
+            None => false,
+        }
     }
 }
 
@@ -91,6 +119,7 @@ pub trait Governor {
         DecisionHold {
             utilization: Some((input.utilization, input.utilization)),
             thermal_power: Some((input.thermal_power, input.thermal_power)),
+            min_dwell: SimDuration::ZERO,
         }
     }
 
@@ -188,6 +217,7 @@ impl Governor for OnDemand {
         DecisionHold {
             utilization: Some((lo, hi)),
             thermal_power: None,
+            min_dwell: SimDuration::ZERO,
         }
     }
 
@@ -213,11 +243,34 @@ impl Governor for OnDemand {
 pub struct ThermalAware {
     /// Fraction of the budget the governor steers to, in `(0, 1]`.
     pub engage: f64,
+    /// Minimum re-decision spacing while *descending* the ladder.
+    ///
+    /// The decision input is a lagging average (~15 s time constant),
+    /// so right after a downclock the observed power is still the
+    /// *old* state's — above the new hold band's upper edge — even
+    /// though the instantaneous power already complies. Without a
+    /// dwell, the escape trigger re-fires on that stale reading every
+    /// engine step, overshooting the ladder to its slowest rungs and
+    /// then paying recovery decisions to climb back: an edge-chatter
+    /// limit cycle. Spacing descending re-decisions out by a fraction
+    /// of the averaging lag gives the average time to reflect the
+    /// state just chosen, which removes the overshoot without
+    /// delaying genuine enforcement (the instantaneous power is
+    /// already at or below target when the dwell starts); ascending
+    /// (recovery) decisions stay unthrottled.
+    pub min_dwell: SimDuration,
 }
 
 impl Default for ThermalAware {
     fn default() -> Self {
-        ThermalAware { engage: 0.95 }
+        ThermalAware {
+            engage: 0.95,
+            // ~tau/5 of the default thermal averaging lag: long enough
+            // for the average to start reflecting the state just
+            // chosen, short enough that genuine load increases are
+            // answered well within one thermal time constant.
+            min_dwell: SimDuration::from_secs(3),
+        }
     }
 }
 
@@ -271,6 +324,14 @@ impl Governor for ThermalAware {
         DecisionHold {
             utilization: None,
             thermal_power: Some((lo, hi)),
+            // Rate-limit only the descending direction: that is where
+            // the band edge coincides with the enforcement target and
+            // bursts form. Recovery (speeding back up) stays instant.
+            min_dwell: if chosen > domain.current_index() {
+                self.min_dwell
+            } else {
+                SimDuration::ZERO
+            },
         }
     }
 
@@ -550,6 +611,34 @@ mod tests {
                 assert_eq!(hi, Watts(40.0) * 0.95);
             }
         }
+    }
+
+    #[test]
+    fn thermal_aware_dwell_rate_limits_descent_only() {
+        let g = ThermalAware::default();
+        assert!(g.min_dwell > SimDuration::ZERO);
+        // Overload at nominal: the decision descends the ladder, so
+        // the hold carries the dwell.
+        let mut d = domain();
+        let mut gov = g;
+        let chosen = gov.decide(&input(61.0), &d);
+        assert!(chosen > 0);
+        let hold = gov.hold(&input(61.0), &d, chosen);
+        assert_eq!(hold.min_dwell, g.min_dwell);
+        // Recovery from a slow state back toward nominal: unthrottled.
+        d.set_state(4);
+        let chosen = gov.decide(&input(7.0), &d);
+        assert_eq!(chosen, 0);
+        let hold = gov.hold(&input(7.0), &d, chosen);
+        assert_eq!(hold.min_dwell, SimDuration::ZERO);
+        // Holding the current state re-arms without a dwell either.
+        let d = domain();
+        let chosen = gov.decide(&input(30.0), &d);
+        assert_eq!(chosen, 0);
+        assert_eq!(
+            gov.hold(&input(30.0), &d, chosen).min_dwell,
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::config::SimConfig;
 use crate::engine::Simulation;
+use crate::parallel::ParallelSimulation;
 use ebs_trace::{first_divergence, TraceEvent};
 use ebs_units::SimDuration;
 
@@ -43,6 +44,33 @@ pub fn stride_divergence(
 ) -> String {
     let a = traced_events(left, duration, &mut setup);
     let b = traced_events(right, duration, &mut setup);
+    match first_divergence(&a, &b) {
+        None => format!(
+            "event streams identical ({} events) — divergence is outside the traced event set",
+            a.len()
+        ),
+        Some(d) => format!("first divergent event — {d}"),
+    }
+}
+
+/// Replays a strided cell against the partitioned engine built from
+/// `parallel_cfg` and names the first divergent event — the
+/// diagnostic behind the `parallel(1)` bit-identity gate. The
+/// partitioned engine's merged, id-remapped stream is compared
+/// against the sequential stream directly (with one worker the
+/// partition *is* the whole machine, so no remap happens).
+pub fn parallel_divergence(
+    sequential: SimConfig,
+    parallel_cfg: SimConfig,
+    duration: SimDuration,
+    mut setup: impl FnMut(&mut Simulation),
+    mut parallel_setup: impl FnMut(&mut ParallelSimulation),
+) -> String {
+    let a = traced_events(sequential, duration, &mut setup);
+    let mut sim = ParallelSimulation::new(parallel_cfg.trace_events(true));
+    parallel_setup(&mut sim);
+    sim.run_for(duration);
+    let b = sim.events().unwrap_or_default();
     match first_divergence(&a, &b) {
         None => format!(
             "event streams identical ({} events) — divergence is outside the traced event set",

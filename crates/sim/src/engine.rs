@@ -214,6 +214,24 @@ impl MetricsState {
 }
 
 /// A complete simulation: machine, scheduler, policies, and statistics.
+/// An open-workload arrival routed to a partition by the parallel
+/// synchronizer: the resolved program plus the exact due instant from
+/// the shared arrival process.
+pub(crate) struct RoutedArrival {
+    pub due: SimTime,
+    pub program: Program,
+    pub seed: u64,
+    pub phase: &'static str,
+}
+
+/// A task in flight between partitions: everything the receiving
+/// engine needs to resume it as if it had migrated across packages.
+pub(crate) struct TaskHandoff {
+    pub runtime: TaskRuntime,
+    pub profile: Watts,
+    pub binary: u64,
+}
+
 pub struct Simulation {
     cfg: SimConfig,
     sys: System,
@@ -253,6 +271,34 @@ pub struct Simulation {
     /// Governor decisions taken over the run (statistics: the
     /// event-driven path exists to shrink this).
     dvfs_decisions: u64,
+    /// Per-package instant before which *stale-average* escape
+    /// triggers are suppressed — the hold's `min_dwell` rate limit.
+    /// During the dwell, escapes above the thermal band that have not
+    /// exceeded [`Simulation::dvfs_armed_power`] are the lagging
+    /// average settling after a downclock, not new information (see
+    /// [`ebs_dvfs::DecisionHold::stale_descent`]). Genuine escapes and
+    /// forced deadlines (`dvfs_next`) are unaffected.
+    dvfs_dwell_until: Vec<SimTime>,
+    /// Package thermal power each decision was made from — the
+    /// reference [`ebs_dvfs::DecisionHold::stale_descent`] compares
+    /// against during the dwell.
+    dvfs_armed_power: Vec<Watts>,
+    /// Per-package "provably frozen" flag (event-driven mode): the
+    /// package accrues exactly zero busy time, its hold bands contain
+    /// every future signal value, and no deadline is armed — so no
+    /// decision can fire until a scheduling or throttle event touches
+    /// the package. Frozen packages skip the per-step DVFS accounting
+    /// wholesale; the [`Simulation::emit`] hook unfreezes them.
+    dvfs_stable: Vec<bool>,
+    /// When each frozen package's bookkeeping stopped, so the window
+    /// catches up in one exact move on the next event.
+    dvfs_frozen_at: Vec<SimTime>,
+    /// CPU → package map for the unfreeze hook in [`Simulation::emit`].
+    cpu_pkg: Vec<usize>,
+    /// Arrivals routed to this engine by an outer synchronizer (the
+    /// parallel partition driver), sorted by due time and drained by
+    /// `arrival_tick` exactly like the engine-owned arrival process.
+    inbox: std::collections::VecDeque<RoutedArrival>,
     /// Runtime state, indexed by `TaskId` (dense).
     runtimes: Vec<Option<TaskRuntime>>,
     /// Program catalog by binary id, for respawning.
@@ -380,6 +426,9 @@ impl Simulation {
         let pkg_cpus: Vec<Vec<CpuId>> = (0..sys.topology().n_packages())
             .map(|p| sys.topology().cpus_of_package(ebs_topology::PackageId(p)))
             .collect();
+        let cpu_pkg: Vec<usize> = (0..n_cpus)
+            .map(|c| sys.topology().package_of(CpuId(c)).0)
+            .collect();
         let open = cfg
             .open_workload
             .clone()
@@ -401,6 +450,12 @@ impl Simulation {
             dvfs_window: vec![SimDuration::ZERO; n_packages],
             dvfs_util: vec![0.0; n_packages],
             dvfs_decisions: 0,
+            dvfs_dwell_until: vec![SimTime::ZERO; n_packages],
+            dvfs_armed_power: vec![Watts(0.0); n_packages],
+            dvfs_stable: vec![false; n_packages],
+            dvfs_frozen_at: vec![SimTime::ZERO; n_packages],
+            cpu_pkg,
+            inbox: std::collections::VecDeque::new(),
             runtimes: Vec::new(),
             programs: HashMap::new(),
             sleepers: BinaryHeap::new(),
@@ -525,6 +580,23 @@ impl Simulation {
     /// two predictable branches and no allocation.
     #[inline]
     fn emit(&mut self, kind: EventKind) {
+        // A scheduling or throttle event touching a frozen package
+        // ends its provably-idle span: every transition that can move
+        // the package's busy fraction or thermal trajectory passes
+        // through here (dispatches and undispatches always emit a
+        // `ContextSwitch`; halt flips emit the throttle events).
+        let touched = match kind {
+            EventKind::ContextSwitch { cpu, .. } => Some(self.cpu_pkg[cpu as usize]),
+            EventKind::ThrottleEngage { package } | EventKind::ThrottleRelease { package } => {
+                Some(package as usize)
+            }
+            _ => None,
+        };
+        if let Some(pkg) = touched {
+            if self.dvfs_stable[pkg] {
+                self.dvfs_unfreeze(pkg);
+            }
+        }
         if self.cfg.task_cpu_trace {
             match kind {
                 EventKind::Spawn { task, cpu, .. } | EventKind::Migration { task, cpu, .. } => {
@@ -618,6 +690,96 @@ impl Simulation {
         id
     }
 
+    /// Queues an arrival routed by the parallel synchronizer: it
+    /// spawns when the clock reaches `due` (the next stride is
+    /// bounded the same way engine-owned arrivals bound it).
+    pub(crate) fn queue_arrival(&mut self, a: RoutedArrival) {
+        debug_assert!(
+            self.inbox.back().is_none_or(|b| b.due <= a.due),
+            "routed arrivals must be queued in due order"
+        );
+        self.inbox.push_back(a);
+    }
+
+    /// Removes up to `n` queued (never running) tasks for
+    /// cross-partition handoff, in deterministic CPU-then-queue order.
+    pub(crate) fn extract_queued(&mut self, n: usize) -> Vec<TaskHandoff> {
+        let mut out = Vec::new();
+        'cpus: for c in 0..self.n_cpus() {
+            let cpu = CpuId(c);
+            loop {
+                if out.len() == n {
+                    break 'cpus;
+                }
+                let current = self.sys.rq(cpu).current();
+                let Some(id) = self.sys.rq(cpu).iter_all().find(|&id| Some(id) != current) else {
+                    break;
+                };
+                let profile = self.sys.task(id).profile();
+                let binary = self.sys.task(id).binary().0;
+                if self.sys.take_queued(id).is_err() {
+                    break;
+                }
+                let runtime = self.runtimes[id.0 as usize]
+                    .take()
+                    .expect("queued task has runtime state");
+                out.push(TaskHandoff {
+                    runtime,
+                    profile,
+                    binary,
+                });
+            }
+        }
+        out
+    }
+
+    /// Injects a task handed off from another partition: places it
+    /// like a fresh spawn, then restores its runtime state with the
+    /// warmth reset of a cross-node migration (the handoff *is* a
+    /// cross-package move). Arrival metadata survives, so sojourn
+    /// times keep measuring from the original arrival.
+    pub(crate) fn inject_task(&mut self, h: TaskHandoff) {
+        let binary = BinaryId(h.binary);
+        let cpu = if self.cfg.energy_placement {
+            place_new_task(&self.sys, &self.power, h.profile)
+        } else {
+            idlest_cpu(&self.sys)
+        }
+        .unwrap_or(CpuId(0));
+        let id = self.sys.spawn(
+            TaskConfig {
+                nice: 0,
+                binary,
+                initial_profile: h.profile,
+                profile_weight: 0.25,
+            },
+            cpu,
+        );
+        if self.runtimes.len() <= id.0 as usize {
+            self.runtimes.resize(id.0 as usize + 1, None);
+        }
+        let mut rt = h.runtime;
+        rt.note_migration(0, true);
+        self.runtimes[id.0 as usize] = Some(rt);
+        self.emit(EventKind::Spawn {
+            task: id.0,
+            cpu: cpu.0 as u32,
+            binary: binary.0,
+        });
+    }
+
+    /// Raw open-workload sojourn samples: (arrival phase, seconds).
+    pub(crate) fn raw_latencies(&self) -> &[(&'static str, f64)] {
+        &self.latencies
+    }
+
+    /// Runnable tasks (running + queued) across the whole system.
+    pub(crate) fn runnable_tasks(&self) -> usize {
+        (0..self.n_cpus())
+            .map(|c| self.sys.nr_running(CpuId(c)))
+            .sum()
+    }
+
     /// Runs the simulation for a span of simulated time. The final
     /// step is clamped so the run covers *exactly* `duration` —
     /// [`SimReport::duration`] equals the time requested even when it
@@ -707,6 +869,9 @@ impl Simulation {
         if let Some(open) = &self.open {
             dt = dt.min(open.next_arrival().saturating_since(self.now).max(slack));
         }
+        if let Some(a) = self.inbox.front() {
+            dt = dt.min(a.due.saturating_since(self.now).max(slack));
+        }
         // Forced governor decisions (cadence deadlines, or the
         // event-driven `max_hold` fallback) and trace samples. Event
         // *triggers* are predicted per package in the loop below.
@@ -741,7 +906,9 @@ impl Simulation {
         let threads_per_core = self.sys.topology().threads_per_core().max(1);
         for (pkg, cpus) in self.pkg_cpus.iter().enumerate() {
             let pkg_running = self.machine.throttles[pkg].state() == ThrottleState::Running;
-            if pkg_running {
+            // A frozen package has no running tasks by construction,
+            // so the per-CPU expiry/completion scan finds nothing.
+            if pkg_running && !self.dvfs_stable[pkg] {
                 let freq = self.machine.freq_domains[pkg].frequency().0;
                 for (i, &cpu) in cpus.iter().enumerate() {
                     let Some(task) = self.sys.current(cpu) else {
@@ -811,7 +978,7 @@ impl Simulation {
             // to a whole stride late. Steady packages (signals parked
             // inside their bands) impose no bound at all — exactly the
             // strides the fixed 10 ms cadence used to floor.
-            if dvfs_event {
+            if dvfs_event && !self.dvfs_stable[pkg] {
                 match &self.dvfs_hold[pkg] {
                     // First decision still pending: it fires next step.
                     None => dt = dt.min(tick),
@@ -854,7 +1021,24 @@ impl Simulation {
                         }
                         if let Some((lo, hi)) = hold.thermal_power {
                             let avg = self.power.thermal_power_sum(cpus).0;
-                            if avg < lo.0 || avg > hi.0 {
+                            let armed = self.dvfs_armed_power[pkg];
+                            if hold.stale_descent(Watts(avg), armed) {
+                                // Escaped, but suppressed as the
+                                // post-downclock stale-average
+                                // artifact: the trigger fires at the
+                                // dwell expiry — or earlier, if the
+                                // power climbs past the armed level
+                                // (the workload genuinely grew).
+                                let dwell = self.dvfs_dwell_until[pkg].saturating_since(self.now);
+                                let mut wait = dwell.max(tick);
+                                let sample =
+                                    self.predicted_package_sample(pkg, cpus, threads_per_core);
+                                if let Some(t) = crossing_time_s(avg, sample, armed.0, tau_s) {
+                                    wait = wait
+                                        .min(SimDuration::from_micros((t * 1e6) as u64).max(tick));
+                                }
+                                dt = dt.min(wait);
+                            } else if avg < lo.0 || avg > hi.0 {
                                 // Already escaped: the trigger fires at
                                 // the next step, at tick granularity.
                                 dt = dt.min(tick);
@@ -952,6 +1136,16 @@ impl Simulation {
     /// ([`ArrivalProcess`]) thins a peak-rate Poisson stream — exact
     /// for any time-varying rate, and deterministic per seed.
     fn arrival_tick(&mut self) {
+        // Arrivals routed by an outer synchronizer first: the inbox is
+        // sorted by due time and spawns follow routing order, which is
+        // deterministic regardless of worker count.
+        while self.inbox.front().is_some_and(|a| a.due <= self.now) {
+            let a = self.inbox.pop_front().expect("checked non-empty");
+            let id = self.spawn_internal(a.program, a.seed);
+            if let Some(rt) = self.runtimes[id.0 as usize].as_mut() {
+                rt.arrival = Some((self.now, a.phase));
+            }
+        }
         let due = match self.open.as_mut() {
             Some(open) => open.pop_due(self.now),
             None => return,
@@ -1149,6 +1343,9 @@ impl Simulation {
         // executing, so a throttled package reads as idle and the
         // governor downclocks to relieve the pressure.
         for pkg in 0..self.pkg_cpus.len() {
+            if self.dvfs_stable[pkg] {
+                continue;
+            }
             self.dvfs_window[pkg] += dt;
             if self.machine.throttles[pkg].state() != ThrottleState::Running {
                 continue;
@@ -1162,6 +1359,9 @@ impl Simulation {
             self.dvfs_busy[pkg] += share;
         }
         for pkg in 0..self.pkg_cpus.len() {
+            if self.dvfs_stable[pkg] {
+                continue;
+            }
             if event_driven && self.dvfs_window[pkg] > interval {
                 // Cap the utilization window at the cadence interval:
                 // without decisions to reset it, an unbounded window
@@ -1177,19 +1377,92 @@ impl Simulation {
                 || (event_driven
                     && match &self.dvfs_hold[pkg] {
                         None => true,
-                        Some(hold) => hold.is_escaped(
-                            windowed_utilization(
+                        // Escape triggers fire immediately unless the
+                        // hold's dwell is active *and* the escape is
+                        // the post-downclock stale-average artifact;
+                        // forced deadlines are never suppressed.
+                        Some(hold) => {
+                            let util = windowed_utilization(
                                 self.dvfs_busy[pkg],
                                 self.dvfs_window[pkg],
                                 self.dvfs_util[pkg],
-                            ),
-                            self.power.thermal_power_sum(&self.pkg_cpus[pkg]),
-                        ),
+                            );
+                            let power = self.power.thermal_power_sum(&self.pkg_cpus[pkg]);
+                            hold.is_escaped(util, power)
+                                && (self.now >= self.dvfs_dwell_until[pkg]
+                                    || !hold.stale_descent(power, self.dvfs_armed_power[pkg]))
+                        }
                     });
             if due {
                 self.dvfs_decide(pkg, interval, event_driven, max_hold);
             }
+            // Freeze screen (the per-package hold-expiry index): a
+            // package whose hold provably cannot escape and whose
+            // deadline is unarmed is exempted from the per-step
+            // accounting above until an event touches it.
+            if event_driven
+                && self.dvfs_next[pkg].is_none()
+                && !self.dvfs_stable[pkg]
+                && self.package_provably_parked(pkg)
+            {
+                self.dvfs_stable[pkg] = true;
+                self.dvfs_frozen_at[pkg] = self.now;
+            }
         }
+    }
+
+    /// Whether `pkg` can be frozen out of the per-step DVFS
+    /// accounting: exactly zero accumulated busy time, nothing
+    /// executing (idle or halted — either way the busy increment
+    /// stays zero until a scheduling or throttle event, both of which
+    /// unfreeze through [`Simulation::emit`]), and hold bands that
+    /// contain the whole future signal trajectory. The utilization
+    /// signal is pinned at zero; the thermal-power average decays
+    /// monotonically toward the halt floor, so containment of the
+    /// current value and the asymptote bounds every intermediate one.
+    fn package_provably_parked(&self, pkg: usize) -> bool {
+        let Some(hold) = &self.dvfs_hold[pkg] else {
+            return false;
+        };
+        if self.dvfs_busy[pkg] != 0.0 {
+            return false;
+        }
+        let cpus = &self.pkg_cpus[pkg];
+        let halted = self.machine.throttles[pkg].state() != ThrottleState::Running;
+        if !halted && cpus.iter().any(|&c| self.sys.current(c).is_some()) {
+            return false;
+        }
+        if let Some((lo, hi)) = hold.utilization {
+            if lo > 0.0 || hi < 0.0 {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = hold.thermal_power {
+            let avg = self.power.thermal_power_sum(cpus).0;
+            let floor = self.machine.halt_power_share().0 * cpus.len() as f64;
+            if avg < lo.0 || avg > hi.0 || floor < lo.0 || floor > hi.0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Catches a frozen package's utilization window up to `now` in
+    /// one move. Exact: the package's busy time stayed exactly zero
+    /// over the frozen span (renormalising a zero is a zero), so the
+    /// only state the skipped per-step updates would have changed is
+    /// the window length — which saturates at the cadence interval.
+    fn dvfs_catch_up(&mut self, pkg: usize) {
+        let elapsed = self.now.saturating_since(self.dvfs_frozen_at[pkg]);
+        if let Some(spec) = &self.cfg.dvfs {
+            self.dvfs_window[pkg] = (self.dvfs_window[pkg] + elapsed).min(spec.interval);
+        }
+        self.dvfs_frozen_at[pkg] = self.now;
+    }
+
+    fn dvfs_unfreeze(&mut self, pkg: usize) {
+        self.dvfs_catch_up(pkg);
+        self.dvfs_stable[pkg] = false;
     }
 
     /// One governor decision for `pkg`: assembles the input from the
@@ -1222,8 +1495,10 @@ impl Simulation {
         self.dvfs_decisions += 1;
         let next = self.governors[pkg].decide(&input, &self.machine.freq_domains[pkg]);
         if event_driven {
-            self.dvfs_hold[pkg] =
-                Some(self.governors[pkg].hold(&input, &self.machine.freq_domains[pkg], next));
+            let hold = self.governors[pkg].hold(&input, &self.machine.freq_domains[pkg], next);
+            self.dvfs_dwell_until[pkg] = self.now + hold.min_dwell;
+            self.dvfs_armed_power[pkg] = input.thermal_power;
+            self.dvfs_hold[pkg] = Some(hold);
             self.dvfs_next[pkg] = max_hold.map(|h| self.now + h);
         } else {
             self.dvfs_next[pkg] = Some(self.now + interval);
@@ -1552,6 +1827,11 @@ impl Simulation {
             reg.set_gauge(m.g_freq[pkg], self.now, dom.frequency().0 / 1e9);
         }
         for pkg in 0..self.pkg_cpus.len() {
+            // Frozen packages stopped accumulating their windows; the
+            // catch-up is exact (zero busy time) and keeps them frozen.
+            if self.dvfs_stable[pkg] {
+                self.dvfs_catch_up(pkg);
+            }
             let util = windowed_utilization(
                 self.dvfs_busy[pkg],
                 self.dvfs_window[pkg],
@@ -1561,7 +1841,7 @@ impl Simulation {
         }
     }
 
-    fn n_cpus(&self) -> usize {
+    pub(crate) fn n_cpus(&self) -> usize {
         self.sys.topology().n_cpus()
     }
 
@@ -2214,6 +2494,94 @@ mod tests {
             report.dvfs_decisions < 72_000 / 10,
             "too many decisions: {}",
             report.dvfs_decisions
+        );
+    }
+
+    #[test]
+    fn thermal_dwell_rate_limits_decision_bursts() {
+        // The governor's input is a lagging average, so right after a
+        // downclock the observed power still reads above the new hold
+        // band's upper edge even though the instantaneous power is
+        // already compliant. Without a dwell the escape trigger
+        // re-fires on that stale reading, overshooting the ladder and
+        // then paying recovery decisions to climb back. The
+        // rate-limited hold must cut those bursts substantially while
+        // enforcing the same budget.
+        let run = |min_dwell: SimDuration| {
+            let cfg = quick_cfg()
+                .max_power(crate::MaxPowerSpec::PerLogical(Watts(40.0)))
+                .energy_aware(false)
+                .throttling(false)
+                .dvfs_governor(ebs_dvfs::GovernorKind::ThermalAware);
+            let mut sim = Simulation::new(cfg);
+            for g in &mut sim.governors {
+                *g = Box::new(ebs_dvfs::ThermalAware {
+                    engage: 0.95,
+                    min_dwell,
+                });
+            }
+            sim.spawn_mix(&ebs_workloads::section61_mix(), 2);
+            sim.run_for(SimDuration::from_secs(30));
+            sim.report()
+        };
+        let chatty = run(SimDuration::ZERO);
+        let limited = run(SimDuration::from_secs(3));
+        // The dwell must remove at least a third of the decisions
+        // (measured: roughly half) — the overshoot descents and the
+        // recovery ascents they force.
+        assert!(
+            limited.dvfs_decisions * 3 < chatty.dvfs_decisions * 2,
+            "dwell did not cut decision bursts: {} vs {}",
+            limited.dvfs_decisions,
+            chatty.dvfs_decisions
+        );
+        // Same enforcement outcome: the ladder still descends and the
+        // retired work stays close (the dwell run comes out slightly
+        // ahead — skipping the overshoot keeps the clock honest).
+        assert!(limited.avg_scaled_fraction > 0.05);
+        let rel = (chatty.instructions_retired as f64 - limited.instructions_retired as f64).abs()
+            / chatty.instructions_retired as f64;
+        assert!(rel < 0.10, "work drifted {rel}");
+    }
+
+    #[test]
+    fn idle_packages_freeze_and_events_unfreeze_them() {
+        // One busy task: the other seven packages park at the slowest
+        // state with zero utilization inside their hold bands, so the
+        // per-package hold-expiry index freezes them out of the
+        // per-step DVFS accounting entirely.
+        let cfg = quick_cfg()
+            .energy_aware(false)
+            .throttling(false)
+            .dvfs_governor(ebs_dvfs::GovernorKind::OnDemand);
+        let mut sim = Simulation::new(cfg);
+        let id = sim.spawn_program(&catalog::aluadd());
+        sim.run_for(SimDuration::from_secs(5));
+        let busy_pkg = sim
+            .system()
+            .topology()
+            .package_of(sim.system().task(id).cpu())
+            .0;
+        let frozen = sim.dvfs_stable.iter().filter(|&&s| s).count();
+        assert!(frozen >= 6, "only {frozen} packages froze");
+        assert!(!sim.dvfs_stable[busy_pkg], "the busy package froze");
+        // A task landing on a frozen package unfreezes it through the
+        // dispatch event and the governor reacts again.
+        let id2 = sim.spawn_program(&catalog::aluadd());
+        sim.run_for(SimDuration::from_millis(100));
+        let pkg2 = sim
+            .system()
+            .topology()
+            .package_of(sim.system().task(id2).cpu())
+            .0;
+        assert_ne!(pkg2, busy_pkg, "placement should pick an idle package");
+        assert!(!sim.dvfs_stable[pkg2], "dispatch did not unfreeze");
+        assert_eq!(
+            sim.machine()
+                .freq_domain(ebs_topology::PackageId(pkg2))
+                .current_index(),
+            0,
+            "unfrozen package did not clock back up"
         );
     }
 

@@ -43,14 +43,16 @@ mod config;
 mod diag;
 mod engine;
 mod machine;
+mod parallel;
 mod runner;
 mod runtime;
 mod trace;
 
 pub use config::{DvfsSpec, MaxPowerSpec, SimConfig};
-pub use diag::{stride_divergence, traced_events};
+pub use diag::{parallel_divergence, stride_divergence, traced_events};
 pub use engine::Simulation;
 pub use machine::PhysicalMachine;
+pub use parallel::{HandoffRecord, ParallelSimulation};
 pub use runner::{
     default_workers, mean, run_configs, run_configs_with_workers, run_one, run_seeds,
 };

@@ -1,0 +1,479 @@
+//! The parallel engine core: per-package simulation partitions with
+//! their own event calendars, synchronized by conservative lookahead.
+//!
+//! The sequential cores advance all simulated CPUs in lockstep to the
+//! nearest *global* event, so one saturated package floors every
+//! package's stride. But the paper's policies are package-structured:
+//! DVFS domains, throttling, and thermal state are per package, and
+//! the balancing that crosses packages runs on multi-millisecond
+//! intervals. This module exploits that structure:
+//!
+//! - Each package becomes a **partition** — a complete [`Simulation`]
+//!   over a single-package topology, owning its runqueues, thermal
+//!   state, frequency domain, and event trace.
+//! - A **synchronizer** advances every partition through a shared
+//!   *horizon* (the stride cap). Within a horizon, partitions share
+//!   nothing and run concurrently on a work-stealing pool (the
+//!   `run_parallel` pattern); threads are used only when the host has
+//!   parallelism to offer.
+//! - Partitions interact **only at horizon boundaries**: open-workload
+//!   arrivals are routed to the least-loaded partition, and a
+//!   cross-package handoff queue rebalances queued tasks from
+//!   partitions with more runnable tasks than CPUs to partitions with
+//!   spare capacity. Routing and handoffs are computed serially in
+//!   partition-index order, so results are identical for every worker
+//!   count ≥ 2 and deterministic per seed.
+//!
+//! # Determinism contract
+//!
+//! - `parallel(1)` (or a single-package topology) runs one partition
+//!   spanning the whole machine — literally the strided core, so the
+//!   report is **bit-identical** to `strided()`.
+//! - `parallel(w)` for any `w ≥ 2` partitions per package. The worker
+//!   count sizes the thread pool only; partition results never depend
+//!   on which thread ran them, so every `w ≥ 2` produces the same
+//!   report, and every `(seed, w)` pair reproduces exactly.
+//! - Multi-partition runs are a *different policy discretisation*
+//!   than the global cores (cross-package balancing happens at
+//!   horizon boundaries instead of continuously), so they agree with
+//!   the sequential cores within the equivalence-suite tolerances,
+//!   not bit-exactly. The arrival stream is still exact: one global
+//!   [`ArrivalProcess`] owns it.
+
+use crate::config::SimConfig;
+use crate::engine::{RoutedArrival, Simulation};
+use crate::trace::{LatencyStats, SimReport};
+use ebs_sched::MigrationReason;
+use ebs_trace::TraceEvent;
+use ebs_units::{Hertz, Joules, SimDuration, SimTime};
+use ebs_workloads::{ArrivalProcess, Program};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cross-partition task handoff, recorded for the determinism
+/// tests: handoffs must be identical across worker counts and applied
+/// exactly once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HandoffRecord {
+    /// The horizon boundary at which the handoff was applied.
+    pub at: SimTime,
+    /// Global sequence number (application order).
+    pub seq: u64,
+    /// Binary id of the moved task.
+    pub binary: u64,
+    /// Donating partition (package index).
+    pub from_shard: usize,
+    /// Receiving partition (package index).
+    pub to_shard: usize,
+}
+
+/// The partitioned engine. See the module docs for the model and the
+/// determinism contract; construction is driven by
+/// [`SimConfig::parallel`].
+pub struct ParallelSimulation {
+    cfg: SimConfig,
+    /// One partition per package (or a single whole-machine partition
+    /// when one worker is requested or the topology has one package).
+    shards: Vec<Simulation>,
+    /// The global arrival process (multi-partition mode only; the
+    /// single-partition fallback keeps it inside the engine).
+    open: Option<ArrivalProcess>,
+    now: SimTime,
+    horizon: SimDuration,
+    /// OS threads the stepping pool uses (1 = step serially).
+    threads: usize,
+    handoffs: Vec<HandoffRecord>,
+    next_seq: u64,
+}
+
+impl ParallelSimulation {
+    /// Builds the partitioned engine from a configuration (typically
+    /// via [`SimConfig::parallel`]). With one worker or one package
+    /// this constructs a single whole-machine partition — the strided
+    /// core, bit-identical reports and all.
+    pub fn new(cfg: SimConfig) -> Self {
+        let workers = cfg.parallel_workers.unwrap_or(1).max(1);
+        let n_packages = cfg.n_nodes * cfg.packages_per_node;
+        let horizon = cfg.max_stride.unwrap_or(SimConfig::DEFAULT_MAX_STRIDE);
+        if workers == 1 || n_packages == 1 {
+            let mut inner = cfg.clone();
+            inner.parallel_workers = None;
+            return ParallelSimulation {
+                shards: vec![Simulation::new(inner)],
+                open: None,
+                now: SimTime::ZERO,
+                horizon,
+                threads: 1,
+                handoffs: Vec::new(),
+                next_seq: 0,
+                cfg,
+            };
+        }
+        let threads = workers.min(n_packages).min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        );
+        let shards = (0..n_packages)
+            .map(|pkg| Simulation::new(shard_cfg(&cfg, pkg)))
+            .collect();
+        let open = cfg
+            .open_workload
+            .clone()
+            .map(|spec| ArrivalProcess::new(spec, cfg.seed));
+        ParallelSimulation {
+            shards,
+            open,
+            now: SimTime::ZERO,
+            horizon,
+            threads,
+            handoffs: Vec::new(),
+            next_seq: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration the engine was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of partitions (1 = the sequential fallback).
+    pub fn partitions(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The recorded cross-partition handoffs, in application order.
+    pub fn handoff_log(&self) -> &[HandoffRecord] {
+        &self.handoffs
+    }
+
+    /// Spawns one instance of a program on the least-loaded partition
+    /// (ties go to the lowest package index).
+    pub fn spawn_program(&mut self, program: &Program) {
+        let routed = vec![0usize; self.shards.len()];
+        let idx = least_loaded(&self.shards, &routed);
+        self.shards[idx].spawn_program(program);
+    }
+
+    /// Spawns `copies` instances of every program in the slice,
+    /// spreading them across partitions exactly as
+    /// [`ParallelSimulation::spawn_program`] does.
+    pub fn spawn_mix(&mut self, programs: &[Program], copies: usize) {
+        for program in programs {
+            for _ in 0..copies {
+                self.spawn_program(program);
+            }
+        }
+    }
+
+    /// Spawns a [`ebs_workloads::Mix`] (programs with counts).
+    pub fn spawn_mix_entries(&mut self, mix: &ebs_workloads::Mix) {
+        for entry in mix {
+            for _ in 0..entry.count {
+                self.spawn_program(&entry.program);
+            }
+        }
+    }
+
+    /// Runs the simulation for a span of simulated time: repeated
+    /// horizons of concurrent partition stepping, with arrival routing
+    /// ahead of each horizon and handoff rebalancing at each boundary.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let end = self.now + duration;
+        if self.shards.len() == 1 {
+            self.shards[0].run_for(duration);
+            self.now = end;
+            return;
+        }
+        while self.now < end {
+            let h = self.horizon.min(end - self.now);
+            let boundary = self.now + h;
+            self.route_arrivals(boundary);
+            self.step_shards(h);
+            self.now = boundary;
+            self.rebalance();
+        }
+    }
+
+    /// Pops every arrival due by `until` off the shared process and
+    /// queues it on the least-loaded partition, preserving its exact
+    /// due instant. Serial and index-ordered: the routing is the same
+    /// for every worker count.
+    fn route_arrivals(&mut self, until: SimTime) {
+        let mut routed = vec![0usize; self.shards.len()];
+        let Some(open) = self.open.as_mut() else {
+            return;
+        };
+        loop {
+            let t = open.next_arrival();
+            if t > until {
+                break;
+            }
+            for a in open.pop_due(t) {
+                let program = open.spec().programs[a.program_index]
+                    .clone()
+                    .with_total_work(a.work);
+                let idx = least_loaded(&self.shards, &routed);
+                routed[idx] += 1;
+                self.shards[idx].queue_arrival(RoutedArrival {
+                    due: t,
+                    program,
+                    seed: a.seed,
+                    phase: a.phase,
+                });
+            }
+        }
+    }
+
+    /// Advances every partition by `h`, on the work-stealing pool when
+    /// the host offers parallelism, serially otherwise. Partitions
+    /// share nothing within a horizon, so the schedule cannot affect
+    /// results.
+    fn step_shards(&mut self, h: SimDuration) {
+        if self.threads <= 1 {
+            for shard in &mut self.shards {
+                shard.run_for(h);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<&mut Simulation>> = self.shards.iter_mut().map(Mutex::new).collect();
+        let slots = &slots;
+        let next = &next;
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    slots[i].lock().expect("partition slot poisoned").run_for(h);
+                });
+            }
+        })
+        .expect("crossbeam scope");
+    }
+
+    /// The cross-package handoff queue, applied at a horizon boundary:
+    /// partitions holding more runnable tasks than CPUs donate queued
+    /// (never running) tasks to partitions with spare capacity.
+    /// Donors and receivers are visited in ascending package order, so
+    /// the handoff sequence is deterministic and identical for every
+    /// worker count.
+    fn rebalance(&mut self) {
+        let n = self.shards.len();
+        let mut counts: Vec<usize> = self.shards.iter().map(|s| s.runnable_tasks()).collect();
+        let caps: Vec<usize> = self.shards.iter().map(|s| s.n_cpus()).collect();
+        for donor in 0..n {
+            for recv in 0..n {
+                let surplus = counts[donor].saturating_sub(caps[donor]);
+                if surplus == 0 {
+                    break;
+                }
+                if recv == donor {
+                    continue;
+                }
+                let deficit = caps[recv].saturating_sub(counts[recv]);
+                if deficit == 0 {
+                    continue;
+                }
+                let want = surplus.min(deficit);
+                let tasks = self.shards[donor].extract_queued(want);
+                let moved = tasks.len();
+                for task in tasks {
+                    self.handoffs.push(HandoffRecord {
+                        at: self.now,
+                        seq: self.next_seq,
+                        binary: task.binary,
+                        from_shard: donor,
+                        to_shard: recv,
+                    });
+                    self.next_seq += 1;
+                    self.shards[recv].inject_task(task);
+                }
+                counts[donor] -= moved;
+                counts[recv] += moved;
+                if moved < want {
+                    // Nothing else extractable from this donor (its
+                    // remaining runnable tasks are all running).
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The merged event streams of all partitions, in global timestamp
+    /// order (ties in partition order), with CPU and package ids
+    /// remapped to the machine-global numbering. `None` when event
+    /// tracing is disabled. Task ids stay partition-local.
+    pub fn events(&self) -> Option<Vec<TraceEvent>> {
+        if self.shards.len() == 1 {
+            return self.shards[0].events().map(|t| t.to_vec());
+        }
+        let mut streams = Vec::with_capacity(self.shards.len());
+        let mut cpu_offset = 0u32;
+        for (pkg, shard) in self.shards.iter().enumerate() {
+            let trace = shard.events()?;
+            streams.push(
+                trace
+                    .iter()
+                    .map(|e| TraceEvent {
+                        t: e.t,
+                        kind: e.kind.offset_ids(cpu_offset, pkg as u32),
+                    })
+                    .collect(),
+            );
+            cpu_offset += shard.n_cpus() as u32;
+        }
+        Some(ebs_trace::merge_streams(streams))
+    }
+
+    /// Summarises the run: partition reports merged into one
+    /// machine-global [`SimReport`]. Counters sum, per-CPU vectors
+    /// concatenate in package order (partition CPU order *is* the
+    /// global package-major order), latency statistics recompute from
+    /// the pooled raw samples, and residencies merge state-wise.
+    pub fn report(&self) -> SimReport {
+        if self.shards.len() == 1 {
+            return self.shards[0].report();
+        }
+        let reports: Vec<SimReport> = self.shards.iter().map(|s| s.report()).collect();
+        let duration = self.now - SimTime::ZERO;
+        let mut migrations_by_reason = [0u64; MigrationReason::ALL.len()];
+        for r in &reports {
+            for (acc, v) in migrations_by_reason.iter_mut().zip(r.migrations_by_reason) {
+                *acc += v;
+            }
+        }
+        let mut by_binary: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for r in &reports {
+            for &(binary, n) in &r.completions_by_binary {
+                *by_binary.entry(binary).or_default() += n;
+            }
+        }
+        let mut completions_by_binary: Vec<(u64, u64)> = by_binary.into_iter().collect();
+        completions_by_binary.sort_unstable();
+        let samples: Vec<(&'static str, f64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.raw_latencies().iter().copied())
+            .collect();
+        let latency = LatencyStats::from_samples(samples.iter().map(|&(_, s)| s).collect());
+        let phase_latencies: Vec<(String, LatencyStats)> = match &self.cfg.open_workload {
+            Some(w) => w
+                .curve
+                .phases()
+                .iter()
+                .filter_map(|&ph| {
+                    let xs: Vec<f64> = samples
+                        .iter()
+                        .filter(|&&(p, _)| p == ph)
+                        .map(|&(_, s)| s)
+                        .collect();
+                    (!xs.is_empty()).then(|| (ph.to_string(), LatencyStats::from_samples(xs)))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        // State-wise P-state residency across partitions; the tables
+        // are identical, so take frequencies from the first.
+        let pstate_residency = match reports.first() {
+            Some(first) if !first.pstate_residency.is_empty() => {
+                let states = first.pstate_residency.len();
+                let times: Vec<SimDuration> = (0..states)
+                    .map(|i| reports.iter().map(|r| r.pstate_residency[i].time).sum())
+                    .collect();
+                let total: SimDuration = times.iter().copied().sum();
+                (0..states)
+                    .map(|i| ebs_dvfs::PStateResidency {
+                        frequency: first.pstate_residency[i].frequency,
+                        time: times[i],
+                        fraction: if total.is_zero() {
+                            0.0
+                        } else {
+                            times[i].ratio(total)
+                        },
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        let throttled_fraction: Vec<f64> = reports
+            .iter()
+            .flat_map(|r| r.throttled_fraction.iter().copied())
+            .collect();
+        let avg_throttled_fraction = if throttled_fraction.is_empty() {
+            0.0
+        } else {
+            throttled_fraction.iter().sum::<f64>() / throttled_fraction.len() as f64
+        };
+        let n = reports.len() as f64;
+        let instructions_retired: u64 = reports.iter().map(|r| r.instructions_retired).sum();
+        SimReport {
+            duration,
+            engine_steps: reports.iter().map(|r| r.engine_steps).sum(),
+            migrations: migrations_by_reason.iter().sum(),
+            migrations_by_reason,
+            context_switches: reports.iter().map(|r| r.context_switches).sum(),
+            completions: completions_by_binary.iter().map(|&(_, c)| c).sum(),
+            arrivals: self.open.as_ref().map_or(0, |o| o.accepted()),
+            latency,
+            phase_latencies,
+            completions_by_binary,
+            instructions_retired,
+            throughput_ips: if duration.is_zero() {
+                0.0
+            } else {
+                instructions_retired as f64 / duration.as_secs_f64()
+            },
+            throttled_fraction,
+            avg_throttled_fraction,
+            throttle_stats: reports
+                .iter()
+                .flat_map(|r| r.throttle_stats.iter().copied())
+                .collect(),
+            pstate_residency,
+            avg_scaled_fraction: reports.iter().map(|r| r.avg_scaled_fraction).sum::<f64>() / n,
+            mean_frequency: Hertz(reports.iter().map(|r| r.mean_frequency.0).sum::<f64>() / n),
+            dvfs_transitions: reports.iter().map(|r| r.dvfs_transitions).sum(),
+            dvfs_decisions: reports.iter().map(|r| r.dvfs_decisions).sum(),
+            max_package_temp: reports.iter().map(|r| r.max_package_temp).fold(
+                ebs_units::Celsius::AMBIENT,
+                |a, b| if b.0 > a.0 { b } else { a },
+            ),
+            true_energy: Joules(reports.iter().map(|r| r.true_energy.0).sum()),
+            estimated_energy: Joules(reports.iter().map(|r| r.estimated_energy.0).sum()),
+        }
+    }
+}
+
+/// The partition with the fewest runnable tasks plus already-routed
+/// arrivals; ties go to the lowest package index (`min_by_key` keeps
+/// the first minimum).
+fn least_loaded(shards: &[Simulation], routed: &[usize]) -> usize {
+    (0..shards.len())
+        .min_by_key(|&i| shards[i].runnable_tasks() + routed[i])
+        .expect("at least one partition")
+}
+
+/// The configuration of partition `pkg`: the same machine parameters
+/// over a single-package topology. The seed is unchanged, so every
+/// partition calibrates the *same* energy model the global cores use;
+/// the arrival process moves to the synchronizer.
+fn shard_cfg(cfg: &SimConfig, pkg: usize) -> SimConfig {
+    let mut s = cfg.clone();
+    s.n_nodes = 1;
+    s.packages_per_node = 1;
+    s.parallel_workers = None;
+    s.open_workload = None;
+    if !cfg.cooling_factors.is_empty() {
+        s.cooling_factors = vec![cfg.cooling_factors[pkg]];
+    }
+    s
+}

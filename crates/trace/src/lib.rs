@@ -36,7 +36,7 @@ pub mod perfetto;
 mod profile;
 
 pub use diff::{first_divergence, Divergence};
-pub use event::{EventKind, EventTrace, TraceEvent, TraceSink};
+pub use event::{merge_streams, EventKind, EventTrace, TraceEvent, TraceSink};
 pub use json::{parse as parse_json, Json};
 pub use metrics::{CounterId, GaugeId, MetricsRegistry};
 pub use profile::{PhaseProfiler, PhaseRow};
