@@ -5,10 +5,44 @@
 //! the sweep on the fixed-tick engine core and writes
 //! `results/scaling_fixed.csv` — the baseline leg of the CI
 //! fixed-vs-strided regression gate (`exp_scaling_gate`).
+//!
+//! `--fork` runs the checkpoint/fork sweep instead: both legs of the
+//! warm-up-amortized matrix (per-cell warm-ups vs one shared warm-up
+//! per topology×curve group, forked from its `ebs-store` checkpoint),
+//! verifies they are byte-identical cell for cell, and writes
+//! `results/scaling_fork.csv`, `results/scaling_straight.csv`,
+//! `results/scaling_fork_hashes.csv` (the state-hash oracle the gate
+//! consumes), and one `results/*.snap` checkpoint per group (replay
+//! them with `exp_trace_diff --from-snapshot`). Exits non-zero when
+//! the legs diverge.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let smoke = ebs_bench::smoke_requested() || ebs_bench::quick_requested();
     let fixed = std::env::args().any(|a| a == "--fixed");
+    let fork = std::env::args().any(|a| a == "--fork");
+    if fork {
+        let cmp = ebs_bench::experiments::scaling::run_fork_compare(smoke);
+        ebs_bench::write_artifact("scaling_fork.csv", &cmp.forked.sweep.to_csv())
+            .expect("fork csv");
+        ebs_bench::write_artifact("scaling_straight.csv", &cmp.straight.sweep.to_csv())
+            .expect("straight csv");
+        ebs_bench::write_artifact("scaling_fork_hashes.csv", &cmp.hashes_csv())
+            .expect("hashes csv");
+        for (key, image) in &cmp.snapshots {
+            let name = format!("{}.snap", key.replace('/', "-"));
+            image
+                .write_file(&std::path::Path::new("results").join(name))
+                .expect("snap file");
+        }
+        print!("{cmp}");
+        return if cmp.identical() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     let sweep = ebs_bench::experiments::scaling::run_with_engine(smoke, !fixed);
     let artifact = if fixed {
         "scaling_fixed.csv"
@@ -17,4 +51,5 @@ fn main() {
     };
     ebs_bench::write_artifact(artifact, &sweep.to_csv()).expect("scaling csv");
     println!("{sweep}");
+    ExitCode::SUCCESS
 }

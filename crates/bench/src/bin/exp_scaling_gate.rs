@@ -3,8 +3,42 @@
 //! legs of `exp_scaling --smoke` cell by cell and exits non-zero when
 //! any headline metric drifts past the equivalence-suite tolerances.
 //! Optional arguments override the two artifact paths, strided first.
+//!
+//! When `results/scaling_fork_hashes.csv` exists (written by
+//! `exp_scaling --fork`), the state-hash gate runs too: every fork
+//! cell's end-state hash must match its straight-leg twin exactly —
+//! an equality oracle that does not inherit the ≥20-completion
+//! percentile gating hole of the metric tolerances.
 
 use std::process::ExitCode;
+
+const HASHES: &str = "results/scaling_fork_hashes.csv";
+
+/// Runs the state-hash gate when its artifact exists. `true` = pass
+/// (including "artifact absent": the fork sweep did not run).
+fn hash_gate_passes() -> bool {
+    if !std::path::Path::new(HASHES).exists() {
+        return true;
+    }
+    match ebs_bench::experiments::scaling_gate::hash_gate(HASHES) {
+        Ok((cells, mismatched)) if mismatched.is_empty() => {
+            println!("state-hash gate: {cells} fork cells, all hashes identical");
+            true
+        }
+        Ok((cells, mismatched)) => {
+            println!(
+                "state-hash gate: {}/{cells} fork cells DIVERGED: {}",
+                mismatched.len(),
+                mismatched.join(", ")
+            );
+            false
+        }
+        Err(message) => {
+            eprintln!("state-hash gate error: {message}");
+            false
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,7 +54,11 @@ fn main() -> ExitCode {
         Ok(result) => {
             print!("{result}");
             if result.passed() {
-                ExitCode::SUCCESS
+                if hash_gate_passes() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
             } else {
                 // Localise the first violation: replay its cell with
                 // event tracing at a one-tick stride cap and name the

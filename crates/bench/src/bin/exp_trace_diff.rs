@@ -7,11 +7,16 @@
 //!
 //! ```text
 //! exp_trace_diff [topology/curve/policy] [--seed-b N]
+//! exp_trace_diff [topology/curve/policy] --from-snapshot results/<group>.snap
 //! ```
 //!
 //! With `--seed-b N` the cell is instead replayed on the strided core
 //! under its sweep seed and seed `N` — a demonstration mode whose
 //! divergence is expected at the first seed-driven arrival.
+//!
+//! With `--from-snapshot <path>` the cell is forked twice from the
+//! named `exp_scaling --fork` checkpoint and the two forks are
+//! diffed — the bisection mode for a failed state-hash gate.
 
 use ebs_bench::experiments::trace_diff;
 use std::process::ExitCode;
@@ -20,10 +25,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut key: Option<String> = None;
     let mut seed_b: Option<u64> = None;
+    let mut snapshot: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--seed-b" {
             seed_b = args.get(i + 1).and_then(|s| s.parse().ok());
+            i += 2;
+        } else if args[i] == "--from-snapshot" {
+            snapshot = args.get(i + 1).cloned();
             i += 2;
         } else {
             if !args[i].starts_with("--") && key.is_none() {
@@ -33,9 +42,10 @@ fn main() -> ExitCode {
         }
     }
     let key = key.as_deref().unwrap_or(trace_diff::DEFAULT_KEY);
-    let result = match seed_b {
-        Some(seed) => trace_diff::seeds(key, seed),
-        None => trace_diff::engines(key),
+    let result = match (snapshot, seed_b) {
+        (Some(path), _) => trace_diff::from_snapshot(&path, key),
+        (None, Some(seed)) => trace_diff::seeds(key, seed),
+        (None, None) => trace_diff::engines(key),
     };
     match result {
         Ok(diff) => {

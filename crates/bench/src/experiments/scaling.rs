@@ -17,7 +17,10 @@
 
 use crate::fmt::Table;
 use ebs_dvfs::GovernorKind;
-use ebs_sim::{run_configs, MaxPowerSpec, SimConfig, SimReport};
+use ebs_sim::{
+    default_workers, map_parallel, run_configs, MaxPowerSpec, SimConfig, SimReport, Simulation,
+};
+use ebs_store::StateImage;
 use ebs_topology::TopologyPreset;
 use ebs_units::{SimDuration, Watts};
 use ebs_workloads::{catalog, LoadCurve, OpenWorkload};
@@ -359,6 +362,290 @@ impl core::fmt::Display for ScalingSweep {
     }
 }
 
+// ---------------------------------------------------------------------
+// The fork sweep: checkpoint each topology×curve warm-up once, fork
+// the policy matrix from the snapshot.
+// ---------------------------------------------------------------------
+
+/// One topology×curve group of the fork sweep: a shared warm-up
+/// configuration (the [`Policy::StockHlt`] baseline) and the four
+/// policy cells forked from its measurement-boundary checkpoint.
+#[derive(Clone, Debug)]
+pub struct ForkGroup {
+    /// Group key: `topology/curve`.
+    pub key: String,
+    /// The warm-up cell: the stock baseline of the group.
+    pub warmup: SimConfig,
+    /// The policy cells forked from the warm-up checkpoint.
+    pub cells: Vec<(ScalingRow, SimConfig)>,
+}
+
+/// One leg of the fork sweep (straight or forked).
+#[derive(Clone, Debug)]
+pub struct ForkLeg {
+    /// The filled sweep rows (CSV-identical across legs by the
+    /// determinism contract).
+    pub sweep: ScalingSweep,
+    /// Per-cell end-of-measurement state hash, keyed
+    /// `topology/curve/policy` — the equality oracle sharper than any
+    /// CSV tolerance.
+    pub hashes: Vec<(String, u64)>,
+    /// Engine steps actually executed by this leg (warm-ups included
+    /// once per execution, so the straight/fork ratio *is* the
+    /// warm-up amortization, counter-verified).
+    pub executed_steps: u64,
+}
+
+/// The outcome of running both legs and comparing them.
+#[derive(Clone, Debug)]
+pub struct ForkCompare {
+    /// The per-cell-warm-up leg.
+    pub straight: ForkLeg,
+    /// The shared-warm-up leg.
+    pub forked: ForkLeg,
+    /// The warm-up checkpoint of every group, keyed `topology/curve`
+    /// (persisted as `results/*.snap` by `exp_scaling --fork`).
+    pub snapshots: Vec<(String, StateImage)>,
+    /// Whether the two legs' CSVs are byte-identical.
+    pub csv_identical: bool,
+    /// Whether every cell's end-state hash matches across legs.
+    pub hashes_identical: bool,
+    /// Warm-up span both legs ran before each measurement.
+    pub warmup: SimDuration,
+}
+
+/// Warm-up span of one fork-sweep cell. Smoke keeps it equal to the
+/// measurement span (theoretical shared-warm-up amortization of a
+/// 4-policy matrix: 8/5 = 1.6× in engine steps); the full matrix uses
+/// the sweep's original 45 s cell span — a long shared prefix is
+/// exactly what forking amortizes best (steps ceiling
+/// (4W+4M)/(W+4M) ≈ 2×), and warm-up steps under the stock baseline
+/// are cheaper per simulated second than measurement steps, so the
+/// wall-clock speedup needs the longer prefix to clear 1.5×.
+pub fn fork_warmup(smoke: bool) -> SimDuration {
+    SimDuration::from_secs(if smoke { 3 } else { 45 })
+}
+
+/// Measurement span of one fork-sweep cell.
+pub fn fork_measure(smoke: bool) -> SimDuration {
+    SimDuration::from_secs(if smoke { 3 } else { 22 })
+}
+
+/// The fork-sweep groups: one per topology×curve, cells in policy
+/// order. The warm-up runs the stock baseline; the cells fork from
+/// its checkpoint, so a cell's measurement covers `[W, W+M]` under
+/// its own policy after a shared prefix.
+pub fn fork_groups(smoke: bool) -> Vec<ForkGroup> {
+    let mut groups: Vec<ForkGroup> = Vec::new();
+    for (row, cfg) in sweep_configs(smoke) {
+        let key = format!("{}/{}", row.topology, row.curve);
+        if groups.last().map(|g| g.key.as_str()) != Some(key.as_str()) {
+            groups.push(ForkGroup {
+                key,
+                warmup: Policy::StockHlt.apply(cfg.clone()),
+                cells: Vec::new(),
+            });
+        }
+        groups
+            .last_mut()
+            .expect("group just pushed")
+            .cells
+            .push((row, cfg));
+    }
+    groups
+}
+
+/// Runs one group's warm-up to the measurement boundary and returns
+/// the checkpoint plus the steps it took.
+fn warm_up(group: &ForkGroup, warmup: SimDuration) -> (StateImage, u64) {
+    let mut sim = Simulation::new(group.warmup.clone());
+    sim.run_for(warmup);
+    (sim.snapshot(), sim.report().engine_steps)
+}
+
+/// Forks one cell from a warm-up checkpoint and measures it.
+fn measure_cell(cfg: &SimConfig, image: &StateImage, measure: SimDuration) -> (SimReport, u64) {
+    let mut sim = Simulation::from_snapshot(cfg.clone(), image)
+        .expect("warm-up checkpoint restores into its own group's cells");
+    sim.run_for(measure);
+    (sim.report(), sim.state_hash())
+}
+
+/// Runs the fork sweep. `fork == false` is the straight leg: every
+/// cell runs its own warm-up before forking — the same code path, so
+/// the two legs are byte-identical cell for cell and the only
+/// difference is how often the warm-up executes. Both legs shard over
+/// the work-stealing runner.
+pub fn run_forked(smoke: bool, fork: bool) -> (ForkLeg, Vec<(String, StateImage)>) {
+    let (warmup, measure) = (fork_warmup(smoke), fork_measure(smoke));
+    let groups = fork_groups(smoke);
+    let start = std::time::Instant::now();
+    let mut rows = Vec::new();
+    let mut hashes = Vec::new();
+    let mut executed_steps = 0u64;
+    let mut snapshots = Vec::new();
+    if fork {
+        // One warm-up per group, then the policy matrix forks from
+        // the checkpoint.
+        let results = map_parallel(&groups, default_workers(), |group| {
+            let (image, warm_steps) = warm_up(group, warmup);
+            let cells: Vec<(ScalingRow, SimReport, u64)> = group
+                .cells
+                .iter()
+                .map(|(row, cfg)| {
+                    let (report, hash) = measure_cell(cfg, &image, measure);
+                    (row.clone(), report, hash)
+                })
+                .collect();
+            (group.key.clone(), image, warm_steps, cells)
+        });
+        for (key, image, warm_steps, cells) in results {
+            executed_steps += warm_steps;
+            for (mut row, report, hash) in cells {
+                executed_steps += report.engine_steps - warm_steps;
+                fill(&mut row, &report);
+                hashes.push((
+                    format!("{}/{}/{}", row.topology, row.curve, row.policy),
+                    hash,
+                ));
+                rows.push(row);
+            }
+            snapshots.push((key, image));
+        }
+    } else {
+        // Per-cell warm-ups: flatten the groups into (warmup, cell)
+        // pairs so the runner load-balances across all cells.
+        let flat: Vec<(SimConfig, ScalingRow, SimConfig)> = groups
+            .iter()
+            .flat_map(|g| {
+                g.cells
+                    .iter()
+                    .map(|(row, cfg)| (g.warmup.clone(), row.clone(), cfg.clone()))
+            })
+            .collect();
+        let results = map_parallel(&flat, default_workers(), |(warmup_cfg, row, cfg)| {
+            let mut sim = Simulation::new(warmup_cfg.clone());
+            sim.run_for(warmup);
+            let image = sim.snapshot();
+            let (report, hash) = measure_cell(cfg, &image, measure);
+            (row.clone(), report, hash)
+        });
+        for (mut row, report, hash) in results {
+            // The cell's end-step count covers its warm-up prefix too
+            // (the `steps` counter travels with the snapshot).
+            executed_steps += report.engine_steps;
+            fill(&mut row, &report);
+            hashes.push((
+                format!("{}/{}/{}", row.topology, row.curve, row.policy),
+                hash,
+            ));
+            rows.push(row);
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    let leg = ForkLeg {
+        sweep: ScalingSweep {
+            rows,
+            duration: measure,
+            wall_s,
+        },
+        hashes,
+        executed_steps,
+    };
+    (leg, snapshots)
+}
+
+impl ForkCompare {
+    /// Wall-clock speedup of the forked leg over the straight leg.
+    pub fn speedup(&self) -> f64 {
+        self.straight.sweep.wall_s / self.forked.sweep.wall_s.max(1e-9)
+    }
+
+    /// Executed-step ratio straight/forked — the counter-verified
+    /// warm-up amortization, free of wall-clock noise.
+    pub fn step_ratio(&self) -> f64 {
+        self.straight.executed_steps as f64 / self.forked.executed_steps.max(1) as f64
+    }
+
+    /// Whether both equality oracles (CSV bytes, state hashes) agree.
+    pub fn identical(&self) -> bool {
+        self.csv_identical && self.hashes_identical
+    }
+
+    /// Renders the per-cell hash table as CSV (`key,straight,fork`).
+    pub fn hashes_csv(&self) -> String {
+        let mut out = String::from("cell,straight_hash,fork_hash\n");
+        for ((key, s), (_, f)) in self.straight.hashes.iter().zip(&self.forked.hashes) {
+            out.push_str(&format!("{key},{s:016x},{f:016x}\n"));
+        }
+        out
+    }
+}
+
+/// Runs both legs of the fork sweep and compares them cell by cell.
+pub fn run_fork_compare(smoke: bool) -> ForkCompare {
+    let (straight, _) = run_forked(smoke, false);
+    let (forked, snapshots) = run_forked(smoke, true);
+    let csv_identical = straight.sweep.to_csv() == forked.sweep.to_csv();
+    let hashes_identical = straight.hashes == forked.hashes;
+    ForkCompare {
+        straight,
+        forked,
+        snapshots,
+        csv_identical,
+        hashes_identical,
+        warmup: fork_warmup(smoke),
+    }
+}
+
+impl core::fmt::Display for ForkCompare {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "Fork sweep: {} cells in {} topology-curve groups \
+             ({:.0} s warm-up, {:.0} s measurement)",
+            self.forked.sweep.rows.len(),
+            self.snapshots.len(),
+            self.warmup.as_secs_f64(),
+            self.forked.sweep.duration.as_secs_f64()
+        )?;
+        writeln!(
+            f,
+            "  straight leg: {} engine steps, {:.1}s wall ({} warm-ups)",
+            self.straight.executed_steps,
+            self.straight.sweep.wall_s,
+            self.straight.sweep.rows.len()
+        )?;
+        writeln!(
+            f,
+            "  forked leg:   {} engine steps, {:.1}s wall ({} warm-ups)",
+            self.forked.executed_steps,
+            self.forked.sweep.wall_s,
+            self.snapshots.len()
+        )?;
+        writeln!(
+            f,
+            "  amortization: {:.2}x fewer engine steps, {:.2}x wall-clock speedup",
+            self.step_ratio(),
+            self.speedup()
+        )?;
+        writeln!(
+            f,
+            "  equality: CSV {}, state hashes {}",
+            if self.csv_identical {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            },
+            if self.hashes_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +713,30 @@ mod tests {
         let reused = Policy::StockHlt
             .apply(SimConfig::xseries445().dvfs_governor(GovernorKind::ThermalAware));
         assert!(reused.dvfs.is_none() && reused.throttling);
+    }
+
+    #[test]
+    fn fork_groups_partition_the_matrix() {
+        // Smoke: 3 topologies × 2 curves, 4 policy cells each; full:
+        // 5 × 3. Every group's warm-up is the stock baseline of its
+        // own topology, and the cells cover the whole sweep in order.
+        let groups = fork_groups(true);
+        assert_eq!(groups.len(), 6);
+        assert_eq!(fork_groups(false).len(), 15);
+        let sweep = sweep_configs(true);
+        let mut flattened = 0;
+        for g in &groups {
+            assert_eq!(g.cells.len(), Policy::ALL.len());
+            assert!(g.warmup.throttling, "warm-up is not the hlt baseline");
+            assert!(g.warmup.dvfs.is_none());
+            for (row, cfg) in &g.cells {
+                assert_eq!(format!("{}/{}", row.topology, row.curve), g.key);
+                assert_eq!(cfg.n_packages(), g.warmup.n_packages());
+                assert_eq!(cfg.seed, g.warmup.seed);
+                flattened += 1;
+            }
+        }
+        assert_eq!(flattened, sweep.len());
     }
 
     #[test]

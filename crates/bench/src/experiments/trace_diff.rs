@@ -13,11 +13,19 @@
 //! - [`seeds`]: the same strided cell under two seeds, a
 //!   demonstration mode whose divergence is expected at the first
 //!   seed-driven arrival.
+//! - [`from_snapshot`]: replays a `results/*.snap` checkpoint
+//!   (written by `exp_scaling --fork`) twice under one cell's config
+//!   and diffs the forks — the bisection mode for a failed state-hash
+//!   gate, confirming (or localising) fork determinism from the exact
+//!   checkpoint CI used.
 
 use crate::experiments::scaling;
-use ebs_sim::stride_divergence;
+use ebs_sim::{stride_divergence, Simulation};
+use ebs_store::StateImage;
+use ebs_trace::{first_divergence, TraceEvent};
 use ebs_units::SimDuration;
 use std::fmt;
+use std::path::Path;
 
 /// The cell replayed when the binary gets no key argument: a DVFS
 /// smoke cell, where the stride machinery has the most moving parts.
@@ -94,6 +102,54 @@ pub fn seeds(key: &str, seed_b: u64) -> Result<TraceDiff, String> {
     })
 }
 
+/// Replays the checkpoint at `snap_path` twice under `key`'s strided
+/// cell config with event tracing on and diffs the two forks.
+///
+/// Identical event streams *and* equal end-state hashes mean the fork
+/// is deterministic from that checkpoint — a state-hash gate failure
+/// then points at the straight leg, not the fork machinery. A
+/// divergent event localises nondeterminism to its first observable
+/// effect; matching streams with differing hashes push the hunt
+/// outside the traced event set.
+///
+/// # Errors
+///
+/// Returns a message when the snapshot cannot be read, `key` names no
+/// sweep cell, or the image does not fit the cell's topology.
+pub fn from_snapshot(snap_path: &str, key: &str) -> Result<TraceDiff, String> {
+    let image = StateImage::read_file(Path::new(snap_path))
+        .map_err(|e| format!("cannot read snapshot {snap_path}: {e}"))?;
+    let (strided, _) = scaling::cell_configs(key)
+        .ok_or_else(|| format!("no sweep cell named {key} (expected topology/curve/policy)"))?;
+    let cfg = strided.trace_events(true);
+    let fork = || -> Result<(Vec<TraceEvent>, u64), String> {
+        let mut sim = Simulation::from_snapshot(cfg.clone(), &image)
+            .map_err(|e| format!("snapshot {snap_path} does not fit cell {key}: {e}"))?;
+        sim.run_for(horizon());
+        let events = sim.events().map(|e| e.to_vec()).unwrap_or_default();
+        Ok((events, sim.state_hash()))
+    };
+    let (events_a, hash_a) = fork()?;
+    let (events_b, hash_b) = fork()?;
+    let summary = match first_divergence(&events_a, &events_b) {
+        None if hash_a == hash_b => format!(
+            "fork deterministic: event streams identical ({} events), end-state hash {hash_a:016x}",
+            events_a.len()
+        ),
+        None => format!(
+            "event streams identical ({} events) but end-state hashes differ \
+             ({hash_a:016x} vs {hash_b:016x}) — divergence is outside the traced event set",
+            events_a.len()
+        ),
+        Some(d) => format!("first divergent event — {d}"),
+    };
+    Ok(TraceDiff {
+        key: key.to_string(),
+        mode: format!("forked twice from {snap_path}"),
+        summary,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +177,39 @@ mod tests {
             "seeds did not diverge: {}",
             diff.summary
         );
+    }
+
+    #[test]
+    fn snapshot_replay_confirms_fork_determinism() {
+        // Warm a small cell up, checkpoint it to disk, and replay the
+        // file through the bisection mode: both forks must agree.
+        let key = "dual2/burst/stock+hlt";
+        let (strided, _) = scaling::cell_configs(key).expect("known cell");
+        let mut warmup = Simulation::new(strided);
+        warmup.run_for(SimDuration::from_secs(1));
+        let path = std::env::temp_dir().join(format!("ebs-trace-diff-{}.snap", std::process::id()));
+        warmup.snapshot().write_file(&path).expect("write snapshot");
+        let diff = from_snapshot(path.to_str().expect("utf-8 path"), key).expect("replay");
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            diff.summary.contains("fork deterministic"),
+            "{}",
+            diff.summary
+        );
+    }
+
+    #[test]
+    fn snapshot_replay_rejects_missing_files_and_bad_cells() {
+        assert!(from_snapshot("/nonexistent/no.snap", "dual2/burst/stock+hlt").is_err());
+        let path =
+            std::env::temp_dir().join(format!("ebs-trace-diff-bad-{}.snap", std::process::id()));
+        let mut sim = Simulation::new(scaling::cell_configs("dual2/burst/stock+hlt").unwrap().0);
+        sim.run_for(SimDuration::from_millis(100));
+        sim.snapshot().write_file(&path).expect("write snapshot");
+        // A 2-package image must not restore into a 16-package cell.
+        let err = from_snapshot(path.to_str().unwrap(), "numa16/diurnal/stock+hlt");
+        let _ = std::fs::remove_file(&path);
+        assert!(err.is_err(), "shape-mismatched snapshot was accepted");
     }
 
     #[test]

@@ -161,6 +161,23 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw generator state, for checkpointing. Restoring it
+        /// via [`StdRng::from_state`] resumes the stream exactly
+        /// where it left off.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator from a raw [`StdRng::state`] word.
+        /// Unlike [`SeedableRng::seed_from_u64`] no warm-up step
+        /// runs: the next draw is the one the saved generator would
+        /// have produced.
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut rng = StdRng { state: seed };
@@ -185,6 +202,18 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(43);
         assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            let _ = rng.gen::<u64>();
+        }
+        let mut resumed = StdRng::from_state(rng.state());
+        for _ in 0..100 {
+            assert_eq!(rng.gen::<u64>(), resumed.gen::<u64>());
+        }
     }
 
     #[test]

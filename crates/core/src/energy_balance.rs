@@ -394,6 +394,36 @@ fn pull_sorted(
     moved
 }
 
+impl ebs_store::Snapshot for EnergyAwareBalancer {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        // The ratio cache is never serialized: its entries are bitwise
+        // identical to a fresh member-order scan, so a restored
+        // balancer simply starts all-stale and recomputes on demand.
+        w.seq(&self.next_balance, |w, levels| {
+            w.seq(levels, |w, &t| w.time(t));
+        });
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        let next_balance = r.seq(|r| r.seq(|r| r.time()))?;
+        if next_balance.len() != self.next_balance.len()
+            || next_balance
+                .iter()
+                .zip(&self.next_balance)
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err(ebs_store::StoreError::Invalid(
+                "balancer timer table shaped unlike this topology".into(),
+            ));
+        }
+        self.next_balance = next_balance;
+        if let Some(ratios) = &mut self.ratios {
+            ratios.mark_all_stale();
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

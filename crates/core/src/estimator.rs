@@ -91,6 +91,28 @@ impl EnergyEstimator {
     }
 }
 
+impl ebs_store::Snapshot for EnergyEstimator {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        // The model and halt power share are calibration config; only
+        // the per-CPU "previous read" snapshots are run state.
+        w.seq(&self.last, |w, snap| snap.save(w));
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        let n = r.usize()?;
+        if n != self.last.len() {
+            return Err(ebs_store::StoreError::Invalid(format!(
+                "estimator state for {n} CPUs, expected {}",
+                self.last.len()
+            )));
+        }
+        for snap in &mut self.last {
+            snap.restore(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -283,6 +283,58 @@ impl GroupRatioCache {
     }
 }
 
+impl GroupRatioCache {
+    /// Marks every slot stale, forcing the next read of each unit to
+    /// recompute by the member-order scan. Because cached entries are
+    /// bitwise identical to a fresh scan, dropping them is invisible
+    /// to balancing decisions — which is why snapshots never carry the
+    /// cache: a restored balancer starts all-stale.
+    pub(crate) fn mark_all_stale(&mut self) {
+        for slot in self
+            .core
+            .iter_mut()
+            .chain(self.package.iter_mut())
+            .chain(self.node.iter_mut())
+        {
+            slot.0 = STALE;
+        }
+        self.budget_gen_seen = 0;
+    }
+}
+
+impl ebs_store::Snapshot for PowerState {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        w.seq(&self.thermal, |w, avg| avg.save(w));
+        w.seq(&self.max_power, |w, &p| w.watts(p));
+        w.u64(self.budget_gen);
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        let n = r.usize()?;
+        if n != self.thermal.len() {
+            return Err(ebs_store::StoreError::Invalid(format!(
+                "power state for {n} CPUs, expected {}",
+                self.thermal.len()
+            )));
+        }
+        for avg in &mut self.thermal {
+            avg.restore(r)?;
+        }
+        let n = r.usize()?;
+        if n != self.max_power.len() {
+            return Err(ebs_store::StoreError::Invalid(format!(
+                "budget table for {n} CPUs, expected {}",
+                self.max_power.len()
+            )));
+        }
+        for p in &mut self.max_power {
+            *p = r.watts()?;
+        }
+        self.budget_gen = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

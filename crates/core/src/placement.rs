@@ -124,6 +124,31 @@ fn ratio_with_task(sys: &System, power: &PowerState, cpu: CpuId, profile: Watts)
     new_power.ratio(power.max_power(cpu))
 }
 
+impl ebs_store::Snapshot for PlacementTable {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        // HashMap iteration order is arbitrary; sort by binary id so
+        // equal tables always serialize to equal bytes (the content
+        // hash depends on it).
+        let mut entries: Vec<(BinaryId, Watts)> =
+            self.entries.iter().map(|(&b, &p)| (b, p)).collect();
+        entries.sort_by_key(|&(b, _)| b.0);
+        w.seq(&entries, |w, &(b, p)| {
+            w.u64(b.0);
+            w.watts(p);
+        });
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        let entries = r.seq(|r| Ok((BinaryId(r.u64()?), r.watts()?)))?;
+        self.entries = entries.into_iter().collect();
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

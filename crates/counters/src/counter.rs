@@ -75,6 +75,29 @@ impl CounterSnapshot {
     }
 }
 
+impl ebs_store::Snapshot for CounterBank {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        self.counts.save(w);
+        w.u64(self.reads);
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        self.counts.restore(r)?;
+        self.reads = r.u64()?;
+        Ok(())
+    }
+}
+
+impl ebs_store::Snapshot for CounterSnapshot {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        self.counts.save(w);
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        self.counts.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

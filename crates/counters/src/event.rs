@@ -177,6 +177,23 @@ impl Sub for EventCounts {
     }
 }
 
+impl ebs_store::Snapshot for EventCounts {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        for &c in self.as_array() {
+            w.u64(c);
+        }
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        let mut counts = [0u64; N_EVENTS];
+        for slot in &mut counts {
+            *slot = r.u64()?;
+        }
+        *self = EventCounts::from_array(counts);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

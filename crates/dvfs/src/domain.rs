@@ -160,6 +160,37 @@ impl FrequencyDomain {
     }
 }
 
+impl ebs_store::Snapshot for FrequencyDomain {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        // The p-state table is configuration; the pointer, residency
+        // clocks, and transition count evolve.
+        w.usize(self.current);
+        w.seq(&self.residency, |w, &d| w.duration(d));
+        w.duration(self.observed);
+        w.u64(self.transitions);
+    }
+
+    /// Shape-matched restore: a snapshot taken on a domain with a
+    /// *different* P-state table (a no-DVFS warm-up forked into a DVFS
+    /// cell, or vice versa) cannot be mapped onto this ladder, so the
+    /// saved values are read and discarded and the domain keeps its
+    /// freshly constructed state. Deterministic either way — every fork
+    /// of the same snapshot takes the same branch.
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        let current = r.usize()?;
+        let residency = r.seq(|r| r.duration())?;
+        let observed = r.duration()?;
+        let transitions = r.u64()?;
+        if current < self.table.len() && residency.len() == self.residency.len() {
+            self.current = current;
+            self.residency = residency;
+            self.observed = observed;
+            self.transitions = transitions;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -129,6 +129,59 @@ impl LoadAggregates {
     }
 }
 
+impl ebs_store::Snapshot for AggCell {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        w.usize(self.nr_running);
+        w.usize(self.nr_queued);
+        w.f64(self.profile_sum);
+        w.u64(self.gen);
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        self.nr_running = r.usize()?;
+        self.nr_queued = r.usize()?;
+        // The profile sums carry floating-point residue from the exact
+        // credit/debit history, so they are serialized rather than
+        // rebuilt — a fresh scan could differ in the last bit.
+        self.profile_sum = r.f64()?;
+        self.gen = r.u64()?;
+        Ok(())
+    }
+}
+
+fn restore_cells(
+    cells: &mut [AggCell],
+    r: &mut ebs_store::StateReader<'_>,
+) -> Result<(), ebs_store::StoreError> {
+    use ebs_store::Snapshot as _;
+    let n = r.usize()?;
+    if n != cells.len() {
+        return Err(ebs_store::StoreError::Invalid(format!(
+            "aggregate table with {n} cells, expected {}",
+            cells.len()
+        )));
+    }
+    for cell in cells {
+        cell.restore(r)?;
+    }
+    Ok(())
+}
+
+impl ebs_store::Snapshot for LoadAggregates {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        // `paths` is topology-derived config and never serialized.
+        for table in [&self.core, &self.package, &self.node] {
+            w.seq(table, |w, cell| cell.save(w));
+        }
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        restore_cells(&mut self.core, r)?;
+        restore_cells(&mut self.package, r)?;
+        restore_cells(&mut self.node, r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

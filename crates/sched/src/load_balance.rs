@@ -355,6 +355,30 @@ pub fn idlest_cpu(sys: &System) -> Option<CpuId> {
         .min_by_key(|&c| (sys.nr_running(c), c.0))
 }
 
+impl ebs_store::Snapshot for LoadBalancer {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        w.seq(&self.next_balance, |w, levels| {
+            w.seq(levels, |w, &t| w.time(t));
+        });
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        let next_balance = r.seq(|r| r.seq(|r| r.time()))?;
+        if next_balance.len() != self.next_balance.len()
+            || next_balance
+                .iter()
+                .zip(&self.next_balance)
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err(ebs_store::StoreError::Invalid(
+                "balancer timer table shaped unlike this topology".into(),
+            ));
+        }
+        self.next_balance = next_balance;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -143,6 +143,46 @@ impl PrioArray {
     }
 }
 
+impl ebs_store::Snapshot for PrioArray {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        // Queue contents only; the bitmap and length are derived and
+        // recomputed exactly on restore.
+        w.seq(&self.queues, |w, q| {
+            w.usize(q.len());
+            for id in q {
+                w.u64(id.0);
+            }
+        });
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        let queues = r.seq(|r| {
+            let n = r.usize()?;
+            let mut q = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                q.push_back(TaskId(r.u64()?));
+            }
+            Ok(q)
+        })?;
+        if queues.len() != N_PRIOS {
+            return Err(ebs_store::StoreError::Invalid(format!(
+                "priority array with {} queues, expected {N_PRIOS}",
+                queues.len()
+            )));
+        }
+        self.bitmap = 0;
+        self.len = 0;
+        for (prio, q) in queues.iter().enumerate() {
+            if !q.is_empty() {
+                self.bitmap |= 1 << prio;
+            }
+            self.len += q.len();
+        }
+        self.queues = queues;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -135,6 +135,23 @@ impl RunQueue {
     }
 }
 
+impl ebs_store::Snapshot for RunQueue {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        self.active.save(w);
+        self.expired.save(w);
+        w.opt(&self.current, |w, id| w.u64(id.0));
+        w.f64(self.queued_profile);
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        self.active.restore(r)?;
+        self.expired.restore(r)?;
+        self.current = r.opt(|r| Ok(TaskId(r.u64()?)))?;
+        self.queued_profile = r.f64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -701,6 +701,72 @@ impl System {
     }
 }
 
+impl ebs_store::Snapshot for SystemStats {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        for &n in &self.migrations_by_reason {
+            w.u64(n);
+        }
+        w.u64(self.context_switches);
+        w.u64(self.spawns);
+        w.u64(self.exits);
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        for n in &mut self.migrations_by_reason {
+            *n = r.u64()?;
+        }
+        self.context_switches = r.u64()?;
+        self.spawns = r.u64()?;
+        self.exits = r.u64()?;
+        Ok(())
+    }
+}
+
+impl ebs_store::Snapshot for System {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        w.key("system");
+        w.seq(&self.tasks, |w, t| t.save(w));
+        w.seq(&self.rqs, |w, rq| rq.save(w));
+        self.agg.save(w);
+        w.time(self.now);
+        self.stats.save(w);
+    }
+
+    /// Restores into a freshly built [`System::new`] of the *same
+    /// topology*; tasks travel with their configs, so nothing else
+    /// about the saved workload needs to be re-created by the caller.
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        r.key("system")?;
+        let n = r.usize()?;
+        let mut tasks = Vec::with_capacity(n.min(1 << 20));
+        for i in 0..n {
+            let task = Task::from_snapshot(r)?;
+            if task.id().0 as usize != i {
+                return Err(ebs_store::StoreError::Invalid(format!(
+                    "task table out of order: id {} at slot {i}",
+                    task.id()
+                )));
+            }
+            tasks.push(task);
+        }
+        self.tasks = tasks;
+        let n_rqs = r.usize()?;
+        if n_rqs != self.rqs.len() {
+            return Err(ebs_store::StoreError::Invalid(format!(
+                "snapshot has {n_rqs} runqueues, topology has {}",
+                self.rqs.len()
+            )));
+        }
+        for rq in &mut self.rqs {
+            rq.restore(r)?;
+        }
+        self.agg.restore(r)?;
+        self.now = r.time()?;
+        self.stats.restore(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,7 @@
 //! table (Section 4.6).
 
 use crate::system::MigrationReason;
+use ebs_store::Snapshot as _;
 use ebs_thermal::PowerAverage;
 use ebs_topology::CpuId;
 use ebs_units::{SimDuration, SimTime, Watts};
@@ -250,6 +251,105 @@ impl Task {
     /// Total CPU time consumed so far.
     pub fn cpu_time(&self) -> SimDuration {
         self.cpu_time
+    }
+}
+
+fn state_code(state: TaskState) -> u8 {
+    match state {
+        TaskState::Runnable => 0,
+        TaskState::Running => 1,
+        TaskState::Blocked => 2,
+        TaskState::Exited => 3,
+    }
+}
+
+fn state_from_code(code: u8) -> Result<TaskState, ebs_store::StoreError> {
+    Ok(match code {
+        0 => TaskState::Runnable,
+        1 => TaskState::Running,
+        2 => TaskState::Blocked,
+        3 => TaskState::Exited,
+        other => {
+            return Err(ebs_store::StoreError::Invalid(format!(
+                "task state code {other}"
+            )))
+        }
+    })
+}
+
+fn reason_code(reason: MigrationReason) -> u8 {
+    match reason {
+        MigrationReason::LoadBalance => 0,
+        MigrationReason::EnergyBalance => 1,
+        MigrationReason::HotTask => 2,
+        MigrationReason::Exchange => 3,
+    }
+}
+
+fn reason_from_code(code: u8) -> Result<MigrationReason, ebs_store::StoreError> {
+    MigrationReason::ALL
+        .get(usize::from(code))
+        .copied()
+        .ok_or_else(|| ebs_store::StoreError::Invalid(format!("migration reason code {code}")))
+}
+
+impl Task {
+    /// Rebuilds a task from its snapshot section — the spawn-time
+    /// config travels with the mutable state, so restore needs no
+    /// other context.
+    pub(crate) fn from_snapshot(
+        r: &mut ebs_store::StateReader<'_>,
+    ) -> Result<Self, ebs_store::StoreError> {
+        let id = TaskId(r.u64()?);
+        let config = TaskConfig {
+            nice: r.i64()? as i32,
+            binary: BinaryId(r.u64()?),
+            initial_profile: r.watts()?,
+            profile_weight: r.f64()?,
+        };
+        let cpu = CpuId(r.usize()?);
+        let mut task = Task::new(id, config, cpu);
+        task.state = state_from_code(r.u8()?)?;
+        task.timeslice = r.duration()?;
+        task.profile.restore(r)?;
+        task.last_scheduled = r.time()?;
+        task.last_migration = r.opt(|r| Ok((r.time()?, r.bool()?)))?;
+        task.last_migration_reason = r.opt(|r| {
+            let code = r.u8()?;
+            reason_from_code(code)
+        })?;
+        task.migrations = r.u64()?;
+        task.cpu_time = r.duration()?;
+        Ok(task)
+    }
+}
+
+impl ebs_store::Snapshot for Task {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        w.u64(self.id.0);
+        w.i64(i64::from(self.config.nice));
+        w.u64(self.config.binary.0);
+        w.watts(self.config.initial_profile);
+        w.f64(self.config.profile_weight);
+        w.usize(self.cpu.0);
+        w.u8(state_code(self.state));
+        w.duration(self.timeslice);
+        self.profile.save(w);
+        w.time(self.last_scheduled);
+        w.opt(&self.last_migration, |w, &(t, cross)| {
+            w.time(t);
+            w.bool(cross);
+        });
+        w.opt(&self.last_migration_reason, |w, &reason| {
+            w.u8(reason_code(reason));
+        });
+        w.u64(self.migrations);
+        w.duration(self.cpu_time);
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        *self = Task::from_snapshot(r)?;
+        Ok(())
     }
 }
 

@@ -14,8 +14,33 @@
 use crate::config::SimConfig;
 use crate::engine::Simulation;
 use crate::parallel::ParallelSimulation;
+use crate::trace::SimReport;
 use ebs_trace::{first_divergence, TraceEvent};
 use ebs_units::SimDuration;
+
+/// Byte-level fingerprint of a report for assertion messages (Rust's
+/// float Debug is the shortest round-trip representation, so string
+/// equality is value bit-equality — except under NaN, which is why
+/// the equality check itself is [`SimReport::bit_eq`], not this
+/// string). Shared by every bit-identity suite so the gates render
+/// mismatches the same way.
+pub fn report_fingerprint(r: &SimReport) -> String {
+    format!("{r:?}")
+}
+
+/// Relative deviation of two metrics, shared by the tolerance suites.
+/// Non-finite input yields infinity so a NaN metric can never slip
+/// through a `dev < tol` comparison as a pass.
+pub fn rel_dev(a: f64, b: f64) -> f64 {
+    if !a.is_finite() || !b.is_finite() {
+        return f64::INFINITY;
+    }
+    if a == 0.0 && b == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / a.abs().max(b.abs())
+    }
+}
 
 /// Runs `cfg` for `duration` with event tracing forced on (`setup`
 /// spawns the workload) and returns the recorded event stream.

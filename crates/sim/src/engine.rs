@@ -1952,6 +1952,359 @@ impl Simulation {
     }
 }
 
+// ---------------------------------------------------------------------
+// Checkpointing.
+//
+// A [`Simulation`] snapshot captures every piece of evolving state —
+// scheduler, machine physics, policy timers, RNG streams, carries, and
+// run statistics — but never configuration (rebuilt by constructing a
+// fresh engine from the same [`SimConfig`]) and never observability
+// sinks (traces, metrics histories, profiles), with one deliberate
+// exception: the *cadence cursors* of enabled sinks are state, because
+// they bound variable strides and therefore shape the event sequence.
+// ---------------------------------------------------------------------
+
+/// Reads a shaped table of raw values and rejects a count mismatch.
+fn restore_table<T>(
+    r: &mut ebs_store::StateReader<'_>,
+    out: &mut [T],
+    what: &str,
+    mut read: impl FnMut(&mut ebs_store::StateReader<'_>) -> Result<T, ebs_store::StoreError>,
+) -> Result<(), ebs_store::StoreError> {
+    let n = r.usize()?;
+    if n != out.len() {
+        return Err(ebs_store::StoreError::Invalid(format!(
+            "snapshot has {n} {what}, engine has {}",
+            out.len()
+        )));
+    }
+    for slot in out {
+        *slot = read(r)?;
+    }
+    Ok(())
+}
+
+fn save_hold(w: &mut ebs_store::StateWriter, hold: &DecisionHold) {
+    w.opt(&hold.utilization, |w, &(lo, hi)| {
+        w.f64(lo);
+        w.f64(hi);
+    });
+    w.opt(&hold.thermal_power, |w, &(lo, hi)| {
+        w.watts(lo);
+        w.watts(hi);
+    });
+    w.duration(hold.min_dwell);
+}
+
+fn read_hold(r: &mut ebs_store::StateReader<'_>) -> Result<DecisionHold, ebs_store::StoreError> {
+    Ok(DecisionHold {
+        utilization: r.opt(|r| Ok((r.f64()?, r.f64()?)))?,
+        thermal_power: r.opt(|r| Ok((r.watts()?, r.watts()?)))?,
+        min_dwell: r.duration()?,
+    })
+}
+
+impl ebs_store::Snapshot for Simulation {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        w.key("engine");
+        self.sys.save(w);
+        self.machine.save(w);
+        w.key("policies");
+        self.power.save(w);
+        self.estimator.save(w);
+        match &self.balancer {
+            Balancer::Baseline(b) => {
+                w.u8(0);
+                b.save(w);
+            }
+            Balancer::EnergyAware(b) => {
+                w.u8(1);
+                b.save(w);
+            }
+        }
+        self.placement.save(w);
+        w.key("dvfs");
+        w.seq(&self.dvfs_next, |w, next| {
+            w.opt(next, |w, &t| w.time(t));
+        });
+        w.seq(&self.dvfs_hold, |w, hold| {
+            w.opt(hold, save_hold);
+        });
+        w.seq(&self.dvfs_busy, |w, &b| w.f64(b));
+        w.seq(&self.dvfs_window, |w, &d| w.duration(d));
+        w.seq(&self.dvfs_util, |w, &u| w.f64(u));
+        w.u64(self.dvfs_decisions);
+        w.seq(&self.dvfs_dwell_until, |w, &t| w.time(t));
+        w.seq(&self.dvfs_armed_power, |w, &p| w.watts(p));
+        w.seq(&self.dvfs_stable, |w, &s| w.bool(s));
+        w.seq(&self.dvfs_frozen_at, |w, &t| w.time(t));
+        w.key("workload");
+        w.usize(self.inbox.len());
+        for routed in &self.inbox {
+            w.time(routed.due);
+            routed.program.save(w);
+            w.u64(routed.seed);
+            w.str(routed.phase);
+        }
+        w.seq(&self.runtimes, |w, rt| {
+            w.opt(rt, |w, rt| rt.save(w));
+        });
+        // HashMap iteration order is arbitrary; sort so equal catalogs
+        // hash equally.
+        let mut programs: Vec<&Program> = self.programs.values().collect();
+        programs.sort_by_key(|p| p.binary);
+        w.usize(programs.len());
+        for p in programs {
+            p.save(w);
+        }
+        // The sleeper heap's internal layout is insertion-dependent;
+        // its *contents* are the state (pop order is fully determined
+        // by the unique (wake, id) keys), so serialize sorted.
+        let mut sleepers: Vec<(u64, u64)> = self
+            .sleepers
+            .iter()
+            .map(|Reverse((wake, id))| (*wake, id.0))
+            .collect();
+        sleepers.sort_unstable();
+        w.seq(&sleepers, |w, &(wake, id)| {
+            w.u64(wake);
+            w.u64(id);
+        });
+        w.opt(&self.open, |w, open| open.save(w));
+        w.key("stats");
+        w.seq(&self.latencies, |w, &(phase, secs)| {
+            w.str(phase);
+            w.f64(secs);
+        });
+        w.seq(&self.cycle_carry, |w, &c| w.f64(c));
+        w.seq(&self.instr_carry, |w, &c| w.f64(c));
+        w.u64(self.rng.state());
+        w.seq(&self.acc, |w, acc| {
+            w.opt(&acc.task, |w, id| w.u64(id.0));
+            w.joules(acc.energy);
+            w.duration(acc.time);
+        });
+        w.seq(&self.newidle_pending, |w, &p| w.bool(p));
+        w.time(self.now);
+        w.u64(self.steps);
+        let mut completions: Vec<(u64, u64)> =
+            self.completions.iter().map(|(&b, &n)| (b, n)).collect();
+        completions.sort_unstable();
+        w.seq(&completions, |w, &(binary, n)| {
+            w.u64(binary);
+            w.u64(n);
+        });
+        w.u64(self.instructions);
+        w.celsius(self.max_temp);
+        w.joules(self.true_energy);
+        w.joules(self.estimated_energy);
+        // Cadence cursors of enabled observability sinks: they bound
+        // variable strides, so they are state even though the sinks'
+        // recorded histories are not.
+        w.opt(&self.next_thermal_sample, |w, &t| w.time(t));
+        w.opt(&self.metrics.as_ref().map(|m| m.next), |w, &t| w.time(t));
+    }
+
+    /// Restores into a freshly constructed engine of the same
+    /// topology. Policy-specific sections (balancer kind, frequency
+    /// domains) apply only when this engine's shape matches the saved
+    /// one; mismatched sections are read and discarded, leaving the
+    /// fresh construction-time defaults — the deterministic
+    /// "shape-matched restore" rule that lets one warm-up snapshot
+    /// fork into cells of *different* policies.
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        r.key("engine")?;
+        self.sys.restore(r)?;
+        self.machine.restore(r)?;
+        r.key("policies")?;
+        self.power.restore(r)?;
+        self.estimator.restore(r)?;
+        let balancer_tag = r.u8()?;
+        match (balancer_tag, &mut self.balancer) {
+            (0, Balancer::Baseline(b)) => b.restore(r)?,
+            (1, Balancer::EnergyAware(b)) => b.restore(r)?,
+            // A snapshot from the other balancer kind: consume its
+            // timer table (both kinds serialize the same layout) and
+            // keep this engine's fresh timers.
+            (0 | 1, _) => {
+                let _ = r.seq(|r| r.seq(|r| r.time()))?;
+            }
+            (tag, _) => {
+                return Err(ebs_store::StoreError::Invalid(format!(
+                    "balancer tag {tag}"
+                )));
+            }
+        }
+        self.placement.restore(r)?;
+        r.key("dvfs")?;
+        restore_table(r, &mut self.dvfs_next, "dvfs deadlines", |r| {
+            r.opt(|r| r.time())
+        })?;
+        restore_table(r, &mut self.dvfs_hold, "dvfs holds", |r| r.opt(read_hold))?;
+        restore_table(r, &mut self.dvfs_busy, "dvfs busy windows", |r| r.f64())?;
+        restore_table(r, &mut self.dvfs_window, "dvfs windows", |r| r.duration())?;
+        restore_table(r, &mut self.dvfs_util, "dvfs utilizations", |r| r.f64())?;
+        self.dvfs_decisions = r.u64()?;
+        restore_table(r, &mut self.dvfs_dwell_until, "dvfs dwells", |r| r.time())?;
+        restore_table(r, &mut self.dvfs_armed_power, "dvfs armed powers", |r| {
+            r.watts()
+        })?;
+        restore_table(r, &mut self.dvfs_stable, "dvfs stable flags", |r| r.bool())?;
+        restore_table(r, &mut self.dvfs_frozen_at, "dvfs freeze times", |r| {
+            r.time()
+        })?;
+        r.key("workload")?;
+        let n_inbox = r.usize()?;
+        self.inbox.clear();
+        for _ in 0..n_inbox {
+            let due = r.time()?;
+            let mut program = placeholder_program();
+            program.restore(r)?;
+            let seed = r.u64()?;
+            let phase = ebs_store::intern(&r.str()?);
+            self.inbox.push_back(RoutedArrival {
+                due,
+                program,
+                seed,
+                phase,
+            });
+        }
+        let n_runtimes = r.usize()?;
+        let mut runtimes = Vec::with_capacity(n_runtimes.min(1 << 20));
+        for _ in 0..n_runtimes {
+            runtimes.push(r.opt(|r| {
+                let mut rt = TaskRuntime::new(ProgramState::new(placeholder_program(), 0));
+                rt.restore(r)?;
+                Ok(rt)
+            })?);
+        }
+        self.runtimes = runtimes;
+        let n_programs = r.usize()?;
+        self.programs.clear();
+        for _ in 0..n_programs {
+            let mut program = placeholder_program();
+            program.restore(r)?;
+            self.programs.insert(program.binary, program);
+        }
+        let sleepers = r.seq(|r| Ok((r.u64()?, r.u64()?)))?;
+        self.sleepers = sleepers
+            .into_iter()
+            .map(|(wake, id)| Reverse((wake, TaskId(id))))
+            .collect();
+        let has_open = r.bool()?;
+        match (has_open, &mut self.open) {
+            (true, Some(open)) => open.restore(r)?,
+            (false, None) => {}
+            (saved, _) => {
+                return Err(ebs_store::StoreError::Invalid(format!(
+                    "snapshot open-workload presence {saved} does not match the config"
+                )));
+            }
+        }
+        r.key("stats")?;
+        self.latencies = r.seq(|r| {
+            let phase = ebs_store::intern(&r.str()?);
+            Ok((phase, r.f64()?))
+        })?;
+        restore_table(r, &mut self.cycle_carry, "cycle carries", |r| r.f64())?;
+        restore_table(r, &mut self.instr_carry, "instruction carries", |r| r.f64())?;
+        self.rng = StdRng::from_state(r.u64()?);
+        restore_table(r, &mut self.acc, "interval accumulators", |r| {
+            Ok(IntervalAcc {
+                task: r.opt(|r| Ok(TaskId(r.u64()?)))?,
+                energy: r.joules()?,
+                time: r.duration()?,
+            })
+        })?;
+        restore_table(r, &mut self.newidle_pending, "new-idle flags", |r| r.bool())?;
+        self.now = r.time()?;
+        self.sys.set_now(self.now);
+        self.steps = r.u64()?;
+        let completions = r.seq(|r| Ok((r.u64()?, r.u64()?)))?;
+        self.completions = completions.into_iter().collect();
+        self.instructions = r.u64()?;
+        self.max_temp = r.celsius()?;
+        self.true_energy = r.joules()?;
+        self.estimated_energy = r.joules()?;
+        let next_thermal = r.opt(|r| r.time())?;
+        if self.next_thermal_sample.is_some() && next_thermal.is_some() {
+            self.next_thermal_sample = next_thermal;
+        }
+        let metrics_next = r.opt(|r| r.time())?;
+        if let (Some(m), Some(next)) = (self.metrics.as_deref_mut(), metrics_next) {
+            m.next = next;
+        }
+        Ok(())
+    }
+}
+
+/// A minimal valid program overwritten entirely by
+/// [`ebs_store::Snapshot::restore`].
+fn placeholder_program() -> Program {
+    Program::new(
+        "placeholder",
+        0,
+        vec![ebs_workloads::Phase::new(
+            "placeholder",
+            ebs_counters::EventRates::HALTED,
+            1.0,
+            SimDuration::from_secs(1),
+        )],
+        ebs_workloads::Behavior::Steady,
+        0.0,
+    )
+}
+
+impl Simulation {
+    /// Serializes the complete evolving state into a sealed, hashed,
+    /// versioned image.
+    pub fn snapshot(&self) -> ebs_store::StateImage {
+        use ebs_store::Snapshot as _;
+        let mut w = ebs_store::StateWriter::new();
+        self.save(&mut w);
+        w.finish()
+    }
+
+    /// Content hash of the current state — equal states (same bytes
+    /// under [`Simulation::snapshot`]) hash equally across processes.
+    pub fn state_hash(&self) -> u64 {
+        self.snapshot().hash()
+    }
+
+    /// Overwrites this engine's state from a snapshot image. The
+    /// engine must have been freshly built from a config of the same
+    /// topology and workload shape; see
+    /// [`ebs_store::Snapshot::restore`] on [`Simulation`] for the
+    /// shape-matching rules on policy sections.
+    pub fn restore_snapshot(
+        &mut self,
+        image: &ebs_store::StateImage,
+    ) -> Result<(), ebs_store::StoreError> {
+        use ebs_store::Snapshot as _;
+        let mut r = image.open()?;
+        self.restore(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(ebs_store::StoreError::Invalid(format!(
+                "{} trailing bytes after the engine state",
+                r.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Builds an engine from `cfg` and restores `image` into it — the
+    /// fork operation: one warm-up snapshot, many differently
+    /// configured continuations.
+    pub fn from_snapshot(
+        cfg: SimConfig,
+        image: &ebs_store::StateImage,
+    ) -> Result<Self, ebs_store::StoreError> {
+        let mut sim = Simulation::new(cfg);
+        sim.restore_snapshot(image)?;
+        Ok(sim)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1959,6 +2312,46 @@ mod tests {
 
     fn quick_cfg() -> SimConfig {
         SimConfig::xseries445().smt(false).seed(7)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let cfg = quick_cfg();
+        let mut straight = Simulation::new(cfg.clone());
+        straight.spawn_mix(&ebs_workloads::section61_mix(), 1);
+        straight.run_for(SimDuration::from_secs(2));
+        let image = straight.snapshot();
+        assert_eq!(image.hash(), straight.state_hash());
+
+        // The checkpointed engine and a fresh engine restored from the
+        // image must agree bit-for-bit after the same continuation.
+        let mut forked = Simulation::from_snapshot(cfg, &image).expect("restore");
+        assert_eq!(forked.state_hash(), straight.state_hash());
+        straight.run_for(SimDuration::from_secs(2));
+        forked.run_for(SimDuration::from_secs(2));
+        assert_eq!(forked.state_hash(), straight.state_hash());
+        assert_eq!(
+            forked.report().instructions_retired,
+            straight.report().instructions_retired
+        );
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip_preserves_hash() {
+        let mut sim = Simulation::new(quick_cfg());
+        sim.spawn_program(&catalog::bitcnts());
+        sim.run_for(SimDuration::from_millis(200));
+        let image = sim.snapshot();
+        let dir = std::env::temp_dir().join("ebs-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.snap");
+        image.write_file(&path).unwrap();
+        let back = ebs_store::StateImage::read_file(&path).unwrap();
+        assert_eq!(back.hash(), image.hash());
+        let mut restored = Simulation::new(quick_cfg());
+        restored.restore_snapshot(&back).unwrap();
+        assert_eq!(restored.state_hash(), sim.state_hash());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -49,12 +49,14 @@ mod runtime;
 mod trace;
 
 pub use config::{DvfsSpec, MaxPowerSpec, SimConfig};
-pub use diag::{parallel_divergence, stride_divergence, traced_events};
+pub use diag::{
+    parallel_divergence, rel_dev, report_fingerprint, stride_divergence, traced_events,
+};
 pub use engine::Simulation;
 pub use machine::PhysicalMachine;
 pub use parallel::{HandoffRecord, ParallelSimulation};
 pub use runner::{
-    default_workers, mean, run_configs, run_configs_with_workers, run_one, run_seeds,
+    default_workers, map_parallel, mean, run_configs, run_configs_with_workers, run_one, run_seeds,
 };
 pub use runtime::TaskRuntime;
 pub use trace::{LatencyStats, SimReport, TaskCpuTrace, ThermalTrace};

@@ -138,6 +138,47 @@ impl PhysicalMachine {
     }
 }
 
+impl ebs_store::Snapshot for PhysicalMachine {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        w.key("machine");
+        w.seq(&self.banks, |w, b| b.save(w));
+        w.seq(&self.thermals, |w, t| t.save(w));
+        w.seq(&self.throttles, |w, t| t.save(w));
+        w.seq(&self.freq_domains, |w, d| d.save(w));
+    }
+
+    /// Restores into a machine freshly built from the same config and
+    /// topology; the ground-truth model and budget tables are
+    /// config-derived and stay as constructed.
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        r.key("machine")?;
+        restore_shaped(r, &mut self.banks, "counter banks")?;
+        restore_shaped(r, &mut self.thermals, "thermal nodes")?;
+        restore_shaped(r, &mut self.throttles, "throttle controllers")?;
+        restore_shaped(r, &mut self.freq_domains, "frequency domains")
+    }
+}
+
+/// Restores a fixed-shape table of snapshot sections, rejecting a
+/// count mismatch (a snapshot from a differently shaped machine).
+fn restore_shaped<T: ebs_store::Snapshot>(
+    r: &mut ebs_store::StateReader<'_>,
+    items: &mut [T],
+    what: &str,
+) -> Result<(), ebs_store::StoreError> {
+    let n = r.usize()?;
+    if n != items.len() {
+        return Err(ebs_store::StoreError::Invalid(format!(
+            "snapshot has {n} {what}, machine has {}",
+            items.len()
+        )));
+    }
+    for item in items {
+        item.restore(r)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

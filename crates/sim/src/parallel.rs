@@ -453,6 +453,109 @@ impl ParallelSimulation {
     }
 }
 
+impl ebs_store::Snapshot for ParallelSimulation {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        w.key("parallel");
+        w.usize(self.shards.len());
+        for shard in &self.shards {
+            shard.save(w);
+        }
+        w.opt(&self.open, |w, open| open.save(w));
+        w.time(self.now);
+        w.seq(&self.handoffs, |w, h| {
+            w.time(h.at);
+            w.u64(h.seq);
+            w.u64(h.binary);
+            w.usize(h.from_shard);
+            w.usize(h.to_shard);
+        });
+        w.u64(self.next_seq);
+    }
+
+    /// Restores into a freshly built engine of the same partitioning
+    /// (worker count may differ — partition count may not, since it is
+    /// fixed by the topology).
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        r.key("parallel")?;
+        let n = r.usize()?;
+        if n != self.shards.len() {
+            return Err(ebs_store::StoreError::Invalid(format!(
+                "snapshot has {n} partitions, engine has {}",
+                self.shards.len()
+            )));
+        }
+        for shard in &mut self.shards {
+            shard.restore(r)?;
+        }
+        let has_open = r.bool()?;
+        match (has_open, &mut self.open) {
+            (true, Some(open)) => open.restore(r)?,
+            (false, None) => {}
+            (saved, _) => {
+                return Err(ebs_store::StoreError::Invalid(format!(
+                    "snapshot open-workload presence {saved} does not match the config"
+                )));
+            }
+        }
+        self.now = r.time()?;
+        self.handoffs = r.seq(|r| {
+            Ok(HandoffRecord {
+                at: r.time()?,
+                seq: r.u64()?,
+                binary: r.u64()?,
+                from_shard: r.usize()?,
+                to_shard: r.usize()?,
+            })
+        })?;
+        self.next_seq = r.u64()?;
+        Ok(())
+    }
+}
+
+impl ParallelSimulation {
+    /// Serializes the complete evolving state — every partition plus
+    /// the synchronizer's arrival cursor and handoff log — into a
+    /// sealed, hashed, versioned image.
+    pub fn snapshot(&self) -> ebs_store::StateImage {
+        use ebs_store::Snapshot as _;
+        let mut w = ebs_store::StateWriter::new();
+        self.save(&mut w);
+        w.finish()
+    }
+
+    /// Content hash of the current state.
+    pub fn state_hash(&self) -> u64 {
+        self.snapshot().hash()
+    }
+
+    /// Overwrites this engine's state from a snapshot image.
+    pub fn restore_snapshot(
+        &mut self,
+        image: &ebs_store::StateImage,
+    ) -> Result<(), ebs_store::StoreError> {
+        use ebs_store::Snapshot as _;
+        let mut r = image.open()?;
+        self.restore(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(ebs_store::StoreError::Invalid(format!(
+                "{} trailing bytes after the engine state",
+                r.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Builds an engine from `cfg` and restores `image` into it.
+    pub fn from_snapshot(
+        cfg: SimConfig,
+        image: &ebs_store::StateImage,
+    ) -> Result<Self, ebs_store::StoreError> {
+        let mut sim = ParallelSimulation::new(cfg);
+        sim.restore_snapshot(image)?;
+        Ok(sim)
+    }
+}
+
 /// The partition with the fewest runnable tasks plus already-routed
 /// arrivals; ties go to the lowest package index (`min_by_key` keeps
 /// the first minimum).

@@ -84,16 +84,20 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
-fn run_parallel<F>(
-    configs: Vec<SimConfig>,
-    duration: SimDuration,
-    workers: usize,
-    setup: &F,
-) -> Vec<SimReport>
+/// Maps `f` over `items` on a work-stealing pool of `workers` OS
+/// threads and returns the results in input order. This is the
+/// generic core under [`run_configs`]; sweeps whose unit of work is
+/// *not* "build one simulation, run, report" — the fork-sweep's
+/// warm-up-then-fork groups, for instance — map their own closures
+/// over it. Results are identical for every worker count: each item
+/// is processed independently and slotted back by index.
+pub fn map_parallel<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
-    F: Fn(&mut Simulation) + Sync,
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
 {
-    let n = configs.len();
+    let n = items.len();
     if n == 0 {
         return Vec::new();
     }
@@ -104,22 +108,14 @@ where
     // previously paid the whole work-stealing apparatus for zero
     // parallelism.
     if workers == 1 {
-        return configs
-            .into_iter()
-            .map(|cfg| {
-                let mut sim = Simulation::new(cfg);
-                setup(&mut sim);
-                sim.run_for(duration);
-                sim.report()
-            })
-            .collect();
+        return items.iter().map(f).collect();
     }
-    // Work-stealing over a shared index: configs differ wildly in cost
+    // Work-stealing over a shared index: items differ wildly in cost
     // (a 64-package machine simulates far slower than a 2-package
     // one), so static chunking would leave workers idle.
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SimReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let configs = &configs;
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let f = &f;
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             let next = &next;
@@ -129,10 +125,7 @@ where
                 if i >= n {
                     break;
                 }
-                let mut sim = Simulation::new(configs[i].clone());
-                setup(&mut sim);
-                sim.run_for(duration);
-                *slots[i].lock().expect("result slot poisoned") = Some(sim.report());
+                *slots[i].lock().expect("result slot poisoned") = Some(f(&items[i]));
             });
         }
     })
@@ -145,6 +138,23 @@ where
                 .expect("every slot filled")
         })
         .collect()
+}
+
+fn run_parallel<F>(
+    configs: Vec<SimConfig>,
+    duration: SimDuration,
+    workers: usize,
+    setup: &F,
+) -> Vec<SimReport>
+where
+    F: Fn(&mut Simulation) + Sync,
+{
+    map_parallel(&configs, workers, |cfg| {
+        let mut sim = Simulation::new(cfg.clone());
+        setup(&mut sim);
+        sim.run_for(duration);
+        sim.report()
+    })
 }
 
 /// The mean of a per-report metric.

@@ -100,6 +100,30 @@ impl TaskRuntime {
     }
 }
 
+impl ebs_store::Snapshot for TaskRuntime {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        self.program.save(w);
+        w.u64(self.migrations_seen);
+        w.u64(self.instr_since_migration);
+        w.bool(self.last_move_cross_node);
+        w.bool(self.first_slice_recorded);
+        w.opt(&self.arrival, |w, &(t, phase)| {
+            w.time(t);
+            w.str(phase);
+        });
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        self.program.restore(r)?;
+        self.migrations_seen = r.u64()?;
+        self.instr_since_migration = r.u64()?;
+        self.last_move_cross_node = r.bool()?;
+        self.first_slice_recorded = r.bool()?;
+        self.arrival = r.opt(|r| Ok((r.time()?, ebs_store::intern(&r.str()?))))?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -165,6 +165,18 @@ impl LatencyStats {
             max_s: samples[n - 1],
         }
     }
+
+    /// NaN-safe bit-equality: every float compares via its bit
+    /// pattern, so two identical runs agree even where a metric is
+    /// NaN (a zero-completion cell), which `==` would call unequal.
+    pub fn bit_eq(&self, other: &LatencyStats) -> bool {
+        self.count == other.count
+            && self.mean_s.to_bits() == other.mean_s.to_bits()
+            && self.p50_s.to_bits() == other.p50_s.to_bits()
+            && self.p95_s.to_bits() == other.p95_s.to_bits()
+            && self.p99_s.to_bits() == other.p99_s.to_bits()
+            && self.max_s.to_bits() == other.max_s.to_bits()
+    }
 }
 
 /// Summary of a finished simulation run.
@@ -270,6 +282,57 @@ impl SimReport {
         } else {
             self.true_energy.0 * 1e9 / self.instructions_retired as f64
         }
+    }
+
+    /// NaN-safe bit-equality over every field: integers and durations
+    /// compare exactly, floats via their bit patterns. This is the
+    /// comparison the bit-identity gates want — stricter than `==` on
+    /// signed zeros, yet true where both sides hold the same NaN (a
+    /// zero-completion cell's percentiles), which `==` would fail.
+    pub fn bit_eq(&self, other: &SimReport) -> bool {
+        let f = |a: f64, b: f64| a.to_bits() == b.to_bits();
+        self.duration == other.duration
+            && self.engine_steps == other.engine_steps
+            && self.migrations == other.migrations
+            && self.migrations_by_reason == other.migrations_by_reason
+            && self.context_switches == other.context_switches
+            && self.completions == other.completions
+            && self.arrivals == other.arrivals
+            && self.latency.bit_eq(&other.latency)
+            && self.phase_latencies.len() == other.phase_latencies.len()
+            && self
+                .phase_latencies
+                .iter()
+                .zip(&other.phase_latencies)
+                .all(|((an, a), (bn, b))| an == bn && a.bit_eq(b))
+            && self.completions_by_binary == other.completions_by_binary
+            && self.instructions_retired == other.instructions_retired
+            && f(self.throughput_ips, other.throughput_ips)
+            && self.throttled_fraction.len() == other.throttled_fraction.len()
+            && self
+                .throttled_fraction
+                .iter()
+                .zip(&other.throttled_fraction)
+                .all(|(&a, &b)| f(a, b))
+            && f(self.avg_throttled_fraction, other.avg_throttled_fraction)
+            && self.throttle_stats == other.throttle_stats
+            && self.pstate_residency.len() == other.pstate_residency.len()
+            && self
+                .pstate_residency
+                .iter()
+                .zip(&other.pstate_residency)
+                .all(|(a, b)| {
+                    a.frequency.0.to_bits() == b.frequency.0.to_bits()
+                        && a.time == b.time
+                        && f(a.fraction, b.fraction)
+                })
+            && f(self.avg_scaled_fraction, other.avg_scaled_fraction)
+            && f(self.mean_frequency.0, other.mean_frequency.0)
+            && self.dvfs_transitions == other.dvfs_transitions
+            && self.dvfs_decisions == other.dvfs_decisions
+            && f(self.max_package_temp.0, other.max_package_temp.0)
+            && f(self.true_energy.0, other.true_energy.0)
+            && f(self.estimated_energy.0, other.estimated_energy.0)
     }
 }
 

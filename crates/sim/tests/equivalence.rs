@@ -13,7 +13,10 @@
 //!    presets and load curves, and stay deterministic per seed.
 
 use ebs_dvfs::GovernorKind;
-use ebs_sim::{stride_divergence, MaxPowerSpec, SimConfig, SimReport, Simulation};
+use ebs_sim::{
+    rel_dev as rel, report_fingerprint as fingerprint, stride_divergence, MaxPowerSpec, SimConfig,
+    SimReport, Simulation,
+};
 use ebs_topology::TopologyPreset;
 use ebs_units::{SimDuration, Watts};
 use ebs_workloads::{catalog, section61_mix, LoadCurve, OpenWorkload};
@@ -28,13 +31,6 @@ fn run(cfg: SimConfig, mix: usize, duration: SimDuration) -> SimReport {
     }
     sim.run_for(duration);
     sim.report()
-}
-
-/// Byte-level fingerprint of a report (Rust's float Debug is the
-/// shortest round-trip representation, so string equality is value
-/// bit-equality).
-fn fingerprint(r: &SimReport) -> String {
-    format!("{r:?}")
 }
 
 #[test]
@@ -57,7 +53,13 @@ fn table2_shape_is_bit_identical_at_one_tick_cap() {
                 .slice_powers()
                 .and_then(|log| log.get(&id).cloned())
                 .unwrap_or_default();
-            (fingerprint(&sim.report()), format!("{slices:?}"))
+            // The state hash covers every serialized field — a far
+            // sharper equality oracle than the aggregate report.
+            (
+                fingerprint(&sim.report()),
+                format!("{slices:?}"),
+                sim.state_hash(),
+            )
         };
         let fixed = run_mode(cfg.clone());
         let strided = run_mode(cfg.clone().max_stride(SimDuration::from_millis(1)));
@@ -101,12 +103,14 @@ fn dvfs_study_is_bit_identical_at_one_tick_cap() {
     ];
     for (i, cfg) in variants.into_iter().enumerate() {
         let duration = SimDuration::from_secs(3);
-        let fixed = fingerprint(&run(cfg.clone(), 3, duration));
-        let strided = fingerprint(&run(
-            cfg.clone().max_stride(SimDuration::from_millis(1)),
-            3,
-            duration,
-        ));
+        let hashed_run = |cfg: SimConfig| {
+            let mut sim = Simulation::new(cfg);
+            sim.spawn_mix(&section61_mix(), 3);
+            sim.run_for(duration);
+            (fingerprint(&sim.report()), sim.state_hash())
+        };
+        let fixed = hashed_run(cfg.clone());
+        let strided = hashed_run(cfg.clone().max_stride(SimDuration::from_millis(1)));
         if fixed != strided {
             let diff = stride_divergence(
                 cfg.clone(),
@@ -208,14 +212,6 @@ fn open_cfg(preset_idx: usize, curve_idx: usize, seed: u64) -> SimConfig {
         .open_workload(workload)
 }
 
-fn rel(a: f64, b: f64) -> f64 {
-    if a == 0.0 && b == 0.0 {
-        0.0
-    } else {
-        (a - b).abs() / a.abs().max(b.abs())
-    }
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -279,8 +275,15 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let duration = SimDuration::from_secs(3);
-        let a = run(open_cfg(preset_idx, curve_idx, seed).strided(), 0, duration);
-        let b = run(open_cfg(preset_idx, curve_idx, seed).strided(), 0, duration);
+        let hashed_run = |cfg: SimConfig| {
+            let mut sim = Simulation::new(cfg);
+            sim.run_for(duration);
+            (sim.report(), sim.state_hash())
+        };
+        let (a, ha) = hashed_run(open_cfg(preset_idx, curve_idx, seed).strided());
+        let (b, hb) = hashed_run(open_cfg(preset_idx, curve_idx, seed).strided());
         prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+        prop_assert!(a.bit_eq(&b), "reports not bit-equal");
+        prop_assert_eq!(ha, hb, "state hashes diverged");
     }
 }

@@ -20,17 +20,14 @@
 //!    same order, for every worker count.
 
 use ebs_dvfs::GovernorKind;
-use ebs_sim::{parallel_divergence, MaxPowerSpec, ParallelSimulation, SimConfig, SimReport};
+use ebs_sim::{
+    parallel_divergence, rel_dev as rel, report_fingerprint as fingerprint, MaxPowerSpec,
+    ParallelSimulation, SimConfig, SimReport,
+};
 use ebs_topology::TopologyPreset;
 use ebs_units::{SimDuration, Watts};
 use ebs_workloads::{catalog, section61_mix, LoadCurve, OpenWorkload};
 use proptest::prelude::*;
-
-/// Byte-level fingerprint of a report (float Debug is the shortest
-/// round-trip representation, so string equality is bit-equality).
-fn fingerprint(r: &SimReport) -> String {
-    format!("{r:?}")
-}
 
 /// Runs `cfg` on the sequential engine (whatever core `cfg` selects).
 fn run_sequential(cfg: SimConfig, mix: usize, duration: SimDuration) -> SimReport {
@@ -55,9 +52,26 @@ fn run_parallel(cfg: SimConfig, mix: usize, duration: SimDuration) -> SimReport 
 /// Asserts bit-identity between `strided()` and `parallel(1)` over one
 /// scenario, replaying with event tracing on failure.
 fn assert_one_worker_identity(cfg: SimConfig, mix: usize, duration: SimDuration, label: &str) {
+    let hashed = |cfg: SimConfig| {
+        let mut sim = ParallelSimulation::new(cfg);
+        if mix > 0 {
+            sim.spawn_mix(&section61_mix(), mix);
+        }
+        sim.run_for(duration);
+        (sim.report(), sim.state_hash())
+    };
     let strided = run_sequential(cfg.clone().strided(), mix, duration);
     let par = run_parallel(cfg.clone().parallel(1), mix, duration);
-    if fingerprint(&strided) != fingerprint(&par) {
+    // The state hash covers every serialized field of every shard —
+    // two parallel(1) builds must agree on it exactly.
+    let (ra, ha) = hashed(cfg.clone().parallel(1));
+    let (rb, hb) = hashed(cfg.clone().parallel(1));
+    assert_eq!(ha, hb, "{label}: parallel(1) state hash not deterministic");
+    assert!(
+        ra.bit_eq(&rb),
+        "{label}: parallel(1) reports not bit-equal across builds"
+    );
+    if !strided.bit_eq(&par) || fingerprint(&strided) != fingerprint(&par) {
         let diff = parallel_divergence(
             cfg.clone().strided(),
             cfg.parallel(1),
@@ -226,14 +240,6 @@ fn open_cfg(preset_idx: usize, curve_idx: usize, seed: u64) -> SimConfig {
         .respawn(false)
         .max_power(MaxPowerSpec::PerLogical(Watts(45.0)))
         .open_workload(workload)
-}
-
-fn rel(a: f64, b: f64) -> f64 {
-    if a == 0.0 && b == 0.0 {
-        0.0
-    } else {
-        (a - b).abs() / a.abs().max(b.abs())
-    }
 }
 
 proptest! {

@@ -157,6 +157,29 @@ impl PowerAverage {
     }
 }
 
+impl ebs_store::Snapshot for ExpAverage {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        // The period and weight are configuration; only the evolving
+        // average travels.
+        w.f64(self.value);
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        self.value = r.f64()?;
+        Ok(())
+    }
+}
+
+impl ebs_store::Snapshot for PowerAverage {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        self.0.save(w);
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        self.0.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -132,6 +132,19 @@ impl ThermalNode {
     }
 }
 
+impl ebs_store::Snapshot for ThermalNode {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        // The RC parameters are configuration; the die temperature is
+        // the node's only evolving state.
+        w.celsius(self.temperature);
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        self.temperature = r.celsius()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -157,6 +157,31 @@ impl ThrottleController {
     }
 }
 
+impl ebs_store::Snapshot for ThrottleController {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        // The limit is mutable at runtime (`set_limit`), so it is
+        // state, not configuration.
+        w.watts(self.limit);
+        w.bool(matches!(self.state, ThrottleState::Halted));
+        w.duration(self.stats.throttled);
+        w.duration(self.stats.observed);
+        w.u64(self.stats.engagements);
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        self.limit = r.watts()?;
+        self.state = if r.bool()? {
+            ThrottleState::Halted
+        } else {
+            ThrottleState::Running
+        };
+        self.stats.throttled = r.duration()?;
+        self.stats.observed = r.duration()?;
+        self.stats.engagements = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

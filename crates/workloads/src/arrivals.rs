@@ -145,6 +145,58 @@ impl ArrivalProcess {
     }
 }
 
+impl ebs_store::Snapshot for ArrivalProcess {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        // The workload spec is config; the stream position is state.
+        w.u64(self.rng.state());
+        w.time(self.next_candidate);
+        w.opt(&self.pending, |w, &(t, a)| {
+            w.time(t);
+            w.usize(a.program_index);
+            w.u64(a.work);
+            w.u64(a.seed);
+            w.str(a.phase);
+        });
+        w.u64(self.accepted);
+    }
+
+    /// Restores into a process built from the *same* spec and any
+    /// seed: every cursor of the stream is overwritten, so the next
+    /// accepted arrival is exactly the one the saved process would
+    /// have produced.
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        self.rng = StdRng::from_state(r.u64()?);
+        self.next_candidate = r.time()?;
+        self.pending = r.opt(|r| {
+            let t = r.time()?;
+            let program_index = r.usize()?;
+            let work = r.u64()?;
+            let seed = r.u64()?;
+            let phase = ebs_store::intern(&r.str()?);
+            Ok((
+                t,
+                Arrival {
+                    program_index,
+                    work,
+                    seed,
+                    phase,
+                },
+            ))
+        })?;
+        if let Some((_, a)) = &self.pending {
+            if a.program_index >= self.spec.programs.len() {
+                return Err(ebs_store::StoreError::Invalid(format!(
+                    "pending arrival references program {} of {}",
+                    a.program_index,
+                    self.spec.programs.len()
+                )));
+            }
+        }
+        self.accepted = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

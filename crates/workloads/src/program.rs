@@ -217,6 +217,116 @@ impl ProgramState {
     }
 }
 
+fn behavior_code(b: Behavior) -> (u8, f64) {
+    match b {
+        Behavior::Steady => (0, 0.0),
+        Behavior::Cyclic => (1, 0.0),
+        Behavior::Spiky { spike_prob } => (2, spike_prob),
+    }
+}
+
+fn behavior_from_code(code: u8, arg: f64) -> Result<Behavior, ebs_store::StoreError> {
+    match code {
+        0 => Ok(Behavior::Steady),
+        1 => Ok(Behavior::Cyclic),
+        2 => Ok(Behavior::Spiky { spike_prob: arg }),
+        _ => Err(ebs_store::StoreError::Invalid(format!(
+            "behavior code {code}"
+        ))),
+    }
+}
+
+impl ebs_store::Snapshot for Program {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        w.str(self.name);
+        w.u64(self.binary);
+        w.seq(&self.phases, |w, phase| {
+            w.str(phase.name);
+            phase.rates.save(w);
+            w.f64(phase.ipc);
+            w.duration(phase.dwell);
+        });
+        let (code, arg) = behavior_code(self.behavior);
+        w.u8(code);
+        w.f64(arg);
+        w.f64(self.jitter);
+        w.opt(&self.blocking, |w, b| {
+            w.f64(b.prob_per_slice);
+            w.duration(b.mean_sleep);
+        });
+        w.opt(&self.total_work, |w, &i| w.u64(i));
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        // Program names come from the static catalog; snapshots of
+        // dynamically assembled programs round-trip through the
+        // interner.
+        self.name = ebs_store::intern(&r.str()?);
+        self.binary = r.u64()?;
+        let phases = r.seq(|r| {
+            let name = ebs_store::intern(&r.str()?);
+            let mut rates = ebs_counters::EventRates::HALTED;
+            rates.restore(r)?;
+            let ipc = r.f64()?;
+            let dwell = r.duration()?;
+            Ok(Phase {
+                name,
+                rates,
+                ipc,
+                dwell,
+            })
+        })?;
+        if phases.is_empty() {
+            return Err(ebs_store::StoreError::Invalid(
+                "program with no phases".into(),
+            ));
+        }
+        self.phases = phases;
+        let code = r.u8()?;
+        let arg = r.f64()?;
+        self.behavior = behavior_from_code(code, arg)?;
+        self.jitter = r.f64()?;
+        self.blocking = r.opt(|r| {
+            Ok(BlockProfile {
+                prob_per_slice: r.f64()?,
+                mean_sleep: r.duration()?,
+            })
+        })?;
+        self.total_work = r.opt(|r| r.u64())?;
+        Ok(())
+    }
+}
+
+impl ebs_store::Snapshot for ProgramState {
+    fn save(&self, w: &mut ebs_store::StateWriter) {
+        self.program.save(w);
+        w.usize(self.phase_idx);
+        w.duration(self.dwell_left);
+        w.opt(&self.spike, |w, &i| w.usize(i));
+        w.f64(self.jitter_factor);
+        w.u64(self.work_done);
+        w.u64(self.rng.state());
+    }
+
+    fn restore(&mut self, r: &mut ebs_store::StateReader<'_>) -> Result<(), ebs_store::StoreError> {
+        self.program.restore(r)?;
+        self.phase_idx = r.usize()?;
+        if self.phase_idx >= self.program.phases.len() {
+            return Err(ebs_store::StoreError::Invalid(format!(
+                "phase index {} of {}",
+                self.phase_idx,
+                self.program.phases.len()
+            )));
+        }
+        self.dwell_left = r.duration()?;
+        self.spike = r.opt(|r| r.usize())?;
+        self.jitter_factor = r.f64()?;
+        self.work_done = r.u64()?;
+        self.rng = StdRng::from_state(r.u64()?);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

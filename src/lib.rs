@@ -33,6 +33,7 @@ pub use ebs_counters as counters;
 pub use ebs_dvfs as dvfs;
 pub use ebs_sched as sched;
 pub use ebs_sim as sim;
+pub use ebs_store as store;
 pub use ebs_thermal as thermal;
 pub use ebs_topology as topology;
 pub use ebs_units as units;
