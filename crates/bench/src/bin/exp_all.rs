@@ -35,6 +35,9 @@ fn main() {
     let dv = exp::dvfs::run(quick);
     ebs_bench::write_artifact("dvfs.csv", &dv.to_csv()).expect("dvfs.csv");
     println!("{dv}");
+    let fl = exp::fleet::run(quick);
+    ebs_bench::write_artifact("fleet.csv", &fl.to_csv()).expect("fleet.csv");
+    println!("{fl}");
 
     println!("done; CSV artefacts in results/");
 }

@@ -18,7 +18,7 @@
 use crate::experiments::scaling;
 use crate::fmt::Table;
 use ebs_dvfs::GovernorKind;
-use ebs_sim::{MaxPowerSpec, ParallelSimulation, SimConfig, Simulation};
+use ebs_sim::{build_engine, MaxPowerSpec, SimConfig, Simulation};
 use ebs_topology::TopologyPreset;
 use ebs_units::{SimDuration, Watts};
 use ebs_workloads::{catalog, LoadCurve, OpenWorkload};
@@ -185,16 +185,18 @@ pub fn run(quick: bool) -> EngineBench {
         for (mode, strided, dvfs, workers) in MODES {
             let cfg = cell(preset, strided, dvfs);
             let cpus = cfg.n_cpus();
-            let start = Instant::now();
-            let (wall_s, report) = if workers > 0 {
-                let mut sim = ParallelSimulation::new(cfg.parallel(workers));
-                sim.run_for(duration);
-                (start.elapsed().as_secs_f64().max(1e-9), sim.report())
+            // `workers == 0` leaves the config sequential;
+            // `build_engine` then picks the core — no per-core dispatch
+            // here anymore.
+            let cfg = if workers > 0 {
+                cfg.parallel(workers)
             } else {
-                let mut sim = Simulation::new(cfg);
-                sim.run_for(duration);
-                (start.elapsed().as_secs_f64().max(1e-9), sim.report())
+                cfg
             };
+            let start = Instant::now();
+            let mut sim = build_engine(cfg);
+            sim.run_for(duration);
+            let (wall_s, report) = (start.elapsed().as_secs_f64().max(1e-9), sim.report());
             let sim_s = report.duration.as_secs_f64();
             rows.push(EngineBenchRow {
                 topology: preset.name(),

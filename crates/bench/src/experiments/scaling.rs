@@ -18,7 +18,8 @@
 use crate::fmt::Table;
 use ebs_dvfs::GovernorKind;
 use ebs_sim::{
-    default_workers, map_parallel, run_configs, MaxPowerSpec, SimConfig, SimReport, Simulation,
+    default_workers, map_parallel, run_configs, MaxPowerSpec, SimConfig, SimEngine, SimReport,
+    Simulation,
 };
 use ebs_store::StateImage;
 use ebs_topology::TopologyPreset;

@@ -20,7 +20,7 @@
 //!   checkpoint CI used.
 
 use crate::experiments::scaling;
-use ebs_sim::{stride_divergence, Simulation};
+use ebs_sim::{stride_divergence, SimEngine, Simulation};
 use ebs_store::StateImage;
 use ebs_trace::{first_divergence, TraceEvent};
 use ebs_units::SimDuration;

@@ -1,0 +1,80 @@
+//! Rack-level power budgeting.
+//!
+//! A rack has one provisioned feed; the fleet apportions it to hosts
+//! *before* the run, and each host enforces its share with the same
+//! per-host mechanisms the paper studies (`hlt` throttling or DVFS via
+//! [`ebs_sim::MaxPowerSpec`]). The split is static and proportional to
+//! logical CPU count — the dispatcher then works *within* the split by
+//! steering load toward hosts with power headroom, rather than
+//! renegotiating shares mid-run (which would break per-host
+//! determinism under concurrent stepping).
+
+use ebs_units::Watts;
+
+/// A rack-level power budget shared by every host in the fleet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerBudget {
+    /// The total provisioned power for the rack.
+    pub total: Watts,
+}
+
+impl PowerBudget {
+    /// Creates a rack budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is not a finite, positive wattage.
+    pub fn rack(total: Watts) -> Self {
+        assert!(
+            total.0.is_finite() && total.0 > 0.0,
+            "rack budget must be finite and positive, got {total:?}"
+        );
+        PowerBudget { total }
+    }
+
+    /// Apportions the rack budget across hosts proportionally to their
+    /// logical CPU counts, so a 32-CPU NUMA box gets four times the
+    /// share of an 8-CPU dual. The shares sum to `total` up to
+    /// floating-point rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host_cpus` is empty or sums to zero.
+    pub fn shares(&self, host_cpus: &[usize]) -> Vec<Watts> {
+        let total_cpus: usize = host_cpus.iter().sum();
+        assert!(total_cpus > 0, "cannot apportion a budget over zero CPUs");
+        host_cpus
+            .iter()
+            .map(|&c| Watts(self.total.0 * c as f64 / total_cpus as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_are_proportional_and_sum_to_total() {
+        let budget = PowerBudget::rack(Watts(400.0));
+        let shares = budget.shares(&[8, 8, 16, 32]);
+        assert_eq!(shares.len(), 4);
+        assert!((shares[0].0 - 50.0).abs() < 1e-9);
+        assert!((shares[2].0 - 100.0).abs() < 1e-9);
+        assert!((shares[3].0 - 200.0).abs() < 1e-9);
+        let sum: f64 = shares.iter().map(|w| w.0).sum();
+        assert!((sum - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_budget_is_rejected() {
+        let _ = PowerBudget::rack(Watts(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero CPUs")]
+    fn empty_fleet_is_rejected() {
+        let _ = PowerBudget::rack(Watts(100.0)).shares(&[]);
+    }
+}

@@ -272,6 +272,15 @@ impl SimConfig {
         self
     }
 
+    /// Removes any engine-owned open workload. Used by outer layers
+    /// (the fleet dispatcher) that generate arrivals themselves and
+    /// route them in via [`crate::SimEngine::queue_arrival`] — a host
+    /// must not *also* draw its own arrival stream.
+    pub fn closed(mut self) -> Self {
+        self.open_workload = None;
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;

@@ -7,13 +7,16 @@
 //! CPU, kind — which is usually enough to localise the bug to one
 //! subsystem.
 //!
+//! Every cell runs through [`build_engine`], so one code path serves
+//! any pair of cores — fixed-tick vs strided, strided vs partitioned —
+//! instead of a per-core dispatch per comparison.
+//!
 //! Tracing never feeds back into scheduling or the RNG, so the traced
 //! re-run reproduces the original runs exactly (per the bit-identity
 //! guarantees tested in `tests/trace.rs`).
 
+use crate::api::{build_engine, SimEngine};
 use crate::config::SimConfig;
-use crate::engine::Simulation;
-use crate::parallel::ParallelSimulation;
 use crate::trace::SimReport;
 use ebs_trace::{first_divergence, TraceEvent};
 use ebs_units::SimDuration;
@@ -43,16 +46,29 @@ pub fn rel_dev(a: f64, b: f64) -> f64 {
 }
 
 /// Runs `cfg` for `duration` with event tracing forced on (`setup`
-/// spawns the workload) and returns the recorded event stream.
+/// spawns the workload) and returns the recorded event stream, from
+/// whichever engine core the config selects.
 pub fn traced_events(
     cfg: SimConfig,
     duration: SimDuration,
-    setup: impl FnOnce(&mut Simulation),
+    setup: impl FnOnce(&mut dyn SimEngine),
 ) -> Vec<TraceEvent> {
-    let mut sim = Simulation::new(cfg.trace_events(true));
-    setup(&mut sim);
+    let mut sim = build_engine(cfg.trace_events(true));
+    setup(sim.as_mut());
     sim.run_for(duration);
-    sim.events().map(|e| e.to_vec()).unwrap_or_default()
+    sim.event_stream().unwrap_or_default()
+}
+
+/// The one-line verdict both divergence helpers render: where two
+/// traced event streams first disagree, or that they never do.
+pub fn divergence_verdict(a: &[TraceEvent], b: &[TraceEvent]) -> String {
+    match first_divergence(a, b) {
+        None => format!(
+            "event streams identical ({} events) — divergence is outside the traced event set",
+            a.len()
+        ),
+        Some(d) => format!("first divergent event — {d}"),
+    }
 }
 
 /// Replays two configurations over the same workload and summarises
@@ -60,49 +76,32 @@ pub fn traced_events(
 /// diagnostic. Returns a one-line human-readable verdict.
 ///
 /// `setup` must be deterministic (it runs once per cell); spawning the
-/// same mix into both simulations qualifies.
+/// same mix into both simulations qualifies. Either config may select
+/// any engine core — the partitioned engine's merged, id-remapped
+/// stream compares directly against a sequential stream.
 pub fn stride_divergence(
     left: SimConfig,
     right: SimConfig,
     duration: SimDuration,
-    mut setup: impl FnMut(&mut Simulation),
+    mut setup: impl FnMut(&mut dyn SimEngine),
 ) -> String {
     let a = traced_events(left, duration, &mut setup);
     let b = traced_events(right, duration, &mut setup);
-    match first_divergence(&a, &b) {
-        None => format!(
-            "event streams identical ({} events) — divergence is outside the traced event set",
-            a.len()
-        ),
-        Some(d) => format!("first divergent event — {d}"),
-    }
+    divergence_verdict(&a, &b)
 }
 
-/// Replays a strided cell against the partitioned engine built from
-/// `parallel_cfg` and names the first divergent event — the
-/// diagnostic behind the `parallel(1)` bit-identity gate. The
-/// partitioned engine's merged, id-remapped stream is compared
-/// against the sequential stream directly (with one worker the
-/// partition *is* the whole machine, so no remap happens).
+/// Replays a sequential cell against the partitioned engine built from
+/// `parallel_cfg` and names the first divergent event — the diagnostic
+/// behind the `parallel(1)` bit-identity gate. Since both cores hang
+/// off [`SimEngine`], this is [`stride_divergence`] under a name that
+/// says which gate failed.
 pub fn parallel_divergence(
     sequential: SimConfig,
     parallel_cfg: SimConfig,
     duration: SimDuration,
-    mut setup: impl FnMut(&mut Simulation),
-    mut parallel_setup: impl FnMut(&mut ParallelSimulation),
+    setup: impl FnMut(&mut dyn SimEngine),
 ) -> String {
-    let a = traced_events(sequential, duration, &mut setup);
-    let mut sim = ParallelSimulation::new(parallel_cfg.trace_events(true));
-    parallel_setup(&mut sim);
-    sim.run_for(duration);
-    let b = sim.events().unwrap_or_default();
-    match first_divergence(&a, &b) {
-        None => format!(
-            "event streams identical ({} events) — divergence is outside the traced event set",
-            a.len()
-        ),
-        Some(d) => format!("first divergent event — {d}"),
-    }
+    stride_divergence(sequential, parallel_cfg, duration, setup)
 }
 
 #[cfg(test)]
@@ -131,5 +130,20 @@ mod tests {
         });
         assert!(text.contains("first divergent event"), "{text}");
         assert!(text.contains("[t+"), "{text}");
+    }
+
+    #[test]
+    fn parallel_divergence_drives_both_cores() {
+        // The parallel(1) partition is the strided core, so against
+        // `strided()` the streams must be identical.
+        let text = parallel_divergence(
+            cfg(3).strided(),
+            cfg(3).parallel(1),
+            SimDuration::from_millis(300),
+            |sim| {
+                sim.spawn_mix(&[catalog::aluadd()], 2);
+            },
+        );
+        assert!(text.contains("identical"), "{text}");
     }
 }

@@ -213,11 +213,12 @@ impl MetricsState {
     }
 }
 
-/// A complete simulation: machine, scheduler, policies, and statistics.
-/// An open-workload arrival routed to a partition by the parallel
-/// synchronizer: the resolved program plus the exact due instant from
-/// the shared arrival process.
-pub(crate) struct RoutedArrival {
+/// An open-workload arrival routed to an engine by an outer
+/// dispatcher — the parallel synchronizer between packages, or the
+/// fleet dispatcher between hosts: the resolved program plus the
+/// exact due instant from the shared arrival process.
+#[derive(Clone, Debug)]
+pub struct RoutedArrival {
     pub due: SimTime,
     pub program: Program,
     pub seed: u64,
@@ -232,6 +233,7 @@ pub(crate) struct TaskHandoff {
     pub binary: u64,
 }
 
+/// A complete simulation: machine, scheduler, policies, and statistics.
 pub struct Simulation {
     cfg: SimConfig,
     sys: System,
@@ -780,6 +782,12 @@ impl Simulation {
             .sum()
     }
 
+    /// Routed arrivals queued but not yet spawned — part of the load a
+    /// dispatcher routing one arrival at a time must account for.
+    pub(crate) fn inbox_len(&self) -> usize {
+        self.inbox.len()
+    }
+
     /// Runs the simulation for a span of simulated time. The final
     /// step is clamped so the run covers *exactly* `duration` —
     /// [`SimReport::duration`] equals the time requested even when it
@@ -1156,9 +1164,7 @@ impl Simulation {
                 .as_ref()
                 .expect("open workload active")
                 .spec()
-                .programs[arrival.program_index]
-                .clone()
-                .with_total_work(arrival.work);
+                .materialize(&arrival);
             let id = self.spawn_internal(program, arrival.seed);
             if let Some(rt) = self.runtimes[id.0 as usize].as_mut() {
                 rt.arrival = Some((self.now, arrival.phase));
@@ -2255,59 +2261,10 @@ fn placeholder_program() -> Program {
     )
 }
 
-impl Simulation {
-    /// Serializes the complete evolving state into a sealed, hashed,
-    /// versioned image.
-    pub fn snapshot(&self) -> ebs_store::StateImage {
-        use ebs_store::Snapshot as _;
-        let mut w = ebs_store::StateWriter::new();
-        self.save(&mut w);
-        w.finish()
-    }
-
-    /// Content hash of the current state — equal states (same bytes
-    /// under [`Simulation::snapshot`]) hash equally across processes.
-    pub fn state_hash(&self) -> u64 {
-        self.snapshot().hash()
-    }
-
-    /// Overwrites this engine's state from a snapshot image. The
-    /// engine must have been freshly built from a config of the same
-    /// topology and workload shape; see
-    /// [`ebs_store::Snapshot::restore`] on [`Simulation`] for the
-    /// shape-matching rules on policy sections.
-    pub fn restore_snapshot(
-        &mut self,
-        image: &ebs_store::StateImage,
-    ) -> Result<(), ebs_store::StoreError> {
-        use ebs_store::Snapshot as _;
-        let mut r = image.open()?;
-        self.restore(&mut r)?;
-        if r.remaining() != 0 {
-            return Err(ebs_store::StoreError::Invalid(format!(
-                "{} trailing bytes after the engine state",
-                r.remaining()
-            )));
-        }
-        Ok(())
-    }
-
-    /// Builds an engine from `cfg` and restores `image` into it — the
-    /// fork operation: one warm-up snapshot, many differently
-    /// configured continuations.
-    pub fn from_snapshot(
-        cfg: SimConfig,
-        image: &ebs_store::StateImage,
-    ) -> Result<Self, ebs_store::StoreError> {
-        let mut sim = Simulation::new(cfg);
-        sim.restore_snapshot(image)?;
-        Ok(sim)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::SimEngine;
     use ebs_workloads::catalog;
 
     fn quick_cfg() -> SimConfig {

@@ -39,6 +39,7 @@
 //! assert!(sim.report().instructions_retired > 0);
 //! ```
 
+mod api;
 mod config;
 mod diag;
 mod engine;
@@ -48,11 +49,13 @@ mod runner;
 mod runtime;
 mod trace;
 
+pub use api::{build_engine, SimEngine};
 pub use config::{DvfsSpec, MaxPowerSpec, SimConfig};
 pub use diag::{
-    parallel_divergence, rel_dev, report_fingerprint, stride_divergence, traced_events,
+    divergence_verdict, parallel_divergence, rel_dev, report_fingerprint, stride_divergence,
+    traced_events,
 };
-pub use engine::Simulation;
+pub use engine::{RoutedArrival, Simulation};
 pub use machine::PhysicalMachine;
 pub use parallel::{HandoffRecord, ParallelSimulation};
 pub use runner::{

@@ -154,31 +154,43 @@ impl ParallelSimulation {
     }
 
     /// Spawns one instance of a program on the least-loaded partition
-    /// (ties go to the lowest package index).
+    /// (ties go to the lowest package index). Mix spawning comes from
+    /// the [`crate::SimEngine`] provided methods.
     pub fn spawn_program(&mut self, program: &Program) {
         let routed = vec![0usize; self.shards.len()];
         let idx = least_loaded(&self.shards, &routed);
         self.shards[idx].spawn_program(program);
     }
 
-    /// Spawns `copies` instances of every program in the slice,
-    /// spreading them across partitions exactly as
-    /// [`ParallelSimulation::spawn_program`] does.
-    pub fn spawn_mix(&mut self, programs: &[Program], copies: usize) {
-        for program in programs {
-            for _ in 0..copies {
-                self.spawn_program(program);
-            }
-        }
+    /// Queues an externally routed arrival on the least-loaded
+    /// partition, counting arrivals already sitting in partition
+    /// inboxes so one-at-a-time routing spreads like
+    /// [`ParallelSimulation::route_arrivals`] does.
+    pub(crate) fn queue_routed(&mut self, a: RoutedArrival) {
+        let idx = (0..self.shards.len())
+            .min_by_key(|&i| self.shards[i].runnable_tasks() + self.shards[i].inbox_len())
+            .expect("at least one partition");
+        self.shards[idx].queue_arrival(a);
     }
 
-    /// Spawns a [`ebs_workloads::Mix`] (programs with counts).
-    pub fn spawn_mix_entries(&mut self, mix: &ebs_workloads::Mix) {
-        for entry in mix {
-            for _ in 0..entry.count {
-                self.spawn_program(&entry.program);
-            }
-        }
+    /// Runnable tasks (running + queued) across every partition.
+    pub(crate) fn total_runnable(&self) -> usize {
+        self.shards.iter().map(|s| s.runnable_tasks()).sum()
+    }
+
+    /// Logical CPUs across every partition.
+    pub(crate) fn total_cpus(&self) -> usize {
+        self.shards.iter().map(|s| s.n_cpus()).sum()
+    }
+
+    /// Raw sojourn samples pooled across partitions, in partition
+    /// order — the same pooling [`ParallelSimulation::report`] feeds
+    /// its latency statistics from.
+    pub(crate) fn pooled_latencies(&self) -> Vec<(&'static str, f64)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.raw_latencies().iter().copied())
+            .collect()
     }
 
     /// Runs the simulation for a span of simulated time: repeated
@@ -216,9 +228,7 @@ impl ParallelSimulation {
                 break;
             }
             for a in open.pop_due(t) {
-                let program = open.spec().programs[a.program_index]
-                    .clone()
-                    .with_total_work(a.work);
+                let program = open.spec().materialize(&a);
                 let idx = least_loaded(&self.shards, &routed);
                 routed[idx] += 1;
                 self.shards[idx].queue_arrival(RoutedArrival {
@@ -509,50 +519,6 @@ impl ebs_store::Snapshot for ParallelSimulation {
         })?;
         self.next_seq = r.u64()?;
         Ok(())
-    }
-}
-
-impl ParallelSimulation {
-    /// Serializes the complete evolving state — every partition plus
-    /// the synchronizer's arrival cursor and handoff log — into a
-    /// sealed, hashed, versioned image.
-    pub fn snapshot(&self) -> ebs_store::StateImage {
-        use ebs_store::Snapshot as _;
-        let mut w = ebs_store::StateWriter::new();
-        self.save(&mut w);
-        w.finish()
-    }
-
-    /// Content hash of the current state.
-    pub fn state_hash(&self) -> u64 {
-        self.snapshot().hash()
-    }
-
-    /// Overwrites this engine's state from a snapshot image.
-    pub fn restore_snapshot(
-        &mut self,
-        image: &ebs_store::StateImage,
-    ) -> Result<(), ebs_store::StoreError> {
-        use ebs_store::Snapshot as _;
-        let mut r = image.open()?;
-        self.restore(&mut r)?;
-        if r.remaining() != 0 {
-            return Err(ebs_store::StoreError::Invalid(format!(
-                "{} trailing bytes after the engine state",
-                r.remaining()
-            )));
-        }
-        Ok(())
-    }
-
-    /// Builds an engine from `cfg` and restores `image` into it.
-    pub fn from_snapshot(
-        cfg: SimConfig,
-        image: &ebs_store::StateImage,
-    ) -> Result<Self, ebs_store::StoreError> {
-        let mut sim = ParallelSimulation::new(cfg);
-        sim.restore_snapshot(image)?;
-        Ok(sim)
     }
 }
 

@@ -17,7 +17,7 @@
 use ebs_dvfs::GovernorKind;
 use ebs_sim::{
     rel_dev as rel, report_fingerprint as fingerprint, stride_divergence, DvfsSpec, MaxPowerSpec,
-    SimConfig, SimReport, Simulation,
+    SimConfig, SimEngine, SimReport, Simulation,
 };
 use ebs_topology::TopologyPreset;
 use ebs_units::{SimDuration, Watts};

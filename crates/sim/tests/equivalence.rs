@@ -15,7 +15,7 @@
 use ebs_dvfs::GovernorKind;
 use ebs_sim::{
     rel_dev as rel, report_fingerprint as fingerprint, stride_divergence, MaxPowerSpec, SimConfig,
-    SimReport, Simulation,
+    SimEngine, SimReport, Simulation,
 };
 use ebs_topology::TopologyPreset;
 use ebs_units::{SimDuration, Watts};

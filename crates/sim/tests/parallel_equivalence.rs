@@ -22,7 +22,7 @@
 use ebs_dvfs::GovernorKind;
 use ebs_sim::{
     parallel_divergence, rel_dev as rel, report_fingerprint as fingerprint, MaxPowerSpec,
-    ParallelSimulation, SimConfig, SimReport,
+    ParallelSimulation, SimConfig, SimEngine, SimReport,
 };
 use ebs_topology::TopologyPreset;
 use ebs_units::{SimDuration, Watts};
@@ -72,21 +72,11 @@ fn assert_one_worker_identity(cfg: SimConfig, mix: usize, duration: SimDuration,
         "{label}: parallel(1) reports not bit-equal across builds"
     );
     if !strided.bit_eq(&par) || fingerprint(&strided) != fingerprint(&par) {
-        let diff = parallel_divergence(
-            cfg.clone().strided(),
-            cfg.parallel(1),
-            duration,
-            |sim| {
-                if mix > 0 {
-                    sim.spawn_mix(&section61_mix(), mix);
-                }
-            },
-            |sim| {
-                if mix > 0 {
-                    sim.spawn_mix(&section61_mix(), mix);
-                }
-            },
-        );
+        let diff = parallel_divergence(cfg.clone().strided(), cfg.parallel(1), duration, |sim| {
+            if mix > 0 {
+                sim.spawn_mix(&section61_mix(), mix);
+            }
+        });
         panic!("{label}: parallel(1) diverged from strided; {diff}");
     }
 }
@@ -115,17 +105,10 @@ fn one_worker_is_bit_identical_on_table2_shape() {
             fingerprint(&sim.report())
         };
         if strided != par {
-            let diff = parallel_divergence(
-                cfg.clone().strided(),
-                cfg.parallel(1),
-                duration,
-                |sim| {
+            let diff =
+                parallel_divergence(cfg.clone().strided(), cfg.parallel(1), duration, |sim| {
                     sim.spawn_program(&program);
-                },
-                |sim| {
-                    sim.spawn_program(&program);
-                },
-            );
+                });
             panic!(
                 "{} solo: parallel(1) diverged from strided; {diff}",
                 program.name

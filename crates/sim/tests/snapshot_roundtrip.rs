@@ -14,7 +14,9 @@
 //! warm-up/measurement split.
 
 use ebs_dvfs::GovernorKind;
-use ebs_sim::{report_fingerprint, MaxPowerSpec, ParallelSimulation, SimConfig, Simulation};
+use ebs_sim::{
+    report_fingerprint, MaxPowerSpec, ParallelSimulation, SimConfig, SimEngine, Simulation,
+};
 use ebs_topology::TopologyPreset;
 use ebs_units::{SimDuration, Watts};
 use ebs_workloads::{catalog, LoadCurve, OpenWorkload};

@@ -12,6 +12,7 @@
 //! thinning a homogeneous Poisson process at the curve's peak rate —
 //! exact for time-varying rates and deterministic per seed.
 
+use crate::arrivals::Arrival;
 use crate::program::Program;
 use ebs_units::{Instructions, SimDuration, SimTime};
 
@@ -233,6 +234,16 @@ impl OpenWorkload {
     /// The peak arrival rate over all time (the thinning envelope).
     pub fn peak_rate(&self) -> f64 {
         self.base_rate_hz * self.curve.peak_factor()
+    }
+
+    /// Resolves an accepted arrival into the program to spawn: the
+    /// palette entry it drew, bounded to its sampled service demand.
+    /// Every router — the engine's own arrival tick, the parallel
+    /// synchronizer, the fleet dispatcher — spawns exactly this.
+    pub fn materialize(&self, arrival: &Arrival) -> Program {
+        self.programs[arrival.program_index]
+            .clone()
+            .with_total_work(arrival.work)
     }
 }
 

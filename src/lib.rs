@@ -31,6 +31,7 @@
 pub use ebs_core as core;
 pub use ebs_counters as counters;
 pub use ebs_dvfs as dvfs;
+pub use ebs_fleet as fleet;
 pub use ebs_sched as sched;
 pub use ebs_sim as sim;
 pub use ebs_store as store;
