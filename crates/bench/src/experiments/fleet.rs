@@ -30,13 +30,16 @@ const RACK_W_PER_CPU: f64 = 18.0;
 /// The sweep seed (fixed: the headline must be byte-reproducible).
 const SEED: u64 = 42;
 
-/// The mixed rack: hosts cycle through four shapes, 8..=64 CPUs each.
+/// The mixed rack: hosts cycle through five shapes, 8..=32 CPUs each,
+/// including one hybrid (4P+4E) shape so the sweep and its invariance
+/// gate cover class-heterogeneous hosts.
 pub fn host_shapes(smoke: bool) -> Vec<TopologyPreset> {
     let cycle = [
         TopologyPreset::Dual,
         TopologyPreset::XSeries445 { smt: false },
         TopologyPreset::XSeries445 { smt: true },
         TopologyPreset::Numa16,
+        TopologyPreset::Hybrid8,
     ];
     let n = if smoke { 8 } else { 64 };
     (0..n).map(|i| cycle[i % cycle.len()]).collect()

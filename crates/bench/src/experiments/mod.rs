@@ -10,6 +10,7 @@ pub mod fig67;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet;
+pub mod hybrid;
 pub mod migrations;
 pub mod scaling;
 pub mod scaling_gate;

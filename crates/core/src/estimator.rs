@@ -16,37 +16,91 @@ use ebs_topology::CpuId;
 use ebs_units::{Joules, SimDuration, Watts};
 
 /// Per-CPU counter-based energy accounting.
+///
+/// On homogeneous machines every CPU shares one calibrated model and
+/// one halt share; on hybrid machines each core class carries its own
+/// calibrated model (the per-event energies of an efficiency core are
+/// genuinely different) and its own halt share, and the estimator
+/// resolves both through the per-CPU class table.
 #[derive(Clone, Debug)]
 pub struct EnergyEstimator {
-    model: EnergyModel,
+    /// Calibrated models, one per core class (class 0 first).
+    models: Vec<EnergyModel>,
+    /// Class index per logical CPU (all zero on homogeneous machines).
+    cpu_class: Vec<usize>,
     last: Vec<CounterSnapshot>,
-    halt_power_share: Watts,
+    /// Halt power share per core class.
+    halt_shares: Vec<Watts>,
 }
 
 impl EnergyEstimator {
-    /// Creates an estimator for `n_cpus` logical CPUs.
+    /// Creates an estimator for `n_cpus` logical CPUs of one class.
     ///
     /// `model` is the *calibrated* energy model (not the ground truth);
     /// `halt_power_share` is the power attributed to one logical CPU
     /// while halted — the measured package halt power divided by the
     /// number of hardware threads.
     pub fn new(model: EnergyModel, n_cpus: usize, halt_power_share: Watts) -> Self {
-        assert!(halt_power_share.is_sane(), "halt power share not sane");
+        Self::with_classes(vec![model], vec![0; n_cpus], vec![halt_power_share])
+    }
+
+    /// Creates a class-aware estimator: one calibrated model and halt
+    /// share per class, plus the class of every logical CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables are inconsistent (empty classes, a CPU
+    /// pointing past the class tables, or a non-sane halt share).
+    pub fn with_classes(
+        models: Vec<EnergyModel>,
+        cpu_class: Vec<usize>,
+        halt_shares: Vec<Watts>,
+    ) -> Self {
+        assert!(!models.is_empty(), "need at least one class model");
+        assert_eq!(
+            models.len(),
+            halt_shares.len(),
+            "one halt share per class model"
+        );
+        for share in &halt_shares {
+            assert!(share.is_sane(), "halt power share not sane");
+        }
+        for &class in &cpu_class {
+            assert!(class < models.len(), "CPU class {class} has no model");
+        }
+        let n_cpus = cpu_class.len();
         EnergyEstimator {
-            model,
+            models,
+            cpu_class,
             last: vec![CounterSnapshot::ZERO; n_cpus],
-            halt_power_share,
+            halt_shares,
         }
     }
 
-    /// The calibrated model in use.
+    /// The calibrated model of class 0 (the only class on homogeneous
+    /// machines).
     pub fn model(&self) -> &EnergyModel {
-        &self.model
+        &self.models[0]
     }
 
-    /// The halt power attributed per logical CPU.
+    /// The calibrated model governing one CPU.
+    pub fn model_for(&self, cpu: CpuId) -> &EnergyModel {
+        &self.models[self.cpu_class[cpu.0]]
+    }
+
+    /// The calibrated model of one class.
+    pub fn class_model(&self, class: usize) -> &EnergyModel {
+        &self.models[class]
+    }
+
+    /// The halt power attributed per logical CPU of class 0.
     pub fn halt_power_share(&self) -> Watts {
-        self.halt_power_share
+        self.halt_shares[0]
+    }
+
+    /// The halt power attributed to one specific CPU.
+    pub fn halt_share_of(&self, cpu: CpuId) -> Watts {
+        self.halt_shares[self.cpu_class[cpu.0]]
     }
 
     /// Accounts the energy spent on `cpu` since the previous read.
@@ -69,7 +123,8 @@ impl EnergyEstimator {
         let snap = bank.snapshot();
         let delta = snap.since(&self.last[cpu.0]);
         self.last[cpu.0] = snap;
-        self.model.estimate(&delta) + self.halt_power_share.over(halted)
+        let class = self.cpu_class[cpu.0];
+        self.models[class].estimate(&delta) + self.halt_shares[class].over(halted)
     }
 
     /// The average power over an accounted interval; convenience for
@@ -194,6 +249,51 @@ mod tests {
         let mut bank = CounterBank::new();
         let p = est.account_power(CpuId(0), &mut bank, SimDuration::ZERO, SimDuration::ZERO);
         assert_eq!(p, Watts::ZERO);
+    }
+
+    #[test]
+    fn class_aware_estimator_resolves_model_and_halt_per_cpu() {
+        let perf = EnergyModel::ground_truth_weights();
+        let mut cheap = *perf.weights_nj();
+        for w in &mut cheap {
+            *w *= 0.5;
+        }
+        let eff = EnergyModel::from_weights_nj(cheap);
+        // CPU 0 is a performance core, CPU 1 an efficiency core.
+        let mut est = EnergyEstimator::with_classes(
+            vec![perf, eff],
+            vec![0, 1],
+            vec![Watts(6.8), Watts(2.25)],
+        );
+        assert_eq!(est.model_for(CpuId(0)), &perf);
+        assert_eq!(est.model_for(CpuId(1)), &eff);
+        assert_eq!(est.halt_share_of(CpuId(1)), Watts(2.25));
+
+        let rates = EventRates::builder().uops_retired(2.0).build();
+        let slice = SimDuration::from_millis(100);
+        let mut bank0 = CounterBank::new();
+        let mut bank1 = CounterBank::new();
+        run_cycles(&mut bank0, &rates, 100_000_000);
+        run_cycles(&mut bank1, &rates, 100_000_000);
+        let e0 = est.account(CpuId(0), &mut bank0, slice, SimDuration::ZERO);
+        let e1 = est.account(CpuId(1), &mut bank1, slice, SimDuration::ZERO);
+        // Same counter deltas, half the per-event energy.
+        assert!((e1.0 - 0.5 * e0.0).abs() < 1e-12, "{e1:?} vs {e0:?}");
+    }
+
+    #[test]
+    fn single_class_constructor_matches_class_aware_form() {
+        let model = EnergyModel::ground_truth_weights();
+        let mut a = EnergyEstimator::new(model, 2, Watts(6.8));
+        let mut b = EnergyEstimator::with_classes(vec![model], vec![0, 0], vec![Watts(6.8)]);
+        let rates = EventRates::builder().mem_loads(0.4).build();
+        let slice = SimDuration::from_millis(10);
+        let mut bank = CounterBank::new();
+        run_cycles(&mut bank, &rates, 22_000_000);
+        let mut bank2 = bank.clone();
+        let ea = a.account(CpuId(0), &mut bank, slice, SimDuration::ZERO);
+        let eb = b.account(CpuId(0), &mut bank2, slice, SimDuration::ZERO);
+        assert_eq!(ea, eb);
     }
 
     #[test]

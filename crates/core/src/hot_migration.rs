@@ -179,6 +179,82 @@ impl HotTaskMigrator {
         }
         None
     }
+
+    /// Capacity-aware [`HotTaskMigrator::run`]: with a class-capacity
+    /// table, the destination search prefers the *highest-capacity*
+    /// CPU among those that satisfy the coolness gap, coolness and
+    /// determinism breaking ties. A hot task is by construction a
+    /// throughput-heavy one — parking it on a sufficiently cool
+    /// efficiency core when a cool performance core also qualifies
+    /// trades the thermal win for a throughput collapse. `None`
+    /// delegates to the exact legacy search.
+    pub fn run_with_capacities(
+        &self,
+        cpu: CpuId,
+        sys: &mut System,
+        power: &PowerState,
+        capacities: Option<&[f64]>,
+    ) -> Option<HotMigration> {
+        let Some(caps) = capacities else {
+            return self.run(cpu, sys, power);
+        };
+        if !self.triggered(cpu, sys, power) {
+            return None;
+        }
+        let hot_task = sys.current(cpu)?;
+        let hot_profile = sys.task(hot_task).profile();
+        let src_thermal = core_avg_thermal(sys.topology(), cpu, power);
+        let min_gap = power.max_power(cpu) * self.cfg.min_gap_fraction;
+
+        let topo_arc = sys.topology_shared();
+        let topo = &*topo_arc;
+        for domain in topo.domains(cpu) {
+            if domain.flags().share_cpu_power {
+                continue;
+            }
+            // Only gap-satisfying candidates compete, ranked capacity
+            // first (descending), then the legacy key.
+            let candidate = domain
+                .span()
+                .filter(|&c| !topo.same_core(c, cpu))
+                .filter(|&c| src_thermal - core_avg_thermal(topo, c, power) >= min_gap)
+                .min_by(|&a, &b| {
+                    let ka = candidate_key(topo, sys, power, a);
+                    let kb = candidate_key(topo, sys, power, b);
+                    caps[b.0]
+                        .total_cmp(&caps[a.0])
+                        .then(ka.0.total_cmp(&kb.0))
+                        .then((ka.1, ka.2).cmp(&(kb.1, kb.2)))
+                });
+            let Some(dest) = candidate else {
+                continue; // Ascend one level.
+            };
+            if sys.rq(dest).is_idle() {
+                sys.migrate_running(cpu, dest, MigrationReason::HotTask)
+                    .expect("triggered CPU has a running task");
+                return Some(HotMigration::ToIdle {
+                    task: hot_task,
+                    dest,
+                });
+            }
+            if sys.rq(dest).nr_running() == 1 {
+                if let Some(cool_task) = sys.current(dest) {
+                    if sys.task(cool_task).profile() + self.cfg.exchange_margin <= hot_profile {
+                        sys.migrate_running(dest, cpu, MigrationReason::Exchange)
+                            .expect("destination has a running task");
+                        sys.migrate_running(cpu, dest, MigrationReason::HotTask)
+                            .expect("source still has its running task");
+                        return Some(HotMigration::Exchanged {
+                            task: hot_task,
+                            dest,
+                            cool_task,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
 }
 
 /// All logical CPUs of `cpu`'s package (including `cpu`).
@@ -363,6 +439,43 @@ mod tests {
         let m = HotTaskMigrator::default();
         assert!(m.run(CpuId(0), &mut sys, &power).is_none());
         assert_eq!(sys.stats().migrations(), 0);
+    }
+
+    #[test]
+    fn capacity_search_prefers_cool_performance_core() {
+        let (mut sys, mut power) = setup_no_smt();
+        let hot = spawn_running(&mut sys, CpuId(0), 61.0);
+        heat(&mut power, CpuId(0), 61.0);
+        // Odd CPUs are efficiency cores. On the source node, CPU 1
+        // (efficiency) is the coolest CPU but CPU 2 (performance) also
+        // satisfies the gap: the legacy search picks CPU 1, the
+        // capacity-aware search must prefer CPU 2.
+        heat(&mut power, CpuId(1), 2.0);
+        heat(&mut power, CpuId(2), 10.0);
+        for c in 3..8 {
+            heat(&mut power, CpuId(c), 40.0);
+        }
+        let caps: Vec<f64> = (0..8)
+            .map(|c| if c % 2 == 1 { 0.55 } else { 1.0 })
+            .collect();
+        let m = HotTaskMigrator::default();
+        let mut legacy_sys = sys.clone();
+        let legacy = m.run(CpuId(0), &mut legacy_sys, &power).unwrap();
+        assert!(
+            matches!(legacy, HotMigration::ToIdle { dest, .. } if dest == CpuId(1)),
+            "legacy search should pick the coolest CPU: {legacy:?}"
+        );
+        let aware = m
+            .run_with_capacities(CpuId(0), &mut sys, &power, Some(&caps))
+            .unwrap();
+        match aware {
+            HotMigration::ToIdle { task, dest } => {
+                assert_eq!(task, hot);
+                assert_eq!(dest, CpuId(2), "hot task parked on an efficiency core");
+            }
+            other => panic!("expected idle migration, got {other:?}"),
+        }
+        sys.validate();
     }
 
     #[test]

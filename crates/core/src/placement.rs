@@ -111,6 +111,39 @@ pub fn place_new_task(sys: &System, power: &PowerState, profile: Watts) -> Optio
         })
 }
 
+/// Capacity-normalized [`place_new_task`]: load-imbalance eligibility
+/// compares `nr_running / capacity` instead of raw counts, so an
+/// efficiency core with one task is *more* loaded than a performance
+/// core with one task and new work drifts toward the cores that chew
+/// through it fastest. `None` capacities delegate to the exact legacy
+/// form (the comparisons coincide at unit capacity but the legacy path
+/// stays byte-for-byte untouched).
+pub fn place_new_task_capacity(
+    sys: &System,
+    power: &PowerState,
+    profile: Watts,
+    capacities: Option<&[f64]>,
+) -> Option<CpuId> {
+    let Some(caps) = capacities else {
+        return place_new_task(sys, power, profile);
+    };
+    let topo = sys.topology();
+    let eff = |c: CpuId| sys.nr_running(c) as f64 / caps[c.0];
+    let min_eff = topo.cpu_ids().map(eff).min_by(f64::total_cmp)?;
+    let avg_ratio = topo
+        .cpu_ids()
+        .map(|c| crate::metrics::runqueue_power_ratio(sys, c, power))
+        .sum::<f64>()
+        / topo.n_cpus() as f64;
+    topo.cpu_ids()
+        .filter(|&c| eff(c) == min_eff)
+        .min_by(|&a, &b| {
+            let da = (ratio_with_task(sys, power, a, profile) - avg_ratio).abs();
+            let db = (ratio_with_task(sys, power, b, profile) - avg_ratio).abs();
+            da.total_cmp(&db).then(a.0.cmp(&b.0))
+        })
+}
+
 /// The runqueue power ratio `cpu` would have if `profile` joined its
 /// queue.
 fn ratio_with_task(sys: &System, power: &PowerState, cpu: CpuId, profile: Watts) -> f64 {
@@ -239,5 +272,24 @@ mod tests {
     fn empty_system_places_deterministically() {
         let (sys, power) = setup();
         assert_eq!(place_new_task(&sys, &power, Watts(45.0)), Some(CpuId(0)));
+    }
+
+    #[test]
+    fn capacity_placement_prefers_underloaded_performance_cores() {
+        let (mut sys, power) = setup();
+        // CPUs 4..8 are efficiency cores at half capacity; every CPU
+        // already runs one task. Count-wise all queues tie; a new task
+        // must land on a performance core (1/1.0 < 1/0.5 effective).
+        let caps: Vec<f64> = (0..8).map(|c| if c >= 4 { 0.5 } else { 1.0 }).collect();
+        for c in 0..8 {
+            spawn(&mut sys, CpuId(c), 40.0);
+        }
+        let dest = place_new_task_capacity(&sys, &power, Watts(45.0), Some(&caps)).unwrap();
+        assert!(dest.0 < 4, "placed on an efficiency core {dest}");
+        // Without capacities the legacy form is used verbatim.
+        assert_eq!(
+            place_new_task_capacity(&sys, &power, Watts(45.0), None),
+            place_new_task(&sys, &power, Watts(45.0))
+        );
     }
 }

@@ -164,6 +164,27 @@ impl GroundTruth {
         }
     }
 
+    /// A hypothetical efficiency core paired with the Xeon class on
+    /// hybrid shapes: 1.6 GHz nominal clock, per-event energies scaled
+    /// to ~55 % of the performance class (its supply voltage is far
+    /// lower, and event energy goes with V²), a 4.5 W halt floor, and
+    /// roughly half the leakage slope of the big core's die area.
+    pub fn efficiency_core() -> Self {
+        let mut w = *EnergyModel::ground_truth_weights().weights_nj();
+        for v in &mut w {
+            *v *= 0.55;
+        }
+        GroundTruth {
+            model: EnergyModel::from_weights_nj(w),
+            leakage: LeakageModel {
+                watts_per_kelvin: 0.08,
+                reference: Celsius::AMBIENT,
+            },
+            halt_power: Watts(4.5),
+            freq_hz: 1.6e9,
+        }
+    }
+
     /// True power of a logical CPU running activity `rates` at die
     /// temperature `t`. `None` rates mean the CPU is halted.
     pub fn power(&self, rates: Option<&EventRates>, t: Celsius) -> Watts {
@@ -245,6 +266,25 @@ mod tests {
         let warm = gt.power(Some(&rates), Celsius(42.0));
         assert!(warm > cool);
         assert!((warm.0 - cool.0 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_core_is_cheaper_per_event_and_slower() {
+        let p = GroundTruth::p4_xeon_2200();
+        let e = GroundTruth::efficiency_core();
+        assert!(e.freq_hz < p.freq_hz);
+        assert!(e.halt_power < p.halt_power);
+        assert!(e.leakage.watts_per_kelvin < p.leakage.watts_per_kelvin);
+        let rates = EventRates::builder().uops_retired(2.0).build();
+        // Same activity vector: the E core burns less power both from
+        // the cheaper events and the slower clock.
+        let pe = e.model.power_for_rates(&rates, e.freq_hz);
+        let pp = p.model.power_for_rates(&rates, p.freq_hz);
+        assert!(pe.0 < 0.5 * pp.0, "{pe:?} vs {pp:?}");
+        // Energy per fixed work (counts, not rates) is ~55 %.
+        let counts = rates.counts_for_cycles(1_000_000);
+        let ratio = e.model.estimate(&counts).0 / p.model.estimate(&counts).0;
+        assert!((ratio - 0.55).abs() < 1e-9, "{ratio}");
     }
 
     #[test]

@@ -1,7 +1,45 @@
-//! Per-package frequency domains.
+//! Frequency domains and their granularity.
+//!
+//! A [`FrequencyDomain`] is one independently scalable clock/voltage
+//! plane. How many a machine has is a property of the hardware
+//! generation, captured by [`DomainScope`]: 2006-era parts scale the
+//! whole package at once, modern hybrid parts give every core its own
+//! plane.
 
 use crate::pstate::{PState, PStateTable};
 use ebs_units::{Hertz, SimDuration, Volts};
+
+/// Granularity at which frequency domains are instantiated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DomainScope {
+    /// One domain per physical package: all cores (and their SMT
+    /// siblings) share a clock and a voltage plane, the paper's
+    /// testbed behaviour and the default.
+    #[default]
+    PerPackage,
+    /// One domain per core: each core scales its own plane (SMT
+    /// siblings still share theirs). Required for heterogeneous
+    /// machines, where classes run distinct P-state tables.
+    PerCore,
+}
+
+impl DomainScope {
+    /// A short name for tables and CSV rows.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DomainScope::PerPackage => "per-package",
+            DomainScope::PerCore => "per-core",
+        }
+    }
+
+    /// Number of domains a package contributes under this scope.
+    pub const fn domains_per_package(self, cores_per_package: usize) -> usize {
+        match self {
+            DomainScope::PerPackage => 1,
+            DomainScope::PerCore => cores_per_package,
+        }
+    }
+}
 
 /// Residency of one P-state over a run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -14,11 +52,13 @@ pub struct PStateResidency {
     pub fraction: f64,
 }
 
-/// The scaling state of one physical package.
+/// The scaling state of one clock/voltage plane.
 ///
-/// Both hardware threads of an SMT package share one clock and one
-/// voltage plane (just as they share one thermal budget), so the
-/// simulator keeps one domain per package, not per logical CPU.
+/// Under [`DomainScope::PerPackage`] one domain covers a whole
+/// physical package; under [`DomainScope::PerCore`] each core gets its
+/// own. Hardware threads of an SMT core always share one plane (just
+/// as they share one pipeline), so there is never a domain per logical
+/// CPU.
 #[derive(Clone, Debug)]
 pub struct FrequencyDomain {
     table: PStateTable,

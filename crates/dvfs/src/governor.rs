@@ -3,20 +3,23 @@
 use crate::domain::FrequencyDomain;
 use ebs_units::{SimDuration, Watts};
 
-/// The per-package observations a governor decides from, assembled by
-/// the simulation engine once per policy interval.
+/// The per-domain observations a governor decides from, assembled by
+/// the simulation engine for each frequency domain it owns (one per
+/// package under [`crate::DomainScope::PerPackage`], one per core
+/// under [`crate::DomainScope::PerCore`]).
 #[derive(Clone, Copy, Debug)]
 pub struct GovernorInput {
-    /// The package's thermal power — the sum of its hardware threads'
+    /// The domain's thermal power — the sum of its hardware threads'
     /// exponential power averages (the same signal the `hlt` throttle
     /// compares against the budget).
     pub thermal_power: Watts,
-    /// The package's power budget (its maximum power).
+    /// The domain's power budget (the summed maximum power of its
+    /// hardware threads).
     pub budget: Watts,
-    /// The package's power at zero activity (halt power): the floor no
+    /// The domain's power at zero activity (halt power): the floor no
     /// amount of frequency scaling goes below.
     pub idle_floor: Watts,
-    /// Fraction of the package's hardware threads that were busy over
+    /// Fraction of the domain's hardware threads that were busy over
     /// the last interval, in `[0, 1]`.
     pub utilization: f64,
 }

@@ -12,10 +12,11 @@
 //!   scales with `V² · f` and instruction throughput with `f`, so each
 //!   state carries its [`PState::power_factor`] and
 //!   [`PState::speed_factor`] relative to the nominal (fastest) state.
-//! - [`FrequencyDomain`]: the per-package scaling state — both SMT
-//!   siblings of a package share one clock and one voltage plane, just
-//!   as they share one thermal budget. Tracks per-state residency for
-//!   reporting.
+//! - [`FrequencyDomain`]: the scaling state of one clock/voltage
+//!   plane; [`DomainScope`] sets the granularity (one plane per
+//!   package — the paper's testbed, where SMT siblings share clock and
+//!   thermal budget — or one per core for modern hybrid parts). Tracks
+//!   per-state residency for reporting.
 //! - [`Governor`]s deciding the next P-state: [`Fixed`] (pin a state),
 //!   [`OnDemand`] (classic utilization-driven stepping), and
 //!   [`ThermalAware`] (drives frequency from the same thermal-power
@@ -50,7 +51,7 @@ mod domain;
 mod governor;
 mod pstate;
 
-pub use domain::{FrequencyDomain, PStateResidency};
+pub use domain::{DomainScope, FrequencyDomain, PStateResidency};
 pub use governor::{
     DecisionHold, Fixed, Governor, GovernorInput, GovernorKind, OnDemand, ThermalAware,
 };

@@ -103,6 +103,21 @@ impl PStateTable {
         ])
     }
 
+    /// The scaling ladder of a hypothetical efficiency core paired
+    /// with the [`PStateTable::p4_xeon`] performance ladder on hybrid
+    /// shapes: a shorter, lower ladder (1.6 → 0.8 GHz) running at
+    /// markedly lower voltages, so its whole operating range sits
+    /// below the performance class's energy-per-work curve.
+    pub fn efficiency_core() -> Self {
+        PStateTable::new(vec![
+            PState::new(Hertz::from_ghz(1.6), Volts(1.10)),
+            PState::new(Hertz::from_ghz(1.4), Volts(1.05)),
+            PState::new(Hertz::from_ghz(1.2), Volts(1.00)),
+            PState::new(Hertz::from_ghz(1.0), Volts(0.95)),
+            PState::new(Hertz::from_ghz(0.8), Volts(0.90)),
+        ])
+    }
+
     /// A degenerate single-state table pinning the part at `frequency`
     /// — what a machine without DVFS support looks like to the engine.
     pub fn nominal_only(frequency: Hertz, voltage: Volts) -> Self {
@@ -210,6 +225,20 @@ mod tests {
         // Impossible budgets fall back to the slowest state.
         assert_eq!(t.highest_within(0.0), t.slowest_index());
         assert_eq!(t.highest_within(-1.0), t.slowest_index());
+    }
+
+    #[test]
+    fn efficiency_table_sits_below_the_p4_ladder() {
+        let e = PStateTable::efficiency_core();
+        let p = PStateTable::p4_xeon();
+        assert_eq!(e.len(), 5);
+        assert!(e.nominal().frequency < p.slowest().frequency * 2.0);
+        assert!(e.nominal().voltage < p.slowest().voltage);
+        // Monotone factors hold for the new ladder too.
+        for i in 1..e.len() {
+            assert!(e.speed_factor(i) < e.speed_factor(i - 1));
+            assert!(e.power_factor(i) < e.power_factor(i - 1));
+        }
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub struct FleetConfig {
     /// Topology, seed, power cap, and any open workload are overridden
     /// per host (hosts never draw their own arrivals).
     pub base: SimConfig,
-    /// One topology preset per host; mixed shapes are the point.
+    /// One topology preset per host; mixed shapes are the point, and
+    /// hybrid (two-class) presets are welcome — each host engine picks
+    /// up its own class layout and frequency-domain scope from its
+    /// preset, so homogeneous and big.LITTLE hosts coexist in a rack.
     pub hosts: Vec<TopologyPreset>,
     /// Fleet seed: drives the shared arrival process and derives every
     /// host's engine seed.

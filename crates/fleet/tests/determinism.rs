@@ -13,7 +13,9 @@ use ebs_units::{SimDuration, Watts};
 use ebs_workloads::{catalog, LoadCurve, OpenWorkload};
 use proptest::prelude::*;
 
-/// A small mixed-shape fleet: 4 hosts, 40 logical CPUs total.
+/// A small mixed-shape fleet: 4 hosts, 40 logical CPUs total. One
+/// host is hybrid (4P+4E), so every property below also pins down
+/// determinism with class-heterogeneous hosts in the rack.
 fn small_fleet(seed: u64, policy: DispatchPolicy) -> FleetConfig {
     let workload = OpenWorkload::new(
         vec![catalog::bitcnts(), catalog::memrw(), catalog::aluadd()],
@@ -34,7 +36,7 @@ fn small_fleet(seed: u64, policy: DispatchPolicy) -> FleetConfig {
             TopologyPreset::Dual,
             TopologyPreset::XSeries445 { smt: false },
             TopologyPreset::XSeries445 { smt: true },
-            TopologyPreset::Dual,
+            TopologyPreset::Hybrid8,
         ],
         workload,
     )

@@ -62,20 +62,78 @@ pub struct LoadAggregates {
     /// `(core, package, node)` table indices per CPU — the O(depth)
     /// update path.
     paths: Vec<(usize, usize, usize)>,
+    /// Class-weighted compute capacity per logical CPU (1.0 per CPU on
+    /// homogeneous machines). Config-derived, never serialized: a
+    /// restored system re-installs the capacities of its topology.
+    cap_cpu: Vec<f64>,
+    /// Capacity sums per unit, same layout as the cell tables. On
+    /// homogeneous machines these equal the unit's CPU count, so
+    /// capacity-normalized loads reduce to the legacy per-CPU average.
+    cap_core: Vec<f64>,
+    cap_package: Vec<f64>,
+    cap_node: Vec<f64>,
 }
 
 impl LoadAggregates {
-    /// Creates zeroed aggregates shaped like `topo`.
+    /// Creates zeroed aggregates shaped like `topo`, with unit
+    /// capacity (1.0) per CPU.
     pub fn new(topo: &Topology) -> Self {
-        LoadAggregates {
+        let paths: Vec<(usize, usize, usize)> = topo
+            .cpu_ids()
+            .map(|c| (topo.core_of(c).0, topo.package_of(c).0, topo.node_of(c).0))
+            .collect();
+        let mut agg = LoadAggregates {
             core: vec![AggCell::default(); topo.n_cores()],
             package: vec![AggCell::default(); topo.n_packages()],
             node: vec![AggCell::default(); topo.n_nodes()],
-            paths: topo
-                .cpu_ids()
-                .map(|c| (topo.core_of(c).0, topo.package_of(c).0, topo.node_of(c).0))
-                .collect(),
+            paths,
+            cap_cpu: Vec::new(),
+            cap_core: Vec::new(),
+            cap_package: Vec::new(),
+            cap_node: Vec::new(),
+        };
+        agg.set_cpu_capacities(&vec![1.0; topo.n_cpus()]);
+        agg
+    }
+
+    /// Installs per-CPU class-weighted capacities and rebuilds the
+    /// per-unit capacity sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps` is not one finite positive value per CPU.
+    pub fn set_cpu_capacities(&mut self, caps: &[f64]) {
+        assert_eq!(caps.len(), self.paths.len(), "one capacity per CPU");
+        assert!(
+            caps.iter().all(|c| c.is_finite() && *c > 0.0),
+            "capacities must be finite and positive"
+        );
+        self.cap_cpu = caps.to_vec();
+        self.cap_core = vec![0.0; self.core.len()];
+        self.cap_package = vec![0.0; self.package.len()];
+        self.cap_node = vec![0.0; self.node.len()];
+        for (cpu, &(core, package, node)) in self.paths.iter().enumerate() {
+            self.cap_core[core] += caps[cpu];
+            self.cap_package[package] += caps[cpu];
+            self.cap_node[node] += caps[cpu];
         }
+    }
+
+    /// The class-weighted capacity of one unit (a single CPU's own
+    /// capacity for `Cpu` units). Equals the unit's CPU count on
+    /// homogeneous machines.
+    pub fn capacity(&self, unit: GroupUnit) -> f64 {
+        match unit {
+            GroupUnit::Cpu(c) => self.cap_cpu[c.0],
+            GroupUnit::Core(c) => self.cap_core[c.0],
+            GroupUnit::Package(p) => self.cap_package[p.0],
+            GroupUnit::Node(n) => self.cap_node[n.0],
+        }
+    }
+
+    /// The capacity of one logical CPU.
+    pub fn cpu_capacity(&self, cpu: CpuId) -> f64 {
+        self.cap_cpu[cpu.0]
     }
 
     /// Applies one runqueue change on `cpu` to every ancestor unit:
@@ -225,6 +283,28 @@ mod tests {
         let topo = Topology::build(1, 1, 1);
         let agg = LoadAggregates::new(&topo);
         assert!(agg.cell(GroupUnit::Cpu(CpuId(0))).is_none());
+    }
+
+    #[test]
+    fn capacities_default_to_cpu_counts_and_reweigh() {
+        let topo = Topology::build_cmp(2, 2, 2, 1); // 8 CPUs, 4 per node.
+        let mut agg = LoadAggregates::new(&topo);
+        assert_eq!(agg.capacity(GroupUnit::Cpu(CpuId(0))), 1.0);
+        assert_eq!(agg.capacity(GroupUnit::Node(NodeId(0))), 4.0);
+        // Halve the capacity of node 1's CPUs (an efficiency cluster).
+        let caps: Vec<f64> = (0..8).map(|c| if c >= 4 { 0.5 } else { 1.0 }).collect();
+        agg.set_cpu_capacities(&caps);
+        assert_eq!(agg.capacity(GroupUnit::Node(NodeId(0))), 4.0);
+        assert_eq!(agg.capacity(GroupUnit::Node(NodeId(1))), 2.0);
+        assert_eq!(agg.cpu_capacity(CpuId(7)), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_capacity_rejected() {
+        let topo = Topology::build(1, 2, 1);
+        let mut agg = LoadAggregates::new(&topo);
+        agg.set_cpu_capacities(&[1.0, 0.0]);
     }
 
     #[test]

@@ -223,6 +223,30 @@ pub fn find_busiest_group(
     find_busiest_by(domain, local_idx, |g| group_avg_load(sys, g))
 }
 
+/// Capacity-normalized [`find_busiest_group`]: group load is
+/// `nr_running` per unit of class-weighted compute capacity (see
+/// [`System::group_capacity`]) instead of per CPU. On homogeneous
+/// machines every capacity is 1.0 and this coincides with
+/// [`find_busiest_group`]; on hybrid machines an efficiency cluster
+/// saturates at fewer tasks than a performance cluster of the same
+/// width, and this ranking reflects that.
+pub fn find_busiest_group_capacity(
+    sys: &System,
+    domain: &SchedDomain,
+    local_idx: usize,
+) -> Option<(usize, f64)> {
+    find_busiest_by(domain, local_idx, |g| group_effective_load(sys, g))
+}
+
+/// Average `nr_running` per unit of class-weighted capacity over a
+/// group (0 for a degenerate empty group).
+pub fn group_effective_load(sys: &System, group: &CpuGroup) -> f64 {
+    if group.is_empty() {
+        return 0.0;
+    }
+    sys.group_nr_running(group) as f64 / sys.group_capacity(group)
+}
+
 /// The pre-aggregate implementation of [`find_busiest_group`], walking
 /// every runqueue in the domain. Kept as the baseline the balance
 /// benchmark and the equivalence tests compare against.

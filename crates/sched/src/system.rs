@@ -515,6 +515,27 @@ impl System {
         new
     }
 
+    /// Replaces a task's energy profile outright, keeping the
+    /// aggregate tree and runqueue power caches coherent — the same
+    /// plumbing as [`System::update_profile`] but without the Eq. 2
+    /// blend. Engines use this when a task's known activity suddenly
+    /// costs a different amount of power, e.g. after a migration onto
+    /// a different core class.
+    pub fn reset_profile(&mut self, id: TaskId, power: Watts) {
+        let old = self.tasks[id.0 as usize].profile().0;
+        self.tasks[id.0 as usize].reset_profile(power);
+        let new = self.tasks[id.0 as usize].profile();
+        let cpu = self.tasks[id.0 as usize].cpu();
+        match self.tasks[id.0 as usize].state() {
+            TaskState::Running => self.agg.apply(cpu, 0, 0, new.0 - old, true),
+            TaskState::Runnable => {
+                self.rqs[cpu.0].credit_profile(new.0 - old);
+                self.agg.apply(cpu, 0, 0, new.0 - old, true);
+            }
+            TaskState::Blocked | TaskState::Exited => {}
+        }
+    }
+
     /// Sum of `nr_running` over a group's CPUs — one table lookup when
     /// the group is tagged with its hardware unit (all generated
     /// hierarchies are), a scan otherwise. Identical to the scan in
@@ -530,6 +551,29 @@ impl System {
             }
             None => group.cpus().iter().map(|&c| self.nr_running(c)).sum(),
         }
+    }
+
+    /// Installs class-weighted per-CPU compute capacities into the
+    /// aggregate tree (see [`crate::LoadAggregates::set_cpu_capacities`]).
+    /// Engines call this once for hybrid machines; homogeneous systems
+    /// keep the default of 1.0 per CPU.
+    pub fn set_cpu_capacities(&mut self, caps: &[f64]) {
+        self.agg.set_cpu_capacities(caps);
+    }
+
+    /// Class-weighted capacity sum over a group's CPUs — the unit's
+    /// aggregate when the group is unit-tagged, a scan otherwise.
+    /// Equals the group's CPU count on homogeneous machines.
+    pub fn group_capacity(&self, group: &CpuGroup) -> f64 {
+        match group.unit() {
+            Some(unit) => self.agg.capacity(unit),
+            None => group.cpus().iter().map(|&c| self.agg.cpu_capacity(c)).sum(),
+        }
+    }
+
+    /// The class-weighted capacity of one logical CPU.
+    pub fn cpu_capacity(&self, cpu: CpuId) -> f64 {
+        self.agg.cpu_capacity(cpu)
     }
 
     /// Sum of `nr_queued` (waiting tasks) over a group's CPUs; see

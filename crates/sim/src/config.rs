@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use ebs_core::EnergyBalanceConfig;
-use ebs_dvfs::{GovernorKind, PStateTable};
+use ebs_dvfs::{DomainScope, GovernorKind, PStateTable};
 use ebs_topology::{TopologyBuilder, TopologyPreset};
 use ebs_units::{Celsius, SimDuration, Watts};
 use ebs_workloads::OpenWorkload;
@@ -84,6 +84,22 @@ pub struct SimConfig {
     pub cores_per_package: usize,
     /// Hardware threads per core (1 = SMT off, 2 = two-way SMT).
     pub threads_per_core: usize,
+    /// Performance (class 0) cores leading each package; the rest are
+    /// efficiency (class 1) cores. `0` (the default) keeps the machine
+    /// homogeneous — the paper's testbed and every legacy preset.
+    pub perf_cores_per_package: usize,
+    /// Frequency-domain granularity. `None` (the default) resolves to
+    /// per-package on homogeneous machines (the paper's testbed
+    /// behaviour, bit-identical to the pre-scope engine) and per-core
+    /// on hybrid ones (classes run distinct P-state ladders, so they
+    /// cannot share a plane).
+    pub domain_scope: Option<DomainScope>,
+    /// Ignore core classes in balancing, placement, and hot-migration
+    /// decisions (capacity-blind): the `exp_hybrid` baseline that
+    /// treats every runnable task as worth the same on any core. The
+    /// physics (per-class speed, power, calibration) stays
+    /// class-aware either way.
+    pub class_blind: bool,
     /// RNG seed; every random choice in the run derives from it.
     pub seed: u64,
     /// Simulation tick (scheduler granularity). In the fixed-tick
@@ -200,6 +216,9 @@ impl SimConfig {
             packages_per_node: topo.n_packages_per_node(),
             cores_per_package: topo.n_cores_per_package(),
             threads_per_core: topo.n_threads_per_core(),
+            perf_cores_per_package: topo.n_perf_cores_per_package(),
+            domain_scope: None,
+            class_blind: false,
             seed: 1,
             tick: SimDuration::from_millis(1),
             max_stride: None,
@@ -253,6 +272,7 @@ impl SimConfig {
         self.packages_per_node = topo.n_packages_per_node();
         self.cores_per_package = topo.n_cores_per_package();
         self.threads_per_core = topo.n_threads_per_core();
+        self.perf_cores_per_package = topo.n_perf_cores_per_package();
         self
     }
 
@@ -263,6 +283,65 @@ impl SimConfig {
             .packages_per_node(self.packages_per_node)
             .cores_per_package(self.cores_per_package)
             .threads_per_core(self.threads_per_core)
+            .perf_cores_per_package(self.perf_cores_per_package)
+    }
+
+    /// Makes the shape hybrid: the leading `n` cores of each package
+    /// become performance (class 0) cores, the rest efficiency
+    /// (class 1). `0` keeps the machine homogeneous.
+    pub fn perf_cores(mut self, n: usize) -> Self {
+        self.perf_cores_per_package = n;
+        self
+    }
+
+    /// Pins the frequency-domain granularity (see
+    /// [`SimConfig::domain_scope`] for the `None` default).
+    pub fn scope(mut self, scope: DomainScope) -> Self {
+        self.domain_scope = Some(scope);
+        self
+    }
+
+    /// Makes balancing/placement/hot-migration ignore core classes
+    /// (the `exp_hybrid` baseline).
+    pub fn class_blind(mut self, on: bool) -> Self {
+        self.class_blind = on;
+        self
+    }
+
+    /// Whether the machine mixes core classes.
+    pub fn is_hybrid(&self) -> bool {
+        self.perf_cores_per_package > 0
+    }
+
+    /// Number of distinct core classes (1 = homogeneous).
+    pub fn n_classes(&self) -> usize {
+        if self.is_hybrid() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// The frequency-domain granularity the engine will run:
+    /// the explicit scope if pinned, else per-core for hybrid shapes
+    /// and per-package for homogeneous ones.
+    pub fn effective_domain_scope(&self) -> DomainScope {
+        self.domain_scope.unwrap_or(if self.is_hybrid() {
+            DomainScope::PerCore
+        } else {
+            DomainScope::PerPackage
+        })
+    }
+
+    /// Frequency domains per package under the effective scope.
+    pub fn domains_per_package(&self) -> usize {
+        self.effective_domain_scope()
+            .domains_per_package(self.cores_per_package)
+    }
+
+    /// Frequency domains across the machine.
+    pub fn n_domains(&self) -> usize {
+        self.n_packages() * self.domains_per_package()
     }
 
     /// Drives the simulation with an open workload (Poisson arrivals
@@ -528,6 +607,36 @@ mod tests {
         assert_eq!(cfg.n_cpus(), 8);
         assert_eq!(cfg.seed, 5);
         assert!(cfg.smt_enabled());
+    }
+
+    #[test]
+    fn hybrid_shape_and_scope_resolution() {
+        let cfg = SimConfig::xseries445();
+        assert!(!cfg.is_hybrid());
+        assert_eq!(cfg.n_classes(), 1);
+        assert_eq!(cfg.effective_domain_scope(), DomainScope::PerPackage);
+        assert_eq!(cfg.n_domains(), cfg.n_packages());
+
+        let cfg = SimConfig::preset(TopologyPreset::Hybrid8);
+        assert!(cfg.is_hybrid());
+        assert_eq!(cfg.n_classes(), 2);
+        assert_eq!(cfg.perf_cores_per_package, 4);
+        // Hybrid shapes default to per-core domains.
+        assert_eq!(cfg.effective_domain_scope(), DomainScope::PerCore);
+        assert_eq!(cfg.n_domains(), 8);
+        // The builder round-trips the hybrid split.
+        assert_eq!(cfg.topology_builder(), TopologyPreset::Hybrid8.builder());
+        // Replacing the shape with a homogeneous one clears the split.
+        let cfg2 = cfg.clone().topology(TopologyPreset::Dual.builder());
+        assert!(!cfg2.is_hybrid());
+        assert_eq!(cfg2.perf_cores_per_package, 0);
+        // An explicit scope pins the granularity.
+        let pinned = cfg.scope(DomainScope::PerPackage);
+        assert_eq!(pinned.effective_domain_scope(), DomainScope::PerPackage);
+        assert_eq!(pinned.n_domains(), 1);
+        // Class-blind is a separate toggle.
+        assert!(!pinned.class_blind);
+        assert!(pinned.class_blind(true).class_blind);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::machine::PhysicalMachine;
 use crate::runtime::{TaskRuntime, WarmthModel};
 use crate::trace::{LatencyStats, SimReport, TaskCpuTrace, ThermalTrace};
 use ebs_core::{
-    place_new_task, EnergyAwareBalancer, EnergyEstimator, HotTaskConfig, HotTaskMigrator,
+    place_new_task_capacity, EnergyAwareBalancer, EnergyEstimator, HotTaskConfig, HotTaskMigrator,
     PlacementTable, PowerState, PowerStateConfig,
 };
 use ebs_counters::{calibration, EnergyModel};
@@ -34,7 +34,7 @@ use ebs_sched::{
     idlest_cpu, BinaryId, LoadBalancer, LoadBalancerConfig, System, TaskConfig, TaskId,
 };
 use ebs_thermal::ThrottleState;
-use ebs_topology::{CpuId, Topology};
+use ebs_topology::CpuId;
 use ebs_trace::{
     CounterId, EventKind, EventTrace, GaugeId, MetricsRegistry, PhaseProfiler, TraceSink,
 };
@@ -175,15 +175,25 @@ struct MetricsState {
     g_power: Vec<GaugeId>,
     /// Per-CPU runqueue depth (including the running task).
     g_rq: Vec<GaugeId>,
-    /// Per-package clock, GHz.
+    /// Per-frequency-domain clock, GHz.
     g_freq: Vec<GaugeId>,
-    /// Per-package windowed utilization, `[0, 1]`.
+    /// Per-frequency-domain windowed utilization, `[0, 1]`.
     g_util: Vec<GaugeId>,
 }
 
 impl MetricsState {
-    fn new(interval: SimDuration, n_cpus: usize, n_packages: usize) -> Self {
+    /// `per_core` selects the gauge naming: the historical
+    /// `dvfs.*.pkg{i}` names under per-package scope (domain i ==
+    /// package i), `dvfs.*.dom{i}` under per-core scope.
+    fn new(interval: SimDuration, n_cpus: usize, n_domains: usize, per_core: bool) -> Self {
         let mut reg = MetricsRegistry::new();
+        let dom_name = |i: usize| {
+            if per_core {
+                format!("dom{i}")
+            } else {
+                format!("pkg{i}")
+            }
+        };
         MetricsState {
             c_steps: reg.counter("engine.steps"),
             c_instructions: reg.counter("engine.instructions"),
@@ -200,11 +210,11 @@ impl MetricsState {
             g_rq: (0..n_cpus)
                 .map(|c| reg.gauge(&format!("sched.runqueue.cpu{c}")))
                 .collect(),
-            g_freq: (0..n_packages)
-                .map(|p| reg.gauge(&format!("dvfs.freq_ghz.pkg{p}")))
+            g_freq: (0..n_domains)
+                .map(|d| reg.gauge(&format!("dvfs.freq_ghz.{}", dom_name(d))))
                 .collect(),
-            g_util: (0..n_packages)
-                .map(|p| reg.gauge(&format!("dvfs.util.pkg{p}")))
+            g_util: (0..n_domains)
+                .map(|d| reg.gauge(&format!("dvfs.util.{}", dom_name(d))))
                 .collect(),
             reg,
             interval,
@@ -244,36 +254,50 @@ pub struct Simulation {
     hot: HotTaskMigrator,
     placement: PlacementTable,
     warmth: WarmthModel,
-    /// Per-package frequency governors (empty when DVFS is disabled).
+    /// Per-domain frequency governors (empty when DVFS is disabled).
+    /// Every DVFS table below is keyed by *frequency domain* — one per
+    /// package on homogeneous machines (index-identical to the
+    /// historical per-package tables), one per core on hybrid shapes.
     governors: Vec<Box<dyn Governor + Send>>,
-    /// Per-package instant of the next *forced* governor decision: the
+    /// Per-domain instant of the next *forced* governor decision: the
     /// cadence deadline in cadence mode, the optional `max_hold`
     /// fallback in event-driven mode (`None` = triggers only).
     dvfs_next: Vec<Option<SimTime>>,
-    /// Per-package hold from the last decision (event-driven mode):
+    /// Per-domain hold from the last decision (event-driven mode):
     /// the signal bands within which the governor's answer stands.
     /// `None` before the first decision, which therefore fires at the
     /// first step.
     dvfs_hold: Vec<Option<DecisionHold>>,
     /// Per-package CPU lists, precomputed once — the topology is
-    /// immutable and the DVFS accounting below runs every tick.
+    /// immutable and the physics/throttle paths below run every tick.
     pkg_cpus: Vec<Vec<CpuId>>,
-    /// Per-package busy time (thread-fraction · seconds) accumulated
+    /// Per-frequency-domain CPU lists (== `pkg_cpus` under per-package
+    /// scope; one core's threads per entry under per-core scope).
+    dom_cpus: Vec<Vec<CpuId>>,
+    /// CPU → frequency-domain map.
+    cpu_dom: Vec<usize>,
+    /// CPU → core-class map (all zero on homogeneous machines).
+    cpu_class: Vec<usize>,
+    /// Class-weighted per-CPU capacities for placement and hot-task
+    /// migration; `None` (homogeneous or `class_blind`) keeps the
+    /// legacy count-based policies byte-for-byte.
+    capacities: Option<Vec<f64>>,
+    /// Per-domain busy time (thread-fraction · seconds) accumulated
     /// since the last governor decision, so utilization covers the
     /// whole window rather than sampling the decision instant.
     dvfs_busy: Vec<f64>,
-    /// Per-package wall time accumulated since that package's last
-    /// governor decision (event-driven packages decide independently;
+    /// Per-domain wall time accumulated since that domain's last
+    /// governor decision (event-driven domains decide independently;
     /// in cadence mode all windows advance in lockstep).
     dvfs_window: Vec<SimDuration>,
-    /// Per-package utilization reported at the last decision, carried
+    /// Per-domain utilization reported at the last decision, carried
     /// into any decision whose window is zero-width (see
     /// [`windowed_utilization`]).
     dvfs_util: Vec<f64>,
     /// Governor decisions taken over the run (statistics: the
     /// event-driven path exists to shrink this).
     dvfs_decisions: u64,
-    /// Per-package instant before which *stale-average* escape
+    /// Per-domain instant before which *stale-average* escape
     /// triggers are suppressed — the hold's `min_dwell` rate limit.
     /// During the dwell, escapes above the thermal band that have not
     /// exceeded [`Simulation::dvfs_armed_power`] are the lagging
@@ -281,22 +305,20 @@ pub struct Simulation {
     /// [`ebs_dvfs::DecisionHold::stale_descent`]). Genuine escapes and
     /// forced deadlines (`dvfs_next`) are unaffected.
     dvfs_dwell_until: Vec<SimTime>,
-    /// Package thermal power each decision was made from — the
+    /// Domain thermal power each decision was made from — the
     /// reference [`ebs_dvfs::DecisionHold::stale_descent`] compares
     /// against during the dwell.
     dvfs_armed_power: Vec<Watts>,
-    /// Per-package "provably frozen" flag (event-driven mode): the
-    /// package accrues exactly zero busy time, its hold bands contain
+    /// Per-domain "provably frozen" flag (event-driven mode): the
+    /// domain accrues exactly zero busy time, its hold bands contain
     /// every future signal value, and no deadline is armed — so no
     /// decision can fire until a scheduling or throttle event touches
-    /// the package. Frozen packages skip the per-step DVFS accounting
+    /// the domain. Frozen domains skip the per-step DVFS accounting
     /// wholesale; the [`Simulation::emit`] hook unfreezes them.
     dvfs_stable: Vec<bool>,
-    /// When each frozen package's bookkeeping stopped, so the window
+    /// When each frozen domain's bookkeeping stopped, so the window
     /// catches up in one exact move on the next event.
     dvfs_frozen_at: Vec<SimTime>,
-    /// CPU → package map for the unfreeze hook in [`Simulation::emit`].
-    cpu_pkg: Vec<usize>,
     /// Arrivals routed to this engine by an outer synchronizer (the
     /// parallel partition driver), sorted by due time and drained by
     /// `arrival_tick` exactly like the engine-owned arrival process.
@@ -361,18 +383,20 @@ impl Simulation {
     /// calibrated (least squares over synthetic multimeter runs) as
     /// part of bring-up, unless `perfect_estimation` is set.
     pub fn new(cfg: SimConfig) -> Self {
-        let topo = Topology::build_cmp(
-            cfg.n_nodes,
-            cfg.packages_per_node,
-            cfg.cores_per_package,
-            cfg.threads_per_core,
-        );
+        let topo = cfg.topology_builder().build();
         let machine = PhysicalMachine::new(&cfg, &topo);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let model: EnergyModel = if cfg.perfect_estimation {
-            machine.truth().model
+        // Calibrate one model per core class, class 0 first — the
+        // single-class path consumes the RNG stream exactly as the
+        // legacy one-model calibration did.
+        let models: Vec<EnergyModel> = if cfg.perfect_estimation {
+            machine.catalog().iter().map(|c| c.truth.model).collect()
         } else {
-            calibration::standard_calibration(machine.truth(), &mut rng)
+            machine
+                .catalog()
+                .iter()
+                .map(|c| calibration::standard_calibration(&c.truth, &mut rng))
+                .collect()
         };
         let n_cpus = topo.n_cpus();
         let power_cfg = PowerStateConfig {
@@ -380,8 +404,24 @@ impl Simulation {
             ..PowerStateConfig::default()
         };
         let power = PowerState::new(n_cpus, machine.max_powers(), power_cfg);
-        let estimator = EnergyEstimator::new(model, n_cpus, machine.halt_power_share());
-        let sys = System::new(topo);
+        let threads_per_package = topo.threads_per_package();
+        let cpu_class: Vec<usize> = topo.cpu_ids().map(|c| topo.class_of(c).0).collect();
+        let class_halt: Vec<Watts> = machine
+            .catalog()
+            .iter()
+            .map(|c| c.truth.halt_power / threads_per_package as f64)
+            .collect();
+        let estimator = EnergyEstimator::with_classes(models, cpu_class.clone(), class_halt);
+        // Class-weighted capacities surface to the policy layer only
+        // on hybrid machines in class-aware mode; `class_blind` (and
+        // every homogeneous machine) leaves the legacy count-based
+        // arithmetic untouched.
+        let capacities: Option<Vec<f64>> = (machine.catalog().is_hybrid() && !cfg.class_blind)
+            .then(|| machine.catalog().cpu_capacities(&topo));
+        let mut sys = System::new(topo);
+        if let Some(caps) = &capacities {
+            sys.set_cpu_capacities(caps);
+        }
         // `scan_balancing` forces the scan paths; otherwise the
         // balance config's own setting (adaptive by machine size when
         // unspecified) decides at balancer construction.
@@ -394,7 +434,9 @@ impl Simulation {
                 },
                 ..cfg.balance
             };
-            Balancer::EnergyAware(EnergyAwareBalancer::new(&sys, bcfg))
+            let mut b = EnergyAwareBalancer::new(&sys, bcfg);
+            b.set_capacities(capacities.clone());
+            Balancer::EnergyAware(b)
         } else {
             let lcfg = LoadBalancerConfig {
                 use_aggregates: if cfg.scan_balancing {
@@ -418,18 +460,23 @@ impl Simulation {
             None => EventTrace::new(),
         });
         let profiler = cfg.profile_engine.then(|| PhaseProfiler::new(&PHASE_NAMES));
+        // DVFS decision state is keyed per *frequency domain*: under
+        // per-package scope the domain map is index-identical to the
+        // package tables this engine always kept.
+        let n_domains = machine.domain_map().n_domains();
         let governors: Vec<Box<dyn Governor + Send>> = match &cfg.dvfs {
-            Some(spec) => (0..sys.topology().n_packages())
-                .map(|_| spec.governor.build())
-                .collect(),
+            Some(spec) => (0..n_domains).map(|_| spec.governor.build()).collect(),
             None => Vec::new(),
         };
-        let dvfs_busy = vec![0.0; sys.topology().n_packages()];
+        let dvfs_busy = vec![0.0; n_domains];
         let pkg_cpus: Vec<Vec<CpuId>> = (0..sys.topology().n_packages())
             .map(|p| sys.topology().cpus_of_package(ebs_topology::PackageId(p)))
             .collect();
-        let cpu_pkg: Vec<usize> = (0..n_cpus)
-            .map(|c| sys.topology().package_of(CpuId(c)).0)
+        let dom_cpus: Vec<Vec<CpuId>> = (0..n_domains)
+            .map(|d| machine.domain_map().cpus(d).to_vec())
+            .collect();
+        let cpu_dom: Vec<usize> = (0..n_cpus)
+            .map(|c| machine.domain_map().domain_of(CpuId(c)))
             .collect();
         let open = cfg
             .open_workload
@@ -445,18 +492,21 @@ impl Simulation {
             placement: PlacementTable::new(Watts(30.0)),
             warmth,
             governors,
-            dvfs_next: vec![Some(SimTime::ZERO); n_packages],
-            dvfs_hold: vec![None; n_packages],
+            dvfs_next: vec![Some(SimTime::ZERO); n_domains],
+            dvfs_hold: vec![None; n_domains],
             pkg_cpus,
+            dom_cpus,
+            cpu_dom,
+            cpu_class,
+            capacities,
             dvfs_busy,
-            dvfs_window: vec![SimDuration::ZERO; n_packages],
-            dvfs_util: vec![0.0; n_packages],
+            dvfs_window: vec![SimDuration::ZERO; n_domains],
+            dvfs_util: vec![0.0; n_domains],
             dvfs_decisions: 0,
-            dvfs_dwell_until: vec![SimTime::ZERO; n_packages],
-            dvfs_armed_power: vec![Watts(0.0); n_packages],
-            dvfs_stable: vec![false; n_packages],
-            dvfs_frozen_at: vec![SimTime::ZERO; n_packages],
-            cpu_pkg,
+            dvfs_dwell_until: vec![SimTime::ZERO; n_domains],
+            dvfs_armed_power: vec![Watts(0.0); n_domains],
+            dvfs_stable: vec![false; n_domains],
+            dvfs_frozen_at: vec![SimTime::ZERO; n_domains],
             inbox: std::collections::VecDeque::new(),
             runtimes: Vec::new(),
             programs: HashMap::new(),
@@ -482,9 +532,14 @@ impl Simulation {
             next_thermal_sample,
             task_trace: TaskCpuTrace::default(),
             tracer,
-            metrics: cfg
-                .metrics_interval
-                .map(|every| Box::new(MetricsState::new(every, n_cpus, n_packages))),
+            metrics: cfg.metrics_interval.map(|every| {
+                Box::new(MetricsState::new(
+                    every,
+                    n_cpus,
+                    n_domains,
+                    machine.domain_map().scope() == ebs_dvfs::DomainScope::PerCore,
+                ))
+            }),
             profiler,
             slice_powers: None,
             machine,
@@ -568,10 +623,11 @@ impl Simulation {
             }
         }
         let events = trace.to_vec();
-        Some(ebs_trace::perfetto::export(
+        Some(ebs_trace::perfetto::export_scoped(
             &events,
             self.metrics.as_deref().map(|m| &m.reg),
             &names,
+            self.cfg.effective_domain_scope() == ebs_dvfs::DomainScope::PerCore,
         ))
     }
 
@@ -582,22 +638,30 @@ impl Simulation {
     /// two predictable branches and no allocation.
     #[inline]
     fn emit(&mut self, kind: EventKind) {
-        // A scheduling or throttle event touching a frozen package
-        // ends its provably-idle span: every transition that can move
-        // the package's busy fraction or thermal trajectory passes
-        // through here (dispatches and undispatches always emit a
-        // `ContextSwitch`; halt flips emit the throttle events).
-        let touched = match kind {
-            EventKind::ContextSwitch { cpu, .. } => Some(self.cpu_pkg[cpu as usize]),
+        // A scheduling or throttle event touching a frozen domain ends
+        // its provably-idle span: every transition that can move the
+        // domain's busy fraction or thermal trajectory passes through
+        // here (dispatches and undispatches always emit a
+        // `ContextSwitch`; halt flips emit the throttle events, which
+        // touch every domain of the throttled package).
+        match kind {
+            EventKind::ContextSwitch { cpu, .. } => {
+                let dom = self.cpu_dom[cpu as usize];
+                if self.dvfs_stable[dom] {
+                    self.dvfs_unfreeze(dom);
+                }
+            }
             EventKind::ThrottleEngage { package } | EventKind::ThrottleRelease { package } => {
-                Some(package as usize)
+                let pkg = package as usize;
+                let n = self.machine.domain_map().domains_of_package(pkg).len();
+                for i in 0..n {
+                    let dom = self.machine.domain_map().domains_of_package(pkg)[i];
+                    if self.dvfs_stable[dom] {
+                        self.dvfs_unfreeze(dom);
+                    }
+                }
             }
-            _ => None,
-        };
-        if let Some(pkg) = touched {
-            if self.dvfs_stable[pkg] {
-                self.dvfs_unfreeze(pkg);
-            }
+            _ => {}
         }
         if self.cfg.task_cpu_trace {
             match kind {
@@ -665,7 +729,7 @@ impl Simulation {
             Watts(30.0)
         };
         let cpu = if self.cfg.energy_placement {
-            place_new_task(&self.sys, &self.power, profile)
+            place_new_task_capacity(&self.sys, &self.power, profile, self.capacities.as_deref())
         } else {
             idlest_cpu(&self.sys)
         }
@@ -683,7 +747,9 @@ impl Simulation {
         if self.runtimes.len() <= id.0 as usize {
             self.runtimes.resize(id.0 as usize + 1, None);
         }
-        self.runtimes[id.0 as usize] = Some(TaskRuntime::new(state));
+        let mut rt = TaskRuntime::new(state);
+        rt.last_class = self.cpu_class[cpu.0];
+        self.runtimes[id.0 as usize] = Some(rt);
         self.emit(EventKind::Spawn {
             task: id.0,
             cpu: cpu.0 as u32,
@@ -743,7 +809,12 @@ impl Simulation {
     pub(crate) fn inject_task(&mut self, h: TaskHandoff) {
         let binary = BinaryId(h.binary);
         let cpu = if self.cfg.energy_placement {
-            place_new_task(&self.sys, &self.power, h.profile)
+            place_new_task_capacity(
+                &self.sys,
+                &self.power,
+                h.profile,
+                self.capacities.as_deref(),
+            )
         } else {
             idlest_cpu(&self.sys)
         }
@@ -762,6 +833,7 @@ impl Simulation {
         }
         let mut rt = h.runtime;
         rt.note_migration(0, true);
+        rt.last_class = self.cpu_class[cpu.0];
         self.runtimes[id.0 as usize] = Some(rt);
         self.emit(EventKind::Spawn {
             task: id.0,
@@ -914,10 +986,16 @@ impl Simulation {
         let threads_per_core = self.sys.topology().threads_per_core().max(1);
         for (pkg, cpus) in self.pkg_cpus.iter().enumerate() {
             let pkg_running = self.machine.throttles[pkg].state() == ThrottleState::Running;
-            // A frozen package has no running tasks by construction,
-            // so the per-CPU expiry/completion scan finds nothing.
-            if pkg_running && !self.dvfs_stable[pkg] {
-                let freq = self.machine.freq_domains[pkg].frequency().0;
+            // A frozen package (all its domains frozen) has no running
+            // tasks by construction, so the per-CPU expiry/completion
+            // scan finds nothing.
+            let pkg_frozen = self
+                .machine
+                .domain_map()
+                .domains_of_package(pkg)
+                .iter()
+                .all(|&d| self.dvfs_stable[d]);
+            if pkg_running && !pkg_frozen {
                 for (i, &cpu) in cpus.iter().enumerate() {
                     let Some(task) = self.sys.current(cpu) else {
                         continue;
@@ -966,6 +1044,7 @@ impl Simulation {
                         } else {
                             self.cfg.smt_speedup / n_active as f64
                         };
+                        let freq = self.machine.freq_domains[self.cpu_dom[cpu.0]].frequency().0;
                         let rate = freq * share * rt.program.ipc() * rt.warmth_factor(&self.warmth);
                         if rate > 0.0 {
                             let left = total.saturating_sub(rt.program.work_done());
@@ -977,91 +1056,6 @@ impl Simulation {
                     }
                     if let Some(dwell) = rt.program.time_to_phase_change() {
                         dt = dt.min(dwell);
-                    }
-                }
-            }
-            // Event-driven governor triggers: bound the span by the
-            // predicted escape time of the last decision's hold bands,
-            // so a trigger lands on a step end instead of drifting up
-            // to a whole stride late. Steady packages (signals parked
-            // inside their bands) impose no bound at all — exactly the
-            // strides the fixed 10 ms cadence used to floor.
-            if dvfs_event && !self.dvfs_stable[pkg] {
-                match &self.dvfs_hold[pkg] {
-                    // First decision still pending: it fires next step.
-                    None => dt = dt.min(tick),
-                    Some(hold) => {
-                        if let Some((lo, hi)) = hold.utilization {
-                            // The instantaneous busy fraction is
-                            // constant within a span (dispatches,
-                            // blocks, wakes, and throttle flips all end
-                            // spans), so the windowed drift and its
-                            // band crossings are in closed form.
-                            let b = if pkg_running {
-                                cpus.iter()
-                                    .filter(|&&c| self.sys.current(c).is_some())
-                                    .count() as f64
-                                    / cpus.len() as f64
-                            } else {
-                                0.0
-                            };
-                            let busy = self.dvfs_busy[pkg];
-                            let window = self.dvfs_window[pkg].as_secs_f64();
-                            // Where the windowed utilization will sit
-                            // at the next step end: already at the
-                            // asymptote for a just-reset window.
-                            let u0 = if window > 0.0 { busy / window } else { b };
-                            if u0 < lo || u0 > hi {
-                                // Already escaped (e.g. the busy
-                                // fraction jumped right after a
-                                // decision): the trigger fires at the
-                                // next step, at tick granularity.
-                                dt = dt.min(tick);
-                            } else {
-                                for edge in [lo, hi] {
-                                    if let Some(s) =
-                                        utilization_crossing_s(busy, window, b, edge, util_cap_s)
-                                    {
-                                        dt = dt.min(SimDuration::from_micros((s * 1e6) as u64));
-                                    }
-                                }
-                            }
-                        }
-                        if let Some((lo, hi)) = hold.thermal_power {
-                            let avg = self.power.thermal_power_sum(cpus).0;
-                            let armed = self.dvfs_armed_power[pkg];
-                            if hold.stale_descent(Watts(avg), armed) {
-                                // Escaped, but suppressed as the
-                                // post-downclock stale-average
-                                // artifact: the trigger fires at the
-                                // dwell expiry — or earlier, if the
-                                // power climbs past the armed level
-                                // (the workload genuinely grew).
-                                let dwell = self.dvfs_dwell_until[pkg].saturating_since(self.now);
-                                let mut wait = dwell.max(tick);
-                                let sample =
-                                    self.predicted_package_sample(pkg, cpus, threads_per_core);
-                                if let Some(t) = crossing_time_s(avg, sample, armed.0, tau_s) {
-                                    wait = wait
-                                        .min(SimDuration::from_micros((t * 1e6) as u64).max(tick));
-                                }
-                                dt = dt.min(wait);
-                            } else if avg < lo.0 || avg > hi.0 {
-                                // Already escaped: the trigger fires at
-                                // the next step, at tick granularity.
-                                dt = dt.min(tick);
-                            } else if dt > tick {
-                                // Same closed-form first-order crossing
-                                // the throttle-flip bound uses.
-                                let sample =
-                                    self.predicted_package_sample(pkg, cpus, threads_per_core);
-                                for edge in [lo.0, hi.0] {
-                                    if let Some(t) = crossing_time_s(avg, sample, edge, tau_s) {
-                                        dt = dt.min(SimDuration::from_micros((t * 1e6) as u64));
-                                    }
-                                }
-                            }
-                        }
                     }
                 }
             }
@@ -1087,9 +1081,100 @@ impl Simulation {
                     let w_cap = 1.0 - (-dt.as_secs_f64() / tau_s).exp();
                     let margin = w_cap * 120.0 * cpus.len() as f64;
                     if (avg - thr).abs() <= margin {
-                        let sample = self.predicted_package_sample(pkg, cpus, threads_per_core);
+                        let sample = self.predicted_sample(pkg, cpus, threads_per_core);
                         if let Some(t) = crossing_time_s(avg, sample, thr, tau_s) {
                             dt = dt.min(SimDuration::from_micros((t * 1e6) as u64));
+                        }
+                    }
+                }
+            }
+        }
+        // Event-driven governor triggers, per frequency domain: bound
+        // the span by the predicted escape time of the last decision's
+        // hold bands, so a trigger lands on a step end instead of
+        // drifting up to a whole stride late. Steady domains (signals
+        // parked inside their bands) impose no bound at all — exactly
+        // the strides the fixed 10 ms cadence used to floor.
+        if dvfs_event {
+            for dom in 0..self.dom_cpus.len() {
+                if self.dvfs_stable[dom] {
+                    continue;
+                }
+                let cpus = &self.dom_cpus[dom];
+                let pkg = self.machine.domain_map().package_of(dom);
+                let dom_running = self.machine.throttles[pkg].state() == ThrottleState::Running;
+                match &self.dvfs_hold[dom] {
+                    // First decision still pending: it fires next step.
+                    None => dt = dt.min(tick),
+                    Some(hold) => {
+                        if let Some((lo, hi)) = hold.utilization {
+                            // The instantaneous busy fraction is
+                            // constant within a span (dispatches,
+                            // blocks, wakes, and throttle flips all end
+                            // spans), so the windowed drift and its
+                            // band crossings are in closed form.
+                            let b = if dom_running {
+                                cpus.iter()
+                                    .filter(|&&c| self.sys.current(c).is_some())
+                                    .count() as f64
+                                    / cpus.len() as f64
+                            } else {
+                                0.0
+                            };
+                            let busy = self.dvfs_busy[dom];
+                            let window = self.dvfs_window[dom].as_secs_f64();
+                            // Where the windowed utilization will sit
+                            // at the next step end: already at the
+                            // asymptote for a just-reset window.
+                            let u0 = if window > 0.0 { busy / window } else { b };
+                            if u0 < lo || u0 > hi {
+                                // Already escaped (e.g. the busy
+                                // fraction jumped right after a
+                                // decision): the trigger fires at the
+                                // next step, at tick granularity.
+                                dt = dt.min(tick);
+                            } else {
+                                for edge in [lo, hi] {
+                                    if let Some(s) =
+                                        utilization_crossing_s(busy, window, b, edge, util_cap_s)
+                                    {
+                                        dt = dt.min(SimDuration::from_micros((s * 1e6) as u64));
+                                    }
+                                }
+                            }
+                        }
+                        if let Some((lo, hi)) = hold.thermal_power {
+                            let avg = self.power.thermal_power_sum(cpus).0;
+                            let armed = self.dvfs_armed_power[dom];
+                            if hold.stale_descent(Watts(avg), armed) {
+                                // Escaped, but suppressed as the
+                                // post-downclock stale-average
+                                // artifact: the trigger fires at the
+                                // dwell expiry — or earlier, if the
+                                // power climbs past the armed level
+                                // (the workload genuinely grew).
+                                let dwell = self.dvfs_dwell_until[dom].saturating_since(self.now);
+                                let mut wait = dwell.max(tick);
+                                let sample = self.predicted_sample(pkg, cpus, threads_per_core);
+                                if let Some(t) = crossing_time_s(avg, sample, armed.0, tau_s) {
+                                    wait = wait
+                                        .min(SimDuration::from_micros((t * 1e6) as u64).max(tick));
+                                }
+                                dt = dt.min(wait);
+                            } else if avg < lo.0 || avg > hi.0 {
+                                // Already escaped: the trigger fires at
+                                // the next step, at tick granularity.
+                                dt = dt.min(tick);
+                            } else if dt > tick {
+                                // Same closed-form first-order crossing
+                                // the throttle-flip bound uses.
+                                let sample = self.predicted_sample(pkg, cpus, threads_per_core);
+                                for edge in [lo.0, hi.0] {
+                                    if let Some(t) = crossing_time_s(avg, sample, edge, tau_s) {
+                                        dt = dt.min(SimDuration::from_micros((t * 1e6) as u64));
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -1098,21 +1183,29 @@ impl Simulation {
         dt.max(tick).min(end - self.now)
     }
 
-    /// Predicts the thermal-power *sample* sum the package's CPUs will
-    /// feed their averages this span: the model power of each running
-    /// task at the current clock and SMT share, halt power elsewhere.
+    /// Predicts the thermal-power *sample* sum a CPU list (a package,
+    /// or one frequency domain of it) will feed its averages this
+    /// span: the model power of each running task at its domain's
+    /// clock and SMT share, halt power elsewhere. `pkg` is the package
+    /// owning every CPU of the list (its throttle gates execution).
     /// Used only to bound strides; physics recomputes the real thing.
-    fn predicted_package_sample(&self, pkg: usize, cpus: &[CpuId], threads_per_core: usize) -> f64 {
-        let halt = self.machine.halt_power_share().0;
+    fn predicted_sample(&self, pkg: usize, cpus: &[CpuId], threads_per_core: usize) -> f64 {
         if self.machine.throttles[pkg].state() != ThrottleState::Running {
-            return halt * cpus.len() as f64;
+            // Halted: every CPU sits at its halt share. The
+            // homogeneous path keeps the legacy scalar multiply
+            // (bit-identical float result); hybrid lists mix shares.
+            if !self.machine.catalog().is_hybrid() {
+                return self.machine.halt_power_share().0 * cpus.len() as f64;
+            }
+            return cpus
+                .iter()
+                .map(|&c| self.machine.halt_power_share_of(c).0)
+                .sum();
         }
-        let freq = self.machine.freq_domains[pkg].frequency().0;
-        let vsq = self.machine.freq_domains[pkg].voltage_scale_sq();
         let mut sum = 0.0;
         for (i, &cpu) in cpus.iter().enumerate() {
             let Some(task) = self.sys.current(cpu) else {
-                sum += halt;
+                sum += self.machine.halt_power_share_of(cpu).0;
                 continue;
             };
             let core_base = i - i % threads_per_core;
@@ -1126,13 +1219,16 @@ impl Simulation {
             } else {
                 self.cfg.smt_speedup / n_active as f64
             };
+            let dom = self.cpu_dom[cpu.0];
+            let freq = self.machine.freq_domains[dom].frequency().0;
+            let vsq = self.machine.freq_domains[dom].voltage_scale_sq();
             let rt = self.runtimes[task.0 as usize]
                 .as_ref()
                 .expect("running task has runtime state");
             let rates = rt.program.current_rates();
             sum += self
                 .estimator
-                .model()
+                .model_for(cpu)
                 .power_for_rates(&rates, freq * share)
                 .0
                 * vsq;
@@ -1208,15 +1304,6 @@ impl Simulation {
         let pkg_cpus = std::mem::take(&mut self.pkg_cpus);
         let threads_per_core = self.sys.topology().threads_per_core().max(1);
         for (pkg, cpus) in pkg_cpus.iter().enumerate() {
-            // The package's frequency domain scales execution speed
-            // (cycles ~ f) and dynamic energy per event (~ V²); the
-            // event counts themselves already shrink with the cycle
-            // count, so dynamic power scales as V²·f overall. The
-            // domain's frequency is absolute, so execution and the
-            // reported clocks agree even for a custom table whose
-            // nominal differs from `cfg.freq_hz`.
-            let freq = self.machine.freq_domains[pkg].frequency().0;
-            let vscale_sq = self.machine.freq_domains[pkg].voltage_scale_sq();
             // A CPU executes this tick if it has a running task and is
             // not halted by the throttle controller.
             let pkg_running = self.machine.throttles[pkg].state() == ThrottleState::Running;
@@ -1244,6 +1331,16 @@ impl Simulation {
                         self.cfg.smt_speedup / n_active as f64
                     };
                     let task = self.sys.current(cpu).expect("executing CPU has a task");
+                    // The CPU's frequency domain scales execution
+                    // speed (cycles ~ f) and dynamic energy per event
+                    // (~ V²); the event counts themselves already
+                    // shrink with the cycle count, so dynamic power
+                    // scales as V²·f overall. The domain's frequency
+                    // is absolute, so classes with different nominal
+                    // clocks genuinely execute at different speeds.
+                    let dom = self.cpu_dom[cpu.0];
+                    let freq = self.machine.freq_domains[dom].frequency().0;
+                    let vscale_sq = self.machine.freq_domains[dom].voltage_scale_sq();
                     // Emit whole cycles, carrying the fractional part
                     // so retired work is step-size-invariant: chopping
                     // the same wall time into different spans yields
@@ -1257,13 +1354,20 @@ impl Simulation {
                         .expect("running task has runtime state");
                     let counts = rt.program.current_rates().counts_for_cycles(cycles);
                     self.machine.banks[cpu.0].record(&counts);
-                    pkg_energy += self.machine.truth().model.estimate(&counts) * vscale_sq;
-                    // Instruction progress, damped by cache warmth.
-                    // The instruction stream carries its own remainder
-                    // off the *unrounded* cycle flow, so its total is
-                    // independent of how cycles happened to round.
+                    let class = ebs_topology::ClassId(self.cpu_class[cpu.0]);
+                    pkg_energy +=
+                        self.machine.class_truth(class).model.estimate(&counts) * vscale_sq;
+                    // Instruction progress, damped by cache warmth and
+                    // the class's pipeline width (`ipc_factor` is
+                    // exactly 1.0 for class 0, so homogeneous runs are
+                    // bit-identical). The instruction stream carries
+                    // its own remainder off the *unrounded* cycle
+                    // flow, so its total is independent of how cycles
+                    // happened to round.
                     let wf = rt.warmth_factor(&self.warmth);
-                    let instr_f = raw_cycles * rt.program.ipc() * wf + self.instr_carry[cpu.0];
+                    let class_ipc = self.machine.catalog().get(class).ipc_factor;
+                    let instr_f =
+                        raw_cycles * rt.program.ipc() * wf * class_ipc + self.instr_carry[cpu.0];
                     let instr = instr_f as u64;
                     self.instr_carry[cpu.0] = (instr_f - instr as f64).max(0.0);
                     rt.add_warmth(instr);
@@ -1288,8 +1392,9 @@ impl Simulation {
                     self.estimated_energy += est;
                     self.power.observe(cpu, est.average_power(dt), dt);
                 } else {
-                    // Idle or throttled: halt power only.
-                    pkg_energy += self.machine.halt_power_share().over(dt);
+                    // Idle or throttled: halt power only (the class's
+                    // own share on hybrid machines).
+                    pkg_energy += self.machine.halt_power_share_of(cpu).over(dt);
                     let est = self
                         .estimator
                         .account(cpu, &mut self.machine.banks[cpu.0], dt, dt);
@@ -1299,7 +1404,7 @@ impl Simulation {
             }
             // Counter-invisible leakage, then the RC step.
             let temp = self.machine.thermals[pkg].temperature();
-            pkg_energy += self.machine.truth().leakage.power(temp).over(dt);
+            pkg_energy += self.machine.package_leakage(pkg).power(temp).over(dt);
             self.true_energy += pkg_energy;
             let t = self.machine.thermals[pkg].step(pkg_energy.average_power(dt), dt);
             self.max_temp = self.max_temp.max(t);
@@ -1343,45 +1448,46 @@ impl Simulation {
         let interval = spec.interval;
         let max_hold = spec.max_hold;
         // Accumulate busy time every step so a task blocking and
-        // waking between decisions still shows up as load. A package
-        // halted by the throttle executes nothing, whatever its
-        // runqueues hold — mirroring `physics_tick`'s notion of
-        // executing, so a throttled package reads as idle and the
+        // waking between decisions still shows up as load. A domain
+        // halted by its package's throttle executes nothing, whatever
+        // its runqueues hold — mirroring `physics_tick`'s notion of
+        // executing, so a throttled domain reads as idle and the
         // governor downclocks to relieve the pressure.
-        for pkg in 0..self.pkg_cpus.len() {
-            if self.dvfs_stable[pkg] {
+        for dom in 0..self.dom_cpus.len() {
+            if self.dvfs_stable[dom] {
                 continue;
             }
-            self.dvfs_window[pkg] += dt;
+            self.dvfs_window[dom] += dt;
+            let pkg = self.machine.domain_map().package_of(dom);
             if self.machine.throttles[pkg].state() != ThrottleState::Running {
                 continue;
             }
-            let cpus = &self.pkg_cpus[pkg];
+            let cpus = &self.dom_cpus[dom];
             let busy = cpus
                 .iter()
                 .filter(|&&c| self.sys.current(c).is_some())
                 .count();
             let share = busy as f64 / cpus.len() as f64 * dt.as_secs_f64();
-            self.dvfs_busy[pkg] += share;
+            self.dvfs_busy[dom] += share;
         }
-        for pkg in 0..self.pkg_cpus.len() {
-            if self.dvfs_stable[pkg] {
+        for dom in 0..self.dom_cpus.len() {
+            if self.dvfs_stable[dom] {
                 continue;
             }
-            if event_driven && self.dvfs_window[pkg] > interval {
+            if event_driven && self.dvfs_window[dom] > interval {
                 // Cap the utilization window at the cadence interval:
                 // without decisions to reset it, an unbounded window
                 // would make utilization arbitrarily sluggish. The
                 // renormalisation keeps it exactly as responsive as
                 // the baseline's between-decision windows.
-                let scale = interval.ratio(self.dvfs_window[pkg]);
-                self.dvfs_busy[pkg] *= scale;
-                self.dvfs_window[pkg] = interval;
+                let scale = interval.ratio(self.dvfs_window[dom]);
+                self.dvfs_busy[dom] *= scale;
+                self.dvfs_window[dom] = interval;
             }
-            let due_by_deadline = self.dvfs_next[pkg].is_some_and(|t| self.now >= t);
+            let due_by_deadline = self.dvfs_next[dom].is_some_and(|t| self.now >= t);
             let due = due_by_deadline
                 || (event_driven
-                    && match &self.dvfs_hold[pkg] {
+                    && match &self.dvfs_hold[dom] {
                         None => true,
                         // Escape triggers fire immediately unless the
                         // hold's dwell is active *and* the escape is
@@ -1389,35 +1495,35 @@ impl Simulation {
                         // forced deadlines are never suppressed.
                         Some(hold) => {
                             let util = windowed_utilization(
-                                self.dvfs_busy[pkg],
-                                self.dvfs_window[pkg],
-                                self.dvfs_util[pkg],
+                                self.dvfs_busy[dom],
+                                self.dvfs_window[dom],
+                                self.dvfs_util[dom],
                             );
-                            let power = self.power.thermal_power_sum(&self.pkg_cpus[pkg]);
+                            let power = self.power.thermal_power_sum(&self.dom_cpus[dom]);
                             hold.is_escaped(util, power)
-                                && (self.now >= self.dvfs_dwell_until[pkg]
-                                    || !hold.stale_descent(power, self.dvfs_armed_power[pkg]))
+                                && (self.now >= self.dvfs_dwell_until[dom]
+                                    || !hold.stale_descent(power, self.dvfs_armed_power[dom]))
                         }
                     });
             if due {
-                self.dvfs_decide(pkg, interval, event_driven, max_hold);
+                self.dvfs_decide(dom, interval, event_driven, max_hold);
             }
-            // Freeze screen (the per-package hold-expiry index): a
-            // package whose hold provably cannot escape and whose
+            // Freeze screen (the per-domain hold-expiry index): a
+            // domain whose hold provably cannot escape and whose
             // deadline is unarmed is exempted from the per-step
             // accounting above until an event touches it.
             if event_driven
-                && self.dvfs_next[pkg].is_none()
-                && !self.dvfs_stable[pkg]
-                && self.package_provably_parked(pkg)
+                && self.dvfs_next[dom].is_none()
+                && !self.dvfs_stable[dom]
+                && self.domain_provably_parked(dom)
             {
-                self.dvfs_stable[pkg] = true;
-                self.dvfs_frozen_at[pkg] = self.now;
+                self.dvfs_stable[dom] = true;
+                self.dvfs_frozen_at[dom] = self.now;
             }
         }
     }
 
-    /// Whether `pkg` can be frozen out of the per-step DVFS
+    /// Whether `dom` can be frozen out of the per-step DVFS
     /// accounting: exactly zero accumulated busy time, nothing
     /// executing (idle or halted — either way the busy increment
     /// stays zero until a scheduling or throttle event, both of which
@@ -1426,14 +1532,15 @@ impl Simulation {
     /// signal is pinned at zero; the thermal-power average decays
     /// monotonically toward the halt floor, so containment of the
     /// current value and the asymptote bounds every intermediate one.
-    fn package_provably_parked(&self, pkg: usize) -> bool {
-        let Some(hold) = &self.dvfs_hold[pkg] else {
+    fn domain_provably_parked(&self, dom: usize) -> bool {
+        let Some(hold) = &self.dvfs_hold[dom] else {
             return false;
         };
-        if self.dvfs_busy[pkg] != 0.0 {
+        if self.dvfs_busy[dom] != 0.0 {
             return false;
         }
-        let cpus = &self.pkg_cpus[pkg];
+        let cpus = &self.dom_cpus[dom];
+        let pkg = self.machine.domain_map().package_of(dom);
         let halted = self.machine.throttles[pkg].state() != ThrottleState::Running;
         if !halted && cpus.iter().any(|&c| self.sys.current(c).is_some()) {
             return false;
@@ -1445,7 +1552,15 @@ impl Simulation {
         }
         if let Some((lo, hi)) = hold.thermal_power {
             let avg = self.power.thermal_power_sum(cpus).0;
-            let floor = self.machine.halt_power_share().0 * cpus.len() as f64;
+            // The halt floor: the legacy scalar multiply on single-class
+            // machines (bit-identical), the per-CPU sum on hybrid ones.
+            let floor = if self.machine.catalog().is_hybrid() {
+                cpus.iter()
+                    .map(|&c| self.machine.halt_power_share_of(c).0)
+                    .sum()
+            } else {
+                self.machine.halt_power_share().0 * cpus.len() as f64
+            };
             if avg < lo.0 || avg > hi.0 || floor < lo.0 || floor > hi.0 {
                 return false;
             }
@@ -1453,71 +1568,75 @@ impl Simulation {
         true
     }
 
-    /// Catches a frozen package's utilization window up to `now` in
-    /// one move. Exact: the package's busy time stayed exactly zero
+    /// Catches a frozen domain's utilization window up to `now` in
+    /// one move. Exact: the domain's busy time stayed exactly zero
     /// over the frozen span (renormalising a zero is a zero), so the
     /// only state the skipped per-step updates would have changed is
     /// the window length — which saturates at the cadence interval.
-    fn dvfs_catch_up(&mut self, pkg: usize) {
-        let elapsed = self.now.saturating_since(self.dvfs_frozen_at[pkg]);
+    fn dvfs_catch_up(&mut self, dom: usize) {
+        let elapsed = self.now.saturating_since(self.dvfs_frozen_at[dom]);
         if let Some(spec) = &self.cfg.dvfs {
-            self.dvfs_window[pkg] = (self.dvfs_window[pkg] + elapsed).min(spec.interval);
+            self.dvfs_window[dom] = (self.dvfs_window[dom] + elapsed).min(spec.interval);
         }
-        self.dvfs_frozen_at[pkg] = self.now;
+        self.dvfs_frozen_at[dom] = self.now;
     }
 
-    fn dvfs_unfreeze(&mut self, pkg: usize) {
-        self.dvfs_catch_up(pkg);
-        self.dvfs_stable[pkg] = false;
+    fn dvfs_unfreeze(&mut self, dom: usize) {
+        self.dvfs_catch_up(dom);
+        self.dvfs_stable[dom] = false;
     }
 
-    /// One governor decision for `pkg`: assembles the input from the
+    /// One governor decision for `dom`: assembles the input from the
     /// accumulated utilization window and the thermal-power signal,
-    /// lets the governor pick the P-state, and re-arms the package's
+    /// lets the governor pick the P-state, and re-arms the domain's
     /// next decision point (hold bands and optional fallback deadline
-    /// when event-driven, the fixed cadence otherwise).
+    /// when event-driven, the fixed cadence otherwise). The idle
+    /// floor is the halt power of the domain's core class — an
+    /// efficiency domain idles at a lower floor than a performance
+    /// one, so its governor reads headroom correctly.
     fn dvfs_decide(
         &mut self,
-        pkg: usize,
+        dom: usize,
         interval: SimDuration,
         event_driven: bool,
         max_hold: Option<SimDuration>,
     ) {
         let utilization = windowed_utilization(
-            self.dvfs_busy[pkg],
-            self.dvfs_window[pkg],
-            self.dvfs_util[pkg],
+            self.dvfs_busy[dom],
+            self.dvfs_window[dom],
+            self.dvfs_util[dom],
         );
-        let cpus = &self.pkg_cpus[pkg];
+        let cpus = &self.dom_cpus[dom];
+        let class = self.machine.domain_map().class_of(dom);
         let input = GovernorInput {
             thermal_power: self.power.thermal_power_sum(cpus),
             budget: self.power.max_power_sum(cpus),
-            idle_floor: self.machine.truth().halt_power,
+            idle_floor: self.machine.class_truth(class).halt_power,
             utilization,
         };
-        self.dvfs_busy[pkg] = 0.0;
-        self.dvfs_window[pkg] = SimDuration::ZERO;
-        self.dvfs_util[pkg] = utilization;
+        self.dvfs_busy[dom] = 0.0;
+        self.dvfs_window[dom] = SimDuration::ZERO;
+        self.dvfs_util[dom] = utilization;
         self.dvfs_decisions += 1;
-        let next = self.governors[pkg].decide(&input, &self.machine.freq_domains[pkg]);
+        let next = self.governors[dom].decide(&input, &self.machine.freq_domains[dom]);
         if event_driven {
-            let hold = self.governors[pkg].hold(&input, &self.machine.freq_domains[pkg], next);
-            self.dvfs_dwell_until[pkg] = self.now + hold.min_dwell;
-            self.dvfs_armed_power[pkg] = input.thermal_power;
-            self.dvfs_hold[pkg] = Some(hold);
-            self.dvfs_next[pkg] = max_hold.map(|h| self.now + h);
+            let hold = self.governors[dom].hold(&input, &self.machine.freq_domains[dom], next);
+            self.dvfs_dwell_until[dom] = self.now + hold.min_dwell;
+            self.dvfs_armed_power[dom] = input.thermal_power;
+            self.dvfs_hold[dom] = Some(hold);
+            self.dvfs_next[dom] = max_hold.map(|h| self.now + h);
         } else {
-            self.dvfs_next[pkg] = Some(self.now + interval);
+            self.dvfs_next[dom] = Some(self.now + interval);
         }
-        let from = self.machine.freq_domains[pkg].current_index();
-        self.machine.freq_domains[pkg].set_state(next);
+        let from = self.machine.freq_domains[dom].current_index();
+        self.machine.freq_domains[dom].set_state(next);
         self.emit(EventKind::GovernorDecision {
-            package: pkg as u32,
+            package: dom as u32,
             pstate: next as u32,
         });
         if from != next {
             self.emit(EventKind::PStateTransition {
-                package: pkg as u32,
+                package: dom as u32,
                 from: from as u32,
                 to: next as u32,
             });
@@ -1668,7 +1787,12 @@ impl Simulation {
         // The running task is about to move: close its accounting
         // interval first.
         self.finalize_interval(cpu);
-        let migration = self.hot.run(cpu, &mut self.sys, &self.power)?;
+        let migration = self.hot.run_with_capacities(
+            cpu,
+            &mut self.sys,
+            &self.power,
+            self.capacities.as_deref(),
+        )?;
         match migration {
             ebs_core::HotMigration::ToIdle { dest, .. } => {
                 // Source went idle; destination dispatches the task.
@@ -1700,13 +1824,54 @@ impl Simulation {
         let migrations = self.sys.task(task).migrations();
         let last = self.sys.task(task).last_migration();
         let mut migrated = false;
+        let class = self.cpu_class[cpu.0];
+        let mut refit = None;
         if let Some(rt) = self.runtimes[task.0 as usize].as_mut() {
             if migrations != rt.migrations_seen {
                 let cross = last.map(|(_, c)| c).unwrap_or(false);
                 rt.note_migration(migrations, cross);
                 migrated = true;
             }
+            if rt.last_class != class {
+                refit = Some(rt.last_class);
+                rt.last_class = class;
+            }
             rt.program.begin_slice();
+        }
+        // Cross-class profile refit: the profile measured on the old
+        // class predicts the wrong power here — the same counter
+        // activity costs class-specific per-event energies at a
+        // class-specific nominal clock. Rescale by the calibrated
+        // models' power ratio for the task's current rates so the
+        // balancer sees a sane estimate immediately instead of waiting
+        // a profile half-life. Only hybrid machines have a second
+        // class, so homogeneous runs never take this path.
+        if let Some(old_class) = refit {
+            let rates = self.runtimes[task.0 as usize]
+                .as_ref()
+                .expect("dispatched task has runtime state")
+                .program
+                .current_rates();
+            let old_hz = self
+                .machine
+                .class_truth(ebs_topology::ClassId(old_class))
+                .freq_hz;
+            let new_hz = self
+                .machine
+                .class_truth(ebs_topology::ClassId(class))
+                .freq_hz;
+            let old_p = self
+                .estimator
+                .class_model(old_class)
+                .power_for_rates(&rates, old_hz);
+            let new_p = self
+                .estimator
+                .class_model(class)
+                .power_for_rates(&rates, new_hz);
+            if old_p.0 > 0.0 && new_p.0 > 0.0 {
+                let scaled = self.sys.task(task).profile().0 * new_p.0 / old_p.0;
+                self.sys.reset_profile(task, Watts(scaled));
+            }
         }
         if migrated {
             let reason = self
@@ -1829,21 +1994,21 @@ impl Simulation {
             reg.set_gauge(m.g_power[c], self.now, self.power.thermal_power(cpu).0);
             reg.set_gauge(m.g_rq[c], self.now, self.sys.nr_running(cpu) as f64);
         }
-        for (pkg, dom) in self.machine.freq_domains.iter().enumerate() {
-            reg.set_gauge(m.g_freq[pkg], self.now, dom.frequency().0 / 1e9);
+        for (d, dom) in self.machine.freq_domains.iter().enumerate() {
+            reg.set_gauge(m.g_freq[d], self.now, dom.frequency().0 / 1e9);
         }
-        for pkg in 0..self.pkg_cpus.len() {
-            // Frozen packages stopped accumulating their windows; the
+        for dom in 0..self.dom_cpus.len() {
+            // Frozen domains stopped accumulating their windows; the
             // catch-up is exact (zero busy time) and keeps them frozen.
-            if self.dvfs_stable[pkg] {
-                self.dvfs_catch_up(pkg);
+            if self.dvfs_stable[dom] {
+                self.dvfs_catch_up(dom);
             }
             let util = windowed_utilization(
-                self.dvfs_busy[pkg],
-                self.dvfs_window[pkg],
-                self.dvfs_util[pkg],
+                self.dvfs_busy[dom],
+                self.dvfs_window[dom],
+                self.dvfs_util[dom],
             );
-            reg.set_gauge(m.g_util[pkg], self.now, util);
+            reg.set_gauge(m.g_util[dom], self.now, util);
         }
     }
 
@@ -1872,27 +2037,53 @@ impl Simulation {
         // Per-package throttle statistics, surfaced directly so
         // experiments stop recomputing them from per-logical views.
         let throttle_stats: Vec<_> = self.machine.throttles.iter().map(|t| t.stats()).collect();
-        // P-state residency aggregated over the (identical) per-package
-        // tables: state-wise sums of time, fractions of the total.
+        // P-state residency aggregated over the per-domain tables. On
+        // single-class machines the tables are identical, so the
+        // legacy state-wise sum applies verbatim; hybrid machines
+        // carry heterogeneous tables per class, so residency merges by
+        // exact frequency instead (descending, like a P-state table).
         let domains = &self.machine.freq_domains;
         let total_observed: SimDuration = domains.iter().map(|d| d.observed()).sum();
         let per_domain: Vec<Vec<PStateResidency>> = domains.iter().map(|d| d.residency()).collect();
-        let pstate_residency: Vec<PStateResidency> = match domains.first() {
-            Some(first) => (0..first.table().len())
-                .map(|i| {
-                    let time: SimDuration = per_domain.iter().map(|r| r[i].time).sum();
-                    PStateResidency {
-                        frequency: first.table().get(i).frequency,
-                        time,
-                        fraction: if total_observed.is_zero() {
-                            0.0
-                        } else {
-                            time.ratio(total_observed)
-                        },
-                    }
-                })
-                .collect(),
-            None => Vec::new(),
+        let pstate_residency: Vec<PStateResidency> = if self.machine.catalog().is_hybrid() {
+            let mut merged: Vec<PStateResidency> = Vec::new();
+            for r in per_domain.iter().flatten() {
+                match merged.iter_mut().find(|m| m.frequency == r.frequency) {
+                    Some(m) => m.time += r.time,
+                    None => merged.push(PStateResidency {
+                        frequency: r.frequency,
+                        time: r.time,
+                        fraction: 0.0,
+                    }),
+                }
+            }
+            merged.sort_by(|a, b| b.frequency.0.total_cmp(&a.frequency.0));
+            for m in &mut merged {
+                m.fraction = if total_observed.is_zero() {
+                    0.0
+                } else {
+                    m.time.ratio(total_observed)
+                };
+            }
+            merged
+        } else {
+            match domains.first() {
+                Some(first) => (0..first.table().len())
+                    .map(|i| {
+                        let time: SimDuration = per_domain.iter().map(|r| r[i].time).sum();
+                        PStateResidency {
+                            frequency: first.table().get(i).frequency,
+                            time,
+                            fraction: if total_observed.is_zero() {
+                                0.0
+                            } else {
+                                time.ratio(total_observed)
+                            },
+                        }
+                    })
+                    .collect(),
+                None => Vec::new(),
+            }
         };
         let avg_scaled_fraction = if domains.is_empty() {
             0.0

@@ -40,6 +40,7 @@
 //! ```
 
 mod api;
+mod classes;
 mod config;
 mod diag;
 mod engine;
@@ -50,6 +51,7 @@ mod runtime;
 mod trace;
 
 pub use api::{build_engine, SimEngine};
+pub use classes::{ClassCatalog, CoreClass, DomainMap};
 pub use config::{DvfsSpec, MaxPowerSpec, SimConfig};
 pub use diag::{
     divergence_verdict, parallel_divergence, rel_dev, report_fingerprint, stride_divergence,

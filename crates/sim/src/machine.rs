@@ -1,17 +1,22 @@
 //! The physical machine: ground-truth power, per-package thermal
 //! nodes, counter banks, and throttle controllers.
 
+use crate::classes::{ClassCatalog, DomainMap};
 use crate::config::{MaxPowerSpec, SimConfig};
 use ebs_counters::{CounterBank, GroundTruth};
-use ebs_dvfs::{FrequencyDomain, PStateTable};
+use ebs_dvfs::FrequencyDomain;
 use ebs_thermal::{RcThermalModel, ThermalNode, ThrottleController};
-use ebs_topology::{CpuId, PackageId, Topology};
-use ebs_units::{Celsius, Hertz, Volts, Watts};
+use ebs_topology::{ClassId, CpuId, PackageId, Topology};
+use ebs_units::{Celsius, Hertz, Watts};
 
 /// The hardware-side state of the simulated machine.
 #[derive(Clone, Debug)]
 pub struct PhysicalMachine {
-    truth: GroundTruth,
+    /// The core classes of the machine (class 0 alone on homogeneous
+    /// shapes).
+    catalog: ClassCatalog,
+    /// The frequency-domain layout (per package or per core).
+    domain_map: DomainMap,
     /// Per-logical-CPU event counter banks.
     pub banks: Vec<CounterBank>,
     /// Per-package thermal state.
@@ -22,11 +27,21 @@ pub struct PhysicalMachine {
     /// threads together (the paper's "this processor would have to be
     /// throttled 33 % of the time to enforce the 40 W limit").
     pub throttles: Vec<ThrottleController>,
-    /// Per-*package* frequency domains: SMT siblings share one clock
-    /// and one voltage plane, just as they share one thermal budget.
-    /// Without DVFS every domain has a single nominal P-state.
+    /// Frequency domains, one per [`DomainMap`] entry: one per package
+    /// on the paper's testbed (SMT siblings share one clock and one
+    /// voltage plane, just as they share one thermal budget), one per
+    /// core on modern hybrid shapes. Without DVFS every domain has a
+    /// single nominal P-state.
     pub freq_domains: Vec<FrequencyDomain>,
     max_power_per_logical: Vec<Watts>,
+    /// Per-logical-CPU halt-power shares (class halt power split over
+    /// the package's threads).
+    halt_shares: Vec<Watts>,
+    /// Per-package leakage: the class-0 model verbatim on homogeneous
+    /// machines, the mean of the package's per-core class slopes on
+    /// hybrid ones (leakage is a package-level die property here, like
+    /// the thermal node it feeds).
+    pkg_leakage: Vec<ebs_counters::LeakageModel>,
     threads_per_package: usize,
 }
 
@@ -38,12 +53,13 @@ impl PhysicalMachine {
     /// Panics if `cooling_factors` is non-empty but does not match the
     /// package count.
     pub fn new(cfg: &SimConfig, topo: &Topology) -> Self {
-        let truth = GroundTruth::p4_xeon_2200();
+        let catalog = ClassCatalog::for_config(cfg);
+        let domain_map = DomainMap::new(topo, cfg.effective_domain_scope());
         let n_packages = topo.n_packages();
         let n_cpus = topo.n_cpus();
         let threads = topo.threads_per_package();
 
-        let factors: Vec<f64> = if cfg.cooling_factors.is_empty() {
+        let mut factors: Vec<f64> = if cfg.cooling_factors.is_empty() {
             vec![1.0; n_packages]
         } else {
             assert_eq!(
@@ -53,6 +69,21 @@ impl PhysicalMachine {
             );
             cfg.cooling_factors.clone()
         };
+        if catalog.is_hybrid() {
+            // A hybrid package's thermal resistance blends its cores'
+            // class thermal coefficients (efficiency cores sink heat
+            // more easily per unit of die area). Homogeneous machines
+            // skip this entirely — their factors stay bit-identical.
+            for (p, f) in factors.iter_mut().enumerate() {
+                let cores = topo.cores_of_package(PackageId(p));
+                let blend: f64 = cores
+                    .iter()
+                    .map(|&c| catalog.get(topo.class_of_core(c)).thermal_factor)
+                    .sum::<f64>()
+                    / cores.len() as f64;
+                *f *= blend;
+            }
+        }
         let models: Vec<RcThermalModel> = factors
             .iter()
             .map(|&f| RcThermalModel::reference().with_cooling_factor(f))
@@ -82,29 +113,75 @@ impl PhysicalMachine {
                 ThrottleController::new(budget)
             })
             .collect();
-        // The scaling ladder; a machine without DVFS support is a
-        // single-state ladder pinned at the nominal clock.
-        let table = match &cfg.dvfs {
-            Some(spec) => spec.table.clone(),
-            None => PStateTable::nominal_only(Hertz(cfg.freq_hz), Volts(1.5)),
-        };
-        let freq_domains = (0..n_packages)
-            .map(|_| FrequencyDomain::new(table.clone()))
+        // One scaling ladder per frequency domain, each with its
+        // class's table; a machine without DVFS support carries
+        // single-state ladders pinned at each class's nominal clock.
+        let freq_domains = (0..domain_map.n_domains())
+            .map(|d| FrequencyDomain::new(catalog.get(domain_map.class_of(d)).table.clone()))
+            .collect();
+        // Class halt power split over the package's hardware threads.
+        let halt_shares = (0..n_cpus)
+            .map(|c| catalog.get(topo.class_of(CpuId(c))).truth.halt_power / threads as f64)
+            .collect();
+        // Package leakage: exactly the class-0 model on homogeneous
+        // machines (bit-identical legacy physics); a per-package blend
+        // of the core classes' slopes on hybrid ones.
+        let pkg_leakage = (0..n_packages)
+            .map(|p| {
+                if !catalog.is_hybrid() {
+                    return catalog.get(ClassId(0)).truth.leakage;
+                }
+                let cores = topo.cores_of_package(PackageId(p));
+                let slope: f64 = cores
+                    .iter()
+                    .map(|&c| {
+                        catalog
+                            .get(topo.class_of_core(c))
+                            .truth
+                            .leakage
+                            .watts_per_kelvin
+                    })
+                    .sum::<f64>()
+                    / cores.len() as f64;
+                ebs_counters::LeakageModel {
+                    watts_per_kelvin: slope,
+                    reference: catalog.get(ClassId(0)).truth.leakage.reference,
+                }
+            })
             .collect();
         PhysicalMachine {
-            truth,
+            catalog,
+            domain_map,
             banks: (0..n_cpus).map(|_| CounterBank::new()).collect(),
             thermals: models.into_iter().map(ThermalNode::new).collect(),
             throttles,
             freq_domains,
             max_power_per_logical,
+            halt_shares,
+            pkg_leakage,
             threads_per_package: threads,
         }
     }
 
-    /// The ground-truth power model.
+    /// The ground-truth power model of class 0 (the only class on
+    /// homogeneous machines).
     pub fn truth(&self) -> &GroundTruth {
-        &self.truth
+        &self.catalog.get(ClassId(0)).truth
+    }
+
+    /// The ground-truth power model of a class.
+    pub fn class_truth(&self, class: ClassId) -> &GroundTruth {
+        &self.catalog.get(class).truth
+    }
+
+    /// The machine's class catalog.
+    pub fn catalog(&self) -> &ClassCatalog {
+        &self.catalog
+    }
+
+    /// The machine's frequency-domain layout.
+    pub fn domain_map(&self) -> &DomainMap {
+        &self.domain_map
     }
 
     /// The budget of one logical CPU.
@@ -117,9 +194,17 @@ impl PhysicalMachine {
         &self.max_power_per_logical
     }
 
-    /// Package halt power attributed to one logical CPU.
+    /// Package halt power attributed to one logical CPU of class 0
+    /// (the legacy scalar; per-CPU shares via
+    /// [`PhysicalMachine::halt_power_share_of`]).
     pub fn halt_power_share(&self) -> Watts {
-        self.truth.halt_power / self.threads_per_package as f64
+        self.truth().halt_power / self.threads_per_package as f64
+    }
+
+    /// Halt power attributed to one specific logical CPU (its class's
+    /// halt power split over the package's threads).
+    pub fn halt_power_share_of(&self, cpu: CpuId) -> Watts {
+        self.halt_shares[cpu.0]
     }
 
     /// Die temperature of a package.
@@ -127,14 +212,27 @@ impl PhysicalMachine {
         self.thermals[pkg.0].temperature()
     }
 
-    /// The frequency domain of a package.
-    pub fn freq_domain(&self, pkg: PackageId) -> &FrequencyDomain {
-        &self.freq_domains[pkg.0]
+    /// The leakage model of one package's die (class-0 verbatim on
+    /// homogeneous machines, the per-core class blend on hybrid ones).
+    pub fn package_leakage(&self, pkg: usize) -> &ebs_counters::LeakageModel {
+        &self.pkg_leakage[pkg]
     }
 
-    /// Current effective clock of a package.
+    /// The first frequency domain of a package — *the* domain under
+    /// [`ebs_dvfs::DomainScope::PerPackage`] (every homogeneous
+    /// preset), the class-0 core-0 domain under per-core scope.
+    pub fn freq_domain(&self, pkg: PackageId) -> &FrequencyDomain {
+        &self.freq_domains[self.domain_map.domains_of_package(pkg.0)[0]]
+    }
+
+    /// Current effective clock of a package's first domain.
     pub fn package_frequency(&self, pkg: PackageId) -> Hertz {
-        self.freq_domains[pkg.0].frequency()
+        self.freq_domain(pkg).frequency()
+    }
+
+    /// Current effective clock of the domain covering `cpu`.
+    pub fn cpu_frequency(&self, cpu: CpuId) -> Hertz {
+        self.freq_domains[self.domain_map.domain_of(cpu)].frequency()
     }
 }
 
@@ -281,6 +379,54 @@ mod tests {
             assert_eq!(m.freq_domain(PackageId(p)).table().len(), 6);
             // Domains start at the nominal state.
             assert_eq!(m.package_frequency(PackageId(p)), Hertz::from_ghz(2.2));
+        }
+    }
+
+    #[test]
+    fn hybrid_machine_runs_per_core_class_domains() {
+        use ebs_topology::TopologyPreset;
+        let cfg = SimConfig::preset(TopologyPreset::BigLittle16).dvfs(crate::DvfsSpec::default());
+        let topo = cfg.topology_builder().build();
+        let m = PhysicalMachine::new(&cfg, &topo);
+        // One domain per core, each carrying its class's ladder.
+        assert_eq!(m.freq_domains.len(), 16);
+        for core in 0..16 {
+            let dom = &m.freq_domains[core];
+            if core % 8 < 4 {
+                assert_eq!(dom.table().len(), 6);
+                assert_eq!(dom.frequency(), Hertz::from_ghz(2.2));
+            } else {
+                assert_eq!(dom.table().len(), 5);
+                assert_eq!(dom.frequency(), Hertz::from_ghz(1.6));
+            }
+        }
+        // Per-CPU clocks and halt shares follow the class.
+        assert_eq!(m.cpu_frequency(CpuId(0)), Hertz::from_ghz(2.2));
+        assert_eq!(m.cpu_frequency(CpuId(7)), Hertz::from_ghz(1.6));
+        assert!(m.halt_power_share_of(CpuId(7)) < m.halt_power_share_of(CpuId(0)));
+        // Hybrid packages blend the class thermal coefficients: they
+        // cool better than a pure class-0 package.
+        let homog = PhysicalMachine::new(
+            &SimConfig::xseries445().max_power(MaxPowerSpec::FromThermalLimit(Celsius(38.0))),
+            &Topology::xseries445(true),
+        );
+        let hybrid = PhysicalMachine::new(
+            &SimConfig::preset(TopologyPreset::BigLittle16)
+                .max_power(MaxPowerSpec::FromThermalLimit(Celsius(38.0))),
+            &topo,
+        );
+        // Better cooling -> larger package budget at the same limit.
+        assert!(hybrid.throttles[0].limit() > homog.throttles[0].limit());
+    }
+
+    #[test]
+    fn homogeneous_machines_keep_per_package_domains() {
+        let m = PhysicalMachine::new(&SimConfig::xseries445(), &topo(true));
+        assert_eq!(m.freq_domains.len(), 8);
+        assert_eq!(m.catalog().n_classes(), 1);
+        assert_eq!(m.domain_map().n_domains(), 8);
+        for cpu in 0..16 {
+            assert_eq!(m.halt_power_share_of(CpuId(cpu)), m.halt_power_share());
         }
     }
 

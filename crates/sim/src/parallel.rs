@@ -328,6 +328,7 @@ impl ParallelSimulation {
         }
         let mut streams = Vec::with_capacity(self.shards.len());
         let mut cpu_offset = 0u32;
+        let doms_per_pkg = self.cfg.domains_per_package() as u32;
         for (pkg, shard) in self.shards.iter().enumerate() {
             let trace = shard.events()?;
             streams.push(
@@ -335,7 +336,9 @@ impl ParallelSimulation {
                     .iter()
                     .map(|e| TraceEvent {
                         t: e.t,
-                        kind: e.kind.offset_ids(cpu_offset, pkg as u32),
+                        kind: e
+                            .kind
+                            .offset_ids(cpu_offset, pkg as u32, pkg as u32 * doms_per_pkg),
                     })
                     .collect(),
             );
@@ -391,28 +394,56 @@ impl ParallelSimulation {
                 .collect(),
             None => Vec::new(),
         };
-        // State-wise P-state residency across partitions; the tables
-        // are identical, so take frequencies from the first.
-        let pstate_residency = match reports.first() {
-            Some(first) if !first.pstate_residency.is_empty() => {
-                let states = first.pstate_residency.len();
-                let times: Vec<SimDuration> = (0..states)
-                    .map(|i| reports.iter().map(|r| r.pstate_residency[i].time).sum())
-                    .collect();
-                let total: SimDuration = times.iter().copied().sum();
-                (0..states)
-                    .map(|i| ebs_dvfs::PStateResidency {
-                        frequency: first.pstate_residency[i].frequency,
-                        time: times[i],
-                        fraction: if total.is_zero() {
-                            0.0
-                        } else {
-                            times[i].ratio(total)
-                        },
-                    })
-                    .collect()
+        // P-state residency across partitions. Homogeneous machines
+        // keep the legacy state-wise sum (every partition runs the
+        // same table, so index i is the same frequency everywhere);
+        // hybrid machines merge by exact frequency, mirroring the
+        // per-domain merge inside each partition's report — classes
+        // run distinct ladders, so index alignment means nothing.
+        let pstate_residency = if self.cfg.is_hybrid() {
+            let mut merged: Vec<ebs_dvfs::PStateResidency> = Vec::new();
+            for r in reports.iter().flat_map(|r| r.pstate_residency.iter()) {
+                match merged.iter_mut().find(|m| m.frequency == r.frequency) {
+                    Some(m) => m.time += r.time,
+                    None => merged.push(ebs_dvfs::PStateResidency {
+                        frequency: r.frequency,
+                        time: r.time,
+                        fraction: 0.0,
+                    }),
+                }
             }
-            _ => Vec::new(),
+            merged.sort_by(|a, b| b.frequency.0.total_cmp(&a.frequency.0));
+            let total: SimDuration = merged.iter().map(|m| m.time).sum();
+            for m in &mut merged {
+                m.fraction = if total.is_zero() {
+                    0.0
+                } else {
+                    m.time.ratio(total)
+                };
+            }
+            merged
+        } else {
+            match reports.first() {
+                Some(first) if !first.pstate_residency.is_empty() => {
+                    let states = first.pstate_residency.len();
+                    let times: Vec<SimDuration> = (0..states)
+                        .map(|i| reports.iter().map(|r| r.pstate_residency[i].time).sum())
+                        .collect();
+                    let total: SimDuration = times.iter().copied().sum();
+                    (0..states)
+                        .map(|i| ebs_dvfs::PStateResidency {
+                            frequency: first.pstate_residency[i].frequency,
+                            time: times[i],
+                            fraction: if total.is_zero() {
+                                0.0
+                            } else {
+                                times[i].ratio(total)
+                            },
+                        })
+                        .collect()
+                }
+                _ => Vec::new(),
+            }
         };
         let throttled_fraction: Vec<f64> = reports
             .iter()

@@ -39,6 +39,10 @@ pub struct TaskRuntime {
     last_move_cross_node: bool,
     /// Whether the first timeslice has completed (placement table).
     pub first_slice_recorded: bool,
+    /// The core class the task last executed on. A dispatch onto a
+    /// different class triggers the estimator's cross-class profile
+    /// refit (the same counter activity costs different energy there).
+    pub last_class: usize,
     /// When (and in which load-curve phase) the task arrived, for
     /// open-workload tasks; `None` marks closed-workload tasks, which
     /// respawn instead of reporting a sojourn time.
@@ -55,6 +59,7 @@ impl TaskRuntime {
             instr_since_migration: 0,
             last_move_cross_node: false,
             first_slice_recorded: false,
+            last_class: 0,
             arrival: None,
         }
     }
@@ -107,6 +112,11 @@ impl ebs_store::Snapshot for TaskRuntime {
         w.u64(self.instr_since_migration);
         w.bool(self.last_move_cross_node);
         w.bool(self.first_slice_recorded);
+        // `last_class` is the one byte-layout change of snapshot format
+        // v2; a writer targeting v1 (migration tests) omits it.
+        if w.format_version() >= 2 {
+            w.usize(self.last_class);
+        }
         w.opt(&self.arrival, |w, &(t, phase)| {
             w.time(t);
             w.str(phase);
@@ -119,6 +129,13 @@ impl ebs_store::Snapshot for TaskRuntime {
         self.instr_since_migration = r.u64()?;
         self.last_move_cross_node = r.bool()?;
         self.first_slice_recorded = r.bool()?;
+        // v1 images predate core classes; every v1 machine was
+        // homogeneous, so class 0 is exact, not a guess.
+        self.last_class = if r.format_version() >= 2 {
+            r.usize()?
+        } else {
+            0
+        };
         self.arrival = r.opt(|r| Ok((r.time()?, ebs_store::intern(&r.str()?))))?;
         Ok(())
     }

@@ -181,6 +181,96 @@ fn one_worker_is_bit_identical_on_scaling_smoke_shapes() {
     }
 }
 
+/// An open-workload cell on a hybrid (two-class) preset.
+fn hybrid_cfg(preset: TopologyPreset, seed: u64) -> SimConfig {
+    let shape = preset.builder();
+    let workload = OpenWorkload::new(
+        vec![catalog::aluadd(), catalog::memrw(), catalog::pushpop()],
+        1.2 * shape.n_cores() as f64,
+    )
+    .curve(LoadCurve::Diurnal {
+        period: SimDuration::from_secs(3),
+        floor: 0.3,
+    })
+    .service_work(200_000_000, 500_000_000);
+    SimConfig::with_topology(shape)
+        .seed(seed)
+        .respawn(false)
+        .max_power(MaxPowerSpec::PerLogical(Watts(45.0)))
+        .open_workload(workload)
+}
+
+/// Class-heterogeneous machines through the partitioned core:
+/// `parallel(1)` stays bit-identical to strided on every hybrid
+/// preset (partitioning must not perturb per-core frequency domains
+/// or cross-class refits).
+#[test]
+fn one_worker_is_bit_identical_on_hybrid_shapes() {
+    for preset in TopologyPreset::hybrids() {
+        assert_one_worker_identity(
+            hybrid_cfg(preset, 19),
+            0,
+            SimDuration::from_secs(3),
+            preset.name(),
+        );
+    }
+}
+
+/// Worker-count invariance holds on multi-package hybrid shapes: the
+/// partition-per-package split leaves each shard class-complete (every
+/// package carries both classes), and the frequency-keyed residency
+/// merge is schedule-independent.
+#[test]
+fn hybrid_multi_worker_runs_are_worker_count_invariant() {
+    let duration = SimDuration::from_secs(3);
+    let w2a = run_parallel(
+        hybrid_cfg(TopologyPreset::BigLittle16, 5).parallel(2),
+        0,
+        duration,
+    );
+    let w2b = run_parallel(
+        hybrid_cfg(TopologyPreset::BigLittle16, 5).parallel(2),
+        0,
+        duration,
+    );
+    let w4 = run_parallel(
+        hybrid_cfg(TopologyPreset::Hybrid64, 5).parallel(4),
+        0,
+        duration,
+    );
+    let w8 = run_parallel(
+        hybrid_cfg(TopologyPreset::Hybrid64, 5).parallel(8),
+        0,
+        duration,
+    );
+    assert_eq!(fingerprint(&w2a), fingerprint(&w2b));
+    assert_eq!(fingerprint(&w4), fingerprint(&w8));
+    // Hybrid residency merges by frequency across both classes'
+    // ladders: both ladders must be populated after a loaded run.
+    assert!(
+        w4.pstate_residency.len() > 1,
+        "hybrid residency should span both class ladders: {:?}",
+        w4.pstate_residency
+    );
+}
+
+/// The first-divergent-event diagnostics work on hybrid shapes: two
+/// genuinely different cells name the first divergent event instead
+/// of claiming identity.
+#[test]
+fn divergence_diagnostics_work_on_hybrid_shapes() {
+    let text = parallel_divergence(
+        hybrid_cfg(TopologyPreset::Hybrid8, 3).strided(),
+        hybrid_cfg(TopologyPreset::Hybrid8, 4).parallel(1),
+        SimDuration::from_secs(2),
+        |_| {},
+    );
+    assert!(
+        text.contains("diverge") || text.contains("event"),
+        "diagnostics on a hybrid shape produced: {text}"
+    );
+}
+
 fn preset(idx: usize) -> TopologyPreset {
     [
         TopologyPreset::XSeries445 { smt: false },

@@ -152,6 +152,45 @@ fn shape_mismatch_is_rejected() {
     assert!(err.is_err(), "16-package engine accepted a 2-package image");
 }
 
+/// Snapshot-format migration: a genuine v1 image — written without
+/// the per-task core-class tag that format v2 added — restores into
+/// the v2 store through the standard fork entry point. Every v1
+/// machine was homogeneous (class 0 everywhere), so the migrated
+/// state is *bit-identical* to the v2 snapshot of the same engine,
+/// and it re-snapshots as v2.
+#[test]
+fn v1_image_migrates_into_the_v2_store() {
+    use ebs_store::Snapshot as _;
+    let cfg = open_cfg(1, 2, 7);
+    let mut warm = Simulation::new(cfg.clone());
+    warm.run_for(SimDuration::from_secs(2));
+
+    let mut w = ebs_store::StateWriter::versioned(1);
+    warm.save(&mut w);
+    let v1 = w.finish();
+    assert_eq!(v1.version(), 1);
+    assert!(
+        matches!(
+            v1.open(),
+            Err(ebs_store::StoreError::Version { found: 1, .. })
+        ),
+        "strict open must refuse a v1 image"
+    );
+
+    let mut resumed = Simulation::from_snapshot(cfg, &v1).expect("v1 image restores");
+    assert_eq!(
+        resumed.state_hash(),
+        warm.state_hash(),
+        "migrated state must be bit-identical to the v2 snapshot"
+    );
+    assert_eq!(resumed.snapshot().version(), ebs_store::FORMAT_VERSION);
+
+    warm.run_for(SimDuration::from_secs(2));
+    resumed.run_for(SimDuration::from_secs(2));
+    assert_eq!(resumed.state_hash(), warm.state_hash());
+    assert!(warm.report().bit_eq(&resumed.report()));
+}
+
 /// Fork semantics across *policies*: one warm-up snapshot restored
 /// into differently configured cells is deterministic — every fork of
 /// the same image under the same cell config lands in the same state.

@@ -32,6 +32,7 @@ pub struct TopologyBuilder {
     packages_per_node: usize,
     cores_per_package: usize,
     threads_per_core: usize,
+    perf_cores_per_package: usize,
 }
 
 impl Default for TopologyBuilder {
@@ -49,6 +50,7 @@ impl TopologyBuilder {
             packages_per_node: 1,
             cores_per_package: 1,
             threads_per_core: 1,
+            perf_cores_per_package: 0,
         }
     }
 
@@ -81,6 +83,14 @@ impl TopologyBuilder {
         self.threads_per_core(if on { 2 } else { 1 })
     }
 
+    /// Makes the shape hybrid: the leading `n` cores of every package
+    /// become class 0 (performance), the rest class 1 (efficiency).
+    /// `0` (the default) keeps the machine homogeneous.
+    pub const fn perf_cores_per_package(mut self, n: usize) -> Self {
+        self.perf_cores_per_package = n;
+        self
+    }
+
     /// NUMA nodes of the shape.
     pub const fn n_nodes(&self) -> usize {
         self.nodes
@@ -99,6 +109,16 @@ impl TopologyBuilder {
     /// Threads per core of the shape.
     pub const fn n_threads_per_core(&self) -> usize {
         self.threads_per_core
+    }
+
+    /// Performance cores leading each package (0 = homogeneous).
+    pub const fn n_perf_cores_per_package(&self) -> usize {
+        self.perf_cores_per_package
+    }
+
+    /// Whether the shape mixes core classes.
+    pub const fn is_hybrid(&self) -> bool {
+        self.perf_cores_per_package > 0
     }
 
     /// Total physical packages.
@@ -122,11 +142,12 @@ impl TopologyBuilder {
     ///
     /// Panics if any dimension is zero.
     pub fn build(&self) -> Topology {
-        Topology::build_cmp(
+        Topology::build_hybrid(
             self.nodes,
             self.packages_per_node,
             self.cores_per_package,
             self.threads_per_core,
+            self.perf_cores_per_package,
         )
     }
 }
@@ -152,6 +173,16 @@ pub enum TopologyPreset {
     /// 8 NUMA nodes × 8 dual-core SMT packages (64 packages,
     /// 256 CPUs).
     Numa64,
+    /// A hybrid desktop: 1 package of 4 performance + 4 efficiency
+    /// cores, SMT off (8 CPUs, 2 classes).
+    Hybrid8,
+    /// A big.LITTLE-style part: 2 packages of 4 performance + 4
+    /// efficiency cores each, SMT off (16 CPUs, 2 classes).
+    BigLittle16,
+    /// A hybrid rack building block: 4 NUMA nodes × 2 packages of
+    /// 4 performance + 4 efficiency cores, SMT off (64 CPUs,
+    /// 2 classes).
+    Hybrid64,
 }
 
 impl TopologyPreset {
@@ -167,6 +198,15 @@ impl TopologyPreset {
         ]
     }
 
+    /// The hybrid (two-class) presets, smallest first.
+    pub fn hybrids() -> Vec<TopologyPreset> {
+        vec![
+            TopologyPreset::Hybrid8,
+            TopologyPreset::BigLittle16,
+            TopologyPreset::Hybrid64,
+        ]
+    }
+
     /// A short name for tables and CSV rows.
     pub const fn name(self) -> &'static str {
         match self {
@@ -176,6 +216,9 @@ impl TopologyPreset {
             TopologyPreset::Numa16 => "numa16",
             TopologyPreset::Numa32 => "numa32",
             TopologyPreset::Numa64 => "numa64",
+            TopologyPreset::Hybrid8 => "hybrid8",
+            TopologyPreset::BigLittle16 => "biglittle16",
+            TopologyPreset::Hybrid64 => "hybrid64",
         }
     }
 
@@ -208,6 +251,24 @@ impl TopologyPreset {
                 .packages_per_node(8)
                 .cores_per_package(2)
                 .threads_per_core(2),
+            TopologyPreset::Hybrid8 => b
+                .nodes(1)
+                .packages_per_node(1)
+                .cores_per_package(8)
+                .threads_per_core(1)
+                .perf_cores_per_package(4),
+            TopologyPreset::BigLittle16 => b
+                .nodes(1)
+                .packages_per_node(2)
+                .cores_per_package(8)
+                .threads_per_core(1)
+                .perf_cores_per_package(4),
+            TopologyPreset::Hybrid64 => b
+                .nodes(4)
+                .packages_per_node(2)
+                .cores_per_package(8)
+                .threads_per_core(1)
+                .perf_cores_per_package(4),
         }
     }
 

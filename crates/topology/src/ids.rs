@@ -25,6 +25,15 @@ pub struct PackageId(pub usize);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct NodeId(pub usize);
 
+/// A core-class identifier (heterogeneous/hybrid machines).
+///
+/// Class 0 is the performance class on hybrid shapes and the only
+/// class on homogeneous ones; higher indices are progressively more
+/// efficiency-oriented. The class is a per-*core* property: SMT
+/// siblings always share their core's class.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ClassId(pub usize);
+
 impl fmt::Display for CpuId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "cpu{}", self.0)
@@ -49,6 +58,12 @@ impl fmt::Display for NodeId {
     }
 }
 
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,6 +74,7 @@ mod tests {
         assert_eq!(CoreId(2).to_string(), "core2");
         assert_eq!(PackageId(1).to_string(), "pkg1");
         assert_eq!(NodeId(0).to_string(), "node0");
+        assert_eq!(ClassId(1).to_string(), "class1");
     }
 
     #[test]

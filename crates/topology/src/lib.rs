@@ -35,5 +35,5 @@ mod machine;
 
 pub use builder::{TopologyBuilder, TopologyPreset};
 pub use domain::{CpuGroup, DomainFlags, DomainLevel, GroupUnit, SchedDomain};
-pub use ids::{CoreId, CpuId, NodeId, PackageId};
+pub use ids::{ClassId, CoreId, CpuId, NodeId, PackageId};
 pub use machine::Topology;

@@ -2,7 +2,7 @@
 //! per-CPU domain hierarchy built from them.
 
 use crate::domain::{CpuGroup, DomainFlags, DomainLevel, GroupUnit, SchedDomain};
-use crate::ids::{CoreId, CpuId, NodeId, PackageId};
+use crate::ids::{ClassId, CoreId, CpuId, NodeId, PackageId};
 
 /// Static description of one logical CPU.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -12,6 +12,9 @@ struct CpuInfo {
     node: NodeId,
     /// Hardware-thread index within the core.
     thread: usize,
+    /// Core class (0 = performance / the only class). A per-core
+    /// property: SMT siblings always share it.
+    class: ClassId,
 }
 
 /// A machine's CPU topology and scheduler-domain hierarchy.
@@ -30,6 +33,9 @@ pub struct Topology {
     packages_per_node: usize,
     cores_per_package: usize,
     threads_per_core: usize,
+    /// Leading cores of each package assigned to class 0; 0 means the
+    /// whole machine is a single class.
+    perf_cores_per_package: usize,
     cpus: Vec<CpuInfo>,
     /// Per-CPU domain stacks, bottom-up.
     domains: Vec<Vec<SchedDomain>>,
@@ -59,10 +65,42 @@ impl Topology {
         cores_per_package: usize,
         threads_per_core: usize,
     ) -> Self {
+        Topology::build_hybrid(
+            n_nodes,
+            packages_per_node,
+            cores_per_package,
+            threads_per_core,
+            0,
+        )
+    }
+
+    /// Builds a (possibly hybrid) CMP topology. The leading
+    /// `perf_cores_per_package` cores of every package belong to class
+    /// 0 (performance) and the remainder to class 1 (efficiency);
+    /// `perf_cores_per_package == 0` builds a homogeneous single-class
+    /// machine. The class layout is uniform across packages so a
+    /// per-package shard of the machine sees the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, or if
+    /// `perf_cores_per_package >= cores_per_package` would leave no
+    /// efficiency cores (a hybrid shape needs both classes).
+    pub fn build_hybrid(
+        n_nodes: usize,
+        packages_per_node: usize,
+        cores_per_package: usize,
+        threads_per_core: usize,
+        perf_cores_per_package: usize,
+    ) -> Self {
         assert!(n_nodes > 0, "need at least one node");
         assert!(packages_per_node > 0, "need at least one package per node");
         assert!(cores_per_package > 0, "need at least one core per package");
         assert!(threads_per_core > 0, "need at least one thread per core");
+        assert!(
+            perf_cores_per_package < cores_per_package,
+            "a hybrid package needs at least one efficiency core"
+        );
         let n_packages = n_nodes * packages_per_node;
         let n_cores = n_packages * cores_per_package;
         let n_cpus = n_cores * threads_per_core;
@@ -73,11 +111,18 @@ impl Topology {
                 package: PackageId(0),
                 node: NodeId(0),
                 thread: 0,
+                class: ClassId(0),
             };
             n_cpus
         ];
         for core in 0..n_cores {
             let pkg = core / cores_per_package;
+            let in_pkg = core % cores_per_package;
+            let class = if perf_cores_per_package == 0 || in_pkg < perf_cores_per_package {
+                ClassId(0)
+            } else {
+                ClassId(1)
+            };
             for thread in 0..threads_per_core {
                 let cpu = core + thread * n_cores;
                 cpus[cpu] = CpuInfo {
@@ -85,6 +130,7 @@ impl Topology {
                     package: PackageId(pkg),
                     node: NodeId(pkg / packages_per_node),
                     thread,
+                    class,
                 };
             }
         }
@@ -94,6 +140,7 @@ impl Topology {
             packages_per_node,
             cores_per_package,
             threads_per_core,
+            perf_cores_per_package,
             cpus,
             domains: Vec::new(),
         };
@@ -152,6 +199,54 @@ impl Topology {
     /// Whether SMT is enabled.
     pub fn smt_enabled(&self) -> bool {
         self.threads_per_core > 1
+    }
+
+    /// Number of distinct core classes (1 = homogeneous).
+    pub fn n_classes(&self) -> usize {
+        if self.perf_cores_per_package == 0 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Whether the machine mixes core classes.
+    pub fn is_hybrid(&self) -> bool {
+        self.n_classes() > 1
+    }
+
+    /// Performance (class 0) cores leading each package; 0 on
+    /// homogeneous machines.
+    pub fn perf_cores_per_package(&self) -> usize {
+        self.perf_cores_per_package
+    }
+
+    /// The core class of a logical CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn class_of(&self, cpu: CpuId) -> ClassId {
+        self.cpus[cpu.0].class
+    }
+
+    /// The core class of a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn class_of_core(&self, core: CoreId) -> ClassId {
+        let in_pkg = core.0 % self.cores_per_package;
+        if self.perf_cores_per_package == 0 || in_pkg < self.perf_cores_per_package {
+            ClassId(0)
+        } else {
+            ClassId(1)
+        }
+    }
+
+    /// Whether two CPUs run on cores of the same class.
+    pub fn same_class(&self, a: CpuId, b: CpuId) -> bool {
+        self.class_of(a) == self.class_of(b)
     }
 
     /// All logical CPU ids.
@@ -578,6 +673,50 @@ mod tests {
         let levels: Vec<_> = stack.iter().map(|d| d.level()).collect();
         assert_eq!(levels, vec![DomainLevel::Smt, DomainLevel::Core]);
         assert_eq!(stack[1].groups().len(), 4);
+    }
+
+    #[test]
+    fn homogeneous_machines_are_single_class() {
+        for topo in [
+            Topology::xseries445(true),
+            Topology::build_cmp(2, 2, 4, 2),
+            Topology::build(1, 1, 1),
+        ] {
+            assert_eq!(topo.n_classes(), 1);
+            assert!(!topo.is_hybrid());
+            for cpu in topo.cpu_ids() {
+                assert_eq!(topo.class_of(cpu), ClassId(0));
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_class_layout_is_per_package_uniform() {
+        // 2 packages x 8 cores, 4 performance + 4 efficiency, SMT on
+        // the whole machine.
+        let t = Topology::build_hybrid(1, 2, 8, 2, 4);
+        assert_eq!(t.n_classes(), 2);
+        assert!(t.is_hybrid());
+        assert_eq!(t.perf_cores_per_package(), 4);
+        for core in 0..t.n_cores() {
+            let expect = if core % 8 < 4 { ClassId(0) } else { ClassId(1) };
+            assert_eq!(t.class_of_core(CoreId(core)), expect, "core {core}");
+            for cpu in t.cpus_of_core(CoreId(core)) {
+                assert_eq!(t.class_of(cpu), expect, "{cpu}");
+            }
+        }
+        // SMT siblings share a class by construction.
+        for cpu in t.cpu_ids() {
+            for sib in t.siblings(cpu) {
+                assert!(t.same_class(cpu, sib));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one efficiency core")]
+    fn all_perf_hybrid_rejected() {
+        let _ = Topology::build_hybrid(1, 1, 4, 1, 4);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests: structural invariants of arbitrary machine
 //! shapes.
 
-use ebs_topology::{CpuId, Topology, TopologyBuilder, TopologyPreset};
+use ebs_topology::{ClassId, CpuId, Topology, TopologyBuilder, TopologyPreset};
 use proptest::prelude::*;
 
 proptest! {
@@ -149,6 +149,84 @@ proptest! {
             .collect();
         all.sort_unstable();
         prop_assert_eq!(all, topo.cpu_ids().collect::<Vec<_>>());
+    }
+
+    /// Hybrid shapes are well-formed: every core has exactly one
+    /// class, SMT siblings share their core's class, the per-package
+    /// class split matches the builder's perf-core count, and the
+    /// domain stacks carry the same structural invariants as the
+    /// homogeneous shapes.
+    #[test]
+    fn hybrid_shapes_are_well_formed(
+        nodes in 1usize..4,
+        packages in 1usize..4,
+        cores in 2usize..6,
+        threads in 1usize..3,
+        perf_frac in 1usize..5,
+    ) {
+        let perf = perf_frac.min(cores - 1); // At least one E core.
+        let builder = TopologyBuilder::new()
+            .nodes(nodes)
+            .packages_per_node(packages)
+            .cores_per_package(cores)
+            .threads_per_core(threads)
+            .perf_cores_per_package(perf);
+        prop_assert!(builder.is_hybrid());
+        let topo = builder.build();
+        prop_assert_eq!(topo.n_classes(), 2);
+        prop_assert_eq!(topo.perf_cores_per_package(), perf);
+        // Every core has exactly one class, uniform per package.
+        for core in 0..topo.n_cores() {
+            let core = ebs_topology::CoreId(core);
+            let class = topo.class_of_core(core);
+            let expect = if core.0 % cores < perf { ClassId(0) } else { ClassId(1) };
+            prop_assert_eq!(class, expect);
+            for cpu in topo.cpus_of_core(core) {
+                prop_assert_eq!(topo.class_of(cpu), class);
+            }
+        }
+        // SMT siblings share a class.
+        for cpu in topo.cpu_ids() {
+            for sib in topo.siblings(cpu) {
+                prop_assert!(topo.same_class(cpu, sib));
+            }
+        }
+        // Per-package class census matches the split.
+        for p in 0..topo.n_packages() {
+            let pkg = ebs_topology::PackageId(p);
+            let perf_cores = topo
+                .cores_of_package(pkg)
+                .into_iter()
+                .filter(|&c| topo.class_of_core(c) == ClassId(0))
+                .count();
+            prop_assert_eq!(perf_cores, perf);
+        }
+        // Domain stacks keep the homogeneous invariants.
+        for cpu in topo.cpu_ids() {
+            for d in topo.domains(cpu) {
+                let holding = d.groups().iter().filter(|g| g.contains(cpu)).count();
+                prop_assert_eq!(holding, 1);
+                let total: usize = d.groups().iter().map(|g| g.len()).sum();
+                prop_assert_eq!(total, d.span().count());
+            }
+        }
+    }
+
+    /// The hybrid presets build two-class machines whose builder
+    /// dimensions round-trip.
+    #[test]
+    fn hybrid_presets_are_well_formed(idx in 0usize..3) {
+        let preset = TopologyPreset::hybrids()[idx];
+        let topo = preset.build();
+        prop_assert_eq!(topo.n_cpus(), preset.builder().n_cpus());
+        prop_assert_eq!(topo.n_classes(), 2);
+        prop_assert!(topo.is_hybrid());
+        let mut seen = [false; 2];
+        for cpu in topo.cpu_ids() {
+            seen[topo.class_of(cpu).0] = true;
+            prop_assert!(!topo.domains(cpu).is_empty());
+        }
+        prop_assert!(seen[0] && seen[1], "both classes populated");
     }
 
     /// SMT domains carry the share-cpu-power flag; higher levels never

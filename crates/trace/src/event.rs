@@ -25,9 +25,14 @@ pub enum EventKind {
     },
     /// A task finished its total work.
     Completion { task: u64, cpu: u32 },
-    /// A governor decided a P-state for a package's frequency domain.
+    /// A governor decided a P-state for a frequency domain. The
+    /// `package` field carries the *domain* index — under per-package
+    /// scope domain `i` is package `i` (the historical meaning), under
+    /// per-core scope it is the machine-global domain number.
     GovernorDecision { package: u32, pstate: u32 },
-    /// The decided P-state differed from the previous one.
+    /// The decided P-state differed from the previous one. Keyed like
+    /// [`EventKind::GovernorDecision`]: the `package` field is the
+    /// frequency-domain index.
     PStateTransition { package: u32, from: u32, to: u32 },
     /// The throttle controller halted a package.
     ThrottleEngage { package: u32 },
@@ -67,13 +72,17 @@ impl EventKind {
         }
     }
 
-    /// The event with its CPU and package ids shifted by the given
-    /// offsets — used when per-partition streams from the parallel
-    /// engine (each numbered from zero) merge into one machine-global
-    /// stream. Task ids stay partition-local: partitions allocate
-    /// them independently, so no global renumbering exists.
+    /// The event with its CPU, package, and frequency-domain ids
+    /// shifted by the given offsets — used when per-partition streams
+    /// from the parallel engine (each numbered from zero) merge into
+    /// one machine-global stream. Governor and P-state events shift by
+    /// `domain_offset` (their id field is a domain index, which under
+    /// per-core scope advances by domains-per-package per partition);
+    /// throttle events shift by `package_offset`. Task ids stay
+    /// partition-local: partitions allocate them independently, so no
+    /// global renumbering exists.
     #[must_use]
-    pub fn offset_ids(self, cpu_offset: u32, package_offset: u32) -> EventKind {
+    pub fn offset_ids(self, cpu_offset: u32, package_offset: u32, domain_offset: u32) -> EventKind {
         match self {
             EventKind::Spawn { task, cpu, binary } => EventKind::Spawn {
                 task,
@@ -98,11 +107,11 @@ impl EventKind {
                 pulled,
             },
             EventKind::GovernorDecision { package, pstate } => EventKind::GovernorDecision {
-                package: package + package_offset,
+                package: package + domain_offset,
                 pstate,
             },
             EventKind::PStateTransition { package, from, to } => EventKind::PStateTransition {
-                package: package + package_offset,
+                package: package + domain_offset,
                 from,
                 to,
             },

@@ -16,9 +16,10 @@
 //!   time-series CSV.
 //! - [`perfetto`]: renders an event stream plus gauge snapshots as
 //!   Chrome trace-event JSON — per-CPU tracks with task slices,
-//!   instants for policy decisions, counter tracks for thermal power,
-//!   frequency, runqueue depth, and utilization — openable directly in
-//!   `ui.perfetto.dev`.
+//!   instants for policy decisions (on per-package or per-frequency-
+//!   domain tracks, matching the machine's domain scope), counter
+//!   tracks for thermal power, per-domain frequency, runqueue depth,
+//!   and utilization — openable directly in `ui.perfetto.dev`.
 //! - [`PhaseProfiler`]: host wall-time accounting per engine phase,
 //!   the baseline for any future parallel engine core.
 //! - [`first_divergence`]: trace diffing, so two runs that drift can be

@@ -3,8 +3,10 @@
 //!
 //! Naming convention: `subsystem.metric[.instance]`, e.g.
 //! `sched.context_switches`, `thermal.power_w.cpu3`,
-//! `dvfs.freq_ghz.pkg0`. Subsystems in use: `engine`, `sched`, `dvfs`,
-//! `thermal`, `workloads`.
+//! `dvfs.freq_ghz.pkg0` (per-package frequency domains) or
+//! `dvfs.freq_ghz.dom5` (per-core domains on hybrid machines).
+//! Subsystems in use: `engine`, `sched`, `dvfs`, `thermal`,
+//! `workloads`.
 
 use ebs_units::SimTime;
 

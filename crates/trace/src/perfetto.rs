@@ -6,8 +6,10 @@
 //! - process 1 ("machine"): one thread track per CPU carrying task
 //!   slices (`B`/`E` pairs reconstructed from the context-switch
 //!   stream) and instants for spawns, completions, migrations, and
-//!   balancer rounds; one thread track per package carrying governor,
-//!   P-state, and throttle instants.
+//!   balancer rounds; one thread track per package carrying throttle
+//!   instants (and, under per-package frequency domains, the governor
+//!   and P-state instants); under per-core domains ([`export_scoped`])
+//!   one thread track per frequency domain carries those instead.
 //! - process 2 ("metrics"): one counter track (`C` events) per
 //!   registered gauge — thermal power, frequency, runqueue depth,
 //!   windowed utilization — fed from the registry's snapshots.
@@ -24,6 +26,10 @@ const PID_MACHINE: u32 = 1;
 const PID_METRICS: u32 = 2;
 /// Package tracks live above any plausible CPU id.
 const PKG_TID_BASE: u32 = 4000;
+/// Frequency-domain tracks (per-core scope only) live above the
+/// package tracks — a hybrid machine's domain ids overlap its package
+/// ids numerically while meaning different hardware.
+const DOM_TID_BASE: u32 = 8000;
 
 fn meta(pid: u32, tid: u32, key: &str, name: &str) -> String {
     format!(
@@ -46,14 +52,36 @@ fn instant(ts: u64, tid: u32, name: &str) -> String {
 /// labels task slices by the program each task runs (tasks map to
 /// binaries via their `Spawn` events; unknown binaries fall back to
 /// `bin<id>`).
+///
+/// Governor and P-state instants land on the `package{i}` tracks —
+/// correct for per-package frequency domains, where domain `i` *is*
+/// package `i`. Machines running per-core domains (hybrid shapes)
+/// should use [`export_scoped`] so those instants get their own
+/// `domain{i}` tracks.
 pub fn export(
     events: &[TraceEvent],
     metrics: Option<&MetricsRegistry>,
     binary_names: &HashMap<u64, String>,
 ) -> String {
+    export_scoped(events, metrics, binary_names, false)
+}
+
+/// [`export`] with explicit frequency-domain granularity. With
+/// `per_core_domains` the governor/P-state instants (whose id field
+/// carries a *domain* index) render on dedicated `domain{i}` tracks,
+/// one per frequency domain, while throttle instants stay on the
+/// `package{i}` tracks they are keyed by — on a hybrid machine the
+/// two id spaces overlap numerically but name different hardware.
+pub fn export_scoped(
+    events: &[TraceEvent],
+    metrics: Option<&MetricsRegistry>,
+    binary_names: &HashMap<u64, String>,
+    per_core_domains: bool,
+) -> String {
     let mut out: Vec<String> = Vec::new();
     let mut cpus: Vec<u32> = Vec::new();
     let mut packages: Vec<u32> = Vec::new();
+    let mut domains: Vec<u32> = Vec::new();
     let mut labels: HashMap<u64, String> = HashMap::new();
     // Open slice per CPU: the label of the task currently on it.
     let mut open: HashMap<u32, String> = HashMap::new();
@@ -122,24 +150,32 @@ pub fn export(
                 out.push(instant(ts, cpu, &format!("balance pulled {pulled}")));
             }
             EventKind::GovernorDecision { package, pstate } => {
-                if !packages.contains(&package) {
-                    packages.push(package);
-                }
-                out.push(instant(
-                    ts,
-                    PKG_TID_BASE + package,
-                    &format!("governor P{pstate}"),
-                ));
+                let tid = if per_core_domains {
+                    if !domains.contains(&package) {
+                        domains.push(package);
+                    }
+                    DOM_TID_BASE + package
+                } else {
+                    if !packages.contains(&package) {
+                        packages.push(package);
+                    }
+                    PKG_TID_BASE + package
+                };
+                out.push(instant(ts, tid, &format!("governor P{pstate}")));
             }
             EventKind::PStateTransition { package, from, to } => {
-                if !packages.contains(&package) {
-                    packages.push(package);
-                }
-                out.push(instant(
-                    ts,
-                    PKG_TID_BASE + package,
-                    &format!("P{from} -> P{to}"),
-                ));
+                let tid = if per_core_domains {
+                    if !domains.contains(&package) {
+                        domains.push(package);
+                    }
+                    DOM_TID_BASE + package
+                } else {
+                    if !packages.contains(&package) {
+                        packages.push(package);
+                    }
+                    PKG_TID_BASE + package
+                };
+                out.push(instant(ts, tid, &format!("P{from} -> P{to}")));
             }
             EventKind::ThrottleEngage { package } => {
                 if !packages.contains(&package) {
@@ -195,6 +231,15 @@ pub fn export(
             PKG_TID_BASE + pkg,
             "thread_name",
             &format!("package{pkg}"),
+        ));
+    }
+    domains.sort_unstable();
+    for dom in domains {
+        head.push(meta(
+            PID_MACHINE,
+            DOM_TID_BASE + dom,
+            "thread_name",
+            &format!("domain{dom}"),
         ));
     }
     head.extend(out);
@@ -304,5 +349,59 @@ mod tests {
         assert!(doc.contains("bitcnts t1"));
         assert!(doc.contains("thermal.power_w.cpu0"));
         assert!(doc.contains("hot-task"));
+    }
+
+    #[test]
+    fn per_core_scope_renders_domain_tracks() {
+        let events = vec![
+            ev(
+                1,
+                EventKind::GovernorDecision {
+                    package: 5,
+                    pstate: 1,
+                },
+            ),
+            ev(
+                2,
+                EventKind::PStateTransition {
+                    package: 5,
+                    from: 0,
+                    to: 1,
+                },
+            ),
+            ev(3, EventKind::ThrottleEngage { package: 0 }),
+        ];
+        let names = HashMap::new();
+
+        // Legacy export: everything on package tracks.
+        let flat = export(&events, None, &names);
+        assert!(flat.contains("package5"));
+        assert!(!flat.contains("domain5"));
+
+        // Per-core domains: governor/P-state instants move to their
+        // own domain track; the throttle stays per package.
+        let scoped = export_scoped(&events, None, &names, true);
+        assert!(scoped.contains("domain5"), "{scoped}");
+        assert!(!scoped.contains("package5"), "{scoped}");
+        assert!(scoped.contains("package0"), "{scoped}");
+        assert!(parse(&scoped).is_ok(), "valid JSON");
+    }
+
+    #[test]
+    fn offset_ids_shifts_domains_independently_of_packages() {
+        let gov = EventKind::GovernorDecision {
+            package: 3,
+            pstate: 1,
+        }
+        .offset_ids(0, 1, 8);
+        assert_eq!(
+            gov,
+            EventKind::GovernorDecision {
+                package: 11,
+                pstate: 1
+            }
+        );
+        let thr = EventKind::ThrottleEngage { package: 0 }.offset_ids(0, 1, 8);
+        assert_eq!(thr, EventKind::ThrottleEngage { package: 1 });
     }
 }
